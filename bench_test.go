@@ -1,0 +1,193 @@
+package repro
+
+// One benchmark per experiment key (DESIGN.md §4) — running
+// `go test -bench=. -benchmem` regenerates every table/figure of the
+// evaluation at benchmark scale (Quick config, reduced set counts), and a
+// set of micro-benchmarks for the analysis primitives. For
+// publication-scale tables use cmd/experiments, which runs the full
+// sweeps.
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/gen"
+	"repro/internal/partition"
+	"repro/internal/rta"
+	"repro/internal/sim"
+	"repro/internal/split"
+	"repro/internal/task"
+)
+
+func benchExperiment(b *testing.B, key string) {
+	e, ok := experiments.Find(key)
+	if !ok {
+		b.Fatalf("experiment %s not registered", key)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables := e.Run(experiments.Config{Seed: int64(i) + 1, SetsPerPoint: 10, Quick: true})
+		if len(tables) == 0 {
+			b.Fatal("no tables")
+		}
+		for _, t := range tables {
+			t.Render(io.Discard)
+		}
+	}
+}
+
+func BenchmarkE1BoundsTable(b *testing.B)        { benchExperiment(b, "bounds-table") }
+func BenchmarkE2AcceptanceGeneral(b *testing.B)  { benchExperiment(b, "acceptance-general") }
+func BenchmarkE3AcceptanceLight(b *testing.B)    { benchExperiment(b, "acceptance-light") }
+func BenchmarkE4AcceptanceHarmonic(b *testing.B) { benchExperiment(b, "acceptance-harmonic") }
+func BenchmarkE5AcceptanceKChains(b *testing.B)  { benchExperiment(b, "acceptance-kchains") }
+func BenchmarkE6Breakdown(b *testing.B)          { benchExperiment(b, "breakdown") }
+func BenchmarkE7ProcsSweep(b *testing.B)         { benchExperiment(b, "procs-sweep") }
+func BenchmarkE8HeavySweep(b *testing.B)         { benchExperiment(b, "heavy-sweep") }
+func BenchmarkE9MaxSplitAblation(b *testing.B)   { benchExperiment(b, "split-ablation") }
+func BenchmarkE10SimulateVerify(b *testing.B)    { benchExperiment(b, "simulate-verify") }
+func BenchmarkE11UtilizationTail(b *testing.B)   { benchExperiment(b, "utilization-tail") }
+func BenchmarkE12GlobalCompare(b *testing.B)     { benchExperiment(b, "global-compare") }
+func BenchmarkE13OverheadSensitivity(b *testing.B) {
+	benchExperiment(b, "overhead-sensitivity")
+}
+func BenchmarkE14AdmissionAblation(b *testing.B) { benchExperiment(b, "admission-ablation") }
+func BenchmarkE15FPvsEDF(b *testing.B)           { benchExperiment(b, "fp-vs-edf") }
+func BenchmarkE16ConstrainedDeadlines(b *testing.B) {
+	benchExperiment(b, "constrained-deadlines")
+}
+func BenchmarkE17AnalysisPessimism(b *testing.B) { benchExperiment(b, "analysis-pessimism") }
+func BenchmarkE18UniBreakdown(b *testing.B)      { benchExperiment(b, "uni-breakdown") }
+
+// --- micro-benchmarks for the analysis primitives ---
+
+func benchSets(n int, m int, umax float64) []task.Set {
+	r := rand.New(rand.NewSource(1234))
+	sets := make([]task.Set, n)
+	for i := range sets {
+		ts, err := gen.TaskSet(r, gen.Config{TargetU: 0.8 * float64(m), UMin: 0.05, UMax: umax})
+		if err != nil {
+			panic(err)
+		}
+		sets[i] = ts
+	}
+	return sets
+}
+
+func BenchmarkRTAProcessor(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	var lists [][]task.Subtask
+	for len(lists) < 64 {
+		n := 5 + r.Intn(10)
+		list := make([]task.Subtask, 0, n)
+		for i := 0; i < n; i++ {
+			T := task.Time(100 + r.Intn(9900))
+			C := task.Time(1 + r.Intn(int(T)/12))
+			list = append(list, task.Subtask{TaskIndex: i, Part: 1, C: C, T: T, Deadline: T, Tail: true})
+		}
+		lists = append(lists, list)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rta.ProcessorSchedulable(lists[i%len(lists)])
+	}
+}
+
+func BenchmarkMaxSplitTestingPoint(b *testing.B) {
+	benchMaxSplit(b, split.MaxPortion)
+}
+
+func BenchmarkMaxSplitBinarySearch(b *testing.B) {
+	benchMaxSplit(b, split.MaxPortionBinary)
+}
+
+func benchMaxSplit(b *testing.B, f func([]task.Subtask, task.Time, task.Time, task.Time) task.Time) {
+	r := rand.New(rand.NewSource(3))
+	type inst struct {
+		list []task.Subtask
+		t    task.Time
+	}
+	var cases []inst
+	for len(cases) < 64 {
+		n := 3 + r.Intn(6)
+		list := make([]task.Subtask, 0, n)
+		for i := 0; i < n; i++ {
+			T := task.Time(100 + r.Intn(5000))
+			C := task.Time(1 + r.Intn(int(T)/6))
+			list = append(list, task.Subtask{TaskIndex: i + 1, Part: 1, C: C, T: T, Deadline: T, Tail: true})
+		}
+		if !rta.ProcessorSchedulable(list) {
+			continue
+		}
+		cases = append(cases, inst{list, task.Time(100 + r.Intn(3000))})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := cases[i%len(cases)]
+		f(c.list, c.t, c.t, c.t)
+	}
+}
+
+func BenchmarkPartitionRMTS(b *testing.B) {
+	sets := benchSets(32, 8, 0.6)
+	alg := partition.NewRMTS(nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alg.Partition(sets[i%len(sets)], 8)
+	}
+}
+
+func BenchmarkPartitionRMTSLight(b *testing.B) {
+	sets := benchSets(32, 8, 0.4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		partition.RMTSLight{}.Partition(sets[i%len(sets)], 8)
+	}
+}
+
+func BenchmarkPartitionSPA2(b *testing.B) {
+	sets := benchSets(32, 8, 0.6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		partition.SPA2{}.Partition(sets[i%len(sets)], 8)
+	}
+}
+
+func BenchmarkSimulateHyperperiod(b *testing.B) {
+	r := rand.New(rand.NewSource(4))
+	ts, err := gen.TaskSet(r, gen.Config{
+		TargetU: 3.0, UMin: 0.05, UMax: 0.4,
+		Periods: gen.ChoicePeriods{Values: []task.Time{20, 40, 50, 80, 100, 200, 400}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res := partition.NewRMTS(nil).Partition(ts, 4)
+	if !res.OK {
+		b.Fatal(res.Reason)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := sim.Simulate(res.Assignment, sim.Options{StopOnMiss: true, HorizonCap: 100_000})
+		if err != nil || !rep.Ok() {
+			b.Fatalf("err=%v ok=%v", err, rep.Ok())
+		}
+	}
+}
+
+func BenchmarkBoundTest(b *testing.B) {
+	sets := benchSets(32, 8, 0.5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BoundTest(sets[i%len(sets)], 8)
+	}
+}

@@ -1,0 +1,147 @@
+// Command acceptance runs a configurable acceptance-ratio sweep — the
+// workhorse plot of the paper's evaluation — and writes one row per
+// normalized-utilization point with the acceptance ratio of each selected
+// algorithm.
+//
+// Usage:
+//
+//	acceptance [-m 8] [-sets 500] [-from 0.6] [-to 1.0] [-step 0.025]
+//	           [-umin 0.05] [-umax 0.95] [-class general|light|harmonic|kchains]
+//	           [-k 2] [-seed 1] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"repro/internal/bounds"
+	"repro/internal/gen"
+	"repro/internal/partition"
+	"repro/internal/stats"
+	"repro/internal/task"
+)
+
+func main() {
+	var (
+		m     = flag.Int("m", 8, "number of processors")
+		sets  = flag.Int("sets", 500, "task sets per sweep point")
+		from  = flag.Float64("from", 0.60, "sweep start U_M")
+		to    = flag.Float64("to", 1.00, "sweep end U_M")
+		step  = flag.Float64("step", 0.025, "sweep step")
+		umin  = flag.Float64("umin", 0.05, "per-task minimum utilization")
+		umax  = flag.Float64("umax", 0.95, "per-task maximum utilization")
+		class = flag.String("class", "general", "task-set class: general, light, harmonic, kchains")
+		k     = flag.Int("k", 2, "harmonic chain count for -class kchains")
+		seed  = flag.Int64("seed", 1, "random seed")
+		csv   = flag.Bool("csv", false, "CSV output")
+		algos = flag.String("algos", "rm-ts,rm-ts-light,spa1,spa2,ff", "comma-separated algorithms")
+	)
+	flag.Parse()
+
+	specs, err := parseAlgos(*algos)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "acceptance:", err)
+		os.Exit(2)
+	}
+
+	genSet := func(r *rand.Rand, target float64) (task.Set, error) {
+		switch *class {
+		case "general":
+			return gen.TaskSet(r, gen.Config{TargetU: target, UMin: *umin, UMax: *umax})
+		case "light":
+			hi := *umax
+			if hi > 0.40 {
+				hi = 0.40
+			}
+			return gen.TaskSet(r, gen.Config{TargetU: target, UMin: *umin, UMax: hi})
+		case "harmonic":
+			return gen.HarmonicSet(r, gen.HarmonicConfig{TargetU: target, UMin: *umin, UMax: minf(*umax, 0.40), Chains: 1})
+		case "kchains":
+			return gen.HarmonicSet(r, gen.HarmonicConfig{TargetU: target, UMin: *umin, UMax: minf(*umax, 0.40), Chains: *k})
+		default:
+			return nil, fmt.Errorf("unknown class %q", *class)
+		}
+	}
+
+	r := rand.New(rand.NewSource(*seed))
+	sep := "  "
+	if *csv {
+		sep = ","
+	}
+	header := []string{"U_M"}
+	for _, s := range specs {
+		header = append(header, s.name, s.name+"_lo", s.name+"_hi")
+	}
+	fmt.Println(strings.Join(header, sep))
+	for um := *from; um <= *to+1e-9; um += *step {
+		target := um * float64(*m)
+		accepted := make([]int, len(specs))
+		for i := 0; i < *sets; i++ {
+			ts, err := genSet(r, target)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "acceptance:", err)
+				os.Exit(2)
+			}
+			for j, s := range specs {
+				res := s.alg.Partition(ts, *m)
+				if res.OK && res.Guaranteed {
+					accepted[j]++
+				}
+			}
+		}
+		row := []string{fmt.Sprintf("%.3f", um)}
+		for _, kAcc := range accepted {
+			lo, hi := stats.Wilson(kAcc, *sets, 1.96)
+			row = append(row,
+				fmt.Sprintf("%.4f", float64(kAcc)/float64(*sets)),
+				fmt.Sprintf("%.4f", lo),
+				fmt.Sprintf("%.4f", hi))
+		}
+		fmt.Println(strings.Join(row, sep))
+	}
+}
+
+type spec struct {
+	name string
+	alg  partition.Algorithm
+}
+
+func parseAlgos(list string) ([]spec, error) {
+	var out []spec
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		switch name {
+		case "rm-ts":
+			out = append(out, spec{"rm-ts", partition.NewRMTS(bounds.Max{Bounds: []bounds.PUB{
+				bounds.LiuLayland{}, bounds.HarmonicChain{Minimal: true}, bounds.TBound{}, bounds.RBound{},
+			}})})
+		case "rm-ts-light":
+			out = append(out, spec{"rm-ts-light", partition.RMTSLight{}})
+		case "spa1":
+			out = append(out, spec{"spa1", partition.SPA1{}})
+		case "spa2":
+			out = append(out, spec{"spa2", partition.SPA2{}})
+		case "ff":
+			out = append(out, spec{"ff", partition.FirstFitRTA{}})
+		case "wf":
+			out = append(out, spec{"wf", partition.WorstFitRTA{}})
+		case "":
+		default:
+			return nil, fmt.Errorf("unknown algorithm %q", name)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no algorithms selected")
+	}
+	return out, nil
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,74 @@
+// Command experiments regenerates the paper's evaluation tables (see
+// DESIGN.md §4 for the experiment index and EXPERIMENTS.md for
+// paper-vs-measured records).
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run acceptance-general [-sets 500] [-seed 1] [-quick] [-csv]
+//	experiments -all [-sets 200]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list experiments and exit")
+		run     = flag.String("run", "", "experiment key to run")
+		all     = flag.Bool("all", false, "run every experiment")
+		sets    = flag.Int("sets", 200, "task sets per sweep point")
+		seed    = flag.Int64("seed", 1, "random seed")
+		quick   = flag.Bool("quick", false, "reduced sweeps (benchmark scale)")
+		csv     = flag.Bool("csv", false, "CSV output instead of aligned tables")
+		quiet   = flag.Bool("q", false, "suppress progress output")
+		workers = flag.Int("workers", 0, "concurrent workers for set evaluation (0 = GOMAXPROCS; results are identical at any count)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-22s %s\n", e.Key, e.Title)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Seed: *seed, SetsPerPoint: *sets, Quick: *quick, Workers: *workers}
+	if !*quiet {
+		cfg.Progress = os.Stderr
+	}
+
+	var toRun []experiments.Experiment
+	switch {
+	case *all:
+		toRun = experiments.Registry()
+	case *run != "":
+		e, ok := experiments.Find(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown key %q (use -list)\n", *run)
+			os.Exit(2)
+		}
+		toRun = []experiments.Experiment{e}
+	default:
+		fmt.Fprintln(os.Stderr, "experiments: need -run <key>, -all, or -list")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for _, e := range toRun {
+		for _, t := range e.Run(cfg) {
+			if *csv {
+				fmt.Printf("# %s — %s\n", t.ID, t.Title)
+				t.CSV(os.Stdout)
+				fmt.Println()
+			} else {
+				t.Render(os.Stdout)
+			}
+		}
+	}
+}

@@ -1,0 +1,104 @@
+// Command genset generates random task-set files for the other tools,
+// using the same seeded generators as the evaluation harness.
+//
+// Usage:
+//
+//	genset -u 3.2 [-umin 0.05] [-umax 0.5] [-class general|harmonic|kchains|mixed]
+//	       [-k 2] [-heavy 0.4] [-pmin 100] [-pmax 10000] [-menu 20,40,100]
+//	       [-seed 1] [-o tasks.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/gen"
+	"repro/internal/task"
+	"repro/internal/taskio"
+)
+
+func main() {
+	var (
+		u     = flag.Float64("u", 2.0, "target total utilization (e.g. M × U_M)")
+		umin  = flag.Float64("umin", 0.05, "per-task minimum utilization")
+		umax  = flag.Float64("umax", 0.5, "per-task maximum utilization")
+		class = flag.String("class", "general", "general, harmonic, kchains, mixed")
+		k     = flag.Int("k", 2, "harmonic chain count for -class kchains")
+		heavy = flag.Float64("heavy", 0.4, "heavy utilization share for -class mixed")
+		pmin  = flag.Int64("pmin", 100, "minimum period (log-uniform)")
+		pmax  = flag.Int64("pmax", 10000, "maximum period (log-uniform)")
+		menu  = flag.String("menu", "", "comma-separated period menu (overrides pmin/pmax)")
+		seed  = flag.Int64("seed", 1, "random seed")
+		out   = flag.String("o", "", "output file (default stdout)")
+		dmin  = flag.Float64("dmin", 1, "minimum deadline fraction D/T (with -dmax < 1: constrained deadlines)")
+		dmax  = flag.Float64("dmax", 1, "maximum deadline fraction D/T")
+	)
+	flag.Parse()
+
+	var pg gen.PeriodGen = gen.LogUniformPeriods{Min: *pmin, Max: *pmax}
+	if *menu != "" {
+		var values []task.Time
+		for _, s := range strings.Split(*menu, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "genset: bad menu entry %q\n", s)
+				os.Exit(2)
+			}
+			values = append(values, v)
+		}
+		pg = gen.ChoicePeriods{Values: values}
+	}
+
+	r := rand.New(rand.NewSource(*seed))
+	var ts task.Set
+	var err error
+	switch *class {
+	case "general":
+		ts, err = gen.TaskSet(r, gen.Config{TargetU: *u, UMin: *umin, UMax: *umax, Periods: pg})
+	case "harmonic":
+		ts, err = gen.HarmonicSet(r, gen.HarmonicConfig{TargetU: *u, UMin: *umin, UMax: *umax, Chains: 1})
+	case "kchains":
+		ts, err = gen.HarmonicSet(r, gen.HarmonicConfig{TargetU: *u, UMin: *umin, UMax: *umax, Chains: *k})
+	case "mixed":
+		ts, err = gen.MixedSet(r, gen.MixedConfig{
+			TargetU: *u, HeavyShare: *heavy,
+			HeavyMin: 0.5, HeavyMax: 0.9,
+			LightMin: *umin, LightMax: *umax,
+			Periods: pg,
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "genset: unknown class %q\n", *class)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "genset:", err)
+		os.Exit(2)
+	}
+	if *dmin < 1 || *dmax < 1 {
+		ts, err = gen.Constrain(r, ts, *dmin, *dmax)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "genset:", err)
+			os.Exit(2)
+		}
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "genset:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := taskio.Save(w, ts); err != nil {
+		fmt.Fprintln(os.Stderr, "genset:", err)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "genset: %d tasks, U(τ)=%.4f\n", len(ts), ts.TotalUtilization())
+}

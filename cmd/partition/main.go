@@ -1,0 +1,143 @@
+// Command partition places a task set onto M processors with one of the
+// implemented algorithms and prints the verified per-processor assignment.
+//
+// Usage:
+//
+//	partition -set tasks.txt -m 4 [-algo rm-ts|rm-ts-light|spa1|spa2|ff|wf|auto] [-pub ll|hc|t|r|best]
+//
+// The task-set file holds either "name C T" lines or the JSON format of
+// internal/taskio. Exit status 1 means the set could not be scheduled.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bounds"
+	"repro/internal/core"
+	"repro/internal/partition"
+	"repro/internal/taskio"
+)
+
+func main() {
+	var (
+		setPath = flag.String("set", "", "task set file (text or JSON)")
+		m       = flag.Int("m", 2, "number of processors")
+		algo    = flag.String("algo", "auto", "algorithm: auto, rm-ts, rm-ts-light, spa1, spa2, ff, wf, edf-ff, edf-ts")
+		pubName = flag.String("pub", "best", "parametric bound for RM-TS: ll, hc, t, r, best")
+		quiet   = flag.Bool("q", false, "only print the verdict")
+		sens    = flag.Bool("sensitivity", false, "also compute critical scaling factors (global and per task)")
+		outPlan = flag.String("o", "", "write the verified plan as JSON (replayable via simulate -plan)")
+	)
+	flag.Parse()
+	if *setPath == "" {
+		fmt.Fprintln(os.Stderr, "partition: -set is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	ts, err := taskio.Load(*setPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "partition:", err)
+		os.Exit(2)
+	}
+
+	pub, err := pubByName(*pubName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "partition:", err)
+		os.Exit(2)
+	}
+	alg, err := algoByName(*algo, pub)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "partition:", err)
+		os.Exit(2)
+	}
+
+	plan, err := core.Partition(ts, *m, core.Options{Algorithm: alg, PUB: pub})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "partition: NOT SCHEDULABLE: %v\n", err)
+		os.Exit(1)
+	}
+	a := plan.Analysis
+	fmt.Printf("schedulable: %d tasks on %d processors via %s\n", a.N, a.M, plan.AlgorithmName)
+	fmt.Printf("U(τ)=%.4f  U_M(τ)=%.4f  max U_i=%.4f  light=%v  harmonic chains K=%d\n",
+		a.TotalU, a.NormalizedU, a.MaxU, a.Light, a.HarmonicChains)
+	fmt.Printf("bounds: Θ(N)=%.4f  best Λ(τ)=%.4f (%s)  RM-TS cap=%.4f  bound-backed=%v\n",
+		a.Theta, a.BestBoundValue, a.BestBound, a.RMTSCap, plan.BoundBacked)
+	if plan.Result.NumSplit > 0 || plan.Result.NumPreAssigned > 0 {
+		fmt.Printf("split tasks: %d  pre-assigned heavy tasks: %d\n",
+			plan.Result.NumSplit, plan.Result.NumPreAssigned)
+	}
+	if !*quiet {
+		fmt.Println()
+		fmt.Print(plan.Assignment())
+	}
+	if *sens {
+		rep, err := core.Sensitivity(ts, *m, alg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "partition: sensitivity:", err)
+			os.Exit(2)
+		}
+		fmt.Println()
+		fmt.Print(rep)
+	}
+	if *outPlan != "" {
+		f, err := os.Create(*outPlan)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "partition:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		sched := plan.Result.Scheduler
+		if sched == "" {
+			sched = "FP"
+		}
+		if err := taskio.SavePlan(f, plan.Assignment(), sched); err != nil {
+			fmt.Fprintln(os.Stderr, "partition:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("plan written to %s\n", *outPlan)
+	}
+}
+
+func pubByName(name string) (bounds.PUB, error) {
+	switch name {
+	case "ll":
+		return bounds.LiuLayland{}, nil
+	case "hc":
+		return bounds.HarmonicChain{Minimal: true}, nil
+	case "t":
+		return bounds.TBound{}, nil
+	case "r":
+		return bounds.RBound{}, nil
+	case "best", "":
+		return bounds.Max{Bounds: core.DefaultBounds()}, nil
+	default:
+		return nil, fmt.Errorf("unknown bound %q (want ll, hc, t, r, best)", name)
+	}
+}
+
+func algoByName(name string, pub bounds.PUB) (partition.Algorithm, error) {
+	switch name {
+	case "auto", "":
+		return nil, nil // let the planner decide
+	case "rm-ts":
+		return partition.NewRMTS(pub), nil
+	case "rm-ts-light":
+		return partition.RMTSLight{}, nil
+	case "spa1":
+		return partition.SPA1{}, nil
+	case "spa2":
+		return partition.SPA2{}, nil
+	case "ff":
+		return partition.FirstFitRTA{}, nil
+	case "wf":
+		return partition.WorstFitRTA{}, nil
+	case "edf-ff":
+		return partition.EDFFirstFit{}, nil
+	case "edf-ts":
+		return partition.EDFTS{}, nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", name)
+	}
+}

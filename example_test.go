@@ -1,0 +1,89 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// The basic flow: analyze, partition, simulate.
+func ExamplePartition() {
+	ts := repro.Set{
+		{Name: "imu", C: 1, T: 4},
+		{Name: "ctrl", C: 2, T: 8},
+		{Name: "plan", C: 4, T: 16},
+		{Name: "log", C: 6, T: 16},
+	}
+	plan, err := repro.Partition(ts, 2, repro.Options{})
+	if err != nil {
+		fmt.Println("not schedulable:", err)
+		return
+	}
+	rep, _ := plan.Simulate(repro.SimOptions{StopOnMiss: true})
+	fmt.Println(plan.AlgorithmName, "misses:", len(rep.Misses))
+	// Output:
+	// RM-TS/light misses: 0
+}
+
+// Parametric bounds: a harmonic set is covered by the 100% bound.
+func ExampleAnalyze() {
+	ts := repro.Set{
+		{Name: "a", C: 1, T: 4},
+		{Name: "b", C: 2, T: 8},
+		{Name: "c", C: 4, T: 16},
+	}
+	a := repro.Analyze(ts, 2)
+	fmt.Printf("harmonic=%v chains=%d bound=%.0f%%\n", a.Harmonic, a.HarmonicChains, 100*a.BestBoundValue)
+	// Output:
+	// harmonic=true chains=1 bound=100%
+}
+
+// The bound-only admission test: schedulability without packing.
+func ExampleBoundTest() {
+	ts := repro.Set{
+		{Name: "a", C: 1, T: 4}, {Name: "a2", C: 1, T: 4},
+		{Name: "b", C: 2, T: 8}, {Name: "b2", C: 2, T: 8},
+		{Name: "c", C: 6, T: 16}, {Name: "c2", C: 6, T: 16},
+	}
+	ok, bound, a := repro.BoundTest(ts, 2)
+	fmt.Printf("U_M=%.3f bound=%.3f schedulable=%v\n", a.NormalizedU, bound, ok)
+	// Output:
+	// U_M=0.875 bound=1.000 schedulable=true
+}
+
+// Direct use of a specific algorithm and the verifier.
+func ExampleNewRMTS() {
+	ts := repro.Set{
+		{Name: "heavy", C: 60, T: 100},
+		{Name: "l1", C: 30, T: 200},
+		{Name: "l2", C: 45, T: 300},
+	}
+	res := repro.NewRMTS(repro.HarmonicChainMin).Partition(ts, 2)
+	fmt.Println("ok:", res.OK, "pre-assigned:", res.NumPreAssigned, "verify:", repro.Verify(res) == nil)
+	// Output:
+	// ok: true pre-assigned: 1 verify: true
+}
+
+// The Dhall effect: global RM fails at low utilization; the paper's
+// partitioned approach does not.
+func ExampleDhallExample() {
+	ts := repro.DhallExample(4, 100)
+	grm, _ := repro.SimulateGlobal(ts, 4, repro.GlobalOptions{Policy: repro.GlobalRM, StopOnMiss: true})
+	res := repro.NewRMTS(nil).Partition(ts, 4)
+	fmt.Printf("U_M=%.3f globalRM=%v partitioned=%v\n",
+		ts.NormalizedUtilization(4), grm.Ok(), res.OK)
+	// Output:
+	// U_M=0.260 globalRM=false partitioned=true
+}
+
+// Critical scaling: how much execution-time growth a design tolerates.
+func ExampleSensitivity() {
+	ts := repro.Set{
+		{Name: "a", C: 1, T: 10},
+		{Name: "b", C: 2, T: 20},
+	}
+	rep, _ := repro.Sensitivity(ts, 1, repro.RMTSLight)
+	fmt.Printf("global between 5 and 6: %v\n", rep.Global > 5 && rep.Global < 6)
+	// Output:
+	// global between 5 and 6: true
+}

@@ -1,0 +1,68 @@
+package repro
+
+import "testing"
+
+func TestFacadeGlobalScheduling(t *testing.T) {
+	ts := DhallExample(2, 10)
+	rep, err := SimulateGlobal(ts, 2, GlobalOptions{Policy: GlobalRM, StopOnMiss: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ok() {
+		t.Error("Dhall witness schedulable under global RM")
+	}
+	rep, err = SimulateGlobal(ts, 2, GlobalOptions{Policy: GlobalRMUS, StopOnMiss: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Errorf("RM-US missed: %v", rep.Misses)
+	}
+	if GlobalUSBound(2) != 0.5 {
+		t.Errorf("US bound = %g", GlobalUSBound(2))
+	}
+}
+
+func TestFacadeOverheadAware(t *testing.T) {
+	ts := Set{
+		{Name: "a", C: 20, T: 100},
+		{Name: "b", C: 30, T: 200},
+		{Name: "c", C: 50, T: 400},
+	}
+	alg := NewRMTSOverheadAware(nil, 2)
+	res := alg.Partition(ts, 2)
+	if !res.OK {
+		t.Fatalf("failed: %s", res.Reason)
+	}
+	if err := VerifyWithSurcharge(res, 6); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Simulate(res.Assignment, SimOptions{
+		StopOnMiss: true, DispatchOverhead: 2, MigrationOverhead: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("misses under charges: %v", rep.Misses)
+	}
+	light := NewRMTSLightOverheadAware(2)
+	if res := light.Partition(ts, 2); !res.OK {
+		t.Fatalf("light variant failed: %s", res.Reason)
+	}
+}
+
+func TestFacadeTimeline(t *testing.T) {
+	ts := Set{{Name: "a", C: 1, T: 4}, {Name: "b", C: 2, T: 8}}
+	plan, err := Partition(ts, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := plan.Simulate(SimOptions{RecordTimeline: true, TimelineCap: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Gantt() == "" {
+		t.Error("no Gantt output")
+	}
+}

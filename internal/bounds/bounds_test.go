@@ -1,0 +1,307 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/task"
+)
+
+func approx(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %.6f, want %.6f", what, got, want)
+	}
+}
+
+func TestLLValues(t *testing.T) {
+	approx(t, LL(1), 1.0, 1e-12, "Θ(1)")
+	approx(t, LL(2), 0.828427, 1e-6, "Θ(2)")
+	approx(t, LL(3), 0.779763, 1e-6, "Θ(3)")
+	approx(t, LL(10), 0.717735, 1e-6, "Θ(10)")
+	approx(t, LL(1000000), math.Ln2, 1e-6, "Θ(∞)")
+	approx(t, LL(0), 1.0, 1e-12, "Θ(0)")
+	approx(t, LL(-3), 1.0, 1e-12, "Θ(negative)")
+}
+
+func TestLLMonotoneDecreasing(t *testing.T) {
+	prev := LL(1)
+	for n := 2; n <= 200; n++ {
+		cur := LL(n)
+		if cur >= prev {
+			t.Fatalf("Θ(%d)=%.9f not below Θ(%d)=%.9f", n, cur, n-1, prev)
+		}
+		if cur < math.Ln2 {
+			t.Fatalf("Θ(%d)=%.9f below ln2", n, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestPaperThresholdConstants(t *testing.T) {
+	// §I footnote: as N → ∞, Θ ≈ 69.3%, Θ/(1+Θ) ≈ 40.9%, 2Θ/(1+Θ) ≈ 81.8%.
+	n := 10000000
+	approx(t, LL(n), 0.6931, 1e-3, "Θ(∞)")
+	approx(t, LightThresholdFor(n), 0.4094, 1e-3, "Θ/(1+Θ)")
+	approx(t, RMTSCapFor(n), 0.8188, 1e-3, "2Θ/(1+Θ)")
+}
+
+func TestHarmonicChainBoundExamples(t *testing.T) {
+	// §V: K=3 → 3(2^{1/3}−1) ≈ 77.9%; K=2 → 2(2^{1/2}−1) ≈ 82.8%.
+	approx(t, LL(3), 0.7798, 1e-3, "K=3 bound")
+	approx(t, LL(2), 0.8284, 1e-3, "K=2 bound")
+	approx(t, LL(1), 1.0, 1e-12, "K=1 (harmonic 100%) bound")
+}
+
+func set(periods ...task.Time) task.Set {
+	ts := make(task.Set, len(periods))
+	for i, p := range periods {
+		ts[i] = task.Task{C: 1, T: p}
+	}
+	return ts
+}
+
+func TestHarmonicChainPUB(t *testing.T) {
+	harmonic := set(4, 8, 16, 32)
+	hc := HarmonicChain{Minimal: true}
+	approx(t, hc.Value(harmonic), 1.0, 1e-12, "harmonic set bound")
+
+	two := set(4, 8, 9, 27) // chains {4,8} and {9,27}
+	approx(t, hc.Value(two), LL(2), 1e-12, "two-chain bound")
+
+	if !hc.Deflatable() {
+		t.Error("HC bound must be deflatable")
+	}
+}
+
+func TestHarmonicChainsGreedyVsMin(t *testing.T) {
+	cases := []struct {
+		periods []task.Time
+		min     int
+	}{
+		{[]task.Time{2, 4, 8}, 1},
+		{[]task.Time{2, 3}, 2},
+		{[]task.Time{2, 4, 3, 9}, 2},
+		{[]task.Time{2, 3, 5, 7}, 4},
+		{[]task.Time{6, 2, 3}, 2},        // 2|6 or 3|6, one chain absorbs 6
+		{[]task.Time{10, 10, 10}, 1},     // equal periods chain together
+		{[]task.Time{2, 4, 6, 12, 3}, 2}, // {2,4,12|2,6,12...} optimal 2
+		{[]task.Time{1, 2, 3, 4, 6, 12}, 2},
+		{[]task.Time{}, 0},
+		{[]task.Time{7}, 1},
+	}
+	for _, c := range cases {
+		got := HarmonicChainsMin(c.periods)
+		if got != c.min {
+			t.Errorf("HarmonicChainsMin(%v) = %d, want %d", c.periods, got, c.min)
+		}
+		greedy := HarmonicChainsGreedy(c.periods)
+		if greedy < got {
+			t.Errorf("greedy %d beat optimal %d on %v", greedy, got, c.periods)
+		}
+	}
+}
+
+func TestHarmonicChainsMinMatchesBruteForce(t *testing.T) {
+	// Exhaustive check on small random multisets: minimum chain partition
+	// by brute force over set partitions.
+	periodsList := [][]task.Time{
+		{2, 3, 4, 6},
+		{2, 5, 10, 3},
+		{4, 4, 8, 6},
+		{3, 9, 27, 2, 4},
+		{5, 7, 35, 2},
+		{2, 6, 10, 30},
+		{8, 12, 24, 36},
+	}
+	for _, ps := range periodsList {
+		want := bruteForceChains(ps)
+		got := HarmonicChainsMin(ps)
+		if got != want {
+			t.Errorf("HarmonicChainsMin(%v) = %d, brute force = %d", ps, got, want)
+		}
+	}
+}
+
+// bruteForceChains enumerates all partitions of the index set (Bell-number
+// small) and returns the fewest blocks that are all chains under
+// divisibility.
+func bruteForceChains(ps []task.Time) int {
+	n := len(ps)
+	best := n
+	assign := make([]int, n)
+	var rec func(i, blocks int)
+	isChainOK := func(blocks int) bool {
+		for b := 0; b < blocks; b++ {
+			var members []task.Time
+			for i, a := range assign {
+				if a == b {
+					members = append(members, ps[i])
+				}
+			}
+			// sort and check pairwise divisibility along the chain
+			for i := 1; i < len(members); i++ {
+				x := members[i]
+				j := i - 1
+				for j >= 0 && members[j] > x {
+					members[j+1] = members[j]
+					j--
+				}
+				members[j+1] = x
+			}
+			for i := 1; i < len(members); i++ {
+				if members[i]%members[i-1] != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	rec = func(i, blocks int) {
+		if blocks >= best {
+			return
+		}
+		if i == n {
+			if isChainOK(blocks) && blocks < best {
+				best = blocks
+			}
+			return
+		}
+		for b := 0; b <= blocks; b++ {
+			assign[i] = b
+			nb := blocks
+			if b == blocks {
+				nb++
+			}
+			rec(i+1, nb)
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+func TestHarmonicChainCoverIsValid(t *testing.T) {
+	ps := []task.Time{2, 3, 4, 6, 12, 5, 25}
+	chains, sorted := HarmonicChainCover(ps)
+	if len(chains) != HarmonicChainsMin(ps) {
+		t.Fatalf("cover has %d chains, min is %d", len(chains), HarmonicChainsMin(ps))
+	}
+	seen := make([]bool, len(ps))
+	for _, chain := range chains {
+		for k, idx := range chain {
+			if seen[idx] {
+				t.Fatalf("index %d in two chains", idx)
+			}
+			seen[idx] = true
+			if k > 0 && sorted[idx]%sorted[chain[k-1]] != 0 {
+				t.Fatalf("chain %v not harmonic over %v", chain, sorted)
+			}
+		}
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("index %d not covered", i)
+		}
+	}
+}
+
+func TestScaledPeriods(t *testing.T) {
+	sp := ScaledPeriods([]task.Time{3, 5, 8})
+	// Tmax = 8: 3→6, 5→5, 8→8; all in (4, 8].
+	want := []float64{5, 6, 8}
+	for i := range want {
+		approx(t, sp[i], want[i], 1e-12, "scaled period")
+	}
+	for _, v := range sp {
+		if v <= 4 || v > 8 {
+			t.Errorf("scaled period %g outside (Tmax/2, Tmax]", v)
+		}
+	}
+	if got := ScaledPeriods(nil); got != nil {
+		t.Errorf("empty input gave %v", got)
+	}
+}
+
+func TestRBoundProperties(t *testing.T) {
+	rb := RBound{}
+	// Harmonic set: r = 1 → bound 1.
+	approx(t, rb.Value(set(4, 8, 16)), 1.0, 1e-12, "R-bound harmonic")
+	// r → 2 worst case approaches LL(n−1).
+	nearTwo := set(500, 999) // scaled: 999, 1000... r≈1.998
+	v := rb.Value(nearTwo)
+	if v < LL(1)*0.82 || v > 1 {
+		t.Errorf("R-bound near r=2: %g", v)
+	}
+	// Must never fall below the asymptotic L&L bound... (it can dip to
+	// LL(n−1) ≥ ln 2) and never exceed 1 for n ≥ 1.
+	for _, s := range []task.Set{set(3, 5, 8), set(100, 150, 170, 390), set(7)} {
+		v := rb.Value(s)
+		if v < math.Ln2-1e-9 || v > 1+1e-12 {
+			t.Errorf("R-bound out of range for %v: %g", s, v)
+		}
+	}
+}
+
+func TestTBoundProperties(t *testing.T) {
+	tb := TBound{}
+	approx(t, tb.Value(set(4, 8, 16)), 1.0, 1e-12, "T-bound harmonic")
+	approx(t, tb.Value(set(10)), 1.0, 1e-12, "T-bound single")
+	// T-bound dominates the R-bound (it uses full period information).
+	rb := RBound{}
+	for _, s := range []task.Set{set(3, 5, 8), set(100, 150, 170, 390), set(12, 18, 30)} {
+		if tb.Value(s) < rb.Value(s)-1e-9 {
+			t.Errorf("T-bound %g below R-bound %g for %v", tb.Value(s), rb.Value(s), s)
+		}
+	}
+}
+
+func TestMinMaxCombinators(t *testing.T) {
+	s := set(4, 8, 9) // HC-min: {4,8},{9} → K=2
+	m := Min{Bounds: []PUB{LiuLayland{}, HarmonicChain{Minimal: true}}}
+	x := Max{Bounds: []PUB{LiuLayland{}, HarmonicChain{Minimal: true}}}
+	lo, hi := m.Value(s), x.Value(s)
+	if lo > hi {
+		t.Errorf("min %g > max %g", lo, hi)
+	}
+	approx(t, lo, LL(3), 1e-12, "min value")
+	approx(t, hi, LL(2), 1e-12, "max value")
+	if !m.Deflatable() || !x.Deflatable() {
+		t.Error("combinators of deflatable bounds must be deflatable")
+	}
+	if m.Name() == "" || x.Name() == "" {
+		t.Error("combinator names empty")
+	}
+}
+
+func TestEffectiveRMTS(t *testing.T) {
+	s := set(4, 8, 16) // harmonic, HC bound = 1
+	hc := HarmonicChain{Minimal: true}
+	v := EffectiveRMTS(hc, s)
+	approx(t, v, RMTSCapFor(3), 1e-12, "capped at 2Θ/(1+Θ)")
+	// A low bound passes through uncapped.
+	v2 := EffectiveRMTS(LiuLayland{}, s)
+	approx(t, v2, LL(3), 1e-12, "uncapped L&L")
+}
+
+func TestDeflatabilityMetadata(t *testing.T) {
+	for _, b := range []PUB{LiuLayland{}, HarmonicChain{}, HarmonicChain{Minimal: true}, TBound{}, RBound{}} {
+		if !b.Deflatable() {
+			t.Errorf("%s not deflatable", b.Name())
+		}
+		if b.Name() == "" {
+			t.Error("empty bound name")
+		}
+	}
+}
+
+func TestBoundsAreParametricNotExecutionDependent(t *testing.T) {
+	// Lemma 1 machinery: deflating C must not change any bound's value
+	// (all implemented bounds depend only on periods and count).
+	base := task.Set{{C: 5, T: 10}, {C: 9, T: 18}, {C: 2, T: 27}}
+	deflated := task.Set{{C: 1, T: 10}, {C: 3, T: 18}, {C: 1, T: 27}}
+	for _, b := range []PUB{LiuLayland{}, HarmonicChain{}, HarmonicChain{Minimal: true}, TBound{}, RBound{}} {
+		if v1, v2 := b.Value(base), b.Value(deflated); v1 != v2 {
+			t.Errorf("%s changed under deflation: %g vs %g", b.Name(), v1, v2)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/rta"
+	"repro/internal/split"
+	"repro/internal/task"
+)
+
+// SplitAblation (E9) compares the two MaxSplit implementations (§IV-A):
+// the binary-search reference the paper sketches and the efficient
+// testing-point method it cites from [22]. Both must agree exactly on
+// every instance; the table reports agreement and the speedup.
+func SplitAblation(cfg Config) []Table {
+	r := rand.New(rand.NewSource(cfg.Seed ^ 0xE9))
+	instances := cfg.setsPerPoint() * 5
+	if cfg.Quick && instances > 200 {
+		instances = 200
+	}
+
+	type inst struct {
+		list   []task.Subtask
+		t, d   task.Time
+		budget task.Time
+	}
+	cases := make([]inst, 0, instances)
+	for len(cases) < instances {
+		n := 2 + r.Intn(6)
+		list := make([]task.Subtask, 0, n)
+		for i := 0; i < n; i++ {
+			T := task.Time(50 + r.Intn(5000))
+			C := task.Time(1 + r.Intn(int(T)/3))
+			d := T - task.Time(r.Intn(int(T)/4+1))
+			if d < C {
+				d = C
+			}
+			list = append(list, task.Subtask{TaskIndex: i + 1, Part: 1, C: C, T: T, Deadline: d, Offset: T - d, Tail: true})
+		}
+		if !rta.ProcessorSchedulable(list) {
+			continue
+		}
+		T := task.Time(30 + r.Intn(3000))
+		cases = append(cases, inst{list: list, t: T, budget: T, d: T})
+	}
+
+	// Agreement pass (also warms both paths).
+	agree := 0
+	for _, c := range cases {
+		a := split.MaxPortion(c.list, c.t, c.budget, c.d)
+		b := split.MaxPortionBinary(c.list, c.t, c.budget, c.d)
+		if a == b {
+			agree++
+		}
+	}
+
+	start := time.Now()
+	var sinkA task.Time
+	for _, c := range cases {
+		sinkA += split.MaxPortion(c.list, c.t, c.budget, c.d)
+	}
+	effTime := time.Since(start)
+
+	start = time.Now()
+	var sinkB task.Time
+	for _, c := range cases {
+		sinkB += split.MaxPortionBinary(c.list, c.t, c.budget, c.d)
+	}
+	binTime := time.Since(start)
+
+	speedup := float64(binTime) / float64(effTime)
+	t := Table{
+		ID:     "split-ablation",
+		Title:  fmt.Sprintf("MaxSplit implementations over %d random near-capacity instances", instances),
+		Header: []string{"implementation", "total time", "ns/op", "agreement"},
+		Notes: []string{
+			fmt.Sprintf("speedup of testing-point over binary search: %.2f×", speedup),
+			"both are exact on the integer domain; agreement must be 100%",
+		},
+	}
+	t.Rows = append(t.Rows,
+		[]string{"testing-point ([22])", effTime.String(), fmt.Sprintf("%d", effTime.Nanoseconds()/int64(instances)), fmt.Sprintf("%d/%d", agree, instances)},
+		[]string{"binary search (reference)", binTime.String(), fmt.Sprintf("%d", binTime.Nanoseconds()/int64(instances)), "-"},
+	)
+	if sinkA != sinkB {
+		t.Notes = append(t.Notes, "WARNING: implementations disagree — investigate")
+	}
+	cfg.progressf("split-ablation: %d instances, speedup %.2fx", instances, speedup)
+	return []Table{t}
+}

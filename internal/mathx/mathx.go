@@ -1,0 +1,113 @@
+// Package mathx provides small integer-math helpers used throughout the
+// scheduling analyses: ceiling division, GCD/LCM with overflow saturation,
+// and checked arithmetic on the discrete time domain.
+//
+// All scheduling analysis in this repository runs on int64 "ticks" rather
+// than floating point, so that response-time fixed points, hyperperiods and
+// simulation timestamps are exact. The helpers here keep that arithmetic
+// honest: LCM saturates instead of wrapping, and CeilDiv panics on
+// non-positive divisors (which always indicate a corrupted task set).
+package mathx
+
+import "math"
+
+// CeilDiv returns ceil(a/b) for a >= 0, b > 0.
+func CeilDiv(a, b int64) int64 {
+	if b <= 0 {
+		panic("mathx: CeilDiv with non-positive divisor")
+	}
+	if a <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}
+
+// GCD returns the greatest common divisor of a and b.
+// GCD(0, 0) is 0 by convention; negative inputs use their absolute value.
+func GCD(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// LCM returns the least common multiple of a and b, saturating at
+// math.MaxInt64 on overflow. LCM(0, x) is 0.
+func LCM(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	g := GCD(a, b)
+	a = a / g
+	if a > math.MaxInt64/absInt64(b) {
+		return math.MaxInt64
+	}
+	return a * absInt64(b)
+}
+
+// LCMAll folds LCM over the values, saturating at math.MaxInt64.
+// LCMAll() is 1 (the identity of LCM on positive integers).
+func LCMAll(vs ...int64) int64 {
+	acc := int64(1)
+	for _, v := range vs {
+		acc = LCM(acc, v)
+		if acc == math.MaxInt64 {
+			return acc
+		}
+	}
+	return acc
+}
+
+func absInt64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// MulSat returns a*b, saturating at math.MaxInt64 for non-negative inputs.
+func MulSat(a, b int64) int64 {
+	if a < 0 || b < 0 {
+		panic("mathx: MulSat requires non-negative operands")
+	}
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > math.MaxInt64/b {
+		return math.MaxInt64
+	}
+	return a * b
+}
+
+// AddSat returns a+b, saturating at math.MaxInt64 for non-negative inputs.
+func AddSat(a, b int64) int64 {
+	if a < 0 || b < 0 {
+		panic("mathx: AddSat requires non-negative operands")
+	}
+	if a > math.MaxInt64-b {
+		return math.MaxInt64
+	}
+	return a + b
+}
+
+// MinInt64 returns the smaller of a and b.
+func MinInt64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MaxInt64 returns the larger of a and b.
+func MaxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

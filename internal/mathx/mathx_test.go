@@ -1,0 +1,166 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{0, 5, 0},
+		{1, 5, 1},
+		{5, 5, 1},
+		{6, 5, 2},
+		{10, 5, 2},
+		{11, 5, 3},
+		{-3, 5, 0},
+		{math.MaxInt64, 1, math.MaxInt64},
+	}
+	for _, c := range cases {
+		if got := CeilDiv(c.a, c.b); got != c.want {
+			t.Errorf("CeilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCeilDivPanicsOnBadDivisor(t *testing.T) {
+	for _, b := range []int64{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("CeilDiv(1,%d) did not panic", b)
+				}
+			}()
+			CeilDiv(1, b)
+		}()
+	}
+}
+
+func TestGCD(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{0, 0, 0},
+		{0, 7, 7},
+		{7, 0, 7},
+		{12, 18, 6},
+		{18, 12, 6},
+		{-12, 18, 6},
+		{12, -18, 6},
+		{17, 13, 1},
+		{100, 100, 100},
+	}
+	for _, c := range cases {
+		if got := GCD(c.a, c.b); got != c.want {
+			t.Errorf("GCD(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLCM(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{0, 5, 0},
+		{5, 0, 0},
+		{4, 6, 12},
+		{7, 13, 91},
+		{10, 10, 10},
+		{math.MaxInt64, 2, math.MaxInt64}, // saturates
+	}
+	for _, c := range cases {
+		if got := LCM(c.a, c.b); got != c.want {
+			t.Errorf("LCM(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLCMAll(t *testing.T) {
+	if got := LCMAll(); got != 1 {
+		t.Errorf("LCMAll() = %d, want 1", got)
+	}
+	if got := LCMAll(4, 6, 10); got != 60 {
+		t.Errorf("LCMAll(4,6,10) = %d, want 60", got)
+	}
+	if got := LCMAll(math.MaxInt64-1, math.MaxInt64-2); got != math.MaxInt64 {
+		t.Errorf("LCMAll with huge coprimes = %d, want saturation", got)
+	}
+}
+
+func TestGCDPropertyDividesBoth(t *testing.T) {
+	f := func(a, b int32) bool {
+		g := GCD(int64(a), int64(b))
+		if g == 0 {
+			return a == 0 && b == 0
+		}
+		return int64(a)%g == 0 && int64(b)%g == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLCMPropertyMultipleOfBoth(t *testing.T) {
+	f := func(a, b int16) bool {
+		if a <= 0 || b <= 0 {
+			return true
+		}
+		l := LCM(int64(a), int64(b))
+		return l%int64(a) == 0 && l%int64(b) == 0 && l >= int64(a) && l >= int64(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGCDLCMProduct(t *testing.T) {
+	f := func(a, b int16) bool {
+		if a <= 0 || b <= 0 {
+			return true
+		}
+		return GCD(int64(a), int64(b))*LCM(int64(a), int64(b)) == int64(a)*int64(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulSat(t *testing.T) {
+	if got := MulSat(3, 4); got != 12 {
+		t.Errorf("MulSat(3,4) = %d", got)
+	}
+	if got := MulSat(math.MaxInt64, 2); got != math.MaxInt64 {
+		t.Errorf("MulSat overflow = %d, want saturation", got)
+	}
+	if got := MulSat(0, math.MaxInt64); got != 0 {
+		t.Errorf("MulSat(0,max) = %d", got)
+	}
+}
+
+func TestAddSat(t *testing.T) {
+	if got := AddSat(3, 4); got != 7 {
+		t.Errorf("AddSat(3,4) = %d", got)
+	}
+	if got := AddSat(math.MaxInt64, 1); got != math.MaxInt64 {
+		t.Errorf("AddSat overflow = %d, want saturation", got)
+	}
+}
+
+func TestMinMaxInt64(t *testing.T) {
+	if MinInt64(2, 3) != 2 || MinInt64(3, 2) != 2 {
+		t.Error("MinInt64 wrong")
+	}
+	if MaxInt64(2, 3) != 3 || MaxInt64(3, 2) != 3 {
+		t.Error("MaxInt64 wrong")
+	}
+}
+
+func TestCeilDivMatchesFloat(t *testing.T) {
+	f := func(a int32, b int16) bool {
+		if a < 0 || b <= 0 {
+			return true
+		}
+		want := int64(math.Ceil(float64(a) / float64(b)))
+		return CeilDiv(int64(a), int64(b)) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

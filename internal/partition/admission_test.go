@@ -1,0 +1,194 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/sim"
+	"repro/internal/task"
+)
+
+func TestAdmissionHierarchy(t *testing.T) {
+	// RTA accepts ⊇ Hyperbolic accepts ⊇ LL accepts, on random single
+	// processors.
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + r.Intn(5)
+		// Residents sorted by period with RM-consistent indices (the
+		// bound-based tests presuppose RM priority order, which the
+		// partitioners guarantee by construction).
+		periods := make([]task.Time, n+1)
+		for i := range periods {
+			periods[i] = task.Time(10 + r.Intn(200))
+		}
+		sortTimes(periods)
+		newPos := r.Intn(n + 1)
+		list := make([]task.Subtask, 0, n)
+		for i, T := range periods {
+			if i == newPos {
+				continue
+			}
+			C := task.Time(1 + r.Intn(int(T)/2))
+			list = append(list, task.Subtask{TaskIndex: i, Part: 1, C: C, T: T, Deadline: T, Tail: true})
+		}
+		T := periods[newPos]
+		C := task.Time(1 + r.Intn(int(T)))
+		prio := newPos
+		ll := AdmitLL.admits(list, prio, C, T, T)
+		hb := AdmitHyperbolic.admits(list, prio, C, T, T)
+		rtaOK := AdmitRTA.admits(list, prio, C, T, T)
+		if ll && !hb {
+			t.Fatalf("trial %d: LL accepted but hyperbolic rejected", trial)
+		}
+		if hb && !rtaOK {
+			t.Fatalf("trial %d: hyperbolic accepted but RTA rejected (list=%v, C=%d, T=%d)", trial, list, C, T)
+		}
+	}
+}
+
+func sortTimes(v []task.Time) {
+	for i := 1; i < len(v); i++ {
+		x := v[i]
+		j := i - 1
+		for j >= 0 && v[j] > x {
+			v[j+1] = v[j]
+			j--
+		}
+		v[j+1] = x
+	}
+}
+
+func TestAdmissionStrings(t *testing.T) {
+	if AdmitRTA.String() != "RTA" || AdmitHyperbolic.String() != "HB" || AdmitLL.String() != "LL" {
+		t.Error("admission names wrong")
+	}
+	if Admission(9).String() == "" {
+		t.Error("unknown admission has empty name")
+	}
+	if (FirstFit{Admission: AdmitHyperbolic}).Name() != "P-RM-FF[HB](DU)" {
+		t.Errorf("name = %s", FirstFit{Admission: AdmitHyperbolic}.Name())
+	}
+}
+
+func TestFirstFitMatchesFirstFitRTA(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 30; trial++ {
+		ts, err := gen.TaskSet(r, gen.Config{TargetU: 3.0, UMin: 0.05, UMax: 0.6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := (FirstFit{Admission: AdmitRTA}).Partition(ts, 4)
+		b := (FirstFitRTA{}).Partition(ts, 4)
+		if a.OK != b.OK {
+			t.Fatalf("trial %d: FirstFit[RTA] and FirstFitRTA disagree", trial)
+		}
+		if a.OK && a.Assignment.String() != b.Assignment.String() {
+			t.Fatalf("trial %d: assignments differ", trial)
+		}
+	}
+}
+
+func TestWeakerAdmissionAcceptsFewer(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	counts := map[Admission]int{}
+	for trial := 0; trial < 100; trial++ {
+		ts, err := gen.TaskSet(r, gen.Config{TargetU: 4 * 0.82, UMin: 0.05, UMax: 0.6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, adm := range []Admission{AdmitRTA, AdmitHyperbolic, AdmitLL} {
+			if res := (FirstFit{Admission: adm}).Partition(ts, 4); res.OK {
+				counts[adm]++
+			}
+		}
+	}
+	if !(counts[AdmitRTA] >= counts[AdmitHyperbolic] && counts[AdmitHyperbolic] >= counts[AdmitLL]) {
+		t.Errorf("acceptance not ordered RTA ≥ HB ≥ LL: %v", counts)
+	}
+	if counts[AdmitRTA] == counts[AdmitLL] {
+		t.Errorf("no separation between RTA and LL at U_M=0.82: %v", counts)
+	}
+}
+
+func TestBoundAdmissionPartitionsAreSchedulable(t *testing.T) {
+	// Hyperbolic and LL admissions are sufficient tests: their partitions
+	// must simulate cleanly too.
+	r := rand.New(rand.NewSource(24))
+	menu := gen.ChoicePeriods{Values: []task.Time{20, 40, 50, 80, 100, 200}}
+	simulated := 0
+	for trial := 0; trial < 30; trial++ {
+		ts, err := gen.TaskSet(r, gen.Config{TargetU: 4 * 0.65, UMin: 0.05, UMax: 0.5, Periods: menu})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, adm := range []Admission{AdmitHyperbolic, AdmitLL} {
+			res := (FirstFit{Admission: adm}).Partition(ts, 4)
+			if !res.OK {
+				continue
+			}
+			rep, err := sim.Simulate(res.Assignment, sim.Options{StopOnMiss: true, HorizonCap: 200_000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Ok() {
+				t.Fatalf("trial %d: %s partition missed: %v", trial, adm, rep.Misses)
+			}
+			simulated++
+		}
+	}
+	if simulated < 20 {
+		t.Errorf("only %d partitions simulated", simulated)
+	}
+}
+
+func TestHanTyanAdmissionTier(t *testing.T) {
+	// HT must accept at least what HB accepts, and at most what RTA
+	// accepts, across random sets.
+	r := rand.New(rand.NewSource(25))
+	counts := map[Admission]int{}
+	for trial := 0; trial < 120; trial++ {
+		ts, err := gen.TaskSet(r, gen.Config{TargetU: 4 * 0.83, UMin: 0.05, UMax: 0.6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, adm := range []Admission{AdmitRTA, AdmitHanTyan, AdmitHyperbolic} {
+			if res := (FirstFit{Admission: adm}).Partition(ts, 4); res.OK {
+				counts[adm]++
+			}
+		}
+	}
+	if !(counts[AdmitRTA] >= counts[AdmitHanTyan] && counts[AdmitHanTyan] >= counts[AdmitHyperbolic]) {
+		t.Errorf("HT tier out of order: %v", counts)
+	}
+	if counts[AdmitHanTyan] == counts[AdmitHyperbolic] {
+		t.Errorf("no separation between HT and HB at U_M=0.83: %v", counts)
+	}
+}
+
+func TestHanTyanAdmissionPartitionsSimulateClean(t *testing.T) {
+	r := rand.New(rand.NewSource(26))
+	menu := gen.ChoicePeriods{Values: []task.Time{20, 40, 50, 80, 100, 200}}
+	simulated := 0
+	for trial := 0; trial < 25; trial++ {
+		ts, err := gen.TaskSet(r, gen.Config{TargetU: 4 * 0.8, UMin: 0.05, UMax: 0.5, Periods: menu})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := (FirstFit{Admission: AdmitHanTyan}).Partition(ts, 4)
+		if !res.OK {
+			continue
+		}
+		rep, err := sim.Simulate(res.Assignment, sim.Options{StopOnMiss: true, HorizonCap: 200_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Ok() {
+			t.Fatalf("trial %d: Han-Tyan partition missed: %v", trial, rep.Misses)
+		}
+		simulated++
+	}
+	if simulated < 10 {
+		t.Errorf("only %d partitions simulated", simulated)
+	}
+}

@@ -1,0 +1,235 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bounds"
+	"repro/internal/rta"
+	"repro/internal/task"
+)
+
+// FitOrder selects the order in which strict (non-splitting) partitioners
+// consider tasks.
+type FitOrder int
+
+const (
+	// DecreasingUtilization considers heavy tasks first — the classic
+	// bin-packing heuristic order.
+	DecreasingUtilization FitOrder = iota
+	// IncreasingPriority considers tasks from the longest period upwards,
+	// matching the splitting algorithms' order.
+	IncreasingPriority
+	// DecreasingPriority considers tasks from the shortest period
+	// downwards.
+	DecreasingPriority
+)
+
+func (o FitOrder) String() string {
+	switch o {
+	case DecreasingUtilization:
+		return "DU"
+	case IncreasingPriority:
+		return "IP"
+	case DecreasingPriority:
+		return "DP"
+	default:
+		return fmt.Sprintf("FitOrder(%d)", int(o))
+	}
+}
+
+// FirstFitRTA is strict partitioned RM (no task splitting): each task is
+// placed whole on the first processor whose resident tasks — and the
+// newcomer — all pass exact RTA. It represents the pre-task-splitting state
+// of the art the paper contrasts against (its worst-case utilization bound
+// cannot exceed 50%, the bin-packing limit, §I), while its average case is
+// strong thanks to RTA admission.
+type FirstFitRTA struct {
+	// Order picks the task consideration order; zero value is
+	// DecreasingUtilization.
+	Order FitOrder
+}
+
+// Name implements Algorithm.
+func (a FirstFitRTA) Name() string { return "P-RM-FF(" + a.Order.String() + ")" }
+
+// Partition implements Algorithm.
+func (a FirstFitRTA) Partition(ts task.Set, m int) *Result {
+	return fitPartition(ts, m, a.Order, pickFirstFit)
+}
+
+// WorstFitRTA is strict partitioned RM with worst-fit (minimum assigned
+// utilization) processor selection and exact RTA admission.
+type WorstFitRTA struct {
+	// Order picks the task consideration order; zero value is
+	// DecreasingUtilization.
+	Order FitOrder
+}
+
+// Name implements Algorithm.
+func (a WorstFitRTA) Name() string { return "P-RM-WF(" + a.Order.String() + ")" }
+
+// Partition implements Algorithm.
+func (a WorstFitRTA) Partition(ts task.Set, m int) *Result {
+	return fitPartition(ts, m, a.Order, pickWorstFit)
+}
+
+// pickFirstFit returns candidate processors in index order.
+func pickFirstFit(asg *task.Assignment) []int {
+	out := make([]int, asg.M())
+	for q := range out {
+		out[q] = q
+	}
+	return out
+}
+
+// pickWorstFit returns candidate processors sorted by ascending assigned
+// utilization (ties by index).
+func pickWorstFit(asg *task.Assignment) []int {
+	out := pickFirstFit(asg)
+	sort.SliceStable(out, func(a, b int) bool {
+		return asg.Utilization(out[a]) < asg.Utilization(out[b])
+	})
+	return out
+}
+
+// Admission selects the uniprocessor schedulability test a strict
+// partitioner uses to accept a whole task on a processor. The three tests
+// form a strictness hierarchy — RTA (exact) accepts everything Hyperbolic
+// accepts, which accepts everything the L&L utilization test accepts —
+// letting the ablation experiment isolate how much of the paper's
+// average-case gain comes from the exact test alone (versus splitting).
+type Admission int
+
+const (
+	// AdmitRTA is exact response-time analysis.
+	AdmitRTA Admission = iota
+	// AdmitHyperbolic is the hyperbolic bound of Bini & Buttazzo:
+	// Π(U_i + 1) ≤ 2.
+	AdmitHyperbolic
+	// AdmitLL is the Liu & Layland utilization test: ΣU_i ≤ Θ(n).
+	AdmitLL
+	// AdmitHanTyan is the Han & Tyan DCT test: fold the periods onto a
+	// harmonic grid and accept if some folding keeps utilization ≤ 1.
+	// Strictly between the hyperbolic bound and exact RTA in strength.
+	AdmitHanTyan
+)
+
+func (a Admission) String() string {
+	switch a {
+	case AdmitRTA:
+		return "RTA"
+	case AdmitHyperbolic:
+		return "HB"
+	case AdmitLL:
+		return "LL"
+	case AdmitHanTyan:
+		return "HT"
+	default:
+		return fmt.Sprintf("Admission(%d)", int(a))
+	}
+}
+
+// admits reports whether task (c, t, d) at priority index prio fits on the
+// processor under the admission test.
+func (a Admission) admits(list []task.Subtask, prio int, c, t, d task.Time) bool {
+	switch a {
+	case AdmitRTA:
+		return rta.SchedulableWithExtraAt(list, prio, c, t, d)
+	case AdmitHyperbolic:
+		prod := 1 + float64(c)/float64(t)
+		for _, s := range list {
+			prod *= 1 + s.Utilization()
+		}
+		return prod <= 2+utilEps
+	case AdmitLL:
+		sum := float64(c) / float64(t)
+		for _, s := range list {
+			sum += s.Utilization()
+		}
+		return sum <= bounds.LL(len(list)+1)+utilEps
+	case AdmitHanTyan:
+		ts := make(task.Set, 0, len(list)+1)
+		for _, s := range list {
+			ts = append(ts, task.Task{C: s.C, T: s.T})
+		}
+		ts = append(ts, task.Task{C: c, T: t})
+		return bounds.HanTyanSchedulable(ts)
+	default:
+		panic("partition: unknown admission test")
+	}
+}
+
+// FirstFit is strict partitioned RM with a configurable admission test —
+// the ablation family behind the AdmitRTA/AdmitHyperbolic/AdmitLL
+// comparison. FirstFitRTA is the Admission = AdmitRTA member.
+type FirstFit struct {
+	// Order picks the task consideration order.
+	Order FitOrder
+	// Admission picks the uniprocessor test (zero value: AdmitRTA).
+	Admission Admission
+}
+
+// Name implements Algorithm.
+func (a FirstFit) Name() string {
+	return fmt.Sprintf("P-RM-FF[%s](%s)", a.Admission, a.Order)
+}
+
+// Partition implements Algorithm.
+func (a FirstFit) Partition(ts task.Set, m int) *Result {
+	return fitPartitionAdmit(ts, m, a.Order, pickFirstFit, a.Admission)
+}
+
+func fitPartition(ts task.Set, m int, order FitOrder, pick func(*task.Assignment) []int) *Result {
+	return fitPartitionAdmit(ts, m, order, pick, AdmitRTA)
+}
+
+func fitPartitionAdmit(ts task.Set, m int, order FitOrder, pick func(*task.Assignment) []int, admit Admission) *Result {
+	sorted, asg, fail := prepare(ts, m)
+	if fail != nil {
+		return fail
+	}
+	if admit != AdmitRTA {
+		if res := requireImplicit(sorted, asg, "bound-based admission ("+admit.String()+")"); res != nil {
+			return res
+		}
+	}
+	res := &Result{Assignment: asg, FailedTask: -1}
+
+	idxs := make([]int, len(sorted))
+	for i := range idxs {
+		idxs[i] = i
+	}
+	switch order {
+	case DecreasingUtilization:
+		sort.SliceStable(idxs, func(a, b int) bool {
+			return sorted[idxs[a]].Utilization() > sorted[idxs[b]].Utilization()
+		})
+	case IncreasingPriority:
+		for i, j := 0, len(idxs)-1; i < j; i, j = i+1, j-1 {
+			idxs[i], idxs[j] = idxs[j], idxs[i]
+		}
+	case DecreasingPriority:
+		// already in place
+	}
+
+	for _, i := range idxs {
+		t := sorted[i]
+		placed := false
+		for _, q := range pick(asg) {
+			if admit.admits(asg.Procs[q], i, t.C, t.T, t.Deadline()) {
+				asg.Add(q, task.Whole(i, t))
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			res.Reason = fmt.Sprintf("no processor admits τ%d whole (strict partitioning)", i)
+			res.FailedTask = i
+			return res
+		}
+	}
+	res.OK = true
+	res.Guaranteed = true
+	return res
+}

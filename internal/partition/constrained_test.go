@@ -1,0 +1,176 @@
+package partition
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/sim"
+	"repro/internal/task"
+)
+
+func TestConstrainedWholeTaskPartition(t *testing.T) {
+	ts := task.Set{
+		{Name: "tight", C: 2, T: 20, D: 4},
+		{Name: "mid", C: 5, T: 25, D: 15},
+		{Name: "loose", C: 8, T: 40},
+	}
+	res := NewRMTS(nil).Partition(ts, 1)
+	if !res.OK {
+		t.Fatalf("failed: %s", res.Reason)
+	}
+	if err := Verify(res); err != nil {
+		t.Fatal(err)
+	}
+	// DM order: tight (D=4) first.
+	if res.Assignment.Set[0].Name != "tight" {
+		t.Errorf("DM order wrong: %v", res.Assignment.Set)
+	}
+	rep, err := sim.Simulate(res.Assignment, sim.Options{StopOnMiss: true, HorizonCap: 100_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("misses: %v", rep.Misses)
+	}
+}
+
+func TestConstrainedDeadlineRejectsTightOverload(t *testing.T) {
+	// Two tasks whose deadlines collide: C=3,D=4 and C=2,D=4 on one
+	// processor — the second cannot make its deadline.
+	ts := task.Set{
+		{Name: "a", C: 3, T: 20, D: 4},
+		{Name: "b", C: 2, T: 20, D: 4},
+	}
+	res := NewRMTS(nil).Partition(ts, 1)
+	if res.OK {
+		t.Fatal("deadline collision accepted on one processor")
+	}
+	// Two processors solve it trivially.
+	res = NewRMTS(nil).Partition(ts, 2)
+	if !res.OK {
+		t.Fatalf("failed on 2 processors: %s", res.Reason)
+	}
+}
+
+func TestConstrainedSplitting(t *testing.T) {
+	// A task too large for the residual capacity of any single processor
+	// must split even with a constrained deadline, and simulate cleanly.
+	ts := task.Set{
+		{Name: "a", C: 3, T: 5},
+		{Name: "b", C: 3, T: 5},
+		{Name: "big", C: 6, T: 10, D: 8},
+	}
+	res := NewRMTS(nil).Partition(ts, 2)
+	if !res.OK {
+		t.Fatalf("failed: %s", res.Reason)
+	}
+	if err := Verify(res); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sim.Simulate(res.Assignment, sim.Options{StopOnMiss: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("misses: %v\n%s", rep.Misses, res.Assignment)
+	}
+}
+
+func TestImplicitOnlyAlgorithmsRejectConstrained(t *testing.T) {
+	ts := task.Set{{Name: "c", C: 2, T: 10, D: 6}}
+	for _, alg := range []Algorithm{SPA1{}, SPA2{}, EDFFirstFit{}, EDFWorstFit{}, FirstFit{Admission: AdmitLL}, FirstFit{Admission: AdmitHyperbolic}} {
+		res := alg.Partition(ts, 2)
+		if res.OK {
+			t.Errorf("%s accepted a constrained-deadline set", alg.Name())
+			continue
+		}
+		if !strings.Contains(res.Reason, "implicit") {
+			t.Errorf("%s rejection reason unhelpful: %q", alg.Name(), res.Reason)
+		}
+	}
+	// The RTA-based algorithms accept it.
+	for _, alg := range []Algorithm{RMTSLight{}, NewRMTS(nil), FirstFitRTA{}, WorstFitRTA{}} {
+		if res := alg.Partition(ts, 2); !res.OK {
+			t.Errorf("%s rejected a trivial constrained task: %s", alg.Name(), res.Reason)
+		}
+	}
+}
+
+func TestConstrainedFuzzPartitionSimulate(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	menu := gen.ChoicePeriods{Values: []task.Time{20, 40, 50, 80, 100, 200}}
+	simulated := 0
+	for trial := 0; trial < 120; trial++ {
+		base, err := gen.TaskSet(r, gen.Config{
+			TargetU: float64(2+r.Intn(3)) * (0.3 + 0.4*r.Float64()),
+			UMin:    0.05, UMax: 0.5,
+			Periods: menu,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts, err := gen.Constrain(r, base, 0.5, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := 2 + r.Intn(3)
+		for _, alg := range []Algorithm{RMTSLight{}, NewRMTS(nil), FirstFitRTA{}} {
+			res := alg.Partition(ts, m)
+			if !res.OK {
+				continue
+			}
+			if err := Verify(res); err != nil {
+				t.Fatalf("trial %d: %s: %v", trial, alg.Name(), err)
+			}
+			rep, err := sim.Simulate(res.Assignment, sim.Options{StopOnMiss: true, HorizonCap: 200_000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Ok() {
+				t.Fatalf("trial %d: %s constrained partition missed: %v\nset=%v\n%s",
+					trial, alg.Name(), rep.Misses, ts, res.Assignment)
+			}
+			simulated++
+		}
+	}
+	if simulated < 100 {
+		t.Errorf("only %d constrained partitions simulated", simulated)
+	}
+}
+
+func TestConstrainedTighteningMonotone(t *testing.T) {
+	// Tightening deadlines can only reduce acceptance.
+	r := rand.New(rand.NewSource(72))
+	counts := map[string]int{}
+	fracs := []struct {
+		name   string
+		lo, hi float64
+	}{
+		{"loose", 0.9, 1.0},
+		{"mid", 0.6, 0.8},
+		{"tight", 0.4, 0.5},
+	}
+	for trial := 0; trial < 60; trial++ {
+		base, err := gen.TaskSet(r, gen.Config{TargetU: 4 * 0.6, UMin: 0.05, UMax: 0.4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range fracs {
+			ts, err := gen.Constrain(rand.New(rand.NewSource(int64(trial))), base, f.lo, f.hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res := NewRMTS(nil).Partition(ts, 4); res.OK {
+				counts[f.name]++
+			}
+		}
+	}
+	if !(counts["loose"] >= counts["mid"] && counts["mid"] >= counts["tight"]) {
+		t.Errorf("acceptance not monotone in deadline tightness: %v", counts)
+	}
+	if counts["loose"] == counts["tight"] {
+		t.Errorf("no separation across tightness levels: %v", counts)
+	}
+}

@@ -1,0 +1,145 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/edfa"
+	"repro/internal/task"
+)
+
+// Partitioned EDF baselines. The paper's intro positions its fixed-priority
+// results against EDF-based approaches: strict partitioned EDF has the same
+// 50% bin-packing worst case as any strict partitioning, and the best
+// EDF-with-splitting bound it cites is 65% [17]. For implicit-deadline
+// tasks, a uniprocessor is EDF-schedulable iff its utilization is at most
+// 1, so strict partitioned EDF reduces to pure bin packing with full bins —
+// the strongest possible strict partitioner, and therefore the fairest
+// non-splitting comparator for RM-TS.
+//
+// Results produced here carry Scheduler = "EDF"; they must be verified by
+// VerifyEDF (per-processor utilization ≤ 1, no splits) and simulated with
+// sim.Options{Policy: sim.PolicyEDF}.
+
+// EDFFirstFit is strict partitioned EDF: tasks placed whole, first-fit,
+// admission ΣU ≤ 1 per processor (exact for implicit deadlines).
+type EDFFirstFit struct {
+	// Order picks the task consideration order; zero value is
+	// DecreasingUtilization (the classic FFD).
+	Order FitOrder
+}
+
+// Name implements Algorithm.
+func (a EDFFirstFit) Name() string { return "P-EDF-FF(" + a.Order.String() + ")" }
+
+// Partition implements Algorithm.
+func (a EDFFirstFit) Partition(ts task.Set, m int) *Result {
+	return edfFit(ts, m, a.Order, pickFirstFit)
+}
+
+// EDFWorstFit is strict partitioned EDF with worst-fit processor choice.
+type EDFWorstFit struct {
+	// Order picks the task consideration order.
+	Order FitOrder
+}
+
+// Name implements Algorithm.
+func (a EDFWorstFit) Name() string { return "P-EDF-WF(" + a.Order.String() + ")" }
+
+// Partition implements Algorithm.
+func (a EDFWorstFit) Partition(ts task.Set, m int) *Result {
+	return edfFit(ts, m, a.Order, pickWorstFit)
+}
+
+func edfFit(ts task.Set, m int, order FitOrder, pick func(*task.Assignment) []int) *Result {
+	sorted, asg, fail := prepare(ts, m)
+	if fail != nil {
+		return fail
+	}
+	if res := requireImplicit(sorted, asg, "partitioned EDF (U ≤ 1 test)"); res != nil {
+		res.Scheduler = "EDF"
+		return res
+	}
+	res := &Result{Assignment: asg, FailedTask: -1, Scheduler: "EDF"}
+
+	idxs := make([]int, len(sorted))
+	for i := range idxs {
+		idxs[i] = i
+	}
+	switch order {
+	case DecreasingUtilization:
+		sort.SliceStable(idxs, func(a, b int) bool {
+			return sorted[idxs[a]].Utilization() > sorted[idxs[b]].Utilization()
+		})
+	case IncreasingPriority:
+		for i, j := 0, len(idxs)-1; i < j; i, j = i+1, j-1 {
+			idxs[i], idxs[j] = idxs[j], idxs[i]
+		}
+	case DecreasingPriority:
+	}
+
+	for _, i := range idxs {
+		t := sorted[i]
+		u := t.Utilization()
+		placed := false
+		for _, q := range pick(asg) {
+			if asg.Utilization(q)+u <= 1+utilEps {
+				asg.Add(q, task.Whole(i, t))
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			res.Reason = fmt.Sprintf("no processor has utilization room for τ%d (strict EDF partitioning)", i)
+			res.FailedTask = i
+			return res
+		}
+	}
+	res.OK = true
+	res.Guaranteed = true
+	return res
+}
+
+// VerifyEDF independently re-checks a partitioned-EDF result (with or
+// without window splits): structural invariants, the exact processor-
+// demand criterion on every processor (each fragment a sporadic source
+// (C, T, Δ)), and — for split tasks — that the fragment windows tile
+// without overlap and end by the task's deadline.
+func VerifyEDF(res *Result) error {
+	if res == nil || res.Assignment == nil {
+		return fmt.Errorf("partition: nil result")
+	}
+	if !res.OK {
+		return fmt.Errorf("partition: result reports failure: %s", res.Reason)
+	}
+	if res.Scheduler != "EDF" {
+		return fmt.Errorf("partition: VerifyEDF on a %q result", res.Scheduler)
+	}
+	asg := res.Assignment
+	if err := asg.Validate(); err != nil {
+		return fmt.Errorf("partition: structural check failed: %w", err)
+	}
+	for q, list := range asg.Procs {
+		sources := make([]edfa.Demand, len(list))
+		for i, s := range list {
+			sources[i] = edfa.Demand{C: s.C, T: s.T, D: s.Deadline}
+		}
+		if !edfa.Schedulable(sources) {
+			return fmt.Errorf("partition: processor %d fails the EDF demand criterion", q)
+		}
+	}
+	// Split tasks: windows must be disjoint and end by the deadline.
+	for _, idx := range asg.SplitTasks() {
+		subs, _ := asg.Subtasks(idx)
+		for k := 1; k < len(subs); k++ {
+			if subs[k].Offset < subs[k-1].Offset+subs[k-1].Deadline {
+				return fmt.Errorf("partition: task %d: window of part %d opens before part %d closes", idx, subs[k].Part, subs[k-1].Part)
+			}
+		}
+		last := subs[len(subs)-1]
+		if last.Offset+last.Deadline > asg.Set[idx].T {
+			return fmt.Errorf("partition: task %d: final window ends past the deadline", idx)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/sim"
+	"repro/internal/task"
+)
+
+func TestEDFTSWholePlacement(t *testing.T) {
+	ts := task.Set{
+		{Name: "a", C: 2, T: 10},
+		{Name: "b", C: 3, T: 15},
+		{Name: "c", C: 4, T: 20, D: 12},
+	}
+	res := (EDFTS{}).Partition(ts, 2)
+	if !res.OK {
+		t.Fatalf("failed: %s", res.Reason)
+	}
+	if res.NumSplit != 0 {
+		t.Errorf("unnecessary splits: %d", res.NumSplit)
+	}
+	if err := VerifyEDF(res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEDFTSSplitsWhatStrictEDFCannot(t *testing.T) {
+	// Three tasks of U = 0.6 on two processors: strict partitioned EDF
+	// fails (bin packing), EDF-TS splits.
+	ts := task.Set{
+		{Name: "a", C: 6, T: 10},
+		{Name: "b", C: 6, T: 10},
+		{Name: "c", C: 6, T: 10},
+	}
+	if res := (EDFFirstFit{}).Partition(ts, 2); res.OK {
+		t.Fatal("strict EDF fit 3×0.6 on 2 processors")
+	}
+	res := (EDFTS{}).Partition(ts, 2)
+	if !res.OK {
+		t.Fatalf("EDF-TS failed: %s", res.Reason)
+	}
+	if res.NumSplit == 0 {
+		t.Error("no split recorded")
+	}
+	if err := VerifyEDF(res); err != nil {
+		t.Fatalf("%v\n%s", err, res.Assignment)
+	}
+	rep, err := sim.Simulate(res.Assignment, sim.Options{Policy: sim.PolicyEDF, StopOnMiss: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("simulation missed: %v\n%s", rep.Misses, res.Assignment)
+	}
+}
+
+func TestEDFTSConstrainedDeadlines(t *testing.T) {
+	ts := task.Set{
+		{Name: "a", C: 4, T: 20, D: 8},
+		{Name: "b", C: 6, T: 20, D: 10},
+		{Name: "c", C: 9, T: 30, D: 18},
+	}
+	res := (EDFTS{}).Partition(ts, 2)
+	if !res.OK {
+		t.Fatalf("failed: %s", res.Reason)
+	}
+	if err := VerifyEDF(res); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sim.Simulate(res.Assignment, sim.Options{Policy: sim.PolicyEDF, StopOnMiss: true, HorizonCap: 100_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("misses: %v", rep.Misses)
+	}
+}
+
+func TestEDFTSFuzzVerifyAndSimulate(t *testing.T) {
+	r := rand.New(rand.NewSource(91))
+	menu := gen.ChoicePeriods{Values: []task.Time{20, 40, 50, 80, 100, 200}}
+	simulated, splits := 0, 0
+	for trial := 0; trial < 80; trial++ {
+		m := 2 + r.Intn(3)
+		base, err := gen.TaskSet(r, gen.Config{
+			TargetU: float64(m) * (0.5 + 0.45*r.Float64()),
+			UMin:    0.05, UMax: 0.8,
+			Periods: menu,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := base
+		if r.Intn(2) == 0 {
+			ts, err = gen.Constrain(r, base, 0.7, 1.0)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		res := (EDFTS{}).Partition(ts, m)
+		if !res.OK {
+			continue
+		}
+		if err := VerifyEDF(res); err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, res.Assignment)
+		}
+		rep, err := sim.Simulate(res.Assignment, sim.Options{Policy: sim.PolicyEDF, StopOnMiss: true, HorizonCap: 200_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Ok() {
+			t.Fatalf("trial %d: EDF-TS partition missed: %v\nset=%v\n%s", trial, rep.Misses, ts, res.Assignment)
+		}
+		simulated++
+		splits += res.NumSplit
+	}
+	if simulated < 40 {
+		t.Errorf("only %d partitions simulated", simulated)
+	}
+	if splits == 0 {
+		t.Error("fuzz never exercised a split; workload too easy")
+	}
+}
+
+func TestEDFTSBeatsStrictEDFOnAverage(t *testing.T) {
+	r := rand.New(rand.NewSource(92))
+	tsWins, strictWins := 0, 0
+	for trial := 0; trial < 60; trial++ {
+		ts, err := gen.TaskSet(r, gen.Config{TargetU: 4 * 0.93, UMin: 0.1, UMax: 0.8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := (EDFTS{}).Partition(ts, 4)
+		b := (EDFFirstFit{}).Partition(ts, 4)
+		if a.OK && !b.OK {
+			tsWins++
+		}
+		if b.OK && !a.OK {
+			strictWins++
+		}
+	}
+	if tsWins <= strictWins {
+		t.Errorf("EDF-TS wins %d vs strict EDF wins %d at U_M=0.93", tsWins, strictWins)
+	}
+}
+
+func TestEDFTSOverloadFails(t *testing.T) {
+	ts := task.Set{
+		{Name: "a", C: 9, T: 10},
+		{Name: "b", C: 9, T: 10},
+		{Name: "c", C: 9, T: 10},
+	}
+	res := (EDFTS{}).Partition(ts, 2)
+	if res.OK {
+		t.Fatal("U=2.7 on 2 processors accepted")
+	}
+	if res.FailedTask < 0 || res.Reason == "" {
+		t.Error("missing diagnostics")
+	}
+}

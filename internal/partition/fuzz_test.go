@@ -1,0 +1,203 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/task"
+)
+
+// TestFuzzAllAlgorithmsInvariants throws structurally extreme random task
+// sets at every algorithm and asserts the cross-cutting invariants:
+// no panic, valid assignments on success, Verify agreement for FP results,
+// VerifyEDF agreement for EDF results, failure diagnostics on failure, and
+// input immutability.
+func TestFuzzAllAlgorithmsInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(31337))
+	fpAlgos := []Algorithm{
+		RMTSLight{},
+		RMTSLight{Surcharge: 3},
+		NewRMTS(nil),
+		&RMTS{Surcharge: 5},
+		SPA1{},
+		SPA2{},
+		FirstFitRTA{},
+		FirstFitRTA{Order: IncreasingPriority},
+		WorstFitRTA{Order: DecreasingPriority},
+		FirstFit{Admission: AdmitHyperbolic},
+		FirstFit{Admission: AdmitLL, Order: IncreasingPriority},
+	}
+	edfAlgos := []Algorithm{EDFFirstFit{}, EDFWorstFit{Order: IncreasingPriority}}
+
+	for trial := 0; trial < 400; trial++ {
+		ts := fuzzSet(r)
+		orig := ts.Clone()
+		m := 1 + r.Intn(6)
+		for _, alg := range fpAlgos {
+			res := alg.Partition(ts, m)
+			checkFuzzResult(t, trial, alg, res, false)
+		}
+		for _, alg := range edfAlgos {
+			res := alg.Partition(ts, m)
+			checkFuzzResult(t, trial, alg, res, true)
+		}
+		for i := range ts {
+			if ts[i] != orig[i] {
+				t.Fatalf("trial %d: input mutated", trial)
+			}
+		}
+	}
+}
+
+func fuzzSet(r *rand.Rand) task.Set {
+	shape := r.Intn(6)
+	n := 1 + r.Intn(12)
+	ts := make(task.Set, 0, n)
+	for i := 0; i < n; i++ {
+		var T task.Time
+		switch shape {
+		case 0: // tiny periods — heavy quantization
+			T = task.Time(1 + r.Intn(8))
+		case 1: // one-period monoculture
+			T = 12
+		case 2: // powers of two — harmonic
+			T = task.Time(4 << r.Intn(6))
+		case 3: // coprime-ish primes
+			primes := []task.Time{7, 11, 13, 17, 19, 23, 29}
+			T = primes[r.Intn(len(primes))]
+		case 4: // huge spread
+			T = task.Time(1 + r.Intn(1_000_000))
+		default: // generic
+			T = task.Time(10 + r.Intn(1000))
+		}
+		var C task.Time
+		switch r.Intn(4) {
+		case 0:
+			C = 1
+		case 1:
+			C = T // full-utilization task
+		default:
+			C = 1 + task.Time(r.Int63n(int64(T)))
+		}
+		ts = append(ts, task.Task{Name: "f", C: C, T: T})
+	}
+	return ts
+}
+
+func checkFuzzResult(t *testing.T, trial int, alg Algorithm, res *Result, edf bool) {
+	t.Helper()
+	if res == nil {
+		t.Fatalf("trial %d: %s returned nil", trial, alg.Name())
+	}
+	if res.OK {
+		if err := res.Assignment.Validate(); err != nil {
+			t.Fatalf("trial %d: %s produced invalid assignment: %v", trial, alg.Name(), err)
+		}
+		if edf {
+			if err := VerifyEDF(res); err != nil {
+				t.Fatalf("trial %d: %s failed VerifyEDF: %v", trial, alg.Name(), err)
+			}
+		} else if res.Guaranteed {
+			// SPA results are only RTA-verifiable when their own theory's
+			// preconditions held (Guaranteed); RM-TS/FF results always.
+			switch alg.(type) {
+			case SPA1, SPA2:
+				// Threshold-packed results need not pass exact RTA of the
+				// synthetic deadlines in corner cases outside their
+				// theorems; skip.
+			default:
+				s := task.Time(0)
+				switch a := alg.(type) {
+				case RMTSLight:
+					s = a.Surcharge
+				case *RMTS:
+					s = a.Surcharge
+				}
+				if err := VerifyWithSurcharge(res, s); err != nil {
+					t.Fatalf("trial %d: %s failed verification: %v", trial, alg.Name(), err)
+				}
+			}
+		}
+	} else {
+		if res.FailedTask < 0 && res.Reason == "" {
+			t.Fatalf("trial %d: %s failed without diagnostics", trial, alg.Name())
+		}
+	}
+}
+
+// TestFuzzPartitionThenSimulate is the end-to-end fuzz: small-hyperperiod
+// extreme sets, every verified FP partition simulated to completion.
+func TestFuzzPartitionThenSimulate(t *testing.T) {
+	r := rand.New(rand.NewSource(424242))
+	menu := []task.Time{4, 8, 12, 16, 24, 48}
+	algos := []Algorithm{RMTSLight{}, NewRMTS(nil), FirstFitRTA{}}
+	simulated := 0
+	for trial := 0; trial < 250; trial++ {
+		n := 1 + r.Intn(8)
+		ts := make(task.Set, 0, n)
+		for i := 0; i < n; i++ {
+			T := menu[r.Intn(len(menu))]
+			C := 1 + task.Time(r.Int63n(int64(T)))
+			ts = append(ts, task.Task{Name: "z", C: C, T: T})
+		}
+		m := 1 + r.Intn(4)
+		for _, alg := range algos {
+			res := alg.Partition(ts, m)
+			if !res.OK {
+				continue
+			}
+			rep, err := sim.Simulate(res.Assignment, sim.Options{StopOnMiss: true})
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if !rep.Ok() {
+				t.Fatalf("trial %d: %s verified partition missed in simulation: %v\nset=%v\n%s",
+					trial, alg.Name(), rep.Misses, ts, res.Assignment)
+			}
+			simulated++
+		}
+	}
+	if simulated < 150 {
+		t.Errorf("only %d partitions simulated", simulated)
+	}
+}
+
+// TestSingleTaskAllAlgorithms checks the degenerate single-task cases,
+// including a C=T task on one processor.
+func TestSingleTaskAllAlgorithms(t *testing.T) {
+	full := task.Set{{Name: "solo", C: 10, T: 10}}
+	for _, alg := range []Algorithm{RMTSLight{}, NewRMTS(nil), SPA2{}, FirstFitRTA{}, WorstFitRTA{}, EDFFirstFit{}} {
+		// Θ(1) = 1, so even the threshold-based SPA2 must accept a single
+		// full-utilization task on one processor.
+		res := alg.Partition(full, 1)
+		if !res.OK {
+			t.Errorf("%s rejected a single C=T task on one processor: %s", alg.Name(), res.Reason)
+		}
+	}
+	// Under an overhead surcharge, a C=T task is infeasible by definition
+	// and must be rejected with a diagnostic.
+	res := (&RMTS{Surcharge: 1}).Partition(full, 1)
+	if res.OK {
+		t.Error("surcharged RM-TS accepted a C=T task")
+	}
+	if res.FailedTask != 0 || res.Reason == "" {
+		t.Errorf("missing diagnostics: %+v", res)
+	}
+}
+
+// TestManyProcessorsFewTasks: more processors than tasks must always work
+// and leave processors empty.
+func TestManyProcessorsFewTasks(t *testing.T) {
+	ts := task.Set{{Name: "a", C: 1, T: 5}, {Name: "b", C: 2, T: 7}}
+	for _, alg := range []Algorithm{RMTSLight{}, NewRMTS(nil), SPA1{}, SPA2{}, FirstFitRTA{}, EDFFirstFit{}} {
+		res := alg.Partition(ts, 16)
+		if !res.OK {
+			t.Errorf("%s failed with 16 processors for 2 tasks: %s", alg.Name(), res.Reason)
+			continue
+		}
+		if err := res.Assignment.Validate(); err != nil {
+			t.Errorf("%s: %v", alg.Name(), err)
+		}
+	}
+}

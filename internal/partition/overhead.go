@@ -1,0 +1,167 @@
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/rta"
+	"repro/internal/split"
+	"repro/internal/task"
+)
+
+// Overhead-aware admission.
+//
+// The paper's analysis (like all classic RTA) assumes context switches are
+// free. On a real platform every dispatch costs time, and a partitioning
+// packed to the exact RTA bottleneck (the whole point of MaxSplit) has
+// zero slack to absorb it: the overhead-sensitivity experiment shows that
+// even one tick of dispatch cost makes naively-packed sets miss.
+//
+// The remedy implemented here is to model the overhead *inside* the
+// admission analysis: every (sub)task term in every RTA evaluation — own
+// demand and interference alike — is surcharged by a per-fragment budget
+// s. With the simulator's charging model (one charge per dispatch switch,
+// one per fragment migration, each costing ov ticks), s = 3·ov is
+// sufficient, by attributing every charge in an analysed busy window to
+// one fragment job active in it:
+//
+//   - each fragment job pays its own start dispatch (1·ov) and, for
+//     fragments k ≥ 2, its migration activation (1·ov);
+//   - each fragment job's arrival displaces at most one running victim,
+//     whose later resume dispatch (1·ov) is attributed to the arriving
+//     job;
+//
+// so a fragment job accounts for at most 3·ov of charges, and surcharging
+// its term in every response-time recurrence by 3·ov covers them. (2·ov is
+// NOT enough: a migrated fragment inflicts start + migration + victim-
+// resume. The overhead-sensitivity experiment demonstrates both this and
+// the failure of naive task-level provisioning.)
+//
+// Fragments are stored with their true demand; the surcharge exists only
+// in the analysis, so a successful partitioning executes the original
+// workload and the runtime charges fit in the reserved margin.
+
+// surcharged returns a view of the resident list with every execution time
+// increased by s. For s = 0 it returns the list itself.
+func surcharged(list []task.Subtask, s task.Time) []task.Subtask {
+	if s == 0 {
+		return list
+	}
+	out := make([]task.Subtask, len(list))
+	for i, sub := range list {
+		// The surcharge may push a fragment's viewed demand past its
+		// synthetic deadline; RTA then reports it unschedulable, which is
+		// the correct conservative outcome. The view is never validated.
+		sub.C += s
+		out[i] = sub
+	}
+	return out
+}
+
+// assignOrSplitOv is assignOrSplit with a per-fragment analysis surcharge.
+func assignOrSplitOv(asg *task.Assignment, q int, f fragment, ts task.Set, s task.Time) (placed bool, rem fragment, full bool) {
+	if s == 0 {
+		return assignOrSplit(asg, q, f, ts)
+	}
+	t := ts[f.idx]
+	d := f.deadline(t)
+	sur := surcharged(asg.Procs[q], s)
+	if d >= f.remC+s && rta.SchedulableWithExtraAt(sur, f.idx, f.remC+s, t.T, d) {
+		asg.Add(q, task.Subtask{
+			TaskIndex: f.idx, Part: f.part, C: f.remC, T: t.T,
+			Deadline: d, Offset: f.offset, Tail: true,
+		})
+		return true, fragment{}, false
+	}
+	portionSur := split.MaxPortionAt(sur, f.idx, t.T, f.remC+s, d)
+	portion := portionSur - s
+	if portion >= f.remC {
+		panic("partition: overhead-aware MaxSplit admits a fragment the full check rejected")
+	}
+	if portion > 0 {
+		body := task.Subtask{
+			TaskIndex: f.idx, Part: f.part, C: portion, T: t.T,
+			Deadline: d, Offset: f.offset, Tail: false,
+		}
+		asg.Add(q, body)
+		r := bodyResponseOv(asg.Procs[q], f.idx, f.part, s)
+		f = fragment{idx: f.idx, part: f.part + 1, remC: f.remC - portion, offset: f.offset + r}
+	}
+	return false, f, true
+}
+
+// bodyResponseOv computes the body fragment's worst-case response time on
+// the surcharged view (covering its own charges and those of its
+// preemptors), used for the successor's synthetic deadline.
+func bodyResponseOv(list []task.Subtask, idx, part int, s task.Time) task.Time {
+	sur := surcharged(list, s)
+	for i, sub := range sur {
+		if sub.TaskIndex == idx && sub.Part == part {
+			r, ok := rta.ResponseTime(sub.C, hpInterferences(sur, i), sub.T)
+			if !ok {
+				panic("partition: freshly split surcharged body fragment is unschedulable")
+			}
+			return r
+		}
+	}
+	panic("partition: body fragment not found on its processor")
+}
+
+func hpInterferences(list []task.Subtask, i int) []rta.Interference {
+	hp := make([]rta.Interference, i)
+	for j := 0; j < i; j++ {
+		hp[j] = rta.Interference{C: list[j].C, T: list[j].T}
+	}
+	return hp
+}
+
+// VerifyWithSurcharge re-checks a Result like Verify, but with every RTA
+// term surcharged by s per fragment — the independent check matching
+// overhead-aware admission. VerifyWithSurcharge(res, 0) equals Verify(res).
+func VerifyWithSurcharge(res *Result, s task.Time) error {
+	if res == nil || res.Assignment == nil {
+		return fmt.Errorf("partition: nil result")
+	}
+	if !res.OK {
+		return fmt.Errorf("partition: result reports failure: %s", res.Reason)
+	}
+	asg := res.Assignment
+	if err := asg.Validate(); err != nil {
+		return fmt.Errorf("partition: structural check failed: %w", err)
+	}
+	for q, list := range asg.Procs {
+		sur := surcharged(list, s)
+		for i := range sur {
+			r, ok := rta.ResponseTime(sur[i].C, hpInterferences(sur, i), sur[i].Deadline)
+			if !ok {
+				return fmt.Errorf("partition: processor %d: %s has surcharged response %d exceeding synthetic deadline %d", q, list[i], r, list[i].Deadline)
+			}
+		}
+	}
+	for idx := range asg.Set {
+		subs, procs := asg.Subtasks(idx)
+		var acc task.Time
+		for k, sub := range subs {
+			if sub.Offset < acc {
+				return fmt.Errorf("partition: task %d part %d: offset %d is below accumulated surcharged response %d", idx, sub.Part, sub.Offset, acc)
+			}
+			list := asg.Procs[procs[k]]
+			sur := surcharged(list, s)
+			pos := -1
+			for i, ls := range list {
+				if ls.TaskIndex == idx && ls.Part == sub.Part {
+					pos = i
+					break
+				}
+			}
+			r, ok := rta.ResponseTime(sur[pos].C, hpInterferences(sur, pos), sur[pos].Deadline)
+			if !ok {
+				return fmt.Errorf("partition: task %d part %d unschedulable on processor %d under surcharge", idx, sub.Part, procs[k])
+			}
+			acc = sub.Offset + r
+		}
+		if acc > asg.Set[idx].T {
+			return fmt.Errorf("partition: task %d: accumulated surcharged response %d exceeds its deadline %d", idx, acc, asg.Set[idx].T)
+		}
+	}
+	return nil
+}

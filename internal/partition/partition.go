@@ -1,0 +1,261 @@
+// Package partition implements the paper's partitioned multiprocessor
+// scheduling algorithms with task splitting — RM-TS/light (§IV) and RM-TS
+// (§V) — together with the baselines they are evaluated against: SPA1 and
+// SPA2 from [16] (utilization-threshold packing that never exceeds the Liu
+// & Layland bound) and strict partitioning without splitting (first-fit /
+// worst-fit with exact RTA admission).
+//
+// All algorithms consume a task set and a processor count and produce a
+// Result holding the per-processor subtask assignment. RM-TS and
+// RM-TS/light admit (sub)tasks with exact response-time analysis, which is
+// what lifts their average-case acceptance far above the worst-case bound;
+// the SPA baselines admit by utilization threshold and therefore cannot.
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/rta"
+	"repro/internal/split"
+	"repro/internal/task"
+)
+
+// Result is the outcome of a partitioning attempt.
+type Result struct {
+	// OK reports whether every task was fully assigned.
+	OK bool
+	// Guaranteed reports whether the producing algorithm's theory proves
+	// the partitioned system schedulable. For the RTA-based algorithms
+	// (RM-TS, RM-TS/light, FF/WF-RTA) this equals OK (Lemma 4); for the
+	// threshold-based baselines SPA1/SPA2 it additionally requires the
+	// preconditions of their utilization-bound theorems from [16], which is
+	// exactly why they "never utilize more than the worst-case bound" (§I).
+	Guaranteed bool
+	// Assignment is the (possibly partial, when !OK) assignment produced.
+	// Assignment.Set is the RM-sorted copy of the input; subtask TaskIndex
+	// values refer to it.
+	Assignment *task.Assignment
+	// FailedTask is the RM-sorted index of the first task that could not be
+	// (fully) assigned, or -1.
+	FailedTask int
+	// Reason describes a failure in one line; empty on success.
+	Reason string
+	// NumSplit is the number of tasks divided across processors.
+	NumSplit int
+	// NumPreAssigned is the number of heavy tasks placed by RM-TS/SPA2
+	// phase 1.
+	NumPreAssigned int
+	// Scheduler names the per-processor runtime policy the result assumes:
+	// "" or "FP" for fixed-priority (everything in this package except the
+	// EDF baselines), "EDF" for the partitioned-EDF baselines. Verify
+	// covers FP results; VerifyEDF covers EDF results, and the simulator
+	// must be run with the matching sim.Policy.
+	Scheduler string
+}
+
+// Algorithm is a partitioning algorithm (with or without task splitting).
+type Algorithm interface {
+	// Name identifies the algorithm in reports.
+	Name() string
+	// Partition attempts to place every task of ts onto m processors. The
+	// input set is not modified; it is cloned and RM-sorted internally.
+	Partition(ts task.Set, m int) *Result
+}
+
+// fragment is the not-yet-assigned remainder of the task currently being
+// placed: remC ticks of execution, with offset ticks of worst-case
+// predecessor delay already accumulated (so its synthetic deadline is
+// T − offset, equation (1)).
+type fragment struct {
+	idx    int
+	part   int
+	remC   task.Time
+	offset task.Time
+}
+
+func wholeFragment(idx int, t task.Task) fragment {
+	// The starting offset is T − D (zero for implicit deadlines), so the
+	// first fragment's synthetic deadline is the task's effective deadline
+	// and later fragments shrink from there.
+	return fragment{idx: idx, part: 1, remC: t.C, offset: t.T - t.Deadline()}
+}
+
+// deadline returns the fragment's synthetic deadline Δ = T − offset.
+func (f fragment) deadline(t task.Task) task.Time { return t.T - f.offset }
+
+// assignOrSplit implements the Assign routine of §IV-A on processor q:
+// place the fragment entirely if exact RTA admits it; otherwise assign the
+// maximal prefix MaxSplit finds (possibly empty) and report the processor
+// full. It returns whether the fragment was fully placed and, if not, the
+// remainder to continue with.
+//
+// The new fragment is inserted at its RM priority position. In RM-TS/light
+// and RM-TS phase 2 it is always the highest-priority subtask on q (tasks
+// arrive in increasing priority order, Lemma 2); in RM-TS phase 3 a
+// pre-assigned task may outrank it, which the general-position analysis
+// handles, and the synthetic deadline of the next fragment is then advanced
+// by the body's actual response time R rather than C (equation (1)).
+func assignOrSplit(asg *task.Assignment, q int, f fragment, ts task.Set) (placed bool, rem fragment, full bool) {
+	t := ts[f.idx]
+	d := f.deadline(t)
+	if d >= f.remC && rta.SchedulableWithExtraAt(asg.Procs[q], f.idx, f.remC, t.T, d) {
+		asg.Add(q, task.Subtask{
+			TaskIndex: f.idx, Part: f.part, C: f.remC, T: t.T,
+			Deadline: d, Offset: f.offset, Tail: true,
+		})
+		return true, fragment{}, false
+	}
+	portion := split.MaxPortionAt(asg.Procs[q], f.idx, t.T, f.remC, d)
+	if portion >= f.remC {
+		// MaxPortionAt and SchedulableWithExtraAt implement the same exact
+		// criterion; disagreement means a broken analysis, not bad input.
+		panic("partition: MaxSplit admits a fragment the full RTA rejected")
+	}
+	if portion > 0 {
+		body := task.Subtask{
+			TaskIndex: f.idx, Part: f.part, C: portion, T: t.T,
+			Deadline: d, Offset: f.offset, Tail: false,
+		}
+		asg.Add(q, body)
+		r := bodyResponse(asg.Procs[q], f.idx, f.part)
+		f = fragment{idx: f.idx, part: f.part + 1, remC: f.remC - portion, offset: f.offset + r}
+	}
+	return false, f, true
+}
+
+// bodyResponse computes the final worst-case response time of the body
+// fragment (idx, part) on the given processor. The processor is marked full
+// immediately after a split, so no higher-priority load arrives later and
+// this value is final. When the body has the highest priority on its host
+// (always, outside RM-TS phase 3) the result is its execution time C,
+// recovering Lemma 2.
+func bodyResponse(list []task.Subtask, idx, part int) task.Time {
+	for i, s := range list {
+		if s.TaskIndex == idx && s.Part == part {
+			r, ok := rta.SubtaskResponse(list, i)
+			if !ok {
+				panic("partition: freshly split body fragment is unschedulable")
+			}
+			return r
+		}
+	}
+	panic("partition: body fragment not found on its processor")
+}
+
+// minUtilProcessor returns the index of the processor with the smallest
+// assigned utilization among those with eligible[q] && !full[q], or -1.
+// Ties break towards the lowest index, making the packing deterministic.
+func minUtilProcessor(asg *task.Assignment, eligible, full []bool) int {
+	best := -1
+	bestU := 0.0
+	for q := range asg.Procs {
+		if (eligible != nil && !eligible[q]) || full[q] {
+			continue
+		}
+		u := asg.Utilization(q)
+		if best == -1 || u < bestU {
+			best, bestU = q, u
+		}
+	}
+	return best
+}
+
+// Verify independently re-checks a successful Result: structural invariants
+// of the assignment (task.Assignment.Validate), exact RTA of every subtask
+// against its synthetic deadline, and consistency of the synthetic
+// deadlines with the body fragments' actual response times
+// (Δ^{k+1} ≤ T − Σ_{l≤k} R^l). A nil error means the partitioned system
+// provably meets all deadlines (Lemma 4's argument).
+func Verify(res *Result) error {
+	if res == nil || res.Assignment == nil {
+		return fmt.Errorf("partition: nil result")
+	}
+	if !res.OK {
+		return fmt.Errorf("partition: result reports failure: %s", res.Reason)
+	}
+	asg := res.Assignment
+	if err := asg.Validate(); err != nil {
+		return fmt.Errorf("partition: structural check failed: %w", err)
+	}
+	// Exact RTA of every subtask on its processor.
+	for q, list := range asg.Procs {
+		for i := range list {
+			r, ok := rta.SubtaskResponse(list, i)
+			if !ok {
+				return fmt.Errorf("partition: processor %d: %s has response %d exceeding synthetic deadline %d", q, list[i], r, list[i].Deadline)
+			}
+		}
+	}
+	// Synthetic deadlines must cover the accumulated response times of the
+	// preceding fragments.
+	for idx := range asg.Set {
+		subs, procs := asg.Subtasks(idx)
+		var acc task.Time
+		for k, s := range subs {
+			if s.Offset < acc {
+				return fmt.Errorf("partition: task %d part %d: offset %d is below accumulated response %d", idx, s.Part, s.Offset, acc)
+			}
+			list := asg.Procs[procs[k]]
+			pos := -1
+			for i, ls := range list {
+				if ls.TaskIndex == idx && ls.Part == s.Part {
+					pos = i
+					break
+				}
+			}
+			r, ok := rta.SubtaskResponse(list, pos)
+			if !ok {
+				return fmt.Errorf("partition: task %d part %d unschedulable on processor %d", idx, s.Part, procs[k])
+			}
+			acc = s.Offset + r
+		}
+		if acc > asg.Set[idx].T {
+			return fmt.Errorf("partition: task %d: accumulated response %d exceeds its deadline %d", idx, acc, asg.Set[idx].T)
+		}
+	}
+	return nil
+}
+
+// prepared clones, sorts and validates the input, returning the working set
+// and an initialized assignment, or a failure Result.
+func prepare(ts task.Set, m int) (task.Set, *task.Assignment, *Result) {
+	if m <= 0 {
+		return nil, nil, &Result{FailedTask: -1, Reason: "no processors"}
+	}
+	sorted := ts.Clone()
+	sorted.SortDM() // identical to RM order for implicit-deadline sets
+	if err := sorted.Validate(); err != nil {
+		return nil, nil, &Result{FailedTask: -1, Reason: err.Error(), Assignment: task.NewAssignment(sorted, m)}
+	}
+	return sorted, task.NewAssignment(sorted, m), nil
+}
+
+// requireImplicit fails algorithms whose theory only covers the
+// implicit-deadline L&L model (the SPA thresholds, the bound-based
+// admissions, the EDF utilization test, global scheduling bounds).
+func requireImplicit(sorted task.Set, asg *task.Assignment, who string) *Result {
+	if sorted.Implicit() {
+		return nil
+	}
+	return &Result{
+		Assignment: asg,
+		FailedTask: -1,
+		Reason:     who + " requires implicit deadlines (D = T); use the RTA-based algorithms for constrained deadlines",
+	}
+}
+
+// surchargeFeasible reports the first task that cannot possibly meet its
+// deadline under a per-fragment surcharge s (C + s > T: even alone on a
+// processor, its surcharged demand exceeds the deadline, and splitting
+// only multiplies the surcharge), or -1 if all are feasible.
+func surchargeFeasible(sorted task.Set, s task.Time) int {
+	if s <= 0 {
+		return -1
+	}
+	for i, t := range sorted {
+		if t.C+s > t.T {
+			return i
+		}
+	}
+	return -1
+}

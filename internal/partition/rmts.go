@@ -1,0 +1,233 @@
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/bounds"
+	"repro/internal/task"
+)
+
+// RMTSLight is the paper's first algorithm (§IV): RM partitioning with task
+// splitting, exact RTA admission, worst-fit processor selection (minimal
+// assigned utilization), tasks assigned in increasing priority order.
+//
+// For light task sets (every U_i ≤ Θ/(1+Θ), Definition 1) it achieves any
+// deflatable parametric utilization bound Λ(τ) as a normalized utilization
+// bound (Theorem 8); for arbitrary sets a successful partitioning is still
+// always schedulable (Lemma 4), only the worst-case bound claim is lost.
+type RMTSLight struct {
+	// Surcharge enables overhead-aware admission: every fragment term in
+	// every RTA evaluation is inflated by this many ticks (see
+	// overhead.go). Zero reproduces the paper's zero-overhead analysis.
+	Surcharge task.Time
+}
+
+// Name implements Algorithm.
+func (RMTSLight) Name() string { return "RM-TS/light" }
+
+// Partition implements Algorithm.
+func (a RMTSLight) Partition(ts task.Set, m int) *Result {
+	sorted, asg, fail := prepare(ts, m)
+	if fail != nil {
+		return fail
+	}
+	full := make([]bool, m)
+	res := &Result{Assignment: asg, FailedTask: -1}
+	if i := surchargeFeasible(sorted, a.Surcharge); i >= 0 {
+		res.Reason = fmt.Sprintf("τ%d cannot meet its deadline under the overhead surcharge (C+s > T)", i)
+		res.FailedTask = i
+		return res
+	}
+	// Increasing priority order: lowest priority (largest index) first.
+	for i := len(sorted) - 1; i >= 0; i-- {
+		f := wholeFragment(i, sorted[i])
+		for {
+			q := minUtilProcessor(asg, nil, full)
+			if q < 0 {
+				res.Reason = fmt.Sprintf("all processors full while assigning τ%d", i)
+				res.FailedTask = i
+				return res
+			}
+			placed, rem, becameFull := assignOrSplitOv(asg, q, f, sorted, a.Surcharge)
+			if becameFull {
+				full[q] = true
+			}
+			if placed {
+				break
+			}
+			f = rem
+		}
+		if f.part > 1 {
+			res.NumSplit++
+		}
+	}
+	res.OK = true
+	res.Guaranteed = true
+	return res
+}
+
+// RMTS is the paper's general algorithm (§V): a pre-assignment phase places
+// heavy tasks whose lower-priority workload is small enough (condition (8))
+// onto dedicated processors; the remaining tasks are packed onto the normal
+// processors exactly as in RM-TS/light; leftovers fill the pre-assigned
+// processors first-fit, lowest-priority pre-assigned task first.
+//
+// For any task set it achieves the bound min(Λ(τ), 2Θ/(1+Θ)), where Λ is
+// the deflatable PUB the instance is configured with.
+type RMTS struct {
+	// PUB supplies Λ(τ) for the pre-assignment condition. Nil defaults to
+	// the Liu & Layland bound, which makes the pre-assignment identical in
+	// spirit to SPA2's while keeping exact-RTA packing.
+	PUB bounds.PUB
+	// Surcharge enables overhead-aware admission (see overhead.go); zero
+	// reproduces the paper's zero-overhead analysis.
+	Surcharge task.Time
+}
+
+// NewRMTS returns an RM-TS instance using p for the pre-assignment
+// condition (nil for the L&L default).
+func NewRMTS(p bounds.PUB) *RMTS { return &RMTS{PUB: p} }
+
+// Name implements Algorithm.
+func (a *RMTS) Name() string { return "RM-TS" }
+
+// Lambda returns the effective bound min(Λ(τ), 2Θ/(1+Θ)) this instance
+// targets for the given set (§V).
+func (a *RMTS) Lambda(ts task.Set) float64 {
+	p := a.PUB
+	if p == nil {
+		p = bounds.LiuLayland{}
+	}
+	return bounds.EffectiveRMTS(p, ts)
+}
+
+// Partition implements Algorithm.
+func (a *RMTS) Partition(ts task.Set, m int) *Result {
+	sorted, asg, fail := prepare(ts, m)
+	if fail != nil {
+		return fail
+	}
+	n := len(sorted)
+	lightThr := bounds.LightThresholdFor(n)
+	lambda := a.Lambda(sorted)
+	res := &Result{Assignment: asg, FailedTask: -1}
+	if i := surchargeFeasible(sorted, a.Surcharge); i >= 0 {
+		res.Reason = fmt.Sprintf("τ%d cannot meet its deadline under the overhead surcharge (C+s > T)", i)
+		res.FailedTask = i
+		return res
+	}
+
+	full := make([]bool, m)
+	normal := make([]bool, m)
+	for q := range normal {
+		normal[q] = true
+	}
+	var preProcs []int // pre-assigned processors in assignment order
+
+	// Suffix utilizations: suffix[i] = Σ_{j>i} U_j.
+	suffix := make([]float64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + sorted[i].Utilization()
+	}
+
+	// Phase 1: pre-assignment, in decreasing priority order (highest
+	// priority first). A heavy task is pre-assigned when condition (8)
+	// holds: Σ_{j>i} U_j ≤ (|P(τ_i)|−1)·Λ(τ), with P(τ_i) the processors
+	// still normal at this point. Tasks with U_i > Λ(τ) are outside the
+	// model's assumption (§V, footnote 5: run them on a dedicated processor
+	// each), so they are pre-assigned unconditionally while processors
+	// remain — with exact-RTA filling in phase 3 this only improves
+	// average-case acceptance and never invalidates a successful result.
+	normalCount := m
+	pre := make([]bool, n)
+	for i := 0; i < n; i++ {
+		u := sorted[i].Utilization()
+		if u <= lightThr {
+			continue
+		}
+		if normalCount == 0 {
+			break
+		}
+		if suffix[i+1] <= float64(normalCount-1)*lambda || u > lambda {
+			q := -1
+			for cand := 0; cand < m; cand++ {
+				if normal[cand] {
+					q = cand
+					break
+				}
+			}
+			asg.Add(q, task.Whole(i, sorted[i]))
+			asg.PreAssigned[q] = i
+			normal[q] = false
+			preProcs = append(preProcs, q)
+			pre[i] = true
+			normalCount--
+			res.NumPreAssigned++
+		}
+	}
+
+	// Phase 2: remaining tasks onto normal processors, exactly as
+	// RM-TS/light (increasing priority order, worst fit, split on
+	// overflow). A fragment that exhausts the normal processors carries
+	// over into phase 3 with its offset state intact.
+	var carry *fragment
+	nextPre := len(preProcs) - 1 // phase 3 cursor: largest index first
+	phase3Assign := func(f fragment) bool {
+		for {
+			for nextPre >= 0 && full[preProcs[nextPre]] {
+				nextPre--
+			}
+			if nextPre < 0 {
+				return false
+			}
+			q := preProcs[nextPre]
+			placed, rem, becameFull := assignOrSplitOv(asg, q, f, sorted, a.Surcharge)
+			if becameFull {
+				full[q] = true
+			}
+			if placed {
+				return true
+			}
+			f = rem
+		}
+	}
+
+	for i := n - 1; i >= 0; i-- {
+		if pre[i] {
+			continue
+		}
+		f := wholeFragment(i, sorted[i])
+		for {
+			q := minUtilProcessor(asg, normal, full)
+			if q < 0 {
+				carry = &f
+				break
+			}
+			placed, rem, becameFull := assignOrSplitOv(asg, q, f, sorted, a.Surcharge)
+			if becameFull {
+				full[q] = true
+			}
+			if placed {
+				carry = nil
+				break
+			}
+			f = rem
+		}
+		// Phase 3: pre-assigned processors, first-fit from the processor
+		// hosting the lowest-priority pre-assigned task (largest index).
+		if carry != nil {
+			if !phase3Assign(*carry) {
+				res.Reason = fmt.Sprintf("all processors full while assigning τ%d", i)
+				res.FailedTask = i
+				return res
+			}
+			carry = nil
+		}
+		if _, procs := asg.Subtasks(i); len(procs) > 1 {
+			res.NumSplit++
+		}
+	}
+	res.OK = true
+	res.Guaranteed = true
+	return res
+}

@@ -1,0 +1,220 @@
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/bounds"
+	"repro/internal/task"
+)
+
+// utilEps absorbs float rounding when comparing utilization sums against
+// the Θ threshold; utilizations are ratios of int64s, so accumulated error
+// is far below this.
+const utilEps = 1e-9
+
+// SPA1 is the light-task algorithm of [16] ("Fixed-Priority Multiprocessor
+// Scheduling with Liu & Layland's Utilization Bound"): the same increasing-
+// priority, worst-fit, split-on-overflow skeleton as RM-TS/light, but
+// admission is the utilization threshold Θ(N) = N(2^{1/N}−1) instead of
+// exact RTA — a processor accepts load only while its assigned utilization
+// stays at or below Θ, and splitting fills it to exactly Θ.
+//
+// Its guarantee ([16]) covers light task sets with U_M(τ) ≤ Θ(τ); the
+// Result's Guaranteed field reflects that. The consequence the paper
+// criticizes (§I) is structural: SPA1 can never utilize a processor beyond
+// Θ, no matter how benign the workload.
+type SPA1 struct{}
+
+// Name implements Algorithm.
+func (SPA1) Name() string { return "SPA1" }
+
+// Partition implements Algorithm.
+func (SPA1) Partition(ts task.Set, m int) *Result {
+	sorted, asg, fail := prepare(ts, m)
+	if fail != nil {
+		return fail
+	}
+	if res := requireImplicit(sorted, asg, "SPA1"); res != nil {
+		return res
+	}
+	theta := bounds.LL(len(sorted))
+	res := &Result{Assignment: asg, FailedTask: -1}
+	full := make([]bool, m)
+	for i := len(sorted) - 1; i >= 0; i-- {
+		f := wholeFragment(i, sorted[i])
+		for {
+			q := minUtilProcessor(asg, nil, full)
+			if q < 0 {
+				res.Reason = fmt.Sprintf("all processors at the Θ threshold while assigning τ%d", i)
+				res.FailedTask = i
+				return res
+			}
+			placed, rem, becameFull := thresholdAssign(asg, q, f, sorted, theta)
+			if becameFull {
+				full[q] = true
+			}
+			if placed {
+				break
+			}
+			f = rem
+		}
+		if f.part > 1 {
+			res.NumSplit++
+		}
+	}
+	res.OK = true
+	lightThr := bounds.LightThresholdFor(len(sorted))
+	res.Guaranteed = sorted.IsLight(lightThr) &&
+		sorted.NormalizedUtilization(m) <= theta+utilEps
+	return res
+}
+
+// thresholdAssign is the SPA counterpart of assignOrSplit: admit the
+// fragment if U(P_q) + U stays within threshold; otherwise split off
+// exactly the utilization that fills the processor to the threshold.
+// Synthetic deadlines use the C-based bookkeeping of [16] (body subtasks
+// have the highest priority on their hosts in SPA1/SPA2, so R = C).
+func thresholdAssign(asg *task.Assignment, q int, f fragment, ts task.Set, threshold float64) (placed bool, rem fragment, fullQ bool) {
+	t := ts[f.idx]
+	d := f.deadline(t)
+	room := threshold - asg.Utilization(q)
+	u := float64(f.remC) / float64(t.T)
+	if u <= room+utilEps && f.remC <= d {
+		asg.Add(q, task.Subtask{
+			TaskIndex: f.idx, Part: f.part, C: f.remC, T: t.T,
+			Deadline: d, Offset: f.offset, Tail: true,
+		})
+		return true, fragment{}, false
+	}
+	portion := task.Time(room * float64(t.T))
+	if portion > f.remC-1 {
+		portion = f.remC - 1
+	}
+	if portion > d {
+		portion = d
+	}
+	if portion > 0 {
+		asg.Add(q, task.Subtask{
+			TaskIndex: f.idx, Part: f.part, C: portion, T: t.T,
+			Deadline: d, Offset: f.offset, Tail: false,
+		})
+		f = fragment{idx: f.idx, part: f.part + 1, remC: f.remC - portion, offset: f.offset + portion}
+	}
+	return false, f, true
+}
+
+// SPA2 is the general algorithm of [16]: SPA1 extended with a
+// pre-assignment phase for heavy tasks (U_i > Θ/(1+Θ)) satisfying
+// Σ_{j>i} U_j ≤ (|P(τ_i)|−1)·Θ, mirroring RM-TS's structure but with the
+// utilization threshold in place of exact RTA everywhere. Guaranteed for
+// any task set with U_M(τ) ≤ Θ(τ).
+type SPA2 struct{}
+
+// Name implements Algorithm.
+func (SPA2) Name() string { return "SPA2" }
+
+// Partition implements Algorithm.
+func (SPA2) Partition(ts task.Set, m int) *Result {
+	sorted, asg, fail := prepare(ts, m)
+	if fail != nil {
+		return fail
+	}
+	if res := requireImplicit(sorted, asg, "SPA2"); res != nil {
+		return res
+	}
+	n := len(sorted)
+	theta := bounds.LL(n)
+	lightThr := bounds.LightThresholdFor(n)
+	res := &Result{Assignment: asg, FailedTask: -1}
+
+	full := make([]bool, m)
+	normal := make([]bool, m)
+	for q := range normal {
+		normal[q] = true
+	}
+	var preProcs []int
+
+	suffix := make([]float64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + sorted[i].Utilization()
+	}
+
+	// Phase 1: pre-assign qualifying heavy tasks, decreasing priority
+	// order, lowest-index normal processor.
+	normalCount := m
+	pre := make([]bool, n)
+	for i := 0; i < n; i++ {
+		u := sorted[i].Utilization()
+		if u <= lightThr || normalCount == 0 {
+			continue
+		}
+		if suffix[i+1] <= float64(normalCount-1)*theta+utilEps {
+			q := -1
+			for cand := 0; cand < m; cand++ {
+				if normal[cand] {
+					q = cand
+					break
+				}
+			}
+			asg.Add(q, task.Whole(i, sorted[i]))
+			asg.PreAssigned[q] = i
+			normal[q] = false
+			preProcs = append(preProcs, q)
+			pre[i] = true
+			normalCount--
+			res.NumPreAssigned++
+		}
+	}
+
+	// Phases 2 and 3: threshold packing on normal processors, then
+	// first-fit filling of pre-assigned processors from the largest index.
+	nextPre := len(preProcs) - 1
+	for i := n - 1; i >= 0; i-- {
+		if pre[i] {
+			continue
+		}
+		f := wholeFragment(i, sorted[i])
+		placedWhole := false
+		for !placedWhole {
+			q := minUtilProcessor(asg, normal, full)
+			if q < 0 {
+				break
+			}
+			var becameFull bool
+			placedWhole, f, becameFull = spaStep(asg, q, f, sorted, theta)
+			if becameFull {
+				full[q] = true
+			}
+		}
+		for !placedWhole {
+			for nextPre >= 0 && full[preProcs[nextPre]] {
+				nextPre--
+			}
+			if nextPre < 0 {
+				res.Reason = fmt.Sprintf("all processors at the Θ threshold while assigning τ%d", i)
+				res.FailedTask = i
+				return res
+			}
+			q := preProcs[nextPre]
+			var becameFull bool
+			placedWhole, f, becameFull = spaStep(asg, q, f, sorted, theta)
+			if becameFull {
+				full[q] = true
+			}
+		}
+		if f.part > 1 {
+			res.NumSplit++
+		}
+	}
+	res.OK = true
+	res.Guaranteed = sorted.NormalizedUtilization(m) <= theta+utilEps
+	return res
+}
+
+func spaStep(asg *task.Assignment, q int, f fragment, ts task.Set, theta float64) (bool, fragment, bool) {
+	placed, rem, becameFull := thresholdAssign(asg, q, f, ts, theta)
+	if placed {
+		return true, f, becameFull
+	}
+	return false, rem, becameFull
+}

@@ -1,0 +1,244 @@
+// Package rta implements exact response-time analysis (RTA) for preemptive
+// fixed-priority scheduling on a single processor with constrained
+// (synthetic) deadlines — the schedulability test that the paper's
+// partitioning algorithms use in their Assign routine (§IV-A) in place of
+// the utilization threshold of [16].
+//
+// For a (sub)task i with higher-priority interference set hp(i) on the same
+// processor, the worst-case response time is the least fixed point of
+//
+//	R = C_i + Σ_{j ∈ hp(i)} ⌈R/T_j⌉ · C_j
+//
+// and i is schedulable iff R ≤ Δ_i, its synthetic deadline. Because all
+// deadlines are constrained (Δ ≤ T) and releases are synchronous in the
+// worst case, checking the first job after the critical instant is exact.
+//
+// A subtle point from the paper (Lemma 5): a split subtask's *ready time*
+// is deferred by its predecessors, but the interference it inflicts on
+// lower-priority tasks on its processor is still safely modelled by its
+// period, because deferral can only reduce the number of preemptions in any
+// window starting at a synchronous critical instant of the analysed task.
+// The synthetic deadline absorbs the deferral on the analysed task's side.
+package rta
+
+import (
+	"math"
+
+	"repro/internal/mathx"
+	"repro/internal/task"
+)
+
+// Interference is a higher-priority load source: a task releasing jobs of
+// length C every T ticks.
+type Interference struct {
+	C task.Time
+	T task.Time
+}
+
+// ResponseTime computes the least fixed point R of
+// R = c + Σ ⌈R/T_j⌉·C_j over the interference set hp, stopping as soon as R
+// exceeds limit. It returns the response time and true when R ≤ limit, or
+// the first iterate exceeding limit and false otherwise.
+//
+// The iteration starts at c plus one job of every interferer, which is a
+// lower bound on the fixed point, and is guaranteed to terminate because
+// each iterate strictly increases until it either stabilizes or passes
+// limit.
+func ResponseTime(c task.Time, hp []Interference, limit task.Time) (task.Time, bool) {
+	if c > limit {
+		return c, false
+	}
+	r := c
+	for _, j := range hp {
+		r = mathx.AddSat(r, j.C)
+	}
+	for {
+		if r > limit {
+			return r, false
+		}
+		next := c
+		for _, j := range hp {
+			next = mathx.AddSat(next, mathx.MulSat(mathx.CeilDiv(r, j.T), j.C))
+		}
+		if next == r {
+			return r, true
+		}
+		if next < r {
+			// Cannot happen: the demand function is monotone. Guard anyway.
+			panic("rta: response-time iteration decreased")
+		}
+		r = next
+	}
+}
+
+// hpOf returns the interference set for position i in a priority-sorted
+// subtask list (everything before position i).
+func hpOf(list []task.Subtask, i int) []Interference {
+	hp := make([]Interference, i)
+	for j := 0; j < i; j++ {
+		hp[j] = Interference{C: list[j].C, T: list[j].T}
+	}
+	return hp
+}
+
+// SubtaskResponse computes the response time of the subtask at position i of
+// the priority-sorted list (highest priority first), and whether it meets
+// its synthetic deadline.
+func SubtaskResponse(list []task.Subtask, i int) (task.Time, bool) {
+	return ResponseTime(list[i].C, hpOf(list, i), list[i].Deadline)
+}
+
+// ProcessorSchedulable reports whether every subtask in the priority-sorted
+// list meets its synthetic deadline under preemptive fixed-priority
+// scheduling.
+func ProcessorSchedulable(list []task.Subtask) bool {
+	for i := range list {
+		if _, ok := SubtaskResponse(list, i); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// SchedulableWithExtra reports whether the processor stays schedulable when
+// a new highest-priority load (c, t) is added on top of the priority-sorted
+// list, and whether the new load itself would meet deadline d.
+//
+// This is the admission check of Assign (§IV-A): the incoming (sub)task has
+// the highest priority on the processor because tasks are assigned in
+// increasing priority order, so its own response time is exactly c; every
+// existing subtask additionally suffers ⌈R/t⌉·c of interference.
+func SchedulableWithExtra(list []task.Subtask, c, t, d task.Time) bool {
+	if c > d {
+		return false
+	}
+	for i := range list {
+		hp := append(hpOf(list, i), Interference{C: c, T: t})
+		if _, ok := ResponseTime(list[i].C, hp, list[i].Deadline); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// SchedulableWithExtraAt reports whether the processor stays schedulable
+// when a new load (c, t) with priority index prio is inserted into the
+// priority-sorted list at its proper position, and the new load itself
+// meets deadline d. Unlike SchedulableWithExtra, the new load may have
+// lower priority than some existing subtasks (needed for analyses that
+// re-check arbitrary insertions, e.g. test harnesses and the simulator
+// cross-checks; the paper's algorithms only ever insert at the top).
+func SchedulableWithExtraAt(list []task.Subtask, prio int, c, t, d task.Time) bool {
+	merged := make([]task.Subtask, 0, len(list)+1)
+	inserted := false
+	for _, s := range list {
+		if !inserted && s.TaskIndex > prio {
+			merged = append(merged, task.Subtask{TaskIndex: prio, Part: 1, C: c, T: t, Deadline: d, Offset: t - d, Tail: true})
+			inserted = true
+		}
+		merged = append(merged, s)
+	}
+	if !inserted {
+		merged = append(merged, task.Subtask{TaskIndex: prio, Part: 1, C: c, T: t, Deadline: d, Offset: t - d, Tail: true})
+	}
+	return ProcessorSchedulable(merged)
+}
+
+// Slack returns, for the subtask at position i of the priority-sorted list,
+// the largest extra execution budget e such that a new highest-priority
+// interferer (e, t) keeps the subtask schedulable — i.e. the per-task
+// quantity minimized by the efficient MaxSplit. It evaluates the
+// schedulability condition
+//
+//	∃ x ∈ (0, Δ_i]:  C_i + Σ_{j∈hp} ⌈x/T_j⌉C_j + ⌈x/t⌉·e ≤ x
+//
+// over the exact testing set {m·T_j ≤ Δ_i} ∪ {m·t ≤ Δ_i} ∪ {Δ_i} and
+// returns the maximum feasible e (0 if none; math.MaxInt64 if unbounded,
+// which cannot happen for t ≤ Δ_i since ⌈x/t⌉ ≥ 1).
+func Slack(list []task.Subtask, i int, t task.Time) task.Time {
+	sub := list[i]
+	hp := hpOf(list, i)
+	best := task.Time(-1)
+	check := func(x task.Time) {
+		if x <= 0 || x > sub.Deadline {
+			return
+		}
+		demand := sub.C
+		for _, j := range hp {
+			demand = mathx.AddSat(demand, mathx.MulSat(mathx.CeilDiv(x, j.T), j.C))
+		}
+		if demand > x {
+			return
+		}
+		jobs := mathx.CeilDiv(x, t)
+		if jobs == 0 {
+			jobs = 1
+		}
+		e := (x - demand) / jobs
+		if e > best {
+			best = e
+		}
+	}
+	check(sub.Deadline)
+	for _, j := range hp {
+		for m := task.Time(1); ; m++ {
+			x := mathx.MulSat(m, j.T)
+			if x > sub.Deadline {
+				break
+			}
+			check(x)
+		}
+	}
+	for m := task.Time(1); ; m++ {
+		x := mathx.MulSat(m, t)
+		if x > sub.Deadline {
+			break
+		}
+		check(x)
+	}
+	if best < 0 {
+		return 0
+	}
+	if best == math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return best
+}
+
+// MaxOwnLoad returns the largest execution time c such that a task with
+// interference set hp has a response time at most d, i.e. the largest c
+// with ∃ x ∈ (0, d]: c + Σ_{j∈hp} ⌈x/T_j⌉C_j ≤ x. It evaluates the exact
+// testing set {m·T_j ≤ d} ∪ {d}. Returns 0 when even an infinitesimal task
+// would miss d.
+func MaxOwnLoad(hp []Interference, d task.Time) task.Time {
+	if d <= 0 {
+		return 0
+	}
+	best := task.Time(0)
+	check := func(x task.Time) {
+		if x <= 0 || x > d {
+			return
+		}
+		interf := task.Time(0)
+		for _, j := range hp {
+			interf = mathx.AddSat(interf, mathx.MulSat(mathx.CeilDiv(x, j.T), j.C))
+		}
+		if interf >= x {
+			return
+		}
+		if c := x - interf; c > best {
+			best = c
+		}
+	}
+	check(d)
+	for _, j := range hp {
+		for m := task.Time(1); ; m++ {
+			x := mathx.MulSat(m, j.T)
+			if x > d {
+				break
+			}
+			check(x)
+		}
+	}
+	return best
+}

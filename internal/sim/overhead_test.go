@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/task"
+)
+
+func TestDispatchOverheadCharged(t *testing.T) {
+	// Two tasks alternating on one processor: every dispatch switch costs
+	// 1 tick. Without overhead, (2,8) + (2,8) is trivially schedulable;
+	// the overhead shows up in Busy and Overhead.
+	a := uni(task.Task{Name: "a", C: 2, T: 8}, task.Task{Name: "b", C: 2, T: 8})
+	noOv, err := Simulate(a, Options{Horizon: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withOv, err := Simulate(a, Options{Horizon: 80, DispatchOverhead: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withOv.Overhead == 0 {
+		t.Fatal("no overhead charged")
+	}
+	if withOv.Busy[0] <= noOv.Busy[0] {
+		t.Errorf("busy with overhead %d not above %d", withOv.Busy[0], noOv.Busy[0])
+	}
+	if !withOv.Ok() {
+		t.Errorf("1-tick overhead should still fit at 50%% base load: %v", withOv.Misses)
+	}
+	// Per hyperperiod of 8: two dispatches (a then b) → 2 ticks, 10 periods.
+	if withOv.Overhead != 20 {
+		t.Errorf("overhead = %d, want 20 (2 switches × 10 hyperperiods)", withOv.Overhead)
+	}
+}
+
+func TestDispatchOverheadCanCauseMisses(t *testing.T) {
+	// A set schedulable at zero overhead misses once switches cost enough.
+	a := uni(task.Task{Name: "a", C: 4, T: 8}, task.Task{Name: "b", C: 3, T: 8})
+	clean, err := Simulate(a, Options{Horizon: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !clean.Ok() {
+		t.Fatal("base set should be schedulable")
+	}
+	loaded, err := Simulate(a, Options{Horizon: 80, DispatchOverhead: 1, StopOnMiss: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Ok() {
+		t.Error("87.5% base + 2 ticks overhead per period should miss")
+	}
+}
+
+func TestMigrationOverheadChargedPerFragment(t *testing.T) {
+	set := task.Set{{Name: "w", C: 6, T: 12}}
+	a := task.NewAssignment(set, 2)
+	a.Add(0, task.Subtask{TaskIndex: 0, Part: 1, C: 3, T: 12, Deadline: 12, Offset: 0})
+	a.Add(1, task.Subtask{TaskIndex: 0, Part: 2, C: 3, T: 12, Deadline: 9, Offset: 3, Tail: true})
+	rep, err := Simulate(a, Options{Horizon: 120, MigrationOverhead: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 jobs, one migration each → 20 ticks.
+	if rep.Overhead != 20 {
+		t.Errorf("overhead = %d, want 20", rep.Overhead)
+	}
+	if !rep.Ok() {
+		t.Errorf("plenty of slack, but missed: %v", rep.Misses)
+	}
+}
+
+func TestTimelineRecording(t *testing.T) {
+	a := uni(task.Task{Name: "a", C: 2, T: 4}, task.Task{Name: "b", C: 2, T: 8})
+	rep, err := Simulate(a, Options{Horizon: 8, RecordTimeline: true, TimelineCap: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 0, 1, 1, 0, 0, -1, -1}
+	if len(rep.Timeline) != 1 {
+		t.Fatalf("timeline for %d processors", len(rep.Timeline))
+	}
+	for i, w := range want {
+		if rep.Timeline[0][i] != w {
+			t.Fatalf("timeline = %v, want %v", rep.Timeline[0], want)
+		}
+	}
+	g := rep.Gantt()
+	if !strings.Contains(g, "0011 00..") && !strings.Contains(g, "001100..") {
+		t.Errorf("Gantt rendering unexpected: %q", g)
+	}
+}
+
+func TestTimelineMultiProcessorSplit(t *testing.T) {
+	set := task.Set{{Name: "hi", C: 2, T: 5}, {Name: "split", C: 5, T: 10}}
+	set.SortRM()
+	a := task.NewAssignment(set, 2)
+	a.Add(0, task.Subtask{TaskIndex: 1, Part: 1, C: 3, T: 10, Deadline: 10, Offset: 0, Tail: false})
+	a.Add(1, task.Subtask{TaskIndex: 1, Part: 2, C: 2, T: 10, Deadline: 7, Offset: 3, Tail: true})
+	a.Add(1, task.Whole(0, set[0]))
+	rep, err := Simulate(a, Options{Horizon: 10, RecordTimeline: true, TimelineCap: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P0: body of τ1 in [0,3); P1: τ0 [0,2), tail [3,5) (preempted order:
+	// τ0 first, tail arrives at 3 with higher priority... τ1 > τ0 index →
+	// tail has LOWER priority than τ0 here; τ0 runs [0,2), tail [3,5),
+	// τ0' [5,7).
+	if rep.Timeline[0][0] != 1 || rep.Timeline[0][2] != 1 || rep.Timeline[0][3] != -1 {
+		t.Errorf("P0 timeline = %v", rep.Timeline[0])
+	}
+	if rep.Timeline[1][0] != 0 || rep.Timeline[1][3] != 1 {
+		t.Errorf("P1 timeline = %v", rep.Timeline[1])
+	}
+	if rep.Gantt() == "" {
+		t.Error("empty Gantt despite recording")
+	}
+}
+
+func TestGanttEmptyWithoutRecording(t *testing.T) {
+	a := uni(task.Task{Name: "a", C: 1, T: 4})
+	rep, err := Simulate(a, Options{Horizon: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Gantt() != "" {
+		t.Error("Gantt produced without recording")
+	}
+}
+
+func TestTimelineCapDefaultsAndClamp(t *testing.T) {
+	a := uni(task.Task{Name: "a", C: 1, T: 4})
+	rep, err := Simulate(a, Options{Horizon: 16, RecordTimeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rep.Timeline[0]); got != 16 {
+		t.Errorf("timeline length %d, want clamped to horizon 16", got)
+	}
+}
+
+func TestOverheadZeroByDefault(t *testing.T) {
+	a := uni(task.Task{Name: "a", C: 2, T: 4})
+	rep, err := Simulate(a, Options{Horizon: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Overhead != 0 {
+		t.Errorf("default overhead = %d", rep.Overhead)
+	}
+}

@@ -1,0 +1,181 @@
+// Package split implements the MaxSplit routine of the paper (§IV-A,
+// Definition 3): given a (sub)task that does not fit entirely on its
+// candidate processor, find the largest prefix that can be assigned there
+// without making any task on that processor unschedulable — leaving the
+// processor with a bottleneck — and return the remainder for the next
+// assignment step.
+//
+// Two interchangeable implementations are provided:
+//
+//   - MaxPortionBinary: the binary-search reference the paper sketches
+//     ("performing a binary search over [0, C^k]").
+//   - MaxPortion: the efficient testing-point method the paper cites from
+//     [22], which evaluates the RTA slack of each resident subtask at the
+//     points where the interference step functions change.
+//
+// Both are exact on the integer time domain and are cross-checked against
+// each other by property tests.
+package split
+
+import (
+	"repro/internal/rta"
+	"repro/internal/task"
+)
+
+// MaxPortion returns the largest c' in [0, budget] such that adding a new
+// highest-priority load (c', t) to the priority-sorted resident list keeps
+// every resident subtask schedulable and c' itself fits within deadline d
+// (the synthetic deadline the new body fragment would have).
+//
+// It minimizes, over the resident subtasks, the exact RTA slack with
+// respect to a period-t interferer.
+func MaxPortion(list []task.Subtask, t, budget, d task.Time) task.Time {
+	if budget <= 0 {
+		return 0
+	}
+	best := budget
+	if d < best {
+		best = d
+	}
+	if best <= 0 {
+		return 0
+	}
+	for i := range list {
+		if s := rta.Slack(list, i, t); s < best {
+			best = s
+		}
+		if best == 0 {
+			return 0
+		}
+	}
+	return best
+}
+
+// MaxPortionAt generalizes MaxPortion to an arbitrary priority position:
+// the new load (c', t) is inserted with priority index prio into the
+// priority-sorted resident list (so residents with a smaller task index
+// preempt it). It returns the largest c' in [0, budget] such that the new
+// fragment's own response time stays within d and every lower-priority
+// resident stays schedulable. Residents with higher priority are unaffected
+// by construction.
+//
+// The paper's algorithms only insert at the top (assignment in increasing
+// priority order guarantees it, Lemma 2); the general form is needed for
+// RM-TS phase 3, where a processor may already host a pre-assigned task of
+// either priority relative to the incoming one.
+func MaxPortionAt(list []task.Subtask, prio int, t, budget, d task.Time) task.Time {
+	if budget <= 0 || d <= 0 {
+		return 0
+	}
+	pos := 0
+	for pos < len(list) && list[pos].TaskIndex < prio {
+		pos++
+	}
+	hp := make([]rta.Interference, pos)
+	for i := 0; i < pos; i++ {
+		hp[i] = rta.Interference{C: list[i].C, T: list[i].T}
+	}
+	best := rta.MaxOwnLoad(hp, d)
+	if budget < best {
+		best = budget
+	}
+	if best <= 0 {
+		return 0
+	}
+	for i := pos; i < len(list); i++ {
+		if s := rta.Slack(list, i, t); s < best {
+			best = s
+		}
+		if best == 0 {
+			return 0
+		}
+	}
+	return best
+}
+
+// MaxPortionAtBinary is the binary-search reference for MaxPortionAt, used
+// to cross-check it in tests.
+func MaxPortionAtBinary(list []task.Subtask, prio int, t, budget, d task.Time) task.Time {
+	hi := budget
+	if d < hi {
+		hi = d
+	}
+	if hi <= 0 {
+		return 0
+	}
+	feasible := func(c task.Time) bool {
+		if c == 0 {
+			return true
+		}
+		return rta.SchedulableWithExtraAt(list, prio, c, t, d)
+	}
+	if feasible(hi) {
+		return hi
+	}
+	lo := task.Time(0)
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		if feasible(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// MaxPortionBinary is the reference implementation of MaxPortion: it binary
+// searches the largest feasible c' in [0, min(budget, d)], using the full
+// admission check at each probe. Schedulability is monotone in c' (a larger
+// fragment only adds interference), so the search is exact.
+func MaxPortionBinary(list []task.Subtask, t, budget, d task.Time) task.Time {
+	hi := budget
+	if d < hi {
+		hi = d
+	}
+	if hi <= 0 {
+		return 0
+	}
+	feasible := func(c task.Time) bool {
+		if c == 0 {
+			return true
+		}
+		return rta.SchedulableWithExtra(list, c, t, d)
+	}
+	if feasible(hi) {
+		return hi
+	}
+	lo := task.Time(0) // feasible
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		if feasible(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// HasBottleneck reports whether the priority-sorted resident list has a
+// bottleneck in the sense of Definition 2: the processor is schedulable,
+// but increasing the execution time of its highest-priority subtask by one
+// tick (the smallest positive amount on the integer time domain) makes some
+// subtask miss its synthetic deadline.
+//
+// An empty processor has no bottleneck.
+func HasBottleneck(list []task.Subtask) bool {
+	if len(list) == 0 {
+		return false
+	}
+	if !rta.ProcessorSchedulable(list) {
+		return false
+	}
+	bumped := make([]task.Subtask, len(list))
+	copy(bumped, list)
+	bumped[0].C++
+	if bumped[0].C > bumped[0].Deadline {
+		return true // the highest-priority subtask itself is the bottleneck
+	}
+	return !rta.ProcessorSchedulable(bumped)
+}

@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %g", got)
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %g, want 2.5", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev(nil); got != 0 {
+		t.Errorf("StdDev(nil) = %g", got)
+	}
+	if got := StdDev([]float64{5}); got != 0 {
+		t.Errorf("StdDev(one) = %g", got)
+	}
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("StdDev = %g, want %g", got, want)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Errorf("Min/Max = %g/%g", Min(xs), Max(xs))
+	}
+	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
+		t.Error("empty Min/Max should be ±Inf")
+	}
+}
+
+func TestWilson(t *testing.T) {
+	lo, hi := Wilson(0, 0, 1.96)
+	if lo != 0 || hi != 1 {
+		t.Errorf("Wilson(0,0) = (%g,%g)", lo, hi)
+	}
+	lo, hi = Wilson(50, 100, 1.96)
+	if lo > 0.5 || hi < 0.5 {
+		t.Errorf("interval (%g,%g) excludes the point estimate", lo, hi)
+	}
+	if hi-lo > 0.25 {
+		t.Errorf("interval (%g,%g) too wide for n=100", lo, hi)
+	}
+	// Extreme proportions stay within [0,1].
+	lo, hi = Wilson(0, 10, 1.96)
+	if lo < 0 || hi > 1 || hi < 0.01 {
+		t.Errorf("Wilson(0,10) = (%g,%g)", lo, hi)
+	}
+	lo, hi = Wilson(10, 10, 1.96)
+	if hi > 1 || lo > 1 || lo < 0.6 {
+		t.Errorf("Wilson(10,10) = (%g,%g)", lo, hi)
+	}
+}
+
+func TestWilsonShrinksWithN(t *testing.T) {
+	lo1, hi1 := Wilson(5, 10, 1.96)
+	lo2, hi2 := Wilson(500, 1000, 1.96)
+	if hi2-lo2 >= hi1-lo1 {
+		t.Errorf("larger n did not shrink interval: %g vs %g", hi2-lo2, hi1-lo1)
+	}
+}
+
+func TestWilsonContainsTruthProperty(t *testing.T) {
+	f := func(k8, n8 uint8) bool {
+		n := int(n8%50) + 1
+		k := int(k8) % (n + 1)
+		lo, hi := Wilson(k, n, 1.96)
+		p := float64(k) / float64(n)
+		return lo <= p+1e-9 && hi >= p-1e-9 && lo >= 0 && hi <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Errorf("q0 = %g", got)
+	}
+	if got := Quantile(xs, 1); got != 4 {
+		t.Errorf("q1 = %g", got)
+	}
+	if got := Quantile(xs, 0.5); got != 2.5 {
+		t.Errorf("median = %g, want 2.5", got)
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("empty quantile = %g", got)
+	}
+	// Input must not be mutated.
+	if xs[0] != 4 {
+		t.Error("Quantile sorted its input in place")
+	}
+}

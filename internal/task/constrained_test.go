@@ -1,0 +1,119 @@
+package task
+
+import "testing"
+
+func TestTaskDeadlineAndDensity(t *testing.T) {
+	implicit := Task{C: 2, T: 10}
+	if implicit.Deadline() != 10 || !implicit.Implicit() {
+		t.Error("implicit deadline wrong")
+	}
+	constrained := Task{C: 2, T: 10, D: 5}
+	if constrained.Deadline() != 5 || constrained.Implicit() {
+		t.Error("constrained deadline wrong")
+	}
+	if constrained.Density() != 0.4 {
+		t.Errorf("density = %g, want 0.4", constrained.Density())
+	}
+	if constrained.Utilization() != 0.2 {
+		t.Errorf("utilization = %g, want 0.2", constrained.Utilization())
+	}
+	// D = T counts as implicit.
+	if !(Task{C: 2, T: 10, D: 10}).Implicit() {
+		t.Error("D=T should be implicit")
+	}
+}
+
+func TestConstrainedValidate(t *testing.T) {
+	good := Task{C: 3, T: 10, D: 5}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid constrained task rejected: %v", err)
+	}
+	bad := []Task{
+		{C: 3, T: 10, D: 2},  // C > D
+		{C: 3, T: 10, D: 11}, // D > T
+		{C: 3, T: 10, D: -1}, // negative D
+	}
+	for i, tk := range bad {
+		if err := tk.Validate(); err == nil {
+			t.Errorf("bad constrained task %d validated", i)
+		}
+	}
+}
+
+func TestSortDM(t *testing.T) {
+	s := Set{
+		{Name: "lateD", C: 1, T: 10, D: 9},
+		{Name: "earlyD", C: 1, T: 20, D: 5},
+		{Name: "implicit", C: 1, T: 7},
+	}
+	s.SortDM()
+	if s[0].Name != "earlyD" || s[1].Name != "implicit" || s[2].Name != "lateD" {
+		t.Errorf("DM order wrong: %v", s)
+	}
+	if !s.IsSortedDM() {
+		t.Error("IsSortedDM false after SortDM")
+	}
+	// For implicit sets, SortDM equals SortRM.
+	a := Set{{C: 1, T: 30}, {C: 1, T: 10}, {C: 1, T: 20}}
+	b := a.Clone()
+	a.SortRM()
+	b.SortDM()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("SortDM ≠ SortRM on implicit set: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestSetImplicit(t *testing.T) {
+	if !(Set{{C: 1, T: 4}, {C: 1, T: 8, D: 8}}).Implicit() {
+		t.Error("implicit set misclassified")
+	}
+	if (Set{{C: 1, T: 4}, {C: 1, T: 8, D: 7}}).Implicit() {
+		t.Error("constrained set misclassified")
+	}
+}
+
+func TestWholeConstrained(t *testing.T) {
+	w := Whole(0, Task{C: 2, T: 10, D: 6})
+	if w.Deadline != 6 || w.Offset != 4 {
+		t.Errorf("Whole constrained: Δ=%d offset=%d", w.Deadline, w.Offset)
+	}
+	if err := w.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConstrainedTaskString(t *testing.T) {
+	s := Task{Name: "x", C: 2, T: 10, D: 6}.String()
+	if s != "x(2/10,D6)" {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestAssignmentValidateConstrainedWhole(t *testing.T) {
+	set := Set{{Name: "c", C: 2, T: 10, D: 6}}
+	a := NewAssignment(set, 1)
+	a.Add(0, Whole(0, set[0]))
+	if err := a.Validate(); err != nil {
+		t.Errorf("constrained whole-task assignment rejected: %v", err)
+	}
+}
+
+func TestAssignmentValidateConstrainedSplit(t *testing.T) {
+	// Split of a constrained task: Δ_1 = D, Δ_2 = D − R_1.
+	set := Set{{Name: "c", C: 6, T: 20, D: 12}}
+	a := NewAssignment(set, 2)
+	a.Add(0, Subtask{TaskIndex: 0, Part: 1, C: 4, T: 20, Deadline: 12, Offset: 8, Tail: false})
+	a.Add(1, Subtask{TaskIndex: 0, Part: 2, C: 2, T: 20, Deadline: 8, Offset: 12, Tail: true})
+	if err := a.Validate(); err != nil {
+		t.Errorf("constrained split rejected: %v", err)
+	}
+	// First fragment offset must be exactly T − D.
+	b := NewAssignment(set, 2)
+	b.Add(0, Subtask{TaskIndex: 0, Part: 1, C: 4, T: 20, Deadline: 20, Offset: 0, Tail: false})
+	b.Add(1, Subtask{TaskIndex: 0, Part: 2, C: 2, T: 20, Deadline: 16, Offset: 4, Tail: true})
+	if err := b.Validate(); err == nil {
+		t.Error("split ignoring the constrained deadline accepted")
+	}
+}

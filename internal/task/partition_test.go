@@ -1,0 +1,157 @@
+package task
+
+import (
+	"strings"
+	"testing"
+)
+
+func twoTaskSet() Set {
+	return Set{{Name: "hi", C: 2, T: 10}, {Name: "lo", C: 5, T: 20}}
+}
+
+func TestNewAssignment(t *testing.T) {
+	a := NewAssignment(twoTaskSet(), 3)
+	if a.M() != 3 {
+		t.Fatalf("M = %d", a.M())
+	}
+	for q := 0; q < 3; q++ {
+		if a.PreAssigned[q] != -1 {
+			t.Errorf("processor %d pre-assigned %d, want -1", q, a.PreAssigned[q])
+		}
+		if a.Utilization(q) != 0 {
+			t.Errorf("fresh processor %d has utilization %g", q, a.Utilization(q))
+		}
+	}
+}
+
+func TestAddKeepsPriorityOrder(t *testing.T) {
+	a := NewAssignment(Set{{C: 1, T: 5}, {C: 1, T: 10}, {C: 1, T: 20}}, 1)
+	a.Add(0, Whole(2, a.Set[2]))
+	a.Add(0, Whole(0, a.Set[0]))
+	a.Add(0, Whole(1, a.Set[1]))
+	got := a.Procs[0]
+	for i := 1; i < len(got); i++ {
+		if got[i-1].TaskIndex >= got[i].TaskIndex {
+			t.Fatalf("out of order: %v", got)
+		}
+	}
+}
+
+func TestUtilizationSums(t *testing.T) {
+	a := NewAssignment(twoTaskSet(), 2)
+	a.Add(0, Whole(0, a.Set[0])) // 0.2
+	a.Add(1, Whole(1, a.Set[1])) // 0.25
+	if u := a.Utilization(0); u != 0.2 {
+		t.Errorf("U(P0) = %g", u)
+	}
+	if u := a.TotalUtilization(); u != 0.45 {
+		t.Errorf("total = %g", u)
+	}
+}
+
+func TestSubtasksAndSplitTasks(t *testing.T) {
+	set := Set{{Name: "a", C: 6, T: 20}, {Name: "b", C: 2, T: 30}}
+	a := NewAssignment(set, 2)
+	// Split task 0 into body (4 ticks on P0) and tail (2 ticks on P1).
+	a.Add(0, Subtask{TaskIndex: 0, Part: 1, C: 4, T: 20, Deadline: 20, Offset: 0, Tail: false})
+	a.Add(1, Subtask{TaskIndex: 0, Part: 2, C: 2, T: 20, Deadline: 16, Offset: 4, Tail: true})
+	a.Add(1, Whole(1, set[1]))
+
+	subs, procs := a.Subtasks(0)
+	if len(subs) != 2 || subs[0].Part != 1 || subs[1].Part != 2 {
+		t.Fatalf("fragments wrong: %v", subs)
+	}
+	if procs[0] != 0 || procs[1] != 1 {
+		t.Fatalf("processors wrong: %v", procs)
+	}
+	split := a.SplitTasks()
+	if len(split) != 1 || split[0] != 0 {
+		t.Fatalf("SplitTasks = %v", split)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("valid assignment rejected: %v", err)
+	}
+}
+
+func TestValidateCatchesMissingTask(t *testing.T) {
+	a := NewAssignment(twoTaskSet(), 1)
+	a.Add(0, Whole(0, a.Set[0]))
+	if err := a.Validate(); err == nil || !strings.Contains(err.Error(), "not assigned") {
+		t.Errorf("missing task not caught: %v", err)
+	}
+}
+
+func TestValidateCatchesBadFragmentSum(t *testing.T) {
+	set := Set{{Name: "a", C: 6, T: 20}}
+	a := NewAssignment(set, 2)
+	a.Add(0, Subtask{TaskIndex: 0, Part: 1, C: 3, T: 20, Deadline: 20, Offset: 0, Tail: false})
+	a.Add(1, Subtask{TaskIndex: 0, Part: 2, C: 2, T: 20, Deadline: 17, Offset: 3, Tail: true})
+	if err := a.Validate(); err == nil || !strings.Contains(err.Error(), "sum") {
+		t.Errorf("wrong C sum not caught: %v", err)
+	}
+}
+
+func TestValidateCatchesSharedProcessor(t *testing.T) {
+	set := Set{{Name: "a", C: 6, T: 20}}
+	a := NewAssignment(set, 1)
+	a.Procs[0] = []Subtask{
+		{TaskIndex: 0, Part: 1, C: 4, T: 20, Deadline: 20, Offset: 0},
+		{TaskIndex: 0, Part: 2, C: 2, T: 20, Deadline: 16, Offset: 4, Tail: true},
+	}
+	err := a.Validate()
+	if err == nil {
+		t.Error("fragments on one processor not caught")
+	}
+}
+
+func TestValidateCatchesBadDeadlineBookkeeping(t *testing.T) {
+	set := Set{{Name: "a", C: 6, T: 20}}
+	a := NewAssignment(set, 2)
+	a.Add(0, Subtask{TaskIndex: 0, Part: 1, C: 4, T: 20, Deadline: 20, Offset: 0, Tail: false})
+	// Offset 3 < body's C (4): synthetic deadline too generous — unsafe.
+	a.Add(1, Subtask{TaskIndex: 0, Part: 2, C: 2, T: 20, Deadline: 17, Offset: 3, Tail: true})
+	if err := a.Validate(); err == nil {
+		t.Error("too-generous synthetic deadline not caught")
+	}
+}
+
+func TestValidateAllowsResponseBasedOffsets(t *testing.T) {
+	// Offset may exceed the cumulative C when a body fragment's response
+	// time exceeds its execution time (RM-TS phase 3).
+	set := Set{{Name: "a", C: 6, T: 20}}
+	a := NewAssignment(set, 2)
+	a.Add(0, Subtask{TaskIndex: 0, Part: 1, C: 4, T: 20, Deadline: 20, Offset: 0, Tail: false})
+	a.Add(1, Subtask{TaskIndex: 0, Part: 2, C: 2, T: 20, Deadline: 14, Offset: 6, Tail: true})
+	if err := a.Validate(); err != nil {
+		t.Errorf("response-based offset rejected: %v", err)
+	}
+}
+
+func TestValidateCatchesNonzeroFirstOffset(t *testing.T) {
+	set := Set{{Name: "a", C: 6, T: 20}}
+	a := NewAssignment(set, 1)
+	a.Add(0, Subtask{TaskIndex: 0, Part: 1, C: 6, T: 20, Deadline: 18, Offset: 2, Tail: true})
+	if err := a.Validate(); err == nil {
+		t.Error("non-zero first offset not caught")
+	}
+}
+
+func TestValidateCatchesWrongTailFlag(t *testing.T) {
+	set := Set{{Name: "a", C: 6, T: 20}}
+	a := NewAssignment(set, 1)
+	a.Add(0, Subtask{TaskIndex: 0, Part: 1, C: 6, T: 20, Deadline: 20, Offset: 0, Tail: false})
+	if err := a.Validate(); err == nil {
+		t.Error("missing tail flag not caught")
+	}
+}
+
+func TestAssignmentString(t *testing.T) {
+	a := NewAssignment(twoTaskSet(), 2)
+	a.Add(0, Whole(0, a.Set[0]))
+	a.PreAssigned[1] = 1
+	a.Add(1, Whole(1, a.Set[1]))
+	s := a.String()
+	if !strings.Contains(s, "P0") || !strings.Contains(s, "[pre τ1]") {
+		t.Errorf("String() = %q", s)
+	}
+}

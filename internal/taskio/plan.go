@@ -1,0 +1,115 @@
+package taskio
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/task"
+)
+
+// PlanFile is the JSON representation of a partitioning plan: the task set
+// plus the per-processor subtask assignment, so a verified plan can be
+// saved by cmd/partition and replayed by cmd/simulate (or shipped to a
+// target system's configuration pipeline).
+type PlanFile struct {
+	// Scheduler names the runtime policy the plan assumes ("FP" or "EDF").
+	Scheduler string `json:"scheduler,omitempty"`
+	// Tasks is the DM-sorted task set; subtask task indices refer to it.
+	Tasks []JSONTask `json:"tasks"`
+	// Processors lists each processor's subtasks, highest priority first.
+	Processors [][]JSONSubtask `json:"processors"`
+	// PreAssigned holds, per processor, the pre-assigned task index or -1.
+	PreAssigned []int `json:"preAssigned,omitempty"`
+}
+
+// JSONSubtask is one fragment in the JSON representation.
+type JSONSubtask struct {
+	Task     int       `json:"task"`
+	Part     int       `json:"part"`
+	C        task.Time `json:"c"`
+	T        task.Time `json:"t"`
+	Deadline task.Time `json:"deadline"`
+	Offset   task.Time `json:"offset"`
+	Tail     bool      `json:"tail,omitempty"`
+}
+
+// SavePlan writes an assignment (with its scheduler tag) as indented JSON.
+func SavePlan(w io.Writer, asg *task.Assignment, scheduler string) error {
+	if err := asg.Validate(); err != nil {
+		return fmt.Errorf("taskio: refusing to save invalid plan: %w", err)
+	}
+	pf := PlanFile{
+		Scheduler:   scheduler,
+		Tasks:       make([]JSONTask, len(asg.Set)),
+		Processors:  make([][]JSONSubtask, asg.M()),
+		PreAssigned: append([]int(nil), asg.PreAssigned...),
+	}
+	for i, t := range asg.Set {
+		pf.Tasks[i] = JSONTask{Name: t.Name, C: t.C, T: t.T, D: t.D}
+	}
+	for q, list := range asg.Procs {
+		subs := make([]JSONSubtask, len(list))
+		for i, s := range list {
+			subs[i] = JSONSubtask{
+				Task: s.TaskIndex, Part: s.Part, C: s.C, T: s.T,
+				Deadline: s.Deadline, Offset: s.Offset, Tail: s.Tail,
+			}
+		}
+		pf.Processors[q] = subs
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(pf)
+}
+
+// ParsePlan decodes and validates a plan produced by SavePlan.
+func ParsePlan(data []byte) (*task.Assignment, string, error) {
+	var pf PlanFile
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&pf); err != nil {
+		return nil, "", fmt.Errorf("taskio: bad plan JSON: %w", err)
+	}
+	ts := make(task.Set, len(pf.Tasks))
+	for i, jt := range pf.Tasks {
+		name := jt.Name
+		if name == "" {
+			name = fmt.Sprintf("t%d", i)
+		}
+		ts[i] = task.Task{Name: name, C: jt.C, T: jt.T, D: jt.D}
+	}
+	if err := ts.Validate(); err != nil {
+		return nil, "", fmt.Errorf("taskio: plan task set invalid: %w", err)
+	}
+	asg := task.NewAssignment(ts, len(pf.Processors))
+	if pf.PreAssigned != nil {
+		if len(pf.PreAssigned) != asg.M() {
+			return nil, "", fmt.Errorf("taskio: %d preAssigned entries for %d processors", len(pf.PreAssigned), asg.M())
+		}
+		copy(asg.PreAssigned, pf.PreAssigned)
+	}
+	for q, subs := range pf.Processors {
+		for _, js := range subs {
+			asg.Add(q, task.Subtask{
+				TaskIndex: js.Task, Part: js.Part, C: js.C, T: js.T,
+				Deadline: js.Deadline, Offset: js.Offset, Tail: js.Tail,
+			})
+		}
+	}
+	if err := asg.Validate(); err != nil {
+		return nil, "", fmt.Errorf("taskio: plan fails validation: %w", err)
+	}
+	return asg, pf.Scheduler, nil
+}
+
+// LoadPlan reads a plan file from disk.
+func LoadPlan(path string) (*task.Assignment, string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", fmt.Errorf("taskio: %w", err)
+	}
+	return ParsePlan(data)
+}

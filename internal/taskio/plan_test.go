@@ -1,0 +1,74 @@
+package taskio
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/partition"
+	"repro/internal/task"
+)
+
+func planFixture(t *testing.T) *task.Assignment {
+	t.Helper()
+	ts := task.Set{
+		{Name: "a", C: 3, T: 5},
+		{Name: "b", C: 3, T: 5},
+		{Name: "c", C: 3, T: 5},
+	}
+	res := (partition.RMTSLight{}).Partition(ts, 2)
+	if !res.OK {
+		t.Fatal(res.Reason)
+	}
+	return res.Assignment
+}
+
+func TestPlanRoundTrip(t *testing.T) {
+	asg := planFixture(t)
+	var buf bytes.Buffer
+	if err := SavePlan(&buf, asg, "FP"); err != nil {
+		t.Fatal(err)
+	}
+	got, sched, err := ParsePlan(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched != "FP" {
+		t.Errorf("scheduler = %q", sched)
+	}
+	if got.String() != asg.String() {
+		t.Errorf("round trip changed the plan:\n%s\nvs\n%s", got, asg)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSavePlanRejectsInvalid(t *testing.T) {
+	ts := task.Set{{Name: "a", C: 1, T: 4}}
+	asg := task.NewAssignment(ts, 1) // task never assigned
+	var buf bytes.Buffer
+	if err := SavePlan(&buf, asg, "FP"); err == nil {
+		t.Error("invalid plan saved")
+	}
+}
+
+func TestParsePlanRejectsGarbage(t *testing.T) {
+	bad := []string{
+		`{"tasks": [], "processors": []}`, // empty set invalid
+		`{"tasks": [{"c":1,"t":4}], "processors": [[]], "bogus": 1}`,
+		`{"tasks": [{"c":1,"t":4}], "processors": [[{"task":0,"part":1,"c":2,"t":4,"deadline":4,"offset":0,"tail":true}]]}`, // C mismatch
+		`not json`,
+	}
+	for i, in := range bad {
+		if _, _, err := ParsePlan([]byte(in)); err == nil {
+			t.Errorf("garbage plan %d accepted", i)
+		}
+	}
+}
+
+func TestParsePlanPreAssignedLengthCheck(t *testing.T) {
+	in := `{"tasks": [{"c":1,"t":4}], "processors": [[{"task":0,"part":1,"c":1,"t":4,"deadline":4,"offset":0,"tail":true}]], "preAssigned": [0, 1]}`
+	if _, _, err := ParsePlan([]byte(in)); err == nil {
+		t.Error("mismatched preAssigned accepted")
+	}
+}

@@ -1,0 +1,144 @@
+// Package taskio loads and saves task sets for the command-line tools. Two
+// formats are supported and auto-detected:
+//
+//   - JSON: {"tasks": [{"name": "ctrl", "c": 2, "t": 10}, ...]}
+//   - plain text: one task per line, "name C T" or "C T", with '#'
+//     comments and blank lines ignored.
+package taskio
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/task"
+)
+
+// File is the JSON representation of a task set.
+type File struct {
+	// Tasks lists the tasks.
+	Tasks []JSONTask `json:"tasks"`
+}
+
+// JSONTask is one task in the JSON representation.
+type JSONTask struct {
+	Name string    `json:"name,omitempty"`
+	C    task.Time `json:"c"`
+	T    task.Time `json:"t"`
+	// D is the optional constrained relative deadline; omitted or zero
+	// means implicit (D = T).
+	D task.Time `json:"d,omitempty"`
+}
+
+// Load reads a task set from the named file, auto-detecting the format.
+func Load(path string) (task.Set, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("taskio: %w", err)
+	}
+	return Parse(data)
+}
+
+// Parse decodes a task set from bytes, auto-detecting JSON versus text.
+func Parse(data []byte) (task.Set, error) {
+	trimmed := bytes.TrimSpace(data)
+	if len(trimmed) > 0 && trimmed[0] == '{' {
+		return parseJSON(trimmed)
+	}
+	return parseText(trimmed)
+}
+
+func parseJSON(data []byte) (task.Set, error) {
+	var f File
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("taskio: bad JSON: %w", err)
+	}
+	ts := make(task.Set, 0, len(f.Tasks))
+	for i, jt := range f.Tasks {
+		name := jt.Name
+		if name == "" {
+			name = fmt.Sprintf("t%d", i)
+		}
+		ts = append(ts, task.Task{Name: name, C: jt.C, T: jt.T, D: jt.D})
+	}
+	if err := ts.Validate(); err != nil {
+		return nil, fmt.Errorf("taskio: %w", err)
+	}
+	return ts, nil
+}
+
+func parseText(data []byte) (task.Set, error) {
+	var ts task.Set
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		var name string
+		var nums []string
+		switch len(fields) {
+		case 2:
+			name = fmt.Sprintf("t%d", len(ts))
+			nums = fields
+		case 3:
+			// "name C T" or "C T D": numeric first field selects the latter.
+			if _, err := strconv.ParseInt(fields[0], 10, 64); err == nil {
+				name = fmt.Sprintf("t%d", len(ts))
+				nums = fields
+			} else {
+				name = fields[0]
+				nums = fields[1:]
+			}
+		case 4:
+			name = fields[0]
+			nums = fields[1:]
+		default:
+			return nil, fmt.Errorf("taskio: line %d: want \"[name] C T [D]\", got %q", lineNo, line)
+		}
+		c, err := strconv.ParseInt(nums[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("taskio: line %d: bad C %q", lineNo, nums[0])
+		}
+		t, err := strconv.ParseInt(nums[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("taskio: line %d: bad T %q", lineNo, nums[1])
+		}
+		var d int64
+		if len(nums) == 3 {
+			d, err = strconv.ParseInt(nums[2], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("taskio: line %d: bad D %q", lineNo, nums[2])
+			}
+		}
+		ts = append(ts, task.Task{Name: name, C: c, T: t, D: d})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("taskio: %w", err)
+	}
+	if err := ts.Validate(); err != nil {
+		return nil, fmt.Errorf("taskio: %w", err)
+	}
+	return ts, nil
+}
+
+// Save writes the task set as indented JSON.
+func Save(w io.Writer, ts task.Set) error {
+	f := File{Tasks: make([]JSONTask, len(ts))}
+	for i, t := range ts {
+		f.Tasks[i] = JSONTask{Name: t.Name, C: t.C, T: t.T, D: t.D}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}

@@ -1,0 +1,83 @@
+package repro
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	ts := Set{
+		{Name: "imu", C: 1, T: 4},
+		{Name: "ctrl", C: 2, T: 8},
+		{Name: "plan", C: 4, T: 16},
+		{Name: "log", C: 6, T: 16},
+	}
+	plan, err := Partition(ts, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(plan.Result); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := plan.Simulate(SimOptions{StopOnMiss: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("misses: %v", rep.Misses)
+	}
+}
+
+func TestFacadeAnalyze(t *testing.T) {
+	ts := Set{{Name: "a", C: 1, T: 4}, {Name: "b", C: 2, T: 8}}
+	a := Analyze(ts, 2)
+	if !a.Harmonic || a.HarmonicChains != 1 {
+		t.Errorf("analysis wrong: %+v", a)
+	}
+	ok, bound, _ := BoundTest(ts, 2)
+	if !ok || bound != 1.0 {
+		t.Errorf("bound test: ok=%v bound=%g", ok, bound)
+	}
+}
+
+func TestFacadeConstants(t *testing.T) {
+	if math.Abs(LL(2)-0.8284) > 1e-3 {
+		t.Errorf("LL(2) = %g", LL(2))
+	}
+	if math.Abs(LightThresholdFor(1<<20)-0.4094) > 1e-3 {
+		t.Errorf("light threshold = %g", LightThresholdFor(1<<20))
+	}
+	if math.Abs(RMTSCapFor(1<<20)-0.8188) > 1e-3 {
+		t.Errorf("RM-TS cap = %g", RMTSCapFor(1<<20))
+	}
+}
+
+func TestFacadeAlgorithmsUsable(t *testing.T) {
+	ts := Set{{Name: "a", C: 2, T: 10}, {Name: "b", C: 3, T: 15}}
+	for _, alg := range []Algorithm{RMTSLight, NewRMTS(HarmonicChainMin), SPA1, SPA2, FirstFitRTA, WorstFitRTA} {
+		res := alg.Partition(ts, 2)
+		if !res.OK {
+			t.Errorf("%s rejected a trivial set: %s", alg.Name(), res.Reason)
+		}
+	}
+}
+
+func TestFacadeBoundsUsable(t *testing.T) {
+	ts := Set{{Name: "a", C: 1, T: 4}, {Name: "b", C: 1, T: 8}}
+	for _, b := range []PUB{LiuLayland, HarmonicChainMin, TBound, RBound} {
+		v := b.Value(ts)
+		if v <= 0 || v > 1 {
+			t.Errorf("%s value %g out of range", b.Name(), v)
+		}
+	}
+}
+
+func TestFacadeProcessorSchedulable(t *testing.T) {
+	list := []Subtask{
+		{TaskIndex: 0, Part: 1, C: 2, T: 4, Deadline: 4, Tail: true},
+		{TaskIndex: 1, Part: 1, C: 2, T: 8, Deadline: 8, Tail: true},
+	}
+	if !ProcessorSchedulable(list) {
+		t.Error("harmonic 75% list rejected")
+	}
+}
