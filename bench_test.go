@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/gen"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/rta"
 	"repro/internal/sim"
@@ -26,6 +27,11 @@ func benchExperiment(b *testing.B, key string) {
 	if !ok {
 		b.Fatalf("experiment %s not registered", key)
 	}
+	// Collect domain metrics alongside ns/op: the obs counters cost one
+	// atomic add each and do not perturb the measured algorithms.
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+	obs.Reset()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tables := e.Run(experiments.Config{Seed: int64(i) + 1, SetsPerPoint: 10, Quick: true})
@@ -36,6 +42,9 @@ func benchExperiment(b *testing.B, key string) {
 			t.Render(io.Discard)
 		}
 	}
+	perOp := func(name string) float64 { return float64(obs.Value(name)) / float64(b.N) }
+	b.ReportMetric(perOp("rta.iterations"), "rta-iters/op")
+	b.ReportMetric(perOp("partition.splits"), "splits/op")
 }
 
 func BenchmarkE1BoundsTable(b *testing.B)        { benchExperiment(b, "bounds-table") }
@@ -124,12 +133,17 @@ func benchMaxSplit(b *testing.B, f func([]task.Subtask, task.Time, task.Time, ta
 		}
 		cases = append(cases, inst{list, task.Time(100 + r.Intn(3000))})
 	}
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+	obs.Reset()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c := cases[i%len(cases)]
 		f(c.list, c.t, c.t, c.t)
 	}
+	b.ReportMetric(float64(obs.Value("split.bin.probes"))/float64(b.N), "bin-probes/op")
+	b.ReportMetric(float64(obs.Value("rta.slack.points"))/float64(b.N), "slack-points/op")
 }
 
 func BenchmarkPartitionRMTS(b *testing.B) {

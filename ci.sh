@@ -1,0 +1,28 @@
+#!/bin/sh
+# Tier-1 verification gate (see ROADMAP.md): formatting, vet, build, full
+# test suite, plus a race-detector pass over the concurrent packages (the
+# experiment harness fans out over workers; the obs counters are shared
+# atomics). Run from the repository root; any failure fails the gate.
+set -eu
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (concurrency-sensitive packages) =="
+go test -race -short repro/internal/experiments repro/internal/obs
+
+echo "CI gate passed."

@@ -7,27 +7,41 @@
 //	experiments -list
 //	experiments -run acceptance-general [-sets 500] [-seed 1] [-quick] [-csv]
 //	experiments -all [-sets 200]
+//
+// Observability flags: -progress decorates the per-point progress lines on
+// stderr with counts, elapsed time and an ETA; -metrics prints a
+// per-experiment counter snapshot (RTA iterations, splits, ...) after the
+// tables; -cpuprofile/-memprofile write pprof profiles. None of them alter
+// the table output — it stays bit-for-bit identical for a given seed.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list experiments and exit")
-		run     = flag.String("run", "", "experiment key to run")
-		all     = flag.Bool("all", false, "run every experiment")
-		sets    = flag.Int("sets", 200, "task sets per sweep point")
-		seed    = flag.Int64("seed", 1, "random seed")
-		quick   = flag.Bool("quick", false, "reduced sweeps (benchmark scale)")
-		csv     = flag.Bool("csv", false, "CSV output instead of aligned tables")
-		quiet   = flag.Bool("q", false, "suppress progress output")
-		workers = flag.Int("workers", 0, "concurrent workers for set evaluation (0 = GOMAXPROCS; results are identical at any count)")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		run        = flag.String("run", "", "experiment key to run")
+		all        = flag.Bool("all", false, "run every experiment")
+		sets       = flag.Int("sets", 200, "task sets per sweep point")
+		seed       = flag.Int64("seed", 1, "random seed")
+		quick      = flag.Bool("quick", false, "reduced sweeps (benchmark scale)")
+		csv        = flag.Bool("csv", false, "CSV output instead of aligned tables")
+		quiet      = flag.Bool("q", false, "suppress progress output")
+		workers    = flag.Int("workers", 0, "concurrent workers for set evaluation (0 = GOMAXPROCS; results are identical at any count)")
+		progress   = flag.Bool("progress", false, "decorate progress lines with point counts, elapsed time and an ETA (stderr)")
+		metrics    = flag.Bool("metrics", false, "print per-experiment analysis-cost counters after the tables")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -37,8 +51,37 @@ func main() {
 		}
 		return
 	}
+	fail := func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	if *workers < 0 {
+		fail("-workers must be non-negative (got %d)", *workers)
+	}
+	if *sets <= 0 {
+		fail("-sets must be positive (got %d)", *sets)
+	}
+	if *run != "" && *all {
+		fail("-run and -all are mutually exclusive")
+	}
+	if *progress && *quiet {
+		fail("-progress and -q are mutually exclusive")
+	}
 
-	cfg := experiments.Config{Seed: *seed, SetsPerPoint: *sets, Quick: *quick, Workers: *workers}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	cfg := experiments.Config{Seed: *seed, SetsPerPoint: *sets, Quick: *quick,
+		Workers: *workers, ProgressETA: *progress}
 	if !*quiet {
 		cfg.Progress = os.Stderr
 	}
@@ -50,8 +93,11 @@ func main() {
 	case *run != "":
 		e, ok := experiments.Find(*run)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "experiments: unknown key %q (use -list)\n", *run)
-			os.Exit(2)
+			msg := fmt.Sprintf("unknown key %q (use -list)", *run)
+			if sug := experiments.SuggestKeys(*run); len(sug) > 0 {
+				msg += "; did you mean " + strings.Join(sug, ", ") + "?"
+			}
+			fail("%s", msg)
 		}
 		toRun = []experiments.Experiment{e}
 	default:
@@ -60,8 +106,12 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *metrics {
+		obs.SetEnabled(true)
+	}
 	for _, e := range toRun {
-		for _, t := range e.Run(cfg) {
+		tables, rm := experiments.RunWithMetrics(e, cfg)
+		for _, t := range tables {
 			if *csv {
 				fmt.Printf("# %s — %s\n", t.ID, t.Title)
 				t.CSV(os.Stdout)
@@ -69,6 +119,22 @@ func main() {
 			} else {
 				t.Render(os.Stdout)
 			}
+		}
+		if *metrics {
+			rm.Render(os.Stdout)
+			fmt.Println()
+		}
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fail("memprofile: %v", err)
 		}
 	}
 }

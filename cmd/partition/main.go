@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	partition -set tasks.txt -m 4 [-algo rm-ts|rm-ts-light|spa1|spa2|ff|wf|auto] [-pub ll|hc|t|r|best]
+//	partition -set tasks.txt -m 4 [-algo rm-ts|rm-ts-light|spa1|spa2|ff|wf|auto] [-pub ll|hc|t|r|best] [-trace]
 //
 // The task-set file holds either "name C T" lines or the JSON format of
 // internal/taskio. Exit status 1 means the set could not be scheduled.
@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/bounds"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/taskio"
 )
@@ -29,11 +30,16 @@ func main() {
 		quiet   = flag.Bool("q", false, "only print the verdict")
 		sens    = flag.Bool("sensitivity", false, "also compute critical scaling factors (global and per task)")
 		outPlan = flag.String("o", "", "write the verified plan as JSON (replayable via simulate -plan)")
+		trace   = flag.Bool("trace", false, "print the partitioning decision trace (assign attempts, RTA costs, splits)")
 	)
 	flag.Parse()
 	if *setPath == "" {
 		fmt.Fprintln(os.Stderr, "partition: -set is required")
 		flag.Usage()
+		os.Exit(2)
+	}
+	if *m < 1 {
+		fmt.Fprintf(os.Stderr, "partition: -m must be at least 1 (got %d)\n", *m)
 		os.Exit(2)
 	}
 	ts, err := taskio.Load(*setPath)
@@ -47,14 +53,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "partition:", err)
 		os.Exit(2)
 	}
-	alg, err := algoByName(*algo, pub)
+	var tr *obs.Trace
+	if *trace {
+		// Enable the metric counters too: the trace's per-decision RTA
+		// iteration deltas read the global iteration counter.
+		obs.SetEnabled(true)
+		tr = &obs.Trace{}
+	}
+	alg, err := algoByName(*algo, pub, tr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "partition:", err)
 		os.Exit(2)
 	}
 
-	plan, err := core.Partition(ts, *m, core.Options{Algorithm: alg, PUB: pub})
+	plan, err := core.Partition(ts, *m, core.Options{Algorithm: alg, PUB: pub, Trace: tr})
 	if err != nil {
+		if tr != nil {
+			tr.WriteText(os.Stdout)
+		}
 		fmt.Fprintf(os.Stderr, "partition: NOT SCHEDULABLE: %v\n", err)
 		os.Exit(1)
 	}
@@ -67,6 +83,10 @@ func main() {
 	if plan.Result.NumSplit > 0 || plan.Result.NumPreAssigned > 0 {
 		fmt.Printf("split tasks: %d  pre-assigned heavy tasks: %d\n",
 			plan.Result.NumSplit, plan.Result.NumPreAssigned)
+	}
+	if tr != nil {
+		fmt.Println()
+		tr.WriteText(os.Stdout)
 	}
 	if !*quiet {
 		fmt.Println()
@@ -117,27 +137,27 @@ func pubByName(name string) (bounds.PUB, error) {
 	}
 }
 
-func algoByName(name string, pub bounds.PUB) (partition.Algorithm, error) {
+func algoByName(name string, pub bounds.PUB, tr *obs.Trace) (partition.Algorithm, error) {
 	switch name {
 	case "auto", "":
-		return nil, nil // let the planner decide
+		return nil, nil // let the planner decide (core.Options.Trace applies)
 	case "rm-ts":
-		return partition.NewRMTS(pub), nil
+		return &partition.RMTS{PUB: pub, Trace: tr}, nil
 	case "rm-ts-light":
-		return partition.RMTSLight{}, nil
+		return partition.RMTSLight{Trace: tr}, nil
 	case "spa1":
-		return partition.SPA1{}, nil
+		return partition.SPA1{Trace: tr}, nil
 	case "spa2":
-		return partition.SPA2{}, nil
+		return partition.SPA2{Trace: tr}, nil
 	case "ff":
-		return partition.FirstFitRTA{}, nil
+		return partition.FirstFitRTA{Trace: tr}, nil
 	case "wf":
-		return partition.WorstFitRTA{}, nil
+		return partition.WorstFitRTA{Trace: tr}, nil
 	case "edf-ff":
 		return partition.EDFFirstFit{}, nil
 	case "edf-ts":
-		return partition.EDFTS{}, nil
+		return partition.EDFTS{Trace: tr}, nil
 	default:
-		return nil, fmt.Errorf("unknown algorithm %q", name)
+		return nil, fmt.Errorf("unknown algorithm %q (want auto, rm-ts, rm-ts-light, spa1, spa2, ff, wf, edf-ff, edf-ts)", name)
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"repro/internal/bounds"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/sim"
 	"repro/internal/task"
@@ -119,6 +120,10 @@ type Options struct {
 	// produced assignment (it is cheap; only skip it in tight loops that
 	// verify by other means).
 	SkipVerify bool
+	// Trace, when non-nil, records the partitioning decisions of the
+	// algorithm the planner selects (only effective when Algorithm is nil;
+	// a forced Algorithm carries its own Trace field).
+	Trace *obs.Trace
 }
 
 // Plan is a verified partitioning of a task set.
@@ -161,9 +166,9 @@ func Partition(ts task.Set, m int, opt Options) (*Plan, error) {
 			pub = bounds.Max{Bounds: DefaultBounds()}
 		}
 		if analysis.Light {
-			alg = partition.RMTSLight{}
+			alg = partition.RMTSLight{Trace: opt.Trace}
 		} else {
-			alg = partition.NewRMTS(pub)
+			alg = &partition.RMTS{PUB: pub, Trace: opt.Trace}
 		}
 	}
 	res := alg.Partition(ts, m)

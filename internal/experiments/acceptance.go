@@ -25,6 +25,7 @@ func AcceptanceGeneral(cfg Config) []Table {
 	}
 	algos := defaultAlgos()
 	ratios := make([][]float64, len(points))
+	mt := cfg.meter("acceptance-general", len(points))
 	for i, um := range points {
 		target := um * float64(m)
 		row, err := cfg.acceptance(r.Int63(), cfg.setsPerPoint(), m, func(r *rand.Rand) (task.Set, error) {
@@ -34,7 +35,7 @@ func AcceptanceGeneral(cfg Config) []Table {
 			panic(fmt.Sprintf("acceptance-general: %v", err))
 		}
 		ratios[i] = row
-		cfg.progressf("acceptance-general: U_M=%.3f done", um)
+		mt.Tick("U_M=%.3f", um)
 	}
 	return []Table{sweepTable("acceptance-general", fmt.Sprintf("M=%d, U_i∈[0.05,0.95], periods log-uniform [100,10000], %d sets/point", m, cfg.setsPerPoint()),
 		points, algos, ratios,
@@ -55,6 +56,7 @@ func AcceptanceLight(cfg Config) []Table {
 	}
 	algos := lightAlgos()
 	ratios := make([][]float64, len(points))
+	mt := cfg.meter("acceptance-light", len(points))
 	for i, um := range points {
 		target := um * float64(m)
 		row, err := cfg.acceptance(r.Int63(), cfg.setsPerPoint(), m, func(r *rand.Rand) (task.Set, error) {
@@ -64,7 +66,7 @@ func AcceptanceLight(cfg Config) []Table {
 			panic(fmt.Sprintf("acceptance-light: %v", err))
 		}
 		ratios[i] = row
-		cfg.progressf("acceptance-light: U_M=%.3f done", um)
+		mt.Tick("U_M=%.3f", um)
 	}
 	return []Table{sweepTable("acceptance-light", fmt.Sprintf("M=%d, U_i∈[0.05,0.40] (light), %d sets/point", m, cfg.setsPerPoint()),
 		points, algos, ratios,
@@ -87,6 +89,7 @@ func AcceptanceHarmonic(cfg Config) []Table {
 	}
 	algos := lightAlgos()
 	ratios := make([][]float64, len(points))
+	mt := cfg.meter("acceptance-harmonic", len(points))
 	for i, um := range points {
 		target := um * float64(m)
 		row, err := cfg.acceptance(r.Int63(), cfg.setsPerPoint(), m, func(r *rand.Rand) (task.Set, error) {
@@ -99,7 +102,7 @@ func AcceptanceHarmonic(cfg Config) []Table {
 			panic(fmt.Sprintf("acceptance-harmonic: %v", err))
 		}
 		ratios[i] = row
-		cfg.progressf("acceptance-harmonic: U_M=%.3f done", um)
+		mt.Tick("U_M=%.3f", um)
 	}
 	return []Table{sweepTable("acceptance-harmonic", fmt.Sprintf("M=%d, harmonic single chain (base 256), light tasks, %d sets/point", m, cfg.setsPerPoint()),
 		points, algos, ratios,
@@ -129,6 +132,7 @@ func AcceptanceKChains(cfg Config) []Table {
 		}
 		ratios := make([][]float64, len(points))
 		var boundVal float64
+		mt := cfg.meter(fmt.Sprintf("acceptance-kchains K=%d", k), len(points))
 		for i, um := range points {
 			target := um * float64(m)
 			row, err := cfg.acceptance(r.Int63(), cfg.setsPerPoint(), m, func(r *rand.Rand) (task.Set, error) {
@@ -145,7 +149,7 @@ func AcceptanceKChains(cfg Config) []Table {
 				panic(fmt.Sprintf("acceptance-kchains: %v", err))
 			}
 			ratios[i] = row
-			cfg.progressf("acceptance-kchains K=%d: U_M=%.3f done", k, um)
+			mt.Tick("U_M=%.3f", um)
 		}
 		tables = append(tables, sweepTable(
 			fmt.Sprintf("acceptance-kchains/K=%d", k),
@@ -179,6 +183,7 @@ func ProcsSweep(cfg Config) []Table {
 		Header: header,
 		Notes:  []string{"expected: RM-TS improves with M; SPA2 pinned at 0 (0.93 > Θ); P-RM-FF trails RM-TS"},
 	}
+	mt := cfg.meter("procs-sweep", len(ms))
 	for _, m := range ms {
 		row, err := cfg.acceptance(r.Int63(), cfg.setsPerPoint(), m, func(r *rand.Rand) (task.Set, error) {
 			return gen.TaskSet(r, gen.Config{TargetU: um * float64(m), UMin: 0.05, UMax: 0.60})
@@ -191,7 +196,7 @@ func ProcsSweep(cfg Config) []Table {
 			cells = append(cells, fmt.Sprintf("%.3f", v))
 		}
 		t.Rows = append(t.Rows, cells)
-		cfg.progressf("procs-sweep: M=%d done", m)
+		mt.Tick("M=%d", m)
 	}
 	return []Table{t}
 }
@@ -227,6 +232,7 @@ func HeavySweep(cfg Config) []Table {
 		Header: header,
 		Notes:  []string{"expected: RM-TS robust across shares; pre-assignment count grows with the share"},
 	}
+	mt := cfg.meter("heavy-sweep", len(shares))
 	for _, share := range shares {
 		share := share
 		n := cfg.setsPerPoint()
@@ -279,7 +285,7 @@ func HeavySweep(cfg Config) []Table {
 		}
 		cells = append(cells, fmt.Sprintf("%.2f", float64(preSum)/float64(n)))
 		t.Rows = append(t.Rows, cells)
-		cfg.progressf("heavy-sweep: share=%.1f done", share)
+		mt.Tick("share=%.1f", share)
 	}
 	return []Table{t}
 }
@@ -305,7 +311,9 @@ func UtilizationTail(cfg Config) []Table {
 		Header: header,
 		Notes:  []string{"expected: SPA2 = 0 everywhere (its guarantee caps at Θ); RM-TS > 0 well past Θ"},
 	}
-	for _, um := range []float64{0.72, 0.78, 0.84, 0.90} {
+	ums := []float64{0.72, 0.78, 0.84, 0.90}
+	mt := cfg.meter("utilization-tail", len(ums))
+	for _, um := range ums {
 		um := um
 		n := cfg.setsPerPoint()
 		perSet := make([][]bool, n)
@@ -343,7 +351,7 @@ func UtilizationTail(cfg Config) []Table {
 			cells = append(cells, fmt.Sprintf("%d/%d", k, n))
 		}
 		t.Rows = append(t.Rows, cells)
-		cfg.progressf("utilization-tail: U_M=%.2f done", um)
+		mt.Tick("U_M=%.2f", um)
 	}
 	return []Table{t}
 }

@@ -44,6 +44,7 @@ func Breakdown(cfg Config) []Table {
 			"expected: RM-TS ≫ Θ≈0.70 (uniprocessor analogy: ≈88%); SPA2 pinned at ≈Θ",
 		},
 	}
+	mt := cfg.meter("breakdown", len(ms))
 	for _, m := range ms {
 		m := m
 		perSet := make([][]float64, sets)
@@ -77,7 +78,7 @@ func Breakdown(cfg Config) []Table {
 				fmt.Sprintf("%d", m), a.name, meanAndRange(samples),
 			})
 		}
-		cfg.progressf("breakdown: M=%d done", m)
+		mt.Tick("M=%d", m)
 	}
 	return []Table{t}
 }

@@ -43,6 +43,7 @@ func ConstrainedDeadlines(cfg Config) []Table {
 			"expected: acceptance monotone in f; splitting (RM-TS) ≥ strict partitioning at every tightness",
 		},
 	}
+	mt := cfg.meter("constrained-deadlines", len(fracs))
 	for _, f := range fracs {
 		f := f
 		n := cfg.setsPerPoint()
@@ -89,7 +90,7 @@ func ConstrainedDeadlines(cfg Config) []Table {
 			row = append(row, fmt.Sprintf("%.3f", float64(k)/float64(n)))
 		}
 		t.Rows = append(t.Rows, row)
-		cfg.progressf("constrained-deadlines: f=%s done", label)
+		mt.Tick("f=%s", label)
 	}
 	return []Table{t}
 }

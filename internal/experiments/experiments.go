@@ -22,8 +22,10 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/bounds"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/stats"
 	"repro/internal/task"
@@ -46,6 +48,11 @@ type Config struct {
 	Workers int
 	// Progress, when non-nil, receives one-line progress notes.
 	Progress io.Writer
+	// ProgressETA decorates sweep progress lines with point counts, elapsed
+	// time and an ETA estimate. Progress output is wall-clock-dependent and
+	// only ever goes to the Progress writer, never into tables, so the
+	// determinism contract is unaffected.
+	ProgressETA bool
 }
 
 func (c Config) setsPerPoint() int {
@@ -99,6 +106,12 @@ func (c Config) progressf(format string, args ...interface{}) {
 	if c.Progress != nil {
 		fmt.Fprintf(c.Progress, format+"\n", args...)
 	}
+}
+
+// meter returns a per-point progress meter for a sweep with total points.
+// With a nil Progress writer the meter is inert.
+func (c Config) meter(label string, total int) *obs.Meter {
+	return obs.NewMeter(c.Progress, label, total, c.ProgressETA)
 }
 
 // Table is a rendered experiment artifact.
@@ -207,6 +220,75 @@ func Find(key string) (Experiment, bool) {
 		}
 	}
 	return Experiment{}, false
+}
+
+// SuggestKeys returns registry keys resembling the (unknown) key — exact
+// prefixes and substring matches — for CLI "did you mean" diagnostics.
+func SuggestKeys(key string) []string {
+	var out []string
+	lower := strings.ToLower(key)
+	for _, e := range Registry() {
+		if strings.Contains(e.Key, lower) || strings.Contains(lower, e.Key) ||
+			strings.HasPrefix(e.Key, firstField(lower)) {
+			out = append(out, e.Key)
+		}
+	}
+	return out
+}
+
+func firstField(s string) string {
+	if i := strings.IndexAny(s, "-_ "); i > 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// RunMetrics is the instrumentation record of one experiment run: the
+// wall-clock duration plus the analysis-cost counters and histograms the
+// run accumulated in the obs.Default registry (empty unless obs.SetEnabled
+// was called). Counters are deterministic — identical totals for the same
+// seed at any Workers count — while Seconds and Spans are wall-clock.
+type RunMetrics struct {
+	Key        string               `json:"key"`
+	Seconds    float64              `json:"seconds"`
+	Counters   []obs.CounterValue   `json:"counters"`
+	Histograms []obs.HistogramValue `json:"histograms,omitempty"`
+	Spans      []obs.SpanValue      `json:"spans,omitempty"`
+}
+
+// RunWithMetrics runs e with the obs.Default registry rearmed, attaching
+// the resulting counter snapshot and timing to the returned RunMetrics.
+// Tables are produced exactly as by e.Run — instrumentation never alters
+// experiment output, only observes it.
+func RunWithMetrics(e Experiment, cfg Config) ([]Table, RunMetrics) {
+	obs.Reset()
+	span := obs.StartSpan("experiment/" + e.Key)
+	start := time.Now()
+	tables := e.Run(cfg)
+	span.End()
+	snap := obs.Default.Snapshot()
+	return tables, RunMetrics{
+		Key:        e.Key,
+		Seconds:    time.Since(start).Seconds(),
+		Counters:   snap.Counters,
+		Histograms: snap.Histograms,
+		Spans:      snap.Spans,
+	}
+}
+
+// Render writes the metrics as comment-prefixed lines, safe to interleave
+// with table or CSV output without breaking parsers.
+func (m RunMetrics) Render(w io.Writer) {
+	fmt.Fprintf(w, "# metrics %s (%.3fs wall)\n", m.Key, m.Seconds)
+	for _, c := range m.Counters {
+		fmt.Fprintf(w, "#   %-26s %d\n", c.Name, c.Value)
+	}
+	for _, h := range m.Histograms {
+		fmt.Fprintf(w, "#   %-26s count=%d mean=%.2f max=%d\n", h.Name, h.Count, h.Mean(), h.Max)
+	}
+	for _, s := range m.Spans {
+		fmt.Fprintf(w, "#   span %-21s %.3fs\n", s.Name, s.Seconds)
+	}
 }
 
 // algoSpec couples an algorithm with the acceptance notion the comparison

@@ -34,6 +34,7 @@ func FPvsEDF(cfg Config) []Table {
 		{"EDF-TS", partition.EDFTS{}},
 	}
 	ratios := make([][]float64, len(points))
+	mt := cfg.meter("fp-vs-edf", len(points))
 	for i, um := range points {
 		target := um * float64(m)
 		row, err := cfg.acceptance(r.Int63(), cfg.setsPerPoint(), m, func(r *rand.Rand) (task.Set, error) {
@@ -43,7 +44,7 @@ func FPvsEDF(cfg Config) []Table {
 			panic(fmt.Sprintf("fp-vs-edf: %v", err))
 		}
 		ratios[i] = row
-		cfg.progressf("fp-vs-edf: U_M=%.3f done", um)
+		mt.Tick("U_M=%.3f", um)
 	}
 	return []Table{sweepTable("fp-vs-edf",
 		fmt.Sprintf("M=%d, U_i∈[0.05,0.7], %d sets/point — splitting vs the best strict partitioner", m, cfg.setsPerPoint()),

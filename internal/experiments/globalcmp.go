@@ -73,6 +73,7 @@ func GlobalCompare(cfg Config) []Table {
 		},
 	}
 	menu := gen.ChoicePeriods{Values: []task.Time{20, 40, 50, 80, 100, 200, 400}}
+	mt := cfg.meter("global-compare", len(points))
 	for _, um := range points {
 		um := um
 		n := cfg.setsPerPoint()
@@ -122,7 +123,7 @@ func GlobalCompare(cfg Config) []Table {
 			fmt.Sprintf("%.3f", float64(usBound)/float64(n)),
 			fmt.Sprintf("%.3f", float64(rmtsOK)/float64(n)),
 		})
-		cfg.progressf("global-compare: U_M=%.2f done", um)
+		mt.Tick("U_M=%.2f", um)
 	}
 	return []Table{t1, t2}
 }

@@ -50,6 +50,7 @@ func OverheadSensitivity(cfg Config) []Table {
 			"overhead-aware = per-fragment 3×ov surcharge inside the admission RTA (partition/overhead.go); its miss count must be 0",
 		},
 	}
+	mt := cfg.meter("overhead-sensitivity", len(overheads))
 	for _, ov := range overheads {
 		ov := ov
 		aware := &partition.RMTS{Surcharge: 3 * ov}
@@ -133,7 +134,7 @@ func OverheadSensitivity(cfg Config) []Table {
 			fmt.Sprintf("%d/%d / %d", inflAccepted, sets, inflMissSets),
 			fmt.Sprintf("%d/%d / %d", awareAccepted, sets, awareMissSets),
 		})
-		cfg.progressf("overhead-sensitivity: overhead=%d done", ov)
+		mt.Tick("overhead=%d", ov)
 	}
 	return []Table{t}
 }
@@ -200,6 +201,7 @@ func AdmissionAblation(cfg Config) []Table {
 		{"RM-TS (RTA+split)", partition.NewRMTS(nil)},
 	}
 	ratios := make([][]float64, len(points))
+	mt := cfg.meter("admission-ablation", len(points))
 	for i, um := range points {
 		target := um * float64(m)
 		row, err := cfg.acceptance(r.Int63(), cfg.setsPerPoint(), m, func(r *rand.Rand) (task.Set, error) {
@@ -209,7 +211,7 @@ func AdmissionAblation(cfg Config) []Table {
 			panic(fmt.Sprintf("admission-ablation: %v", err))
 		}
 		ratios[i] = row
-		cfg.progressf("admission-ablation: U_M=%.2f done", um)
+		mt.Tick("U_M=%.2f", um)
 	}
 	return []Table{sweepTable("admission-ablation",
 		fmt.Sprintf("M=%d, U_i∈[0.05,0.6], %d sets/point — what exactness and splitting each contribute", m, cfg.setsPerPoint()),

@@ -36,6 +36,7 @@ func UniprocessorBreakdown(cfg Config) []Table {
 			"paper §I (citing [24]): \"the average breakdown utilization of RMS is around 88%\"",
 		},
 	}
+	mt := cfg.meter("uni-breakdown", len(ns))
 	for _, n := range ns {
 		n := n
 		samples := make([]float64, sets)
@@ -55,7 +56,7 @@ func UniprocessorBreakdown(cfg Config) []Table {
 			fmt.Sprintf("%.4f", stats.Quantile(samples, 0.95)),
 			fmt.Sprintf("%.4f", stats.Max(samples)),
 		})
-		cfg.progressf("uni-breakdown: n=%d done", n)
+		mt.Tick("n=%d", n)
 	}
 	return []Table{t}
 }

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Meter emits per-point progress lines for a sweep with a known number of
+// points, optionally decorated with percentage, elapsed time and an ETA
+// estimate (elapsed/done scaled to the remainder). A Meter created with a
+// nil writer is inert, so callers can construct one unconditionally.
+//
+// Progress output is wall-clock-dependent by nature; it must only ever go
+// to a side channel (stderr), never into experiment artifacts, to preserve
+// the bit-for-bit determinism contract of the harness.
+type Meter struct {
+	w     io.Writer
+	label string
+	total int
+	done  int
+	eta   bool
+	start time.Time
+}
+
+// NewMeter returns a progress meter for total points, printing lines
+// prefixed with label to w. When eta is false the lines match the
+// harness's classic "<label>: <point> done" format; when true each line
+// appends "(<done>/<total> <pct>%, elapsed <e>, eta <r>)".
+func NewMeter(w io.Writer, label string, total int, eta bool) *Meter {
+	return &Meter{w: w, label: label, total: total, eta: eta, start: time.Now()}
+}
+
+// Tick marks one point done and prints its progress line; format/args
+// describe the point (e.g. "U_M=%.3f"). No-op when the writer is nil.
+func (m *Meter) Tick(format string, args ...interface{}) {
+	if m == nil || m.w == nil {
+		return
+	}
+	m.done++
+	point := fmt.Sprintf(format, args...)
+	if !m.eta || m.total <= 0 {
+		fmt.Fprintf(m.w, "%s: %s done\n", m.label, point)
+		return
+	}
+	elapsed := time.Since(m.start)
+	remaining := time.Duration(0)
+	if m.done > 0 && m.done < m.total {
+		remaining = elapsed / time.Duration(m.done) * time.Duration(m.total-m.done)
+	}
+	fmt.Fprintf(m.w, "%s: %s done (%d/%d %d%%, elapsed %s, eta %s)\n",
+		m.label, point, m.done, m.total, 100*m.done/m.total,
+		roundDuration(elapsed), roundDuration(remaining))
+}
+
+func roundDuration(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Minute:
+		return d.Round(time.Second)
+	case d >= time.Second:
+		return d.Round(100 * time.Millisecond)
+	default:
+		return d.Round(time.Millisecond)
+	}
+}

@@ -1,0 +1,315 @@
+// Package obs is the instrumentation layer of the reproduction: atomic
+// counters and bounded histograms behind a global enable switch, a
+// structured decision-trace recorder for the partitioning algorithms, and
+// wall-clock spans for experiment phases. It is stdlib-only and built for
+// two hard requirements:
+//
+//  1. Zero overhead when disabled. Every Counter.Add / Histogram.Observe
+//     checks one atomic bool and returns; the decision-trace hooks in
+//     internal/partition cost a single nil check.
+//  2. Determinism. Counters only ever accumulate — no analysis code reads
+//     them back — so enabling or disabling instrumentation can never change
+//     experiment output, and because the instrumented work itself is
+//     deterministic, counter totals are identical at any worker count.
+//     Wall-clock data (spans, meter ETAs) is kept strictly separate from
+//     counter data so deterministic snapshots stay comparable.
+//
+// The Default registry collects every metric created via NewCounter /
+// NewHistogram; Default.Snapshot() returns a name-sorted, render-ready view
+// and Reset() rearms it between experiments.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+var on atomic.Bool
+
+// SetEnabled turns metric collection on or off globally. Disabled is the
+// default; analysis hot paths then pay one atomic load per hook.
+func SetEnabled(v bool) { on.Store(v) }
+
+// On reports whether metric collection is enabled.
+func On() bool { return on.Load() }
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// unusable; obtain counters from a Registry (or NewCounter for Default).
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Name returns the counter's registered name.
+func (c *Counter) Name() string { return c.name }
+
+// Inc adds 1 when instrumentation is enabled.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n when instrumentation is enabled.
+func (c *Counter) Add(n int64) {
+	if on.Load() {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current total.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// defaultBounds is the bucket layout used when a histogram is created
+// without explicit bounds — tuned for "iterations per call" style counts.
+var defaultBounds = []int64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64}
+
+// Histogram is a bounded histogram over int64 observations: a fixed set of
+// ascending upper bounds plus one overflow bucket, with total count, sum
+// and max tracked atomically. The bucket layout is fixed at creation, so
+// memory use is bounded regardless of observation volume.
+type Histogram struct {
+	name   string
+	bounds []int64
+	counts []atomic.Int64 // len(bounds)+1; last is overflow
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+// Name returns the histogram's registered name.
+func (h *Histogram) Name() string { return h.name }
+
+// Observe records v when instrumentation is enabled. v is placed in the
+// first bucket whose upper bound is ≥ v, or in the overflow bucket.
+func (h *Histogram) Observe(v int64) {
+	if !on.Load() {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= v })
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// CounterValue is one counter in a Snapshot.
+type CounterValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// BucketValue is one histogram bucket in a Snapshot. Upper = -1 marks the
+// overflow (+Inf) bucket.
+type BucketValue struct {
+	Upper int64 `json:"upper"`
+	Count int64 `json:"count"`
+}
+
+// HistogramValue is one histogram in a Snapshot.
+type HistogramValue struct {
+	Name    string        `json:"name"`
+	Count   int64         `json:"count"`
+	Sum     int64         `json:"sum"`
+	Max     int64         `json:"max"`
+	Buckets []BucketValue `json:"buckets"`
+}
+
+// Mean returns the average observation, or 0 for an empty histogram.
+func (h HistogramValue) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// SpanValue is one completed wall-clock span in a Snapshot. Spans are
+// inherently nondeterministic; they are reported apart from counters so the
+// deterministic part of a snapshot stays comparable across runs.
+type SpanValue struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
+
+// Snapshot is a point-in-time view of a registry, with counters and
+// histograms sorted by name.
+type Snapshot struct {
+	Counters   []CounterValue   `json:"counters"`
+	Histograms []HistogramValue `json:"histograms,omitempty"`
+	Spans      []SpanValue      `json:"spans,omitempty"`
+}
+
+// Get returns the value of the named counter, or 0 if absent.
+func (s Snapshot) Get(name string) int64 {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// GetHistogram returns the named histogram view and whether it exists.
+func (s Snapshot) GetHistogram(name string) (HistogramValue, bool) {
+	for _, h := range s.Histograms {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	return HistogramValue{}, false
+}
+
+// WriteText renders the snapshot as aligned "name value" lines, histograms
+// with count/mean/max and per-bucket tallies, and spans with seconds.
+func (s Snapshot) WriteText(w io.Writer) {
+	width := 0
+	for _, c := range s.Counters {
+		if len(c.Name) > width {
+			width = len(c.Name)
+		}
+	}
+	for _, c := range s.Counters {
+		fmt.Fprintf(w, "%-*s %d\n", width, c.Name, c.Value)
+	}
+	for _, h := range s.Histograms {
+		fmt.Fprintf(w, "%s count=%d mean=%.2f max=%d\n", h.Name, h.Count, h.Mean(), h.Max)
+		for _, b := range h.Buckets {
+			if b.Count == 0 {
+				continue
+			}
+			if b.Upper < 0 {
+				fmt.Fprintf(w, "  ≤+Inf %d\n", b.Count)
+			} else {
+				fmt.Fprintf(w, "  ≤%-4d %d\n", b.Upper, b.Count)
+			}
+		}
+	}
+	for _, sp := range s.Spans {
+		fmt.Fprintf(w, "span %s %.3fs\n", sp.Name, sp.Seconds)
+	}
+}
+
+// Registry holds a named set of counters and histograms plus completed
+// spans. The zero value is not usable; use NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+	spans    []SpanValue
+}
+
+// Default is the process-wide registry the analysis packages register
+// their metrics in.
+var Default = NewRegistry()
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{name: name}
+	r.counters[name] = c
+	return c
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given ascending bucket upper bounds on first use (defaultBounds when
+// none are given). Bounds are fixed by the first creation.
+func (r *Registry) Histogram(name string, bounds ...int64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	if len(bounds) == 0 {
+		bounds = defaultBounds
+	}
+	b := make([]int64, len(bounds))
+	copy(b, bounds)
+	h := &Histogram{name: name, bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+	r.hists[name] = h
+	return h
+}
+
+// Snapshot returns the registry's current state, name-sorted.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var s Snapshot
+	for _, c := range r.counters {
+		s.Counters = append(s.Counters, CounterValue{Name: c.name, Value: c.Value()})
+	}
+	sort.Slice(s.Counters, func(a, b int) bool { return s.Counters[a].Name < s.Counters[b].Name })
+	for _, h := range r.hists {
+		hv := HistogramValue{Name: h.name, Sum: h.sum.Load(), Max: h.max.Load()}
+		for i := range h.counts {
+			upper := int64(-1)
+			if i < len(h.bounds) {
+				upper = h.bounds[i]
+			}
+			n := h.counts[i].Load()
+			hv.Count += n
+			hv.Buckets = append(hv.Buckets, BucketValue{Upper: upper, Count: n})
+		}
+		s.Histograms = append(s.Histograms, hv)
+	}
+	sort.Slice(s.Histograms, func(a, b int) bool { return s.Histograms[a].Name < s.Histograms[b].Name })
+	s.Spans = append(s.Spans, r.spans...)
+	return s
+}
+
+// Value returns the named counter's current total (0 if absent).
+func (r *Registry) Value(name string) int64 {
+	r.mu.Lock()
+	c, ok := r.counters[name]
+	r.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return c.Value()
+}
+
+// Reset zeroes every counter and histogram and discards completed spans.
+// Registered metric objects stay valid.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, h := range r.hists {
+		for i := range h.counts {
+			h.counts[i].Store(0)
+		}
+		h.sum.Store(0)
+		h.max.Store(0)
+	}
+	r.spans = nil
+}
+
+// NewCounter registers (or fetches) a counter in the Default registry.
+func NewCounter(name string) *Counter { return Default.Counter(name) }
+
+// NewHistogram registers (or fetches) a histogram in the Default registry.
+func NewHistogram(name string, bounds ...int64) *Histogram {
+	return Default.Histogram(name, bounds...)
+}
+
+// Value returns the named Default-registry counter total.
+func Value(name string) int64 { return Default.Value(name) }
+
+// Reset rearms the Default registry.
+func Reset() { Default.Reset() }

@@ -1,0 +1,38 @@
+package obs
+
+import "time"
+
+// Span measures the wall-clock duration of a phase (an experiment, a sweep,
+// a CLI run). Spans are recorded in their registry on End and reported in
+// Snapshot.Spans, apart from the deterministic counter data.
+type Span struct {
+	name  string
+	start time.Time
+	r     *Registry
+}
+
+// StartSpan begins a span in the registry. When instrumentation is
+// disabled it returns an inert span whose End is a no-op, keeping the
+// disabled path allocation-light.
+func (r *Registry) StartSpan(name string) *Span {
+	if !on.Load() {
+		return &Span{}
+	}
+	return &Span{name: name, start: time.Now(), r: r}
+}
+
+// StartSpan begins a span in the Default registry.
+func StartSpan(name string) *Span { return Default.StartSpan(name) }
+
+// End records the span's duration in its registry and returns it. Calling
+// End on an inert span returns 0.
+func (s *Span) End() time.Duration {
+	if s.r == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.r.mu.Lock()
+	s.r.spans = append(s.r.spans, SpanValue{Name: s.name, Seconds: d.Seconds()})
+	s.r.mu.Unlock()
+	return d
+}

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// EventKind classifies a partitioning decision-trace record.
+type EventKind string
+
+// The event vocabulary of the partitioning algorithms (§IV-A/§V structure):
+// every admission attempt, its RTA outcome, MaxSplit results, heavy-task
+// pre-assignment, processors filling up, and terminal success/failure.
+const (
+	// EvAssignAttempt: fragment (Task, Part) offered to processor Proc with
+	// demand C, period T and synthetic deadline Deadline.
+	EvAssignAttempt EventKind = "assign-attempt"
+	// EvAssigned: the fragment was placed whole; RTAIters is the number of
+	// response-time fixed-point iterations the admission check spent (0 when
+	// metrics are disabled or admission was by utilization threshold).
+	EvAssigned EventKind = "assigned"
+	// EvSplit: MaxSplit chose prefix C′ = Portion, leaving Remainder;
+	// Response is the body's worst-case response time, which advances the
+	// successor's synthetic deadline (equation (1)).
+	EvSplit EventKind = "split"
+	// EvProcFull: processor Proc is full (a split or an empty MaxSplit
+	// happened there); it takes no further load.
+	EvProcFull EventKind = "proc-full"
+	// EvPreAssign: heavy task pre-assigned to a dedicated processor
+	// (condition (8) or U_i > Λ(τ); Note carries the trigger).
+	EvPreAssign EventKind = "pre-assign"
+	// EvReject: the processor admitted nothing of the fragment (MaxSplit
+	// returned 0) or threshold admission had no room.
+	EvReject EventKind = "reject"
+	// EvPhase: an algorithm phase boundary (Note names the phase).
+	EvPhase EventKind = "phase"
+	// EvDone: partitioning succeeded.
+	EvDone EventKind = "done"
+	// EvFail: partitioning failed; Note carries the reason.
+	EvFail EventKind = "fail"
+)
+
+// Event is one typed decision-trace record. Integer fields use the task
+// package's integer time domain (task.Time = int64). Proc is -1 when the
+// event is not bound to a processor.
+type Event struct {
+	Seq       int       `json:"seq"`
+	Kind      EventKind `json:"kind"`
+	Task      int       `json:"task"`
+	Part      int       `json:"part,omitempty"`
+	Proc      int       `json:"proc"`
+	C         int64     `json:"c,omitempty"`
+	T         int64     `json:"t,omitempty"`
+	Deadline  int64     `json:"deadline,omitempty"`
+	Portion   int64     `json:"portion,omitempty"`
+	Remainder int64     `json:"remainder,omitempty"`
+	Response  int64     `json:"response,omitempty"`
+	RTAIters  int64     `json:"rtaIters,omitempty"`
+	OK        bool      `json:"ok,omitempty"`
+	Note      string    `json:"note,omitempty"`
+}
+
+func (e Event) frag() string {
+	if e.Part > 0 {
+		return fmt.Sprintf("τ%d.%d", e.Task, e.Part)
+	}
+	return fmt.Sprintf("τ%d", e.Task)
+}
+
+// String renders the event as one trace line.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%-4d %-14s", e.Seq, e.Kind)
+	switch e.Kind {
+	case EvAssignAttempt:
+		fmt.Fprintf(&b, " %s → P%d (C=%d T=%d Δ=%d)", e.frag(), e.Proc, e.C, e.T, e.Deadline)
+	case EvAssigned:
+		fmt.Fprintf(&b, " %s → P%d (C=%d Δ=%d, RTA iters %d)", e.frag(), e.Proc, e.C, e.Deadline, e.RTAIters)
+	case EvSplit:
+		fmt.Fprintf(&b, " %s on P%d: C′=%d of %d, remainder %d, body R=%d (RTA iters %d)",
+			e.frag(), e.Proc, e.Portion, e.C, e.Remainder, e.Response, e.RTAIters)
+	case EvProcFull:
+		fmt.Fprintf(&b, " P%d (while placing %s)", e.Proc, e.frag())
+	case EvPreAssign:
+		fmt.Fprintf(&b, " %s → P%d dedicated", e.frag(), e.Proc)
+	case EvReject:
+		fmt.Fprintf(&b, " %s by P%d", e.frag(), e.Proc)
+	case EvPhase, EvDone, EvFail:
+		// Note carries the substance.
+	}
+	if e.Note != "" {
+		fmt.Fprintf(&b, " — %s", e.Note)
+	}
+	return b.String()
+}
+
+// Trace records partitioning decision events. A nil *Trace is a valid
+// no-op recorder: every method nil-checks the receiver, so algorithm hot
+// paths hold an untyped nil field and pay a single branch when tracing is
+// off. Add is safe for concurrent use (experiment harnesses run many
+// partitionings at once), though traces are normally per-run.
+type Trace struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewTrace returns an empty recorder.
+func NewTrace() *Trace { return &Trace{} }
+
+// Add appends an event, stamping its sequence number. No-op on nil.
+func (t *Trace) Add(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	e.Seq = len(t.events)
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// Len returns the number of recorded events (0 on nil).
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Events returns a copy of the recorded events (nil on nil receiver).
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// Reset discards all recorded events.
+func (t *Trace) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = t.events[:0]
+	t.mu.Unlock()
+}
+
+// WriteText renders the trace one event per line.
+func (t *Trace) WriteText(w io.Writer) {
+	for _, e := range t.Events() {
+		fmt.Fprintln(w, e.String())
+	}
+}
+
+// WriteJSON renders the trace as a JSON array of typed records.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	events := t.Events()
+	if events == nil {
+		events = []Event{}
+	}
+	return enc.Encode(events)
+}

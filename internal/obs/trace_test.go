@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilTraceIsSafe(t *testing.T) {
+	var tr *Trace
+	tr.Add(Event{Kind: EvAssigned})
+	tr.Reset()
+	if tr.Len() != 0 || tr.Events() != nil {
+		t.Fatal("nil trace is not empty")
+	}
+	var buf bytes.Buffer
+	tr.WriteText(&buf)
+	if buf.Len() != 0 {
+		t.Fatalf("nil trace rendered %q", buf.String())
+	}
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "[]" {
+		t.Fatalf("nil trace JSON = %q, want []", buf.String())
+	}
+}
+
+func TestTraceSequencing(t *testing.T) {
+	tr := NewTrace()
+	tr.Add(Event{Kind: EvPhase, Note: "one"})
+	tr.Add(Event{Kind: EvDone})
+	ev := tr.Events()
+	if len(ev) != 2 || ev[0].Seq != 0 || ev[1].Seq != 1 {
+		t.Fatalf("sequence numbers wrong: %+v", ev)
+	}
+	tr.Reset()
+	if tr.Len() != 0 {
+		t.Fatal("Reset kept events")
+	}
+	tr.Add(Event{Kind: EvFail})
+	if tr.Events()[0].Seq != 0 {
+		t.Fatal("Seq did not restart after Reset")
+	}
+}
+
+func TestEventRendering(t *testing.T) {
+	cases := []struct {
+		e    Event
+		want []string
+	}{
+		{Event{Kind: EvAssignAttempt, Task: 3, Part: 1, Proc: 2, C: 7, T: 20, Deadline: 20},
+			[]string{"assign-attempt", "τ3.1 → P2", "C=7 T=20 Δ=20"}},
+		{Event{Kind: EvAssigned, Task: 1, Part: 2, Proc: 0, C: 4, Deadline: 9, RTAIters: 5, OK: true},
+			[]string{"assigned", "τ1.2 → P0", "RTA iters 5"}},
+		{Event{Kind: EvSplit, Task: 2, Part: 1, Proc: 1, C: 8, Portion: 6, Remainder: 2, Response: 6, RTAIters: 3},
+			[]string{"split", "C′=6 of 8", "remainder 2", "body R=6"}},
+		{Event{Kind: EvProcFull, Task: 2, Part: 2, Proc: 1},
+			[]string{"proc-full", "P1", "τ2.2"}},
+		{Event{Kind: EvPreAssign, Task: 0, Part: 1, Proc: 3, Note: "condition (8)"},
+			[]string{"pre-assign", "τ0.1 → P3 dedicated", "condition (8)"}},
+		{Event{Kind: EvReject, Task: 4, Part: 1, Proc: 0, Note: "no room"},
+			[]string{"reject", "τ4.1 by P0", "no room"}},
+		{Event{Kind: EvPhase, Task: -1, Proc: -1, Note: "phase 1"}, []string{"phase", "phase 1"}},
+		{Event{Kind: EvDone, Task: -1, Proc: -1, Note: "2 split"}, []string{"done", "2 split"}},
+		{Event{Kind: EvFail, Task: -1, Proc: -1, Note: "all full"}, []string{"fail", "all full"}},
+	}
+	for _, c := range cases {
+		line := c.e.String()
+		for _, w := range c.want {
+			if !strings.Contains(line, w) {
+				t.Errorf("%s line %q missing %q", c.e.Kind, line, w)
+			}
+		}
+	}
+}
+
+func TestTraceWriteTextAndJSON(t *testing.T) {
+	tr := NewTrace()
+	tr.Add(Event{Kind: EvAssigned, Task: 1, Part: 1, Proc: 0, C: 3, Deadline: 10, OK: true})
+	tr.Add(Event{Kind: EvDone, Task: -1, Proc: -1, OK: true})
+
+	var text bytes.Buffer
+	tr.WriteText(&text)
+	lines := strings.Split(strings.TrimRight(text.String(), "\n"), "\n")
+	if len(lines) != 2 || !strings.HasPrefix(lines[0], "#0") || !strings.HasPrefix(lines[1], "#1") {
+		t.Fatalf("text rendering:\n%s", text.String())
+	}
+
+	var js bytes.Buffer
+	if err := tr.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var back []Event
+	if err := json.Unmarshal(js.Bytes(), &back); err != nil {
+		t.Fatalf("trace JSON does not round-trip: %v", err)
+	}
+	if len(back) != 2 || back[0].Kind != EvAssigned || back[0].C != 3 || !back[1].OK {
+		t.Fatalf("round-tripped events: %+v", back)
+	}
+}

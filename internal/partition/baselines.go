@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/bounds"
+	"repro/internal/obs"
 	"repro/internal/rta"
 	"repro/internal/task"
 )
@@ -48,6 +49,8 @@ type FirstFitRTA struct {
 	// Order picks the task consideration order; zero value is
 	// DecreasingUtilization.
 	Order FitOrder
+	// Trace, when non-nil, records every placement decision.
+	Trace *obs.Trace
 }
 
 // Name implements Algorithm.
@@ -55,7 +58,7 @@ func (a FirstFitRTA) Name() string { return "P-RM-FF(" + a.Order.String() + ")" 
 
 // Partition implements Algorithm.
 func (a FirstFitRTA) Partition(ts task.Set, m int) *Result {
-	return fitPartition(ts, m, a.Order, pickFirstFit)
+	return fitPartition(ts, m, a.Order, pickFirstFit, a.Trace)
 }
 
 // WorstFitRTA is strict partitioned RM with worst-fit (minimum assigned
@@ -64,6 +67,8 @@ type WorstFitRTA struct {
 	// Order picks the task consideration order; zero value is
 	// DecreasingUtilization.
 	Order FitOrder
+	// Trace, when non-nil, records every placement decision.
+	Trace *obs.Trace
 }
 
 // Name implements Algorithm.
@@ -71,7 +76,7 @@ func (a WorstFitRTA) Name() string { return "P-RM-WF(" + a.Order.String() + ")" 
 
 // Partition implements Algorithm.
 func (a WorstFitRTA) Partition(ts task.Set, m int) *Result {
-	return fitPartition(ts, m, a.Order, pickWorstFit)
+	return fitPartition(ts, m, a.Order, pickWorstFit, a.Trace)
 }
 
 // pickFirstFit returns candidate processors in index order.
@@ -168,6 +173,8 @@ type FirstFit struct {
 	Order FitOrder
 	// Admission picks the uniprocessor test (zero value: AdmitRTA).
 	Admission Admission
+	// Trace, when non-nil, records every placement decision.
+	Trace *obs.Trace
 }
 
 // Name implements Algorithm.
@@ -177,14 +184,14 @@ func (a FirstFit) Name() string {
 
 // Partition implements Algorithm.
 func (a FirstFit) Partition(ts task.Set, m int) *Result {
-	return fitPartitionAdmit(ts, m, a.Order, pickFirstFit, a.Admission)
+	return fitPartitionAdmit(ts, m, a.Order, pickFirstFit, a.Admission, a.Trace)
 }
 
-func fitPartition(ts task.Set, m int, order FitOrder, pick func(*task.Assignment) []int) *Result {
-	return fitPartitionAdmit(ts, m, order, pick, AdmitRTA)
+func fitPartition(ts task.Set, m int, order FitOrder, pick func(*task.Assignment) []int, tr *obs.Trace) *Result {
+	return fitPartitionAdmit(ts, m, order, pick, AdmitRTA, tr)
 }
 
-func fitPartitionAdmit(ts task.Set, m int, order FitOrder, pick func(*task.Assignment) []int, admit Admission) *Result {
+func fitPartitionAdmit(ts task.Set, m int, order FitOrder, pick func(*task.Assignment) []int, admit Admission, tr *obs.Trace) *Result {
 	sorted, asg, fail := prepare(ts, m)
 	if fail != nil {
 		return fail
@@ -217,19 +224,33 @@ func fitPartitionAdmit(ts task.Set, m int, order FitOrder, pick func(*task.Assig
 		t := sorted[i]
 		placed := false
 		for _, q := range pick(asg) {
+			cAssignAttempts.Inc()
+			before := traceIters(tr)
 			if admit.admits(asg.Procs[q], i, t.C, t.T, t.Deadline()) {
 				asg.Add(q, task.Whole(i, t))
+				cAssignWhole.Inc()
+				if tr != nil {
+					tr.Add(obs.Event{Kind: obs.EvAssigned, Task: i, Part: 1, Proc: q,
+						C: t.C, Deadline: t.Deadline(), RTAIters: traceIters(tr) - before,
+						OK: true, Note: admit.String() + " admission"})
+				}
 				placed = true
 				break
+			} else if tr != nil {
+				tr.Add(obs.Event{Kind: obs.EvReject, Task: i, Part: 1, Proc: q,
+					C: t.C, Deadline: t.Deadline(), RTAIters: traceIters(tr) - before,
+					Note: admit.String() + " admission"})
 			}
 		}
 		if !placed {
 			res.Reason = fmt.Sprintf("no processor admits τ%d whole (strict partitioning)", i)
 			res.FailedTask = i
+			traceFail(tr, i, res.Reason)
 			return res
 		}
 	}
 	res.OK = true
 	res.Guaranteed = true
+	traceDone(tr, res)
 	return res
 }

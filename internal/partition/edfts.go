@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/edfa"
+	"repro/internal/obs"
 	"repro/internal/task"
 )
 
@@ -23,17 +24,21 @@ import (
 // analysis) but every accepted set is provably schedulable, which
 // VerifyEDF re-establishes and the EDF simulator confirms. Constrained
 // deadlines are supported throughout.
-type EDFTS struct{}
+type EDFTS struct {
+	// Trace, when non-nil, records placement and window-split decisions.
+	Trace *obs.Trace
+}
 
 // Name implements Algorithm.
 func (EDFTS) Name() string { return "EDF-TS" }
 
 // Partition implements Algorithm.
-func (EDFTS) Partition(ts task.Set, m int) *Result {
+func (a EDFTS) Partition(ts task.Set, m int) *Result {
 	sorted, asg, fail := prepare(ts, m)
 	if fail != nil {
 		return fail
 	}
+	tr := a.Trace
 	res := &Result{Assignment: asg, FailedTask: -1, Scheduler: "EDF"}
 
 	// EDF-WM considers tasks in decreasing utilization order.
@@ -60,10 +65,19 @@ func (EDFTS) Partition(ts task.Set, m int) *Result {
 		// Whole placement, first fit.
 		placed := false
 		for q := 0; q < m; q++ {
+			cAssignAttempts.Inc()
 			if edfa.Schedulable(append(sources(q), edfa.Demand{C: t.C, T: t.T, D: d})) {
 				asg.Add(q, task.Whole(i, t))
+				cAssignWhole.Inc()
+				if tr != nil {
+					tr.Add(obs.Event{Kind: obs.EvAssigned, Task: i, Part: 1, Proc: q,
+						C: t.C, Deadline: d, OK: true, Note: "QPA demand test"})
+				}
 				placed = true
 				break
+			} else if tr != nil {
+				tr.Add(obs.Event{Kind: obs.EvReject, Task: i, Part: 1, Proc: q,
+					C: t.C, Deadline: d, Note: "QPA demand test"})
 			}
 		}
 		if placed {
@@ -71,21 +85,24 @@ func (EDFTS) Partition(ts task.Set, m int) *Result {
 		}
 		// Window split: try k = 2..m equal windows w = D/k; greedily take
 		// the largest per-processor budgets until the demand is covered.
-		if !splitByWindows(asg, sources, i, t, m) {
+		if !splitByWindows(asg, sources, i, t, m, tr) {
 			res.Reason = fmt.Sprintf("no window split fits τ%d (demand test)", i)
 			res.FailedTask = i
+			traceFail(tr, i, res.Reason)
 			return res
 		}
 		res.NumSplit++
+		cWindowSplits.Inc()
 	}
 	res.OK = true
 	res.Guaranteed = true
+	traceDone(tr, res)
 	return res
 }
 
 // splitByWindows attempts the EDF-WM style split of task i; it returns
 // whether fragments covering the full demand were assigned.
-func splitByWindows(asg *task.Assignment, sources func(int) []edfa.Demand, i int, t task.Task, m int) bool {
+func splitByWindows(asg *task.Assignment, sources func(int) []edfa.Demand, i int, t task.Task, m int, tr *obs.Trace) bool {
 	d := t.Deadline()
 	base := t.T - d
 	for k := task.Time(2); k <= task.Time(m); k++ {
@@ -131,6 +148,11 @@ func splitByWindows(asg *task.Assignment, sources func(int) []edfa.Demand, i int
 				TaskIndex: i, Part: part, C: c, T: t.T,
 				Deadline: w, Offset: offset, Tail: part == use || remaining == c,
 			})
+			if tr != nil {
+				tr.Add(obs.Event{Kind: obs.EvSplit, Task: i, Part: part, Proc: caps[part-1].q,
+					C: t.C, Portion: c, Remainder: remaining - c, Deadline: w,
+					Note: fmt.Sprintf("window %d of %d (w=%d)", part, k, w)})
+			}
 			remaining -= c
 			if remaining == 0 {
 				break

@@ -3,6 +3,7 @@ package partition
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/rta"
 	"repro/internal/split"
 	"repro/internal/task"
@@ -58,18 +59,29 @@ func surcharged(list []task.Subtask, s task.Time) []task.Subtask {
 }
 
 // assignOrSplitOv is assignOrSplit with a per-fragment analysis surcharge.
-func assignOrSplitOv(asg *task.Assignment, q int, f fragment, ts task.Set, s task.Time) (placed bool, rem fragment, full bool) {
+func assignOrSplitOv(asg *task.Assignment, q int, f fragment, ts task.Set, s task.Time, tr *obs.Trace) (placed bool, rem fragment, full bool) {
 	if s == 0 {
-		return assignOrSplit(asg, q, f, ts)
+		return assignOrSplit(asg, q, f, ts, tr)
 	}
 	t := ts[f.idx]
 	d := f.deadline(t)
+	cAssignAttempts.Inc()
+	before := traceIters(tr)
+	if tr != nil {
+		tr.Add(obs.Event{Kind: obs.EvAssignAttempt, Task: f.idx, Part: f.part, Proc: q,
+			C: f.remC, T: t.T, Deadline: d, Note: fmt.Sprintf("surcharge %d", s)})
+	}
 	sur := surcharged(asg.Procs[q], s)
 	if d >= f.remC+s && rta.SchedulableWithExtraAt(sur, f.idx, f.remC+s, t.T, d) {
 		asg.Add(q, task.Subtask{
 			TaskIndex: f.idx, Part: f.part, C: f.remC, T: t.T,
 			Deadline: d, Offset: f.offset, Tail: true,
 		})
+		cAssignWhole.Inc()
+		if tr != nil {
+			tr.Add(obs.Event{Kind: obs.EvAssigned, Task: f.idx, Part: f.part, Proc: q,
+				C: f.remC, Deadline: d, RTAIters: traceIters(tr) - before, OK: true})
+		}
 		return true, fragment{}, false
 	}
 	portionSur := split.MaxPortionAt(sur, f.idx, t.T, f.remC+s, d)
@@ -84,7 +96,20 @@ func assignOrSplitOv(asg *task.Assignment, q int, f fragment, ts task.Set, s tas
 		}
 		asg.Add(q, body)
 		r := bodyResponseOv(asg.Procs[q], f.idx, f.part, s)
+		cSplits.Inc()
+		if tr != nil {
+			tr.Add(obs.Event{Kind: obs.EvSplit, Task: f.idx, Part: f.part, Proc: q,
+				C: f.remC, Portion: portion, Remainder: f.remC - portion, Response: r,
+				RTAIters: traceIters(tr) - before})
+		}
 		f = fragment{idx: f.idx, part: f.part + 1, remC: f.remC - portion, offset: f.offset + r}
+	} else if tr != nil {
+		tr.Add(obs.Event{Kind: obs.EvReject, Task: f.idx, Part: f.part, Proc: q,
+			C: f.remC, Deadline: d, RTAIters: traceIters(tr) - before, Note: "surcharged MaxSplit found no admissible prefix"})
+	}
+	cProcFull.Inc()
+	if tr != nil {
+		tr.Add(obs.Event{Kind: obs.EvProcFull, Task: f.idx, Part: f.part, Proc: q})
 	}
 	return false, f, true
 }

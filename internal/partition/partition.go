@@ -15,10 +15,35 @@ package partition
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/rta"
 	"repro/internal/split"
 	"repro/internal/task"
 )
+
+// Instrumentation (no-ops unless obs.SetEnabled): the packing skeleton's
+// decision counters, shared by the RTA-based and threshold-based
+// algorithms so experiment snapshots can compare how much admission work
+// each acceptance decision buys (§I's exact-test-vs-threshold argument).
+var (
+	cAssignAttempts = obs.NewCounter("partition.assign.attempts")
+	cAssignWhole    = obs.NewCounter("partition.assign.whole")
+	cSplits         = obs.NewCounter("partition.splits")
+	cProcFull       = obs.NewCounter("partition.proc_full")
+	cPreAssign      = obs.NewCounter("partition.preassign")
+	cWindowSplits   = obs.NewCounter("partition.edf.window_splits")
+)
+
+// traceIters samples the global RTA iteration total for decision traces;
+// deltas around an admission check give its cost. Only meaningful when
+// metrics are enabled and the traced partitioning runs single-goroutine
+// (cmd/partition -trace), which is how traces are produced.
+func traceIters(tr *obs.Trace) int64 {
+	if tr == nil {
+		return 0
+	}
+	return rta.IterationsValue()
+}
 
 // Result is the outcome of a partitioning attempt.
 type Result struct {
@@ -95,14 +120,25 @@ func (f fragment) deadline(t task.Task) task.Time { return t.T - f.offset }
 // pre-assigned task may outrank it, which the general-position analysis
 // handles, and the synthetic deadline of the next fragment is then advanced
 // by the body's actual response time R rather than C (equation (1)).
-func assignOrSplit(asg *task.Assignment, q int, f fragment, ts task.Set) (placed bool, rem fragment, full bool) {
+func assignOrSplit(asg *task.Assignment, q int, f fragment, ts task.Set, tr *obs.Trace) (placed bool, rem fragment, full bool) {
 	t := ts[f.idx]
 	d := f.deadline(t)
+	cAssignAttempts.Inc()
+	before := traceIters(tr)
+	if tr != nil {
+		tr.Add(obs.Event{Kind: obs.EvAssignAttempt, Task: f.idx, Part: f.part, Proc: q,
+			C: f.remC, T: t.T, Deadline: d})
+	}
 	if d >= f.remC && rta.SchedulableWithExtraAt(asg.Procs[q], f.idx, f.remC, t.T, d) {
 		asg.Add(q, task.Subtask{
 			TaskIndex: f.idx, Part: f.part, C: f.remC, T: t.T,
 			Deadline: d, Offset: f.offset, Tail: true,
 		})
+		cAssignWhole.Inc()
+		if tr != nil {
+			tr.Add(obs.Event{Kind: obs.EvAssigned, Task: f.idx, Part: f.part, Proc: q,
+				C: f.remC, Deadline: d, RTAIters: traceIters(tr) - before, OK: true})
+		}
 		return true, fragment{}, false
 	}
 	portion := split.MaxPortionAt(asg.Procs[q], f.idx, t.T, f.remC, d)
@@ -118,7 +154,20 @@ func assignOrSplit(asg *task.Assignment, q int, f fragment, ts task.Set) (placed
 		}
 		asg.Add(q, body)
 		r := bodyResponse(asg.Procs[q], f.idx, f.part)
+		cSplits.Inc()
+		if tr != nil {
+			tr.Add(obs.Event{Kind: obs.EvSplit, Task: f.idx, Part: f.part, Proc: q,
+				C: f.remC, Portion: portion, Remainder: f.remC - portion, Response: r,
+				RTAIters: traceIters(tr) - before})
+		}
 		f = fragment{idx: f.idx, part: f.part + 1, remC: f.remC - portion, offset: f.offset + r}
+	} else if tr != nil {
+		tr.Add(obs.Event{Kind: obs.EvReject, Task: f.idx, Part: f.part, Proc: q,
+			C: f.remC, Deadline: d, RTAIters: traceIters(tr) - before, Note: "MaxSplit found no admissible prefix"})
+	}
+	cProcFull.Inc()
+	if tr != nil {
+		tr.Add(obs.Event{Kind: obs.EvProcFull, Task: f.idx, Part: f.part, Proc: q})
 	}
 	return false, f, true
 }

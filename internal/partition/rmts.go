@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/bounds"
+	"repro/internal/obs"
 	"repro/internal/task"
 )
 
@@ -20,6 +21,10 @@ type RMTSLight struct {
 	// every RTA evaluation is inflated by this many ticks (see
 	// overhead.go). Zero reproduces the paper's zero-overhead analysis.
 	Surcharge task.Time
+	// Trace, when non-nil, records every partitioning decision (assign
+	// attempts, RTA outcomes, MaxSplit choices, processors filling up). Nil
+	// costs one branch per decision point.
+	Trace *obs.Trace
 }
 
 // Name implements Algorithm.
@@ -33,9 +38,11 @@ func (a RMTSLight) Partition(ts task.Set, m int) *Result {
 	}
 	full := make([]bool, m)
 	res := &Result{Assignment: asg, FailedTask: -1}
+	tr := a.Trace
 	if i := surchargeFeasible(sorted, a.Surcharge); i >= 0 {
 		res.Reason = fmt.Sprintf("τ%d cannot meet its deadline under the overhead surcharge (C+s > T)", i)
 		res.FailedTask = i
+		traceFail(tr, i, res.Reason)
 		return res
 	}
 	// Increasing priority order: lowest priority (largest index) first.
@@ -46,9 +53,10 @@ func (a RMTSLight) Partition(ts task.Set, m int) *Result {
 			if q < 0 {
 				res.Reason = fmt.Sprintf("all processors full while assigning τ%d", i)
 				res.FailedTask = i
+				traceFail(tr, i, res.Reason)
 				return res
 			}
-			placed, rem, becameFull := assignOrSplitOv(asg, q, f, sorted, a.Surcharge)
+			placed, rem, becameFull := assignOrSplitOv(asg, q, f, sorted, a.Surcharge, tr)
 			if becameFull {
 				full[q] = true
 			}
@@ -63,7 +71,30 @@ func (a RMTSLight) Partition(ts task.Set, m int) *Result {
 	}
 	res.OK = true
 	res.Guaranteed = true
+	traceDone(tr, res)
 	return res
+}
+
+// traceFail records a terminal failure event (no-op for nil traces).
+func traceFail(tr *obs.Trace, failed int, reason string) {
+	if tr != nil {
+		tr.Add(obs.Event{Kind: obs.EvFail, Task: failed, Proc: -1, Note: reason})
+	}
+}
+
+// traceDone records a terminal success event (no-op for nil traces).
+func traceDone(tr *obs.Trace, res *Result) {
+	if tr != nil {
+		tr.Add(obs.Event{Kind: obs.EvDone, Task: -1, Proc: -1, OK: true,
+			Note: fmt.Sprintf("%d split, %d pre-assigned", res.NumSplit, res.NumPreAssigned)})
+	}
+}
+
+// tracePhase records a phase boundary (no-op for nil traces).
+func tracePhase(tr *obs.Trace, note string) {
+	if tr != nil {
+		tr.Add(obs.Event{Kind: obs.EvPhase, Task: -1, Proc: -1, Note: note})
+	}
 }
 
 // RMTS is the paper's general algorithm (§V): a pre-assignment phase places
@@ -82,6 +113,9 @@ type RMTS struct {
 	// Surcharge enables overhead-aware admission (see overhead.go); zero
 	// reproduces the paper's zero-overhead analysis.
 	Surcharge task.Time
+	// Trace, when non-nil, records every partitioning decision including
+	// the pre-assignment phase. Nil costs one branch per decision point.
+	Trace *obs.Trace
 }
 
 // NewRMTS returns an RM-TS instance using p for the pre-assignment
@@ -111,9 +145,11 @@ func (a *RMTS) Partition(ts task.Set, m int) *Result {
 	lightThr := bounds.LightThresholdFor(n)
 	lambda := a.Lambda(sorted)
 	res := &Result{Assignment: asg, FailedTask: -1}
+	tr := a.Trace
 	if i := surchargeFeasible(sorted, a.Surcharge); i >= 0 {
 		res.Reason = fmt.Sprintf("τ%d cannot meet its deadline under the overhead surcharge (C+s > T)", i)
 		res.FailedTask = i
+		traceFail(tr, i, res.Reason)
 		return res
 	}
 
@@ -138,6 +174,7 @@ func (a *RMTS) Partition(ts task.Set, m int) *Result {
 	// each), so they are pre-assigned unconditionally while processors
 	// remain — with exact-RTA filling in phase 3 this only improves
 	// average-case acceptance and never invalidates a successful result.
+	tracePhase(tr, "phase 1: pre-assignment of heavy tasks (condition (8))")
 	normalCount := m
 	pre := make([]bool, n)
 	for i := 0; i < n; i++ {
@@ -163,6 +200,16 @@ func (a *RMTS) Partition(ts task.Set, m int) *Result {
 			pre[i] = true
 			normalCount--
 			res.NumPreAssigned++
+			cPreAssign.Inc()
+			if tr != nil {
+				trigger := "condition (8)"
+				if u > lambda {
+					trigger = "U_i > Λ(τ)"
+				}
+				tr.Add(obs.Event{Kind: obs.EvPreAssign, Task: i, Part: 1, Proc: q,
+					C: sorted[i].C, T: sorted[i].T,
+					Note: fmt.Sprintf("%s; U_i=%.3f, Λ=%.3f, suffix U=%.3f", trigger, u, lambda, suffix[i+1])})
+			}
 		}
 	}
 
@@ -170,6 +217,7 @@ func (a *RMTS) Partition(ts task.Set, m int) *Result {
 	// RM-TS/light (increasing priority order, worst fit, split on
 	// overflow). A fragment that exhausts the normal processors carries
 	// over into phase 3 with its offset state intact.
+	tracePhase(tr, "phase 2: worst-fit packing on normal processors")
 	var carry *fragment
 	nextPre := len(preProcs) - 1 // phase 3 cursor: largest index first
 	phase3Assign := func(f fragment) bool {
@@ -181,7 +229,7 @@ func (a *RMTS) Partition(ts task.Set, m int) *Result {
 				return false
 			}
 			q := preProcs[nextPre]
-			placed, rem, becameFull := assignOrSplitOv(asg, q, f, sorted, a.Surcharge)
+			placed, rem, becameFull := assignOrSplitOv(asg, q, f, sorted, a.Surcharge, tr)
 			if becameFull {
 				full[q] = true
 			}
@@ -203,7 +251,7 @@ func (a *RMTS) Partition(ts task.Set, m int) *Result {
 				carry = &f
 				break
 			}
-			placed, rem, becameFull := assignOrSplitOv(asg, q, f, sorted, a.Surcharge)
+			placed, rem, becameFull := assignOrSplitOv(asg, q, f, sorted, a.Surcharge, tr)
 			if becameFull {
 				full[q] = true
 			}
@@ -216,9 +264,11 @@ func (a *RMTS) Partition(ts task.Set, m int) *Result {
 		// Phase 3: pre-assigned processors, first-fit from the processor
 		// hosting the lowest-priority pre-assigned task (largest index).
 		if carry != nil {
+			tracePhase(tr, fmt.Sprintf("phase 3: τ%d overflows onto pre-assigned processors", i))
 			if !phase3Assign(*carry) {
 				res.Reason = fmt.Sprintf("all processors full while assigning τ%d", i)
 				res.FailedTask = i
+				traceFail(tr, i, res.Reason)
 				return res
 			}
 			carry = nil
@@ -229,5 +279,6 @@ func (a *RMTS) Partition(ts task.Set, m int) *Result {
 	}
 	res.OK = true
 	res.Guaranteed = true
+	traceDone(tr, res)
 	return res
 }

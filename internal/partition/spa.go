@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/bounds"
+	"repro/internal/obs"
 	"repro/internal/task"
 )
 
@@ -23,18 +24,26 @@ const utilEps = 1e-9
 // Result's Guaranteed field reflects that. The consequence the paper
 // criticizes (§I) is structural: SPA1 can never utilize a processor beyond
 // Θ, no matter how benign the workload.
-type SPA1 struct{}
+type SPA1 struct {
+	// Trace, when non-nil, records every threshold-admission decision —
+	// note the RTAIters field of its events stays 0: threshold packing
+	// spends no response-time analysis per decision, which is exactly the
+	// cost/benefit contrast the paper draws (§I).
+	Trace *obs.Trace
+}
 
 // Name implements Algorithm.
 func (SPA1) Name() string { return "SPA1" }
 
 // Partition implements Algorithm.
-func (SPA1) Partition(ts task.Set, m int) *Result {
+func (a SPA1) Partition(ts task.Set, m int) *Result {
 	sorted, asg, fail := prepare(ts, m)
 	if fail != nil {
 		return fail
 	}
+	tr := a.Trace
 	if res := requireImplicit(sorted, asg, "SPA1"); res != nil {
+		traceFail(tr, -1, res.Reason)
 		return res
 	}
 	theta := bounds.LL(len(sorted))
@@ -47,9 +56,10 @@ func (SPA1) Partition(ts task.Set, m int) *Result {
 			if q < 0 {
 				res.Reason = fmt.Sprintf("all processors at the Θ threshold while assigning τ%d", i)
 				res.FailedTask = i
+				traceFail(tr, i, res.Reason)
 				return res
 			}
-			placed, rem, becameFull := thresholdAssign(asg, q, f, sorted, theta)
+			placed, rem, becameFull := thresholdAssign(asg, q, f, sorted, theta, tr)
 			if becameFull {
 				full[q] = true
 			}
@@ -66,6 +76,7 @@ func (SPA1) Partition(ts task.Set, m int) *Result {
 	lightThr := bounds.LightThresholdFor(len(sorted))
 	res.Guaranteed = sorted.IsLight(lightThr) &&
 		sorted.NormalizedUtilization(m) <= theta+utilEps
+	traceDone(tr, res)
 	return res
 }
 
@@ -74,9 +85,14 @@ func (SPA1) Partition(ts task.Set, m int) *Result {
 // exactly the utilization that fills the processor to the threshold.
 // Synthetic deadlines use the C-based bookkeeping of [16] (body subtasks
 // have the highest priority on their hosts in SPA1/SPA2, so R = C).
-func thresholdAssign(asg *task.Assignment, q int, f fragment, ts task.Set, threshold float64) (placed bool, rem fragment, fullQ bool) {
+func thresholdAssign(asg *task.Assignment, q int, f fragment, ts task.Set, threshold float64, tr *obs.Trace) (placed bool, rem fragment, fullQ bool) {
 	t := ts[f.idx]
 	d := f.deadline(t)
+	cAssignAttempts.Inc()
+	if tr != nil {
+		tr.Add(obs.Event{Kind: obs.EvAssignAttempt, Task: f.idx, Part: f.part, Proc: q,
+			C: f.remC, T: t.T, Deadline: d, Note: "threshold admission"})
+	}
 	room := threshold - asg.Utilization(q)
 	u := float64(f.remC) / float64(t.T)
 	if u <= room+utilEps && f.remC <= d {
@@ -84,6 +100,12 @@ func thresholdAssign(asg *task.Assignment, q int, f fragment, ts task.Set, thres
 			TaskIndex: f.idx, Part: f.part, C: f.remC, T: t.T,
 			Deadline: d, Offset: f.offset, Tail: true,
 		})
+		cAssignWhole.Inc()
+		if tr != nil {
+			tr.Add(obs.Event{Kind: obs.EvAssigned, Task: f.idx, Part: f.part, Proc: q,
+				C: f.remC, Deadline: d, OK: true,
+				Note: fmt.Sprintf("U=%.3f ≤ room %.3f", u, room)})
+		}
 		return true, fragment{}, false
 	}
 	portion := task.Time(room * float64(t.T))
@@ -98,7 +120,20 @@ func thresholdAssign(asg *task.Assignment, q int, f fragment, ts task.Set, thres
 			TaskIndex: f.idx, Part: f.part, C: portion, T: t.T,
 			Deadline: d, Offset: f.offset, Tail: false,
 		})
+		cSplits.Inc()
+		if tr != nil {
+			tr.Add(obs.Event{Kind: obs.EvSplit, Task: f.idx, Part: f.part, Proc: q,
+				C: f.remC, Portion: portion, Remainder: f.remC - portion, Response: portion,
+				Note: "split fills the processor to Θ"})
+		}
 		f = fragment{idx: f.idx, part: f.part + 1, remC: f.remC - portion, offset: f.offset + portion}
+	} else if tr != nil {
+		tr.Add(obs.Event{Kind: obs.EvReject, Task: f.idx, Part: f.part, Proc: q,
+			C: f.remC, Deadline: d, Note: "no room below the Θ threshold"})
+	}
+	cProcFull.Inc()
+	if tr != nil {
+		tr.Add(obs.Event{Kind: obs.EvProcFull, Task: f.idx, Part: f.part, Proc: q})
 	}
 	return false, f, true
 }
@@ -108,18 +143,24 @@ func thresholdAssign(asg *task.Assignment, q int, f fragment, ts task.Set, thres
 // Σ_{j>i} U_j ≤ (|P(τ_i)|−1)·Θ, mirroring RM-TS's structure but with the
 // utilization threshold in place of exact RTA everywhere. Guaranteed for
 // any task set with U_M(τ) ≤ Θ(τ).
-type SPA2 struct{}
+type SPA2 struct {
+	// Trace, when non-nil, records every threshold-admission decision (see
+	// the SPA1.Trace note on RTAIters staying 0).
+	Trace *obs.Trace
+}
 
 // Name implements Algorithm.
 func (SPA2) Name() string { return "SPA2" }
 
 // Partition implements Algorithm.
-func (SPA2) Partition(ts task.Set, m int) *Result {
+func (a SPA2) Partition(ts task.Set, m int) *Result {
 	sorted, asg, fail := prepare(ts, m)
 	if fail != nil {
 		return fail
 	}
+	tr := a.Trace
 	if res := requireImplicit(sorted, asg, "SPA2"); res != nil {
+		traceFail(tr, -1, res.Reason)
 		return res
 	}
 	n := len(sorted)
@@ -141,6 +182,7 @@ func (SPA2) Partition(ts task.Set, m int) *Result {
 
 	// Phase 1: pre-assign qualifying heavy tasks, decreasing priority
 	// order, lowest-index normal processor.
+	tracePhase(tr, "phase 1: pre-assignment of heavy tasks (Θ condition)")
 	normalCount := m
 	pre := make([]bool, n)
 	for i := 0; i < n; i++ {
@@ -163,11 +205,18 @@ func (SPA2) Partition(ts task.Set, m int) *Result {
 			pre[i] = true
 			normalCount--
 			res.NumPreAssigned++
+			cPreAssign.Inc()
+			if tr != nil {
+				tr.Add(obs.Event{Kind: obs.EvPreAssign, Task: i, Part: 1, Proc: q,
+					C: sorted[i].C, T: sorted[i].T,
+					Note: fmt.Sprintf("U_i=%.3f, Θ=%.3f, suffix U=%.3f", u, theta, suffix[i+1])})
+			}
 		}
 	}
 
 	// Phases 2 and 3: threshold packing on normal processors, then
 	// first-fit filling of pre-assigned processors from the largest index.
+	tracePhase(tr, "phase 2/3: threshold packing (normal, then pre-assigned processors)")
 	nextPre := len(preProcs) - 1
 	for i := n - 1; i >= 0; i-- {
 		if pre[i] {
@@ -181,7 +230,7 @@ func (SPA2) Partition(ts task.Set, m int) *Result {
 				break
 			}
 			var becameFull bool
-			placedWhole, f, becameFull = spaStep(asg, q, f, sorted, theta)
+			placedWhole, f, becameFull = spaStep(asg, q, f, sorted, theta, tr)
 			if becameFull {
 				full[q] = true
 			}
@@ -193,11 +242,12 @@ func (SPA2) Partition(ts task.Set, m int) *Result {
 			if nextPre < 0 {
 				res.Reason = fmt.Sprintf("all processors at the Θ threshold while assigning τ%d", i)
 				res.FailedTask = i
+				traceFail(tr, i, res.Reason)
 				return res
 			}
 			q := preProcs[nextPre]
 			var becameFull bool
-			placedWhole, f, becameFull = spaStep(asg, q, f, sorted, theta)
+			placedWhole, f, becameFull = spaStep(asg, q, f, sorted, theta, tr)
 			if becameFull {
 				full[q] = true
 			}
@@ -208,11 +258,12 @@ func (SPA2) Partition(ts task.Set, m int) *Result {
 	}
 	res.OK = true
 	res.Guaranteed = sorted.NormalizedUtilization(m) <= theta+utilEps
+	traceDone(tr, res)
 	return res
 }
 
-func spaStep(asg *task.Assignment, q int, f fragment, ts task.Set, theta float64) (bool, fragment, bool) {
-	placed, rem, becameFull := thresholdAssign(asg, q, f, ts, theta)
+func spaStep(asg *task.Assignment, q int, f fragment, ts task.Set, theta float64, tr *obs.Trace) (bool, fragment, bool) {
+	placed, rem, becameFull := thresholdAssign(asg, q, f, ts, theta, tr)
 	if placed {
 		return true, f, becameFull
 	}

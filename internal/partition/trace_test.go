@@ -1,0 +1,102 @@
+package partition
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/task"
+)
+
+// traceSet needs a split on two processors: three tasks of utilization 0.55
+// cannot be placed whole on two processors.
+func traceSet() task.Set {
+	return task.Set{
+		{C: 11, T: 20},
+		{C: 22, T: 40},
+		{C: 44, T: 80},
+	}
+}
+
+func kinds(ev []obs.Event) map[obs.EventKind]int {
+	out := make(map[obs.EventKind]int)
+	for _, e := range ev {
+		out[e.Kind]++
+	}
+	return out
+}
+
+func TestRMTSTraceRecordsDecisions(t *testing.T) {
+	tr := obs.NewTrace()
+	alg := &RMTS{Trace: tr}
+	res := alg.Partition(traceSet(), 2)
+	if !res.OK {
+		t.Fatalf("partitioning failed: %s", res.Reason)
+	}
+	if res.NumSplit == 0 {
+		t.Fatal("test set did not force a split; trace coverage lost")
+	}
+	k := kinds(tr.Events())
+	if k[obs.EvAssignAttempt] == 0 || k[obs.EvAssigned] == 0 {
+		t.Fatalf("missing assignment events: %v", k)
+	}
+	if k[obs.EvSplit] == 0 || k[obs.EvProcFull] == 0 {
+		t.Fatalf("missing split/proc-full events: %v", k)
+	}
+	if k[obs.EvPhase] == 0 {
+		t.Fatalf("missing phase events: %v", k)
+	}
+	if k[obs.EvDone] != 1 || k[obs.EvFail] != 0 {
+		t.Fatalf("terminal events wrong: %v", k)
+	}
+	var buf bytes.Buffer
+	tr.WriteText(&buf)
+	if !bytes.Contains(buf.Bytes(), []byte("split")) {
+		t.Fatalf("rendered trace missing split line:\n%s", buf.String())
+	}
+}
+
+func TestTraceFailureRecorded(t *testing.T) {
+	tr := obs.NewTrace()
+	// Three tasks of utilization 0.55 cannot fit on one processor.
+	res := RMTSLight{Trace: tr}.Partition(traceSet(), 1)
+	if res.OK {
+		t.Fatal("expected failure on one processor")
+	}
+	k := kinds(tr.Events())
+	if k[obs.EvFail] != 1 || k[obs.EvDone] != 0 {
+		t.Fatalf("terminal events wrong: %v", k)
+	}
+}
+
+func TestNilTraceMatchesTracedResult(t *testing.T) {
+	ts := traceSet()
+	with := &RMTS{Trace: obs.NewTrace()}
+	without := &RMTS{}
+	a, b := with.Partition(ts, 2), without.Partition(ts, 2)
+	if a.OK != b.OK || a.NumSplit != b.NumSplit || a.NumPreAssigned != b.NumPreAssigned {
+		t.Fatalf("tracing changed the result: %+v vs %+v", a, b)
+	}
+	if a.Assignment.String() != b.Assignment.String() {
+		t.Fatalf("tracing changed the assignment:\n%s\nvs\n%s", a.Assignment, b.Assignment)
+	}
+}
+
+func TestSPA2TraceThresholdAdmission(t *testing.T) {
+	tr := obs.NewTrace()
+	// Light tasks (U = 0.3 each) go through threshold packing, not
+	// pre-assignment.
+	ts := task.Set{{C: 6, T: 20}, {C: 12, T: 40}, {C: 24, T: 80}, {C: 6, T: 20}}
+	res := SPA2{Trace: tr}.Partition(ts, 2)
+	if !res.OK {
+		t.Fatalf("SPA2 failed: %s", res.Reason)
+	}
+	for _, e := range tr.Events() {
+		if e.RTAIters != 0 {
+			t.Fatalf("SPA2 spent RTA iterations (%+v) — threshold admission should not", e)
+		}
+	}
+	if kinds(tr.Events())[obs.EvAssigned] == 0 {
+		t.Fatal("no assigned events recorded")
+	}
+}

@@ -25,8 +25,29 @@ import (
 	"math"
 
 	"repro/internal/mathx"
+	"repro/internal/obs"
 	"repro/internal/task"
 )
+
+// Instrumentation (see internal/obs): the cost of exact RTA is the quantity
+// the paper's average-case argument turns on — RM-TS does more work per
+// admission decision than SPA1/SPA2's utilization threshold, and these
+// metrics make that work measurable. All hooks are no-ops unless
+// obs.SetEnabled(true).
+var (
+	cCalls       = obs.NewCounter("rta.calls")
+	cIters       = obs.NewCounter("rta.iterations")
+	cAborts      = obs.NewCounter("rta.limit_exceeded")
+	cSlackCalls  = obs.NewCounter("rta.slack.calls")
+	cSlackPoints = obs.NewCounter("rta.slack.points")
+	cLoadPoints  = obs.NewCounter("rta.maxload.points")
+	hItersPer    = obs.NewHistogram("rta.iters_per_call")
+)
+
+// IterationsValue returns the running total of response-time fixed-point
+// iterations (0 unless metrics are enabled). Decision traces read deltas of
+// this between single-goroutine admission checks.
+func IterationsValue() int64 { return cIters.Value() }
 
 // Interference is a higher-priority load source: a task releasing jobs of
 // length C every T ticks.
@@ -45,23 +66,41 @@ type Interference struct {
 // each iterate strictly increases until it either stabilizes or passes
 // limit.
 func ResponseTime(c task.Time, hp []Interference, limit task.Time) (task.Time, bool) {
+	r, ok, iters := responseTime(c, hp, limit)
+	if obs.On() {
+		cCalls.Inc()
+		cIters.Add(iters)
+		hItersPer.Observe(iters)
+		if !ok {
+			cAborts.Inc()
+		}
+	}
+	return r, ok
+}
+
+// responseTime is the uninstrumented fixed-point iteration; iters counts
+// evaluations of the demand function (0 when c alone already exceeds
+// limit).
+func responseTime(c task.Time, hp []Interference, limit task.Time) (task.Time, bool, int64) {
 	if c > limit {
-		return c, false
+		return c, false, 0
 	}
 	r := c
 	for _, j := range hp {
 		r = mathx.AddSat(r, j.C)
 	}
+	iters := int64(0)
 	for {
 		if r > limit {
-			return r, false
+			return r, false, iters
 		}
 		next := c
 		for _, j := range hp {
 			next = mathx.AddSat(next, mathx.MulSat(mathx.CeilDiv(r, j.T), j.C))
 		}
+		iters++
 		if next == r {
-			return r, true
+			return r, true, iters
 		}
 		if next < r {
 			// Cannot happen: the demand function is monotone. Guard anyway.
@@ -159,10 +198,14 @@ func Slack(list []task.Subtask, i int, t task.Time) task.Time {
 	sub := list[i]
 	hp := hpOf(list, i)
 	best := task.Time(-1)
+	cSlackCalls.Inc()
+	points := int64(0)
+	defer func() { cSlackPoints.Add(points) }()
 	check := func(x task.Time) {
 		if x <= 0 || x > sub.Deadline {
 			return
 		}
+		points++
 		demand := sub.C
 		for _, j := range hp {
 			demand = mathx.AddSat(demand, mathx.MulSat(mathx.CeilDiv(x, j.T), j.C))
@@ -215,10 +258,13 @@ func MaxOwnLoad(hp []Interference, d task.Time) task.Time {
 		return 0
 	}
 	best := task.Time(0)
+	points := int64(0)
+	defer func() { cLoadPoints.Add(points) }()
 	check := func(x task.Time) {
 		if x <= 0 || x > d {
 			return
 		}
+		points++
 		interf := task.Time(0)
 		for _, j := range hp {
 			interf = mathx.AddSat(interf, mathx.MulSat(mathx.CeilDiv(x, j.T), j.C))

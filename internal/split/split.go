@@ -18,8 +18,20 @@
 package split
 
 import (
+	"repro/internal/obs"
 	"repro/internal/rta"
 	"repro/internal/task"
+)
+
+// Instrumentation (no-ops unless obs.SetEnabled): the testing-point method
+// is the paper's efficiency claim over binary search, and these counters
+// let the split-ablation experiment quantify the work each does — slack
+// evaluations per testing-point call (see rta.slack.*) versus full
+// admission probes per binary-search call.
+var (
+	cTPCalls   = obs.NewCounter("split.tp.calls")
+	cBinCalls  = obs.NewCounter("split.bin.calls")
+	cBinProbes = obs.NewCounter("split.bin.probes")
 )
 
 // MaxPortion returns the largest c' in [0, budget] such that adding a new
@@ -30,6 +42,7 @@ import (
 // It minimizes, over the resident subtasks, the exact RTA slack with
 // respect to a period-t interferer.
 func MaxPortion(list []task.Subtask, t, budget, d task.Time) task.Time {
+	cTPCalls.Inc()
 	if budget <= 0 {
 		return 0
 	}
@@ -64,6 +77,7 @@ func MaxPortion(list []task.Subtask, t, budget, d task.Time) task.Time {
 // RM-TS phase 3, where a processor may already host a pre-assigned task of
 // either priority relative to the incoming one.
 func MaxPortionAt(list []task.Subtask, prio int, t, budget, d task.Time) task.Time {
+	cTPCalls.Inc()
 	if budget <= 0 || d <= 0 {
 		return 0
 	}
@@ -96,6 +110,7 @@ func MaxPortionAt(list []task.Subtask, prio int, t, budget, d task.Time) task.Ti
 // MaxPortionAtBinary is the binary-search reference for MaxPortionAt, used
 // to cross-check it in tests.
 func MaxPortionAtBinary(list []task.Subtask, prio int, t, budget, d task.Time) task.Time {
+	cBinCalls.Inc()
 	hi := budget
 	if d < hi {
 		hi = d
@@ -104,6 +119,7 @@ func MaxPortionAtBinary(list []task.Subtask, prio int, t, budget, d task.Time) t
 		return 0
 	}
 	feasible := func(c task.Time) bool {
+		cBinProbes.Inc()
 		if c == 0 {
 			return true
 		}
@@ -129,6 +145,7 @@ func MaxPortionAtBinary(list []task.Subtask, prio int, t, budget, d task.Time) t
 // admission check at each probe. Schedulability is monotone in c' (a larger
 // fragment only adds interference), so the search is exact.
 func MaxPortionBinary(list []task.Subtask, t, budget, d task.Time) task.Time {
+	cBinCalls.Inc()
 	hi := budget
 	if d < hi {
 		hi = d
@@ -137,6 +154,7 @@ func MaxPortionBinary(list []task.Subtask, t, budget, d task.Time) task.Time {
 		return 0
 	}
 	feasible := func(c task.Time) bool {
+		cBinProbes.Inc()
 		if c == 0 {
 			return true
 		}
