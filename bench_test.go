@@ -34,7 +34,10 @@ func benchExperiment(b *testing.B, key string) {
 	obs.Reset()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		tables := e.Run(experiments.Config{Seed: int64(i) + 1, SetsPerPoint: 10, Quick: true})
+		tables, err := e.Run(experiments.Config{Seed: int64(i) + 1, SetsPerPoint: 10, Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(tables) == 0 {
 			b.Fatal("no tables")
 		}
@@ -44,6 +47,7 @@ func benchExperiment(b *testing.B, key string) {
 	}
 	perOp := func(name string) float64 { return float64(obs.Value(name)) / float64(b.N) }
 	b.ReportMetric(perOp("rta.iterations"), "rta-iters/op")
+	b.ReportMetric(perOp("rta.cache.warm_starts"), "warm-starts/op")
 	b.ReportMetric(perOp("partition.splits"), "splits/op")
 }
 

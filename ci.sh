@@ -1,8 +1,10 @@
 #!/bin/sh
 # Tier-1 verification gate (see ROADMAP.md): formatting, vet, build, full
-# test suite, plus a race-detector pass over the concurrent packages (the
-# experiment harness fans out over workers; the obs counters are shared
-# atomics). Run from the repository root; any failure fails the gate.
+# test suite, a race-detector pass over the concurrent packages (the
+# experiment harness fans out over workers; the obs counters and the RTA
+# warm-start toggle are shared atomics), and a one-iteration bench smoke so
+# every benchmark keeps compiling and running. Run from the repository
+# root; any failure fails the gate.
 set -eu
 
 echo "== gofmt =="
@@ -23,6 +25,9 @@ echo "== go test =="
 go test ./...
 
 echo "== go test -race (concurrency-sensitive packages) =="
-go test -race -short repro/internal/experiments repro/internal/obs
+go test -race -short repro/internal/experiments repro/internal/obs repro/internal/partition
+
+echo "== bench smoke (one iteration per benchmark) =="
+go test -run '^$' -bench=. -benchtime=1x ./... > /dev/null
 
 echo "CI gate passed."

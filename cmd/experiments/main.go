@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/rta"
 )
 
 func main() {
@@ -42,6 +43,7 @@ func main() {
 		metrics    = flag.Bool("metrics", false, "print per-experiment analysis-cost counters after the tables")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		rtacache   = flag.Bool("rtacache", true, "warm-start RTA caching in the partitioners (tables are identical either way; disable to cross-check or to measure the saving)")
 	)
 	flag.Parse()
 
@@ -109,8 +111,12 @@ func main() {
 	if *metrics {
 		obs.SetEnabled(true)
 	}
+	rta.SetWarmStart(*rtacache)
 	for _, e := range toRun {
-		tables, rm := experiments.RunWithMetrics(e, cfg)
+		tables, rm, err := experiments.RunWithMetrics(e, cfg)
+		if err != nil {
+			fail("%s: %v", e.Key, err)
+		}
 		for _, t := range tables {
 			if *csv {
 				fmt.Printf("# %s — %s\n", t.ID, t.Title)

@@ -14,7 +14,7 @@ import (
 // the binary-search reference the paper sketches and the efficient
 // testing-point method it cites from [22]. Both must agree exactly on
 // every instance; the table reports agreement and the speedup.
-func SplitAblation(cfg Config) []Table {
+func SplitAblation(cfg Config) ([]Table, error) {
 	r := rand.New(rand.NewSource(cfg.Seed ^ 0xE9))
 	instances := cfg.setsPerPoint() * 5
 	if cfg.Quick && instances > 200 {
@@ -88,5 +88,5 @@ func SplitAblation(cfg Config) []Table {
 		t.Notes = append(t.Notes, "WARNING: implementations disagree — investigate")
 	}
 	cfg.progressf("split-ablation: %d instances, speedup %.2fx", instances, speedup)
-	return []Table{t}
+	return []Table{t}, nil
 }

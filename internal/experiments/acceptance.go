@@ -15,7 +15,7 @@ import (
 // RM-TS against SPA2 and strict first-fit partitioning. Expected shape:
 // SPA2's curve collapses right after the L&L bound (≈70%); RM-TS stays
 // high well beyond it; strict partitioning trails both at high U_M.
-func AcceptanceGeneral(cfg Config) []Table {
+func AcceptanceGeneral(cfg Config) ([]Table, error) {
 	r := rand.New(rand.NewSource(cfg.Seed ^ 0xE2))
 	m := 8
 	points := seq(0.60, 1.00, 0.025)
@@ -32,7 +32,7 @@ func AcceptanceGeneral(cfg Config) []Table {
 			return gen.TaskSet(r, gen.Config{TargetU: target, UMin: 0.05, UMax: 0.95})
 		}, algos)
 		if err != nil {
-			panic(fmt.Sprintf("acceptance-general: %v", err))
+			return nil, fmt.Errorf("acceptance-general: %w", err)
 		}
 		ratios[i] = row
 		mt.Tick("U_M=%.3f", um)
@@ -40,13 +40,13 @@ func AcceptanceGeneral(cfg Config) []Table {
 	return []Table{sweepTable("acceptance-general", fmt.Sprintf("M=%d, U_i∈[0.05,0.95], periods log-uniform [100,10000], %d sets/point", m, cfg.setsPerPoint()),
 		points, algos, ratios,
 		"expected: RM-TS ≥ SPA2 everywhere; SPA2 ≈ 0 above Θ≈0.70; RM-TS degrades gracefully towards 1.0",
-	)}
+	)}, nil
 }
 
 // AcceptanceLight (E3) is the light-task-set comparison: every U_i ≤ 0.40
 // (≈ Θ/(1+Θ)), where RM-TS/light's Theorem 8 applies. Expected shape:
 // RM-TS/light ≈ RM-TS, both far above SPA1/SPA2 past the L&L bound.
-func AcceptanceLight(cfg Config) []Table {
+func AcceptanceLight(cfg Config) ([]Table, error) {
 	r := rand.New(rand.NewSource(cfg.Seed ^ 0xE3))
 	m := 8
 	points := seq(0.60, 1.00, 0.025)
@@ -63,7 +63,7 @@ func AcceptanceLight(cfg Config) []Table {
 			return gen.TaskSet(r, gen.Config{TargetU: target, UMin: 0.05, UMax: 0.40})
 		}, algos)
 		if err != nil {
-			panic(fmt.Sprintf("acceptance-light: %v", err))
+			return nil, fmt.Errorf("acceptance-light: %w", err)
 		}
 		ratios[i] = row
 		mt.Tick("U_M=%.3f", um)
@@ -71,7 +71,7 @@ func AcceptanceLight(cfg Config) []Table {
 	return []Table{sweepTable("acceptance-light", fmt.Sprintf("M=%d, U_i∈[0.05,0.40] (light), %d sets/point", m, cfg.setsPerPoint()),
 		points, algos, ratios,
 		"expected: RM-TS/light ≈ RM-TS; SPA1/SPA2 cap at Θ≈0.70",
-	)}
+	)}, nil
 }
 
 // AcceptanceHarmonic (E4) instantiates the 100% bound: light harmonic task
@@ -79,7 +79,7 @@ func AcceptanceLight(cfg Config) []Table {
 // everything up to ≈ 1 − 1/T_min (integer-time quantization), while the
 // SPA baselines still cap at the L&L bound — they cannot exploit the
 // harmonic structure.
-func AcceptanceHarmonic(cfg Config) []Table {
+func AcceptanceHarmonic(cfg Config) ([]Table, error) {
 	r := rand.New(rand.NewSource(cfg.Seed ^ 0xE4))
 	m := 8
 	points := seq(0.70, 1.00, 0.02)
@@ -99,7 +99,7 @@ func AcceptanceHarmonic(cfg Config) []Table {
 			})
 		}, algos)
 		if err != nil {
-			panic(fmt.Sprintf("acceptance-harmonic: %v", err))
+			return nil, fmt.Errorf("acceptance-harmonic: %w", err)
 		}
 		ratios[i] = row
 		mt.Tick("U_M=%.3f", um)
@@ -108,7 +108,7 @@ func AcceptanceHarmonic(cfg Config) []Table {
 		points, algos, ratios,
 		"Λ(τ) = 100% (harmonic bound); Theorem 8 guarantees RM-TS/light ≈ 1.0 up to U_M ≈ 1 − 1/T_min",
 		"SPA1/SPA2 cannot exploit harmonicity: they cap at Θ ≈ 0.70",
-	)}
+	)}, nil
 }
 
 // AcceptanceKChains (E5) evaluates the §V instantiations: task sets whose
@@ -116,7 +116,7 @@ func AcceptanceHarmonic(cfg Config) []Table {
 // bound is min(K(2^{1/K}−1), 2Θ/(1+Θ)): ≈81.8% for K=2 (capped) and 77.9%
 // for K=3. Expected: 100% acceptance at or below the bound (minus the
 // integer-time margin), graceful decay above; SPA2 still capped at Θ.
-func AcceptanceKChains(cfg Config) []Table {
+func AcceptanceKChains(cfg Config) ([]Table, error) {
 	var tables []Table
 	for _, k := range []int{2, 3} {
 		r := rand.New(rand.NewSource(cfg.Seed ^ int64(0xE5+k)))
@@ -146,7 +146,7 @@ func AcceptanceKChains(cfg Config) []Table {
 				return ts, nil
 			}, algos)
 			if err != nil {
-				panic(fmt.Sprintf("acceptance-kchains: %v", err))
+				return nil, fmt.Errorf("acceptance-kchains: %w", err)
 			}
 			ratios[i] = row
 			mt.Tick("U_M=%.3f", um)
@@ -158,14 +158,14 @@ func AcceptanceKChains(cfg Config) []Table {
 			fmt.Sprintf("effective RM-TS bound min(K-bound, 2Θ/(1+Θ)) ≈ %s for this set size", fmtPct(boundVal)),
 		))
 	}
-	return tables
+	return tables, nil
 }
 
 // ProcsSweep (E7) fixes U_M = 0.93 (well above the L&L bound, near the
 // packing limit) and sweeps the processor count. Expected: RM-TS's
 // acceptance grows with M (more processors smooth the bin-packing), SPA2
 // stays at zero (0.93 > Θ), strict first-fit trails RM-TS at every M.
-func ProcsSweep(cfg Config) []Table {
+func ProcsSweep(cfg Config) ([]Table, error) {
 	r := rand.New(rand.NewSource(cfg.Seed ^ 0xE7))
 	um := 0.93
 	ms := []int{2, 4, 8, 16, 32}
@@ -189,7 +189,7 @@ func ProcsSweep(cfg Config) []Table {
 			return gen.TaskSet(r, gen.Config{TargetU: um * float64(m), UMin: 0.05, UMax: 0.60})
 		}, algos)
 		if err != nil {
-			panic(fmt.Sprintf("procs-sweep: %v", err))
+			return nil, fmt.Errorf("procs-sweep: %w", err)
 		}
 		cells := []string{fmt.Sprintf("%d", m)}
 		for _, v := range row {
@@ -198,14 +198,14 @@ func ProcsSweep(cfg Config) []Table {
 		t.Rows = append(t.Rows, cells)
 		mt.Tick("M=%d", m)
 	}
-	return []Table{t}
+	return []Table{t}, nil
 }
 
 // HeavySweep (E8) varies the share of total utilization carried by heavy
 // tasks (U > Θ/(1+Θ)) at fixed U_M, exercising RM-TS's pre-assignment
 // phase. It also reports the mean number of pre-assigned tasks. Expected:
 // RM-TS stays robust as the heavy share grows; strict first-fit suffers.
-func HeavySweep(cfg Config) []Table {
+func HeavySweep(cfg Config) ([]Table, error) {
 	r := rand.New(rand.NewSource(cfg.Seed ^ 0xE8))
 	m := 8
 	um := 0.94
@@ -241,7 +241,7 @@ func HeavySweep(cfg Config) []Table {
 			pre int
 		}
 		perSet := make([]outcome, n)
-		var firstErr error
+		errs := make([]error, n)
 		cfg.parEach(r.Int63(), n, func(s int, r *rand.Rand) {
 			ts, err := gen.MixedSet(r, gen.MixedConfig{
 				TargetU:    um * float64(m),
@@ -250,7 +250,7 @@ func HeavySweep(cfg Config) []Table {
 				LightMin: 0.05, LightMax: 0.30,
 			})
 			if err != nil {
-				firstErr = err
+				errs[s] = err
 				return
 			}
 			o := outcome{ok: make([]bool, len(algos))}
@@ -263,8 +263,8 @@ func HeavySweep(cfg Config) []Table {
 			}
 			perSet[s] = o
 		})
-		if firstErr != nil {
-			panic(fmt.Sprintf("heavy-sweep: %v", firstErr))
+		if err := firstError(errs); err != nil {
+			return nil, fmt.Errorf("heavy-sweep: %w", err)
 		}
 		accepted := make([]int, len(algos))
 		preSum := 0
@@ -287,14 +287,14 @@ func HeavySweep(cfg Config) []Table {
 		t.Rows = append(t.Rows, cells)
 		mt.Tick("share=%.1f", share)
 	}
-	return []Table{t}
+	return []Table{t}, nil
 }
 
 // UtilizationTail (E11) quantifies the paper's §I claim that the
 // threshold-based algorithm of [16] "never utilizes more than the
 // worst-case bound": among sets with U_M above Θ, it counts how many each
 // algorithm schedules with a guarantee.
-func UtilizationTail(cfg Config) []Table {
+func UtilizationTail(cfg Config) ([]Table, error) {
 	r := rand.New(rand.NewSource(cfg.Seed ^ 0xE11))
 	m := 8
 	if cfg.Quick {
@@ -317,11 +317,11 @@ func UtilizationTail(cfg Config) []Table {
 		um := um
 		n := cfg.setsPerPoint()
 		perSet := make([][]bool, n)
-		var firstErr error
+		errs := make([]error, n)
 		cfg.parEach(r.Int63(), n, func(s int, r *rand.Rand) {
 			ts, err := gen.TaskSet(r, gen.Config{TargetU: um * float64(m), UMin: 0.05, UMax: 0.5})
 			if err != nil {
-				firstErr = err
+				errs[s] = err
 				return
 			}
 			theta := bounds.LL(len(ts))
@@ -335,8 +335,8 @@ func UtilizationTail(cfg Config) []Table {
 			}
 			perSet[s] = row
 		})
-		if firstErr != nil {
-			panic(fmt.Sprintf("utilization-tail: %v", firstErr))
+		if err := firstError(errs); err != nil {
+			return nil, fmt.Errorf("utilization-tail: %w", err)
 		}
 		counts := make([]int, len(algos))
 		for _, row := range perSet {
@@ -353,5 +353,5 @@ func UtilizationTail(cfg Config) []Table {
 		t.Rows = append(t.Rows, cells)
 		mt.Tick("U_M=%.2f", um)
 	}
-	return []Table{t}
+	return []Table{t}, nil
 }

@@ -16,7 +16,7 @@ import (
 // uniprocessors, exact-analysis RMS breaks down around 88% on average
 // versus the 69% worst-case bound; RM-TS inherits that gap on
 // multiprocessors, while SPA2's breakdown pins at the bound.
-func Breakdown(cfg Config) []Table {
+func Breakdown(cfg Config) ([]Table, error) {
 	r := rand.New(rand.NewSource(cfg.Seed ^ 0xE6))
 	ms := []int{4, 8, 16}
 	sets := cfg.setsPerPoint() / 2
@@ -48,14 +48,14 @@ func Breakdown(cfg Config) []Table {
 	for _, m := range ms {
 		m := m
 		perSet := make([][]float64, sets)
-		var firstErr error
+		errs := make([]error, sets)
 		cfg.parEach(r.Int63(), sets, func(s int, r *rand.Rand) {
 			shape, err := gen.TaskSet(r, gen.Config{
 				TargetU: float64(m), // full scale = U_M 1.0
 				UMin:    0.05, UMax: 0.40,
 			})
 			if err != nil {
-				firstErr = err
+				errs[s] = err
 				return
 			}
 			row := make([]float64, len(algos))
@@ -64,8 +64,8 @@ func Breakdown(cfg Config) []Table {
 			}
 			perSet[s] = row
 		})
-		if firstErr != nil {
-			panic(fmt.Sprintf("breakdown: %v", firstErr))
+		if err := firstError(errs); err != nil {
+			return nil, fmt.Errorf("breakdown: %w", err)
 		}
 		for i, a := range algos {
 			samples := make([]float64, 0, sets)
@@ -80,7 +80,7 @@ func Breakdown(cfg Config) []Table {
 		}
 		mt.Tick("M=%d", m)
 	}
-	return []Table{t}
+	return []Table{t}, nil
 }
 
 // breakdownOf bisects the largest scale λ ∈ (0, 1] at which alg accepts the

@@ -15,7 +15,7 @@ import (
 // at fixed U_M. The utilization-bound algorithms (SPA) are inapplicable by
 // construction and excluded. Expected: monotone decline with tightness;
 // splitting retains an edge over strict partitioning throughout.
-func ConstrainedDeadlines(cfg Config) []Table {
+func ConstrainedDeadlines(cfg Config) ([]Table, error) {
 	r := rand.New(rand.NewSource(cfg.Seed ^ 0xE16))
 	m := 8
 	um := 0.85
@@ -48,18 +48,18 @@ func ConstrainedDeadlines(cfg Config) []Table {
 		f := f
 		n := cfg.setsPerPoint()
 		perSet := make([][]bool, n)
-		var firstErr error
+		errs := make([]error, n)
 		cfg.parEach(r.Int63(), n, func(s int, r *rand.Rand) {
 			base, err := gen.TaskSet(r, gen.Config{TargetU: um * float64(m), UMin: 0.05, UMax: 0.4})
 			if err != nil {
-				firstErr = err
+				errs[s] = err
 				return
 			}
 			ts := base
 			if f[0] < 1.0 || f[1] < 1.0 {
 				ts, err = gen.Constrain(r, base, f[0], f[1])
 				if err != nil {
-					firstErr = err
+					errs[s] = err
 					return
 				}
 			}
@@ -70,8 +70,8 @@ func ConstrainedDeadlines(cfg Config) []Table {
 			}
 			perSet[s] = row
 		})
-		if firstErr != nil {
-			panic(fmt.Sprintf("constrained-deadlines: %v", firstErr))
+		if err := firstError(errs); err != nil {
+			return nil, fmt.Errorf("constrained-deadlines: %w", err)
 		}
 		accepted := make([]int, len(algos))
 		for _, row := range perSet {
@@ -92,5 +92,5 @@ func ConstrainedDeadlines(cfg Config) []Table {
 		t.Rows = append(t.Rows, row)
 		mt.Tick("f=%s", label)
 	}
-	return []Table{t}
+	return []Table{t}, nil
 }

@@ -184,8 +184,11 @@ type Experiment struct {
 	Key string
 	// Title is a one-line description.
 	Title string
-	// Run executes the experiment and returns its tables.
-	Run func(cfg Config) []Table
+	// Run executes the experiment and returns its tables. A non-nil error
+	// means the run could not produce its artifact (generator failure,
+	// infeasible configuration); sweeps propagate it instead of panicking,
+	// and cmd/experiments exits non-zero with the message.
+	Run func(cfg Config) ([]Table, error)
 }
 
 // Registry returns all experiments in presentation order.
@@ -260,11 +263,11 @@ type RunMetrics struct {
 // the resulting counter snapshot and timing to the returned RunMetrics.
 // Tables are produced exactly as by e.Run — instrumentation never alters
 // experiment output, only observes it.
-func RunWithMetrics(e Experiment, cfg Config) ([]Table, RunMetrics) {
+func RunWithMetrics(e Experiment, cfg Config) ([]Table, RunMetrics, error) {
 	obs.Reset()
 	span := obs.StartSpan("experiment/" + e.Key)
 	start := time.Now()
-	tables := e.Run(cfg)
+	tables, err := e.Run(cfg)
 	span.End()
 	snap := obs.Default.Snapshot()
 	return tables, RunMetrics{
@@ -273,7 +276,7 @@ func RunWithMetrics(e Experiment, cfg Config) ([]Table, RunMetrics) {
 		Counters:   snap.Counters,
 		Histograms: snap.Histograms,
 		Spans:      snap.Spans,
-	}
+	}, err
 }
 
 // Render writes the metrics as comment-prefixed lines, safe to interleave
@@ -377,15 +380,33 @@ func sweepTable(id, title string, points []float64, algos []algoSpec, ratios [][
 	return t
 }
 
+// seq returns the sweep points from, from+step, …, up to and including to
+// (within 1e-9 tolerance). Points are generated as from + i·step with an
+// integer count rather than by accumulation: repeated `v += step` builds up
+// float error, and for ranges like seq(0.65, 0.95, 0.10) the accumulated
+// last point lands above to+1e-9 and silently drops from the sweep.
 func seq(from, to, step float64) []float64 {
-	var out []float64
-	for v := from; v <= to+1e-9; v += step {
-		out = append(out, v)
+	k := int((to-from)/step + 1e-9)
+	out := make([]float64, 0, k+1)
+	for i := 0; i <= k; i++ {
+		out = append(out, from+float64(i)*step)
 	}
 	return out
 }
 
 func fmtPct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// firstError returns the first non-nil entry of a per-index error slice
+// (the race-free way for parEach workers to report failures: each worker
+// writes only its own index, and the scan happens after the barrier).
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // meanAndRange formats mean (min–max) of a sample.
 func meanAndRange(xs []float64) string {

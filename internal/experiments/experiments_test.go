@@ -49,7 +49,10 @@ func TestEveryExperimentRunsQuick(t *testing.T) {
 	for _, e := range Registry() {
 		e := e
 		t.Run(e.Key, func(t *testing.T) {
-			tables := e.Run(quickCfg())
+			tables, err := e.Run(quickCfg())
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
 			if len(tables) == 0 {
 				t.Fatal("no tables produced")
 			}
@@ -84,8 +87,8 @@ func TestExperimentsDeterministic(t *testing.T) {
 		if !ok {
 			t.Fatalf("%s missing", key)
 		}
-		a := render(e.Run(quickCfg()))
-		b := render(e.Run(quickCfg()))
+		a := render(mustRun(t, e, quickCfg()))
+		b := render(mustRun(t, e, quickCfg()))
 		if a != b {
 			t.Errorf("%s not deterministic across runs with the same seed", key)
 		}
@@ -96,8 +99,8 @@ func TestParallelDeterminism(t *testing.T) {
 	// The same seed must produce identical tables at any worker count.
 	for _, key := range []string{"acceptance-general", "fp-vs-edf"} {
 		e, _ := Find(key)
-		seq := render(e.Run(Config{Seed: 7, SetsPerPoint: 20, Quick: true, Workers: 1}))
-		par := render(e.Run(Config{Seed: 7, SetsPerPoint: 20, Quick: true, Workers: 8}))
+		seq := render(mustRun(t, e, Config{Seed: 7, SetsPerPoint: 20, Quick: true, Workers: 1}))
+		par := render(mustRun(t, e, Config{Seed: 7, SetsPerPoint: 20, Quick: true, Workers: 8}))
 		if seq != par {
 			t.Errorf("%s: workers=1 and workers=8 disagree", key)
 		}
@@ -134,6 +137,15 @@ func TestParEachSeedsAreStable(t *testing.T) {
 	}
 }
 
+func mustRun(t *testing.T, e Experiment, cfg Config) []Table {
+	t.Helper()
+	tables, err := e.Run(cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", e.Key, err)
+	}
+	return tables
+}
+
 func render(tables []Table) string {
 	var buf bytes.Buffer
 	for _, tb := range tables {
@@ -143,7 +155,10 @@ func render(tables []Table) string {
 }
 
 func TestSimulateVerifyReportsZeroMisses(t *testing.T) {
-	tables := SimulateVerify(Config{Seed: 5, SetsPerPoint: 15, Quick: true})
+	tables, err := SimulateVerify(Config{Seed: 5, SetsPerPoint: 15, Quick: true})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
 	tb := tables[0]
 	missCol := -1
 	for i, h := range tb.Header {
@@ -171,7 +186,10 @@ func TestSimulateVerifyReportsZeroMisses(t *testing.T) {
 func TestAcceptanceShapeRMTSDominatesSPA2(t *testing.T) {
 	// Core claim of the paper in miniature: over the sweep, RM-TS's summed
 	// acceptance strictly exceeds SPA2's.
-	tables := AcceptanceGeneral(Config{Seed: 2, SetsPerPoint: 25, Quick: true})
+	tables, err := AcceptanceGeneral(Config{Seed: 2, SetsPerPoint: 25, Quick: true})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
 	tb := tables[0]
 	col := func(name string) int {
 		for i, h := range tb.Header {
@@ -201,7 +219,10 @@ func TestAcceptanceShapeRMTSDominatesSPA2(t *testing.T) {
 func TestHarmonicShapeNearFullUtilization(t *testing.T) {
 	// RM-TS/light must accept harmonic light sets essentially everywhere
 	// below U_M = 0.95.
-	tables := AcceptanceHarmonic(Config{Seed: 3, SetsPerPoint: 20, Quick: true})
+	tables, err := AcceptanceHarmonic(Config{Seed: 3, SetsPerPoint: 20, Quick: true})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
 	tb := tables[0]
 	col := -1
 	for i, h := range tb.Header {
@@ -222,7 +243,10 @@ func TestHarmonicShapeNearFullUtilization(t *testing.T) {
 }
 
 func TestSplitAblationAgrees(t *testing.T) {
-	tables := SplitAblation(Config{Seed: 4, SetsPerPoint: 10, Quick: true})
+	tables, err := SplitAblation(Config{Seed: 4, SetsPerPoint: 10, Quick: true})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
 	tb := tables[0]
 	agreeCell := tb.Rows[0][len(tb.Rows[0])-1]
 	parts := strings.Split(agreeCell, "/")
@@ -245,7 +269,10 @@ func TestConfigDefaults(t *testing.T) {
 }
 
 func TestAnalysisPessimismSound(t *testing.T) {
-	tables := AnalysisPessimism(Config{Seed: 6, SetsPerPoint: 20, Quick: true})
+	tables, err := AnalysisPessimism(Config{Seed: 6, SetsPerPoint: 20, Quick: true})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
 	tb := tables[0]
 	maxCol := -1
 	for i, h := range tb.Header {
@@ -268,7 +295,10 @@ func TestAnalysisPessimismSound(t *testing.T) {
 }
 
 func TestAdmissionAblationStaircase(t *testing.T) {
-	tables := AdmissionAblation(Config{Seed: 7, SetsPerPoint: 25, Quick: true})
+	tables, err := AdmissionAblation(Config{Seed: 7, SetsPerPoint: 25, Quick: true})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
 	tb := tables[0]
 	for _, row := range tb.Rows {
 		var prev float64 = -1
@@ -290,7 +320,10 @@ func TestUniBreakdownMatchesCited88Percent(t *testing.T) {
 	// The one digit the paper quotes with a citation: ≈88% average
 	// breakdown utilization of uniprocessor RMS. Our reproduction must
 	// bracket it at the classic experiment's scale (small n).
-	tables := UniprocessorBreakdown(Config{Seed: 9, SetsPerPoint: 60, Quick: true})
+	tables, err := UniprocessorBreakdown(Config{Seed: 9, SetsPerPoint: 60, Quick: true})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
 	tb := tables[0]
 	for _, row := range tb.Rows {
 		n, _ := strconv.Atoi(row[0])

@@ -19,7 +19,7 @@ import (
 // while RM's exact test saturates near its ~96% average breakdown on
 // random (non-harmonic) processors — splitting cannot recover capacity the
 // fixed-priority scheduler itself cannot certify.
-func FPvsEDF(cfg Config) []Table {
+func FPvsEDF(cfg Config) ([]Table, error) {
 	r := rand.New(rand.NewSource(cfg.Seed ^ 0xE15))
 	m := 8
 	points := seq(0.70, 1.00, 0.025)
@@ -41,7 +41,7 @@ func FPvsEDF(cfg Config) []Table {
 			return gen.TaskSet(r, gen.Config{TargetU: target, UMin: 0.05, UMax: 0.7})
 		}, algos)
 		if err != nil {
-			panic(fmt.Sprintf("fp-vs-edf: %v", err))
+			return nil, fmt.Errorf("fp-vs-edf: %w", err)
 		}
 		ratios[i] = row
 		mt.Tick("U_M=%.3f", um)
@@ -50,5 +50,5 @@ func FPvsEDF(cfg Config) []Table {
 		fmt.Sprintf("M=%d, U_i∈[0.05,0.7], %d sets/point — splitting vs the best strict partitioner", m, cfg.setsPerPoint()),
 		points, algos, ratios,
 		"expected: P-EDF ≥ P-RM everywhere; RM-TS ≥ P-EDF through ≈0.95; the EDF-based approaches win the extreme tail (exact 100% uniprocessor test), with EDF-TS (splitting) dominating strict P-EDF there",
-	)}
+	)}, nil
 }

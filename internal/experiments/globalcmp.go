@@ -21,7 +21,7 @@ import (
 //     and the RM-US utilization bound m/(3m−2) against RM-TS's guaranteed
 //     acceptance. The paper's point: the best global fixed-priority
 //     *bound* is ≈33–50%, far below RM-TS's 81.8–100%.
-func GlobalCompare(cfg Config) []Table {
+func GlobalCompare(cfg Config) ([]Table, error) {
 	t1 := Table{
 		ID:     "global-compare/dhall",
 		Title:  "Dhall effect: witness sets (m light tasks + one C=T task)",
@@ -38,11 +38,11 @@ func GlobalCompare(cfg Config) []Table {
 		ts := global.DhallExample(m, 50)
 		grm, err := global.Simulate(ts, m, global.Options{Policy: global.RM, StopOnMiss: true})
 		if err != nil {
-			panic(fmt.Sprintf("global-compare: %v", err))
+			return nil, fmt.Errorf("global-compare: %w", err)
 		}
 		rmus, err := global.Simulate(ts, m, global.Options{Policy: global.RMUS, StopOnMiss: true})
 		if err != nil {
-			panic(fmt.Sprintf("global-compare: %v", err))
+			return nil, fmt.Errorf("global-compare: %w", err)
 		}
 		res := partition.NewRMTS(nil).Partition(ts, m)
 		t1.Rows = append(t1.Rows, []string{
@@ -78,11 +78,11 @@ func GlobalCompare(cfg Config) []Table {
 		um := um
 		n := cfg.setsPerPoint()
 		perSet := make([][4]bool, n)
-		var firstErr error
+		errs := make([]error, n)
 		cfg.parEach(r.Int63(), n, func(s int, r *rand.Rand) {
 			ts, err := gen.TaskSet(r, gen.Config{TargetU: um * float64(m), UMin: 0.05, UMax: 0.9, Periods: menu})
 			if err != nil {
-				firstErr = err
+				errs[s] = err
 				return
 			}
 			var o [4]bool
@@ -98,8 +98,8 @@ func GlobalCompare(cfg Config) []Table {
 			}
 			perSet[s] = o
 		})
-		if firstErr != nil {
-			panic(fmt.Sprintf("global-compare: %v", firstErr))
+		if err := firstError(errs); err != nil {
+			return nil, fmt.Errorf("global-compare: %w", err)
 		}
 		var grmOK, rmusOK, usBound, rmtsOK int
 		for _, o := range perSet {
@@ -125,7 +125,7 @@ func GlobalCompare(cfg Config) []Table {
 		})
 		mt.Tick("U_M=%.2f", um)
 	}
-	return []Table{t1, t2}
+	return []Table{t1, t2}, nil
 }
 
 func missLabel(ok bool) string {

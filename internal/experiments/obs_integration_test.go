@@ -16,7 +16,11 @@ func renderE2(t *testing.T, workers int) []byte {
 		t.Fatal("acceptance-general not registered")
 	}
 	var buf bytes.Buffer
-	for _, tb := range e.Run(Config{Seed: 7, SetsPerPoint: 16, Quick: true, Workers: workers}) {
+	tables, err := e.Run(Config{Seed: 7, SetsPerPoint: 16, Quick: true, Workers: workers})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, tb := range tables {
 		tb.Render(&buf)
 		tb.CSV(&buf)
 	}
@@ -88,7 +92,10 @@ func TestRunWithMetricsAttachesSnapshot(t *testing.T) {
 	obs.SetEnabled(true)
 	defer obs.SetEnabled(false)
 	e, _ := Find("acceptance-general")
-	tables, rm := RunWithMetrics(e, Config{Seed: 7, SetsPerPoint: 4, Quick: true})
+	tables, rm, err := RunWithMetrics(e, Config{Seed: 7, SetsPerPoint: 4, Quick: true})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
 	if len(tables) == 0 {
 		t.Fatal("no tables")
 	}

@@ -26,7 +26,7 @@ import (
 //  3. overhead-aware — the sound fix implemented in
 //     partition/overhead.go: surcharge every fragment term inside the
 //     admission RTA by 3×cost. Misses must be zero.
-func OverheadSensitivity(cfg Config) []Table {
+func OverheadSensitivity(cfg Config) ([]Table, error) {
 	r := rand.New(rand.NewSource(cfg.Seed ^ 0xE13))
 	m := 4
 	um := 0.85
@@ -60,11 +60,11 @@ func OverheadSensitivity(cfg Config) []Table {
 			awareAcc, awareMiss bool
 		}
 		perSet := make([]outcome, sets)
-		var firstErr error
+		errs := make([]error, sets)
 		cfg.parEach(r.Int63(), sets, func(s int, r *rand.Rand) {
 			ts, err := gen.TaskSet(r, gen.Config{TargetU: um * float64(m), UMin: 0.05, UMax: 0.5, Periods: menu})
 			if err != nil {
-				firstErr = err
+				errs[s] = err
 				return
 			}
 			simWithCharges := func(asg *task.Assignment) bool {
@@ -73,7 +73,7 @@ func OverheadSensitivity(cfg Config) []Table {
 					DispatchOverhead: ov, MigrationOverhead: ov,
 				})
 				if err != nil {
-					firstErr = err
+					errs[s] = err
 					return true
 				}
 				return rep.Ok()
@@ -105,8 +105,8 @@ func OverheadSensitivity(cfg Config) []Table {
 			}
 			perSet[s] = o
 		})
-		if firstErr != nil {
-			panic(fmt.Sprintf("overhead-sensitivity: %v", firstErr))
+		if err := firstError(errs); err != nil {
+			return nil, fmt.Errorf("overhead-sensitivity: %w", err)
 		}
 		naiveMissSets := 0
 		inflAccepted, inflMissSets := 0, 0
@@ -136,7 +136,7 @@ func OverheadSensitivity(cfg Config) []Table {
 		})
 		mt.Tick("overhead=%d", ov)
 	}
-	return []Table{t}
+	return []Table{t}, nil
 }
 
 // deflateAssignment rebuilds the provisioned assignment with each task's
@@ -185,7 +185,7 @@ func deflateAssignment(asg *task.Assignment, original task.Set) *task.Assignment
 // and RM-TS adds splitting on top of exact RTA. Expected ordering at high
 // U_M: LL < HB < RTA < RTA+splitting — each mechanism buys a visible slice
 // of the gap, with splitting decisive near 100%.
-func AdmissionAblation(cfg Config) []Table {
+func AdmissionAblation(cfg Config) ([]Table, error) {
 	r := rand.New(rand.NewSource(cfg.Seed ^ 0xE14))
 	m := 8
 	points := seq(0.60, 1.00, 0.05)
@@ -208,7 +208,7 @@ func AdmissionAblation(cfg Config) []Table {
 			return gen.TaskSet(r, gen.Config{TargetU: target, UMin: 0.05, UMax: 0.6})
 		}, algos)
 		if err != nil {
-			panic(fmt.Sprintf("admission-ablation: %v", err))
+			return nil, fmt.Errorf("admission-ablation: %w", err)
 		}
 		ratios[i] = row
 		mt.Tick("U_M=%.2f", um)
@@ -217,5 +217,5 @@ func AdmissionAblation(cfg Config) []Table {
 		fmt.Sprintf("M=%d, U_i∈[0.05,0.6], %d sets/point — what exactness and splitting each contribute", m, cfg.setsPerPoint()),
 		points, algos, ratios,
 		"expected ordering: FF[LL] ≤ FF[HB] ≤ FF[RTA] ≤ RM-TS at every point; Han-Tyan (HT) sits between HB and RTA on average",
-	)}
+	)}, nil
 }

@@ -23,7 +23,7 @@ import (
 // critical instant is the synchronous release, which the simulation
 // reproduces), while higher-priority tasks retain margin; non-split tasks
 // are tighter than split ones (cross-processor phasing rarely aligns).
-func AnalysisPessimism(cfg Config) []Table {
+func AnalysisPessimism(cfg Config) ([]Table, error) {
 	r := rand.New(rand.NewSource(cfg.Seed ^ 0xE17))
 	m := 4
 	sets := cfg.setsPerPoint()
@@ -39,12 +39,12 @@ func AnalysisPessimism(cfg Config) []Table {
 		last  bool // lowest priority on its processor
 	}
 	perSet := make([][]sample, sets)
-	var firstErr error
+	errs := make([]error, sets)
 	cfg.parEach(r.Int63(), sets, func(s int, r *rand.Rand) {
 		um := 0.6 + 0.3*r.Float64()
 		ts, err := gen.TaskSet(r, gen.Config{TargetU: um * float64(m), UMin: 0.05, UMax: 0.5, Periods: menu})
 		if err != nil {
-			firstErr = err
+			errs[s] = err
 			return
 		}
 		res := alg.Partition(ts, m)
@@ -53,7 +53,7 @@ func AnalysisPessimism(cfg Config) []Table {
 		}
 		rep, err := sim.Simulate(res.Assignment, sim.Options{StopOnMiss: true, HorizonCap: 200_000})
 		if err != nil || !rep.Ok() {
-			firstErr = fmt.Errorf("verified partition missed in simulation")
+			errs[s] = fmt.Errorf("verified partition missed in simulation")
 			return
 		}
 		var out []sample
@@ -72,7 +72,7 @@ func AnalysisPessimism(cfg Config) []Table {
 			}
 			rt, ok := rta.SubtaskResponse(list, pos)
 			if !ok {
-				firstErr = fmt.Errorf("verified partition fails RTA re-check")
+				errs[s] = fmt.Errorf("verified partition fails RTA re-check")
 				return
 			}
 			base := asg.Set[idx].T - asg.Set[idx].Deadline()
@@ -89,8 +89,8 @@ func AnalysisPessimism(cfg Config) []Table {
 		}
 		perSet[s] = out
 	})
-	if firstErr != nil {
-		panic(fmt.Sprintf("analysis-pessimism: %v", firstErr))
+	if err := firstError(errs); err != nil {
+		return nil, fmt.Errorf("analysis-pessimism: %w", err)
 	}
 
 	groups := map[string][]float64{}
@@ -132,5 +132,5 @@ func AnalysisPessimism(cfg Config) []Table {
 		})
 	}
 	cfg.progressf("analysis-pessimism: %d sets done", sets)
-	return []Table{t}
+	return []Table{t}, nil
 }

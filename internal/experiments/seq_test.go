@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSeqPointCounts pins the exact point count and endpoints of every
+// sweep range the experiments use. The old accumulating implementation
+// (`for v := from; v <= to+1e-9; v += step`) silently dropped the last
+// point of ranges whose step is not exactly representable — most visibly
+// seq(0.65, 0.95, 0.10), whose accumulated 0.95 lands above the tolerance
+// and vanished from every quick acceptance sweep.
+func TestSeqPointCounts(t *testing.T) {
+	cases := []struct {
+		from, to, step float64
+		want           int
+	}{
+		// Every range used by the experiments package, full and quick scale.
+		{0.60, 1.00, 0.025, 17},
+		{0.65, 0.95, 0.10, 4},
+		{0.70, 1.00, 0.02, 16},
+		{0.75, 1.00, 0.125, 3},
+		{0.70, 0.95, 0.025, 11},
+		{0.70, 0.90, 0.10, 3},
+		{0.60, 1.00, 0.05, 9},
+		{0.65, 0.95, 0.15, 3},
+		{0.70, 1.00, 0.025, 13},
+		{0.75, 0.95, 0.10, 3},
+	}
+	for _, c := range cases {
+		got := seq(c.from, c.to, c.step)
+		if len(got) != c.want {
+			t.Errorf("seq(%g, %g, %g): %d points %v, want %d",
+				c.from, c.to, c.step, len(got), got, c.want)
+			continue
+		}
+		if got[0] != c.from {
+			t.Errorf("seq(%g, %g, %g): first point %g", c.from, c.to, c.step, got[0])
+		}
+		if math.Abs(got[len(got)-1]-c.to) > 1e-9 {
+			t.Errorf("seq(%g, %g, %g): last point %g, want %g (endpoint dropped)",
+				c.from, c.to, c.step, got[len(got)-1], c.to)
+		}
+		for i := 1; i < len(got); i++ {
+			if d := got[i] - got[i-1]; math.Abs(d-c.step) > 1e-9 {
+				t.Errorf("seq(%g, %g, %g): spacing %g at %d", c.from, c.to, c.step, d, i)
+			}
+		}
+	}
+}

@@ -16,7 +16,7 @@ import (
 // table reports partitions simulated, deadline misses observed (which must
 // be zero for the RTA-backed algorithms), jobs completed, and the worst
 // observed job-response-to-deadline margin.
-func SimulateVerify(cfg Config) []Table {
+func SimulateVerify(cfg Config) ([]Table, error) {
 	r := rand.New(rand.NewSource(cfg.Seed ^ 0xE10))
 	m := 4
 	sets := cfg.setsPerPoint()
@@ -38,7 +38,7 @@ func SimulateVerify(cfg Config) []Table {
 		preempt   int64
 	}
 	perSet := make([][]agg, sets)
-	var firstErr error
+	errs := make([]error, sets)
 	cfg.parEach(r.Int63(), sets, func(s int, r *rand.Rand) {
 		um := 0.55 + 0.4*r.Float64()
 		ts, err := gen.TaskSet(r, gen.Config{
@@ -47,7 +47,7 @@ func SimulateVerify(cfg Config) []Table {
 			Periods: periodMenu,
 		})
 		if err != nil {
-			firstErr = err
+			errs[s] = err
 			return
 		}
 		row := make([]agg, len(algos))
@@ -58,15 +58,15 @@ func SimulateVerify(cfg Config) []Table {
 			}
 			rep, err := sim.Simulate(res.Assignment, sim.Options{StopOnMiss: false, HorizonCap: 200_000})
 			if err != nil {
-				firstErr = fmt.Errorf("%s: %v", a.name, err)
+				errs[s] = fmt.Errorf("%s: %v", a.name, err)
 				return
 			}
 			row[i] = agg{simulated: 1, misses: len(rep.Misses), jobs: rep.Completed, preempt: rep.Preemptions}
 		}
 		perSet[s] = row
 	})
-	if firstErr != nil {
-		panic(fmt.Sprintf("simulate-verify: %v", firstErr))
+	if err := firstError(errs); err != nil {
+		return nil, fmt.Errorf("simulate-verify: %w", err)
 	}
 	result := make(map[string]*agg, len(algos))
 	for i, a := range algos {
@@ -101,5 +101,5 @@ func SimulateVerify(cfg Config) []Table {
 		})
 	}
 	cfg.progressf("simulate-verify: %d sets done", sets)
-	return []Table{t}
+	return []Table{t}, nil
 }

@@ -11,7 +11,7 @@ import (
 // §§I, III and V: the Liu & Layland bound Θ(N) and the derived thresholds
 // Θ/(1+Θ) (light-task limit) and 2Θ/(1+Θ) (RM-TS cap), the harmonic-chain
 // bounds K(2^{1/K}−1), and T-/R-bound values on example period sets.
-func BoundsTable(cfg Config) []Table {
+func BoundsTable(cfg Config) ([]Table, error) {
 	t1 := Table{
 		ID:     "bounds-table/theta",
 		Title:  "L&L bound and derived thresholds by task count",
@@ -90,5 +90,5 @@ func BoundsTable(cfg Config) []Table {
 		t3.Rows = append(t3.Rows, row)
 	}
 	cfg.progressf("bounds-table: %d+%d+%d rows", len(t1.Rows), len(t2.Rows), len(t3.Rows))
-	return []Table{t1, t2, t3}
+	return []Table{t1, t2, t3}, nil
 }

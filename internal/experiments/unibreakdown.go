@@ -18,7 +18,7 @@ import (
 // the mean across sets should land near 0.88 for moderate task counts —
 // a digit-level check that this repository's RTA machinery matches the
 // literature it builds on.
-func UniprocessorBreakdown(cfg Config) []Table {
+func UniprocessorBreakdown(cfg Config) ([]Table, error) {
 	r := rand.New(rand.NewSource(cfg.Seed ^ 0xE18))
 	sets := cfg.setsPerPoint()
 	ns := []int{5, 10, 20, 50}
@@ -58,7 +58,7 @@ func UniprocessorBreakdown(cfg Config) []Table {
 		})
 		mt.Tick("n=%d", n)
 	}
-	return []Table{t}
+	return []Table{t}, nil
 }
 
 // uniBreakdown draws one task-set shape and bisects its breakdown

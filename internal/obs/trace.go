@@ -59,8 +59,11 @@ type Event struct {
 	Remainder int64     `json:"remainder,omitempty"`
 	Response  int64     `json:"response,omitempty"`
 	RTAIters  int64     `json:"rtaIters,omitempty"`
-	OK        bool      `json:"ok,omitempty"`
-	Note      string    `json:"note,omitempty"`
+	// RTAAborted marks a decision whose RTA evaluation hit the MaxIters
+	// cap: the recorded "no" is sound but unproven (see rta.VerdictAborted).
+	RTAAborted bool   `json:"rtaAborted,omitempty"`
+	OK         bool   `json:"ok,omitempty"`
+	Note       string `json:"note,omitempty"`
 }
 
 func (e Event) frag() string {
@@ -90,6 +93,9 @@ func (e Event) String() string {
 		fmt.Fprintf(&b, " %s by P%d", e.frag(), e.Proc)
 	case EvPhase, EvDone, EvFail:
 		// Note carries the substance.
+	}
+	if e.RTAAborted {
+		b.WriteString(" [RTA aborted at iteration cap]")
 	}
 	if e.Note != "" {
 		fmt.Fprintf(&b, " — %s", e.Note)

@@ -220,26 +220,41 @@ func fitPartitionAdmit(ts task.Set, m int, order FitOrder, pick func(*task.Assig
 		// already in place
 	}
 
+	// Per-processor incremental RTA state; only the exact test consults it
+	// (the threshold tests don't run fixed points), but the mirror costs
+	// nothing to maintain and keeps one assignment path.
+	states := rta.NewProcStates(m, 0)
+
 	for _, i := range idxs {
 		t := sorted[i]
 		placed := false
 		for _, q := range pick(asg) {
 			cAssignAttempts.Inc()
 			before := traceIters(tr)
-			if admit.admits(asg.Procs[q], i, t.C, t.T, t.Deadline()) {
+			abortsBefore := traceAborts(tr)
+			var ok bool
+			if admit == AdmitRTA {
+				ok = states[q].AdmitAt(i, t.C, t.T, t.Deadline())
+			} else {
+				ok = admit.admits(asg.Procs[q], i, t.C, t.T, t.Deadline())
+			}
+			if ok {
 				asg.Add(q, task.Whole(i, t))
+				states[q].Insert(task.Whole(i, t))
 				cAssignWhole.Inc()
 				if tr != nil {
 					tr.Add(obs.Event{Kind: obs.EvAssigned, Task: i, Part: 1, Proc: q,
 						C: t.C, Deadline: t.Deadline(), RTAIters: traceIters(tr) - before,
-						OK: true, Note: admit.String() + " admission"})
+						RTAAborted: traceAborts(tr) > abortsBefore,
+						OK:         true, Note: admit.String() + " admission"})
 				}
 				placed = true
 				break
 			} else if tr != nil {
 				tr.Add(obs.Event{Kind: obs.EvReject, Task: i, Part: 1, Proc: q,
 					C: t.C, Deadline: t.Deadline(), RTAIters: traceIters(tr) - before,
-					Note: admit.String() + " admission"})
+					RTAAborted: traceAborts(tr) > abortsBefore,
+					Note:       admit.String() + " admission"})
 			}
 		}
 		if !placed {

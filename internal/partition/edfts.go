@@ -50,14 +50,17 @@ func (a EDFTS) Partition(ts task.Set, m int) *Result {
 		return sorted[idxs[a]].Utilization() > sorted[idxs[b]].Utilization()
 	})
 
-	sources := func(q int) []edfa.Demand {
-		list := asg.Procs[q]
-		out := make([]edfa.Demand, len(list))
-		for i, s := range list {
-			out[i] = edfa.Demand{C: s.C, T: s.T, D: s.Deadline}
-		}
-		return out
+	// Incremental demand mirror: the per-processor []edfa.Demand view is
+	// maintained across placements instead of rebuilt from asg.Procs[q] on
+	// every probe (the EDF counterpart of rta.ProcState's interference
+	// mirror), and probes run on a single reused scratch buffer.
+	demands := make([][]edfa.Demand, m)
+	add := func(q int, s task.Subtask) {
+		asg.Add(q, s)
+		demands[q] = append(demands[q], edfa.Demand{C: s.C, T: s.T, D: s.Deadline})
 	}
+	sources := func(q int) []edfa.Demand { return demands[q] }
+	scratch := make([]edfa.Demand, 0, len(sorted)+1)
 
 	for _, i := range idxs {
 		t := sorted[i]
@@ -66,8 +69,10 @@ func (a EDFTS) Partition(ts task.Set, m int) *Result {
 		placed := false
 		for q := 0; q < m; q++ {
 			cAssignAttempts.Inc()
-			if edfa.Schedulable(append(sources(q), edfa.Demand{C: t.C, T: t.T, D: d})) {
-				asg.Add(q, task.Whole(i, t))
+			scratch = append(scratch[:0], demands[q]...)
+			scratch = append(scratch, edfa.Demand{C: t.C, T: t.T, D: d})
+			if edfa.Schedulable(scratch) {
+				add(q, task.Whole(i, t))
 				cAssignWhole.Inc()
 				if tr != nil {
 					tr.Add(obs.Event{Kind: obs.EvAssigned, Task: i, Part: 1, Proc: q,
@@ -85,7 +90,7 @@ func (a EDFTS) Partition(ts task.Set, m int) *Result {
 		}
 		// Window split: try k = 2..m equal windows w = D/k; greedily take
 		// the largest per-processor budgets until the demand is covered.
-		if !splitByWindows(asg, sources, i, t, m, tr) {
+		if !splitByWindows(add, sources, i, t, m, tr) {
 			res.Reason = fmt.Sprintf("no window split fits τ%d (demand test)", i)
 			res.FailedTask = i
 			traceFail(tr, i, res.Reason)
@@ -101,8 +106,10 @@ func (a EDFTS) Partition(ts task.Set, m int) *Result {
 }
 
 // splitByWindows attempts the EDF-WM style split of task i; it returns
-// whether fragments covering the full demand were assigned.
-func splitByWindows(asg *task.Assignment, sources func(int) []edfa.Demand, i int, t task.Task, m int, tr *obs.Trace) bool {
+// whether fragments covering the full demand were assigned. add commits a
+// fragment to both the assignment and the incremental demand mirror that
+// backs sources.
+func splitByWindows(add func(int, task.Subtask), sources func(int) []edfa.Demand, i int, t task.Task, m int, tr *obs.Trace) bool {
 	d := t.Deadline()
 	base := t.T - d
 	for k := task.Time(2); k <= task.Time(m); k++ {
@@ -144,7 +151,7 @@ func splitByWindows(asg *task.Assignment, sources func(int) []edfa.Demand, i int
 				c = remaining
 			}
 			offset := base + task.Time(part-1)*w
-			asg.Add(caps[part-1].q, task.Subtask{
+			add(caps[part-1].q, task.Subtask{
 				TaskIndex: i, Part: part, C: c, T: t.T,
 				Deadline: w, Offset: offset, Tail: part == use || remaining == c,
 			})

@@ -3,9 +3,7 @@ package partition
 import (
 	"fmt"
 
-	"repro/internal/obs"
 	"repro/internal/rta"
-	"repro/internal/split"
 	"repro/internal/task"
 )
 
@@ -58,78 +56,10 @@ func surcharged(list []task.Subtask, s task.Time) []task.Subtask {
 	return out
 }
 
-// assignOrSplitOv is assignOrSplit with a per-fragment analysis surcharge.
-func assignOrSplitOv(asg *task.Assignment, q int, f fragment, ts task.Set, s task.Time, tr *obs.Trace) (placed bool, rem fragment, full bool) {
-	if s == 0 {
-		return assignOrSplit(asg, q, f, ts, tr)
-	}
-	t := ts[f.idx]
-	d := f.deadline(t)
-	cAssignAttempts.Inc()
-	before := traceIters(tr)
-	if tr != nil {
-		tr.Add(obs.Event{Kind: obs.EvAssignAttempt, Task: f.idx, Part: f.part, Proc: q,
-			C: f.remC, T: t.T, Deadline: d, Note: fmt.Sprintf("surcharge %d", s)})
-	}
-	sur := surcharged(asg.Procs[q], s)
-	if d >= f.remC+s && rta.SchedulableWithExtraAt(sur, f.idx, f.remC+s, t.T, d) {
-		asg.Add(q, task.Subtask{
-			TaskIndex: f.idx, Part: f.part, C: f.remC, T: t.T,
-			Deadline: d, Offset: f.offset, Tail: true,
-		})
-		cAssignWhole.Inc()
-		if tr != nil {
-			tr.Add(obs.Event{Kind: obs.EvAssigned, Task: f.idx, Part: f.part, Proc: q,
-				C: f.remC, Deadline: d, RTAIters: traceIters(tr) - before, OK: true})
-		}
-		return true, fragment{}, false
-	}
-	portionSur := split.MaxPortionAt(sur, f.idx, t.T, f.remC+s, d)
-	portion := portionSur - s
-	if portion >= f.remC {
-		panic("partition: overhead-aware MaxSplit admits a fragment the full check rejected")
-	}
-	if portion > 0 {
-		body := task.Subtask{
-			TaskIndex: f.idx, Part: f.part, C: portion, T: t.T,
-			Deadline: d, Offset: f.offset, Tail: false,
-		}
-		asg.Add(q, body)
-		r := bodyResponseOv(asg.Procs[q], f.idx, f.part, s)
-		cSplits.Inc()
-		if tr != nil {
-			tr.Add(obs.Event{Kind: obs.EvSplit, Task: f.idx, Part: f.part, Proc: q,
-				C: f.remC, Portion: portion, Remainder: f.remC - portion, Response: r,
-				RTAIters: traceIters(tr) - before})
-		}
-		f = fragment{idx: f.idx, part: f.part + 1, remC: f.remC - portion, offset: f.offset + r}
-	} else if tr != nil {
-		tr.Add(obs.Event{Kind: obs.EvReject, Task: f.idx, Part: f.part, Proc: q,
-			C: f.remC, Deadline: d, RTAIters: traceIters(tr) - before, Note: "surcharged MaxSplit found no admissible prefix"})
-	}
-	cProcFull.Inc()
-	if tr != nil {
-		tr.Add(obs.Event{Kind: obs.EvProcFull, Task: f.idx, Part: f.part, Proc: q})
-	}
-	return false, f, true
-}
-
-// bodyResponseOv computes the body fragment's worst-case response time on
-// the surcharged view (covering its own charges and those of its
-// preemptors), used for the successor's synthetic deadline.
-func bodyResponseOv(list []task.Subtask, idx, part int, s task.Time) task.Time {
-	sur := surcharged(list, s)
-	for i, sub := range sur {
-		if sub.TaskIndex == idx && sub.Part == part {
-			r, ok := rta.ResponseTime(sub.C, hpInterferences(sur, i), sub.T)
-			if !ok {
-				panic("partition: freshly split surcharged body fragment is unschedulable")
-			}
-			return r
-		}
-	}
-	panic("partition: body fragment not found on its processor")
-}
+// The per-fragment surcharge rides inside rta.ProcState: assignOrSplit
+// mirrors every resident and candidate with C+s, so one code path serves
+// both the zero-overhead and overhead-aware analyses (see
+// partition.go/assignOrSplit and rta.ProcState.Surcharge).
 
 func hpInterferences(list []task.Subtask, i int) []rta.Interference {
 	hp := make([]rta.Interference, i)

@@ -45,6 +45,16 @@ func traceIters(tr *obs.Trace) int64 {
 	return rta.IterationsValue()
 }
 
+// traceAborts samples the global RTA abort total, so decision traces can
+// mark admissions whose "no" came from the MaxIters cap rather than a
+// proven deadline miss (same single-goroutine caveat as traceIters).
+func traceAborts(tr *obs.Trace) int64 {
+	if tr == nil {
+		return 0
+	}
+	return rta.AbortsValue()
+}
+
 // Result is the outcome of a partitioning attempt.
 type Result struct {
 	// OK reports whether every task was fully assigned.
@@ -114,37 +124,52 @@ func (f fragment) deadline(t task.Task) task.Time { return t.T - f.offset }
 // full. It returns whether the fragment was fully placed and, if not, the
 // remainder to continue with.
 //
+// All analysis runs on the processor's incremental state ps — the warm-
+// start response cache and reused interference mirror of internal/rta —
+// which must shadow asg.Procs[q] exactly (every Add here is paired with an
+// Insert). ps.Surcharge carries the per-fragment overhead surcharge (see
+// overhead.go); zero reproduces the paper's zero-overhead analysis.
+//
 // The new fragment is inserted at its RM priority position. In RM-TS/light
 // and RM-TS phase 2 it is always the highest-priority subtask on q (tasks
 // arrive in increasing priority order, Lemma 2); in RM-TS phase 3 a
 // pre-assigned task may outrank it, which the general-position analysis
 // handles, and the synthetic deadline of the next fragment is then advanced
 // by the body's actual response time R rather than C (equation (1)).
-func assignOrSplit(asg *task.Assignment, q int, f fragment, ts task.Set, tr *obs.Trace) (placed bool, rem fragment, full bool) {
+func assignOrSplit(asg *task.Assignment, ps *rta.ProcState, q int, f fragment, ts task.Set, tr *obs.Trace) (placed bool, rem fragment, full bool) {
 	t := ts[f.idx]
 	d := f.deadline(t)
+	s := ps.Surcharge
 	cAssignAttempts.Inc()
 	before := traceIters(tr)
+	abortsBefore := traceAborts(tr)
 	if tr != nil {
-		tr.Add(obs.Event{Kind: obs.EvAssignAttempt, Task: f.idx, Part: f.part, Proc: q,
-			C: f.remC, T: t.T, Deadline: d})
+		ev := obs.Event{Kind: obs.EvAssignAttempt, Task: f.idx, Part: f.part, Proc: q,
+			C: f.remC, T: t.T, Deadline: d}
+		if s > 0 {
+			ev.Note = fmt.Sprintf("surcharge %d", s)
+		}
+		tr.Add(ev)
 	}
-	if d >= f.remC && rta.SchedulableWithExtraAt(asg.Procs[q], f.idx, f.remC, t.T, d) {
-		asg.Add(q, task.Subtask{
+	if d >= f.remC+s && ps.AdmitAt(f.idx, f.remC, t.T, d) {
+		sub := task.Subtask{
 			TaskIndex: f.idx, Part: f.part, C: f.remC, T: t.T,
 			Deadline: d, Offset: f.offset, Tail: true,
-		})
+		}
+		asg.Add(q, sub)
+		ps.Insert(sub)
 		cAssignWhole.Inc()
 		if tr != nil {
 			tr.Add(obs.Event{Kind: obs.EvAssigned, Task: f.idx, Part: f.part, Proc: q,
-				C: f.remC, Deadline: d, RTAIters: traceIters(tr) - before, OK: true})
+				C: f.remC, Deadline: d, RTAIters: traceIters(tr) - before,
+				RTAAborted: traceAborts(tr) > abortsBefore, OK: true})
 		}
 		return true, fragment{}, false
 	}
-	portion := split.MaxPortionAt(asg.Procs[q], f.idx, t.T, f.remC, d)
+	portion := split.MaxPortionState(ps, f.idx, t.T, f.remC+s, d) - s
 	if portion >= f.remC {
-		// MaxPortionAt and SchedulableWithExtraAt implement the same exact
-		// criterion; disagreement means a broken analysis, not bad input.
+		// MaxSplit and AdmitAt implement the same exact criterion;
+		// disagreement means a broken analysis, not bad input.
 		panic("partition: MaxSplit admits a fragment the full RTA rejected")
 	}
 	if portion > 0 {
@@ -153,42 +178,32 @@ func assignOrSplit(asg *task.Assignment, q int, f fragment, ts task.Set, tr *obs
 			Deadline: d, Offset: f.offset, Tail: false,
 		}
 		asg.Add(q, body)
-		r := bodyResponse(asg.Procs[q], f.idx, f.part)
+		pos := ps.Insert(body)
+		r, ok := ps.ResponseAt(pos, d)
+		if !ok {
+			panic("partition: freshly split body fragment is unschedulable")
+		}
 		cSplits.Inc()
 		if tr != nil {
 			tr.Add(obs.Event{Kind: obs.EvSplit, Task: f.idx, Part: f.part, Proc: q,
 				C: f.remC, Portion: portion, Remainder: f.remC - portion, Response: r,
-				RTAIters: traceIters(tr) - before})
+				RTAIters: traceIters(tr) - before, RTAAborted: traceAborts(tr) > abortsBefore})
 		}
 		f = fragment{idx: f.idx, part: f.part + 1, remC: f.remC - portion, offset: f.offset + r}
 	} else if tr != nil {
+		note := "MaxSplit found no admissible prefix"
+		if s > 0 {
+			note = "surcharged MaxSplit found no admissible prefix"
+		}
 		tr.Add(obs.Event{Kind: obs.EvReject, Task: f.idx, Part: f.part, Proc: q,
-			C: f.remC, Deadline: d, RTAIters: traceIters(tr) - before, Note: "MaxSplit found no admissible prefix"})
+			C: f.remC, Deadline: d, RTAIters: traceIters(tr) - before,
+			RTAAborted: traceAborts(tr) > abortsBefore, Note: note})
 	}
 	cProcFull.Inc()
 	if tr != nil {
 		tr.Add(obs.Event{Kind: obs.EvProcFull, Task: f.idx, Part: f.part, Proc: q})
 	}
 	return false, f, true
-}
-
-// bodyResponse computes the final worst-case response time of the body
-// fragment (idx, part) on the given processor. The processor is marked full
-// immediately after a split, so no higher-priority load arrives later and
-// this value is final. When the body has the highest priority on its host
-// (always, outside RM-TS phase 3) the result is its execution time C,
-// recovering Lemma 2.
-func bodyResponse(list []task.Subtask, idx, part int) task.Time {
-	for i, s := range list {
-		if s.TaskIndex == idx && s.Part == part {
-			r, ok := rta.SubtaskResponse(list, i)
-			if !ok {
-				panic("partition: freshly split body fragment is unschedulable")
-			}
-			return r
-		}
-	}
-	panic("partition: body fragment not found on its processor")
 }
 
 // minUtilProcessor returns the index of the processor with the smallest

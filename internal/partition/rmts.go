@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bounds"
 	"repro/internal/obs"
+	"repro/internal/rta"
 	"repro/internal/task"
 )
 
@@ -37,6 +38,7 @@ func (a RMTSLight) Partition(ts task.Set, m int) *Result {
 		return fail
 	}
 	full := make([]bool, m)
+	states := rta.NewProcStates(m, a.Surcharge)
 	res := &Result{Assignment: asg, FailedTask: -1}
 	tr := a.Trace
 	if i := surchargeFeasible(sorted, a.Surcharge); i >= 0 {
@@ -56,7 +58,7 @@ func (a RMTSLight) Partition(ts task.Set, m int) *Result {
 				traceFail(tr, i, res.Reason)
 				return res
 			}
-			placed, rem, becameFull := assignOrSplitOv(asg, q, f, sorted, a.Surcharge, tr)
+			placed, rem, becameFull := assignOrSplit(asg, &states[q], q, f, sorted, tr)
 			if becameFull {
 				full[q] = true
 			}
@@ -154,6 +156,7 @@ func (a *RMTS) Partition(ts task.Set, m int) *Result {
 	}
 
 	full := make([]bool, m)
+	states := rta.NewProcStates(m, a.Surcharge)
 	normal := make([]bool, m)
 	for q := range normal {
 		normal[q] = true
@@ -194,6 +197,7 @@ func (a *RMTS) Partition(ts task.Set, m int) *Result {
 				}
 			}
 			asg.Add(q, task.Whole(i, sorted[i]))
+			states[q].Insert(task.Whole(i, sorted[i]))
 			asg.PreAssigned[q] = i
 			normal[q] = false
 			preProcs = append(preProcs, q)
@@ -229,7 +233,7 @@ func (a *RMTS) Partition(ts task.Set, m int) *Result {
 				return false
 			}
 			q := preProcs[nextPre]
-			placed, rem, becameFull := assignOrSplitOv(asg, q, f, sorted, a.Surcharge, tr)
+			placed, rem, becameFull := assignOrSplit(asg, &states[q], q, f, sorted, tr)
 			if becameFull {
 				full[q] = true
 			}
@@ -251,7 +255,7 @@ func (a *RMTS) Partition(ts task.Set, m int) *Result {
 				carry = &f
 				break
 			}
-			placed, rem, becameFull := assignOrSplitOv(asg, q, f, sorted, a.Surcharge, tr)
+			placed, rem, becameFull := assignOrSplit(asg, &states[q], q, f, sorted, tr)
 			if becameFull {
 				full[q] = true
 			}

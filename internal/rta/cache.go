@@ -1,0 +1,285 @@
+// Incremental analysis engine: per-processor warm-start caching for exact
+// RTA (the paper's §IV-A admission loop is where all the fixed-point work
+// happens, and the E2 metrics show RM-TS spending ~10⁴ iterations per task
+// set there).
+//
+// A ProcState shadows one processor's priority-sorted resident list with
+// three things a from-scratch analysis rebuilds on every probe:
+//
+//  1. the interference mirror — the residents as []Interference, kept in
+//     priority order so the higher-priority set of position i is the slice
+//     ints[:i], with zero allocation per probe;
+//  2. the response cache — the last converged response time per resident.
+//     Partitioners only ever ADD load, and the demand function is monotone
+//     in added interference, so an old fixed point is a valid lower bound
+//     on the new one; the fixed-point iteration converges to the same
+//     least fixed point from any lower bound (see iterate), so warm starts
+//     are exact, not approximate;
+//  3. the affected-range skip — a candidate inserted at priority position
+//     pos adds interference only to residents at positions ≥ pos; the
+//     residents before pos keep the exact response they were admitted
+//     with, and re-checking them is provably redundant (every resident was
+//     schedulable when the last admission committed).
+//
+// Equivalence contract: with warm starts disabled (SetWarmStart(false))
+// ProcState reproduces the from-scratch computation step for step — every
+// admission decision, split portion and response value is byte-identical
+// either way, because the least fixed point is unique. Only the iteration
+// counts (rta.iterations, rta.iters_per_call) differ. The partition
+// package's equivalence fuzz test and the experiments golden test pin this
+// contract.
+package rta
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+	"repro/internal/task"
+)
+
+// warmStartOff is the global cache toggle; the zero value means enabled.
+// It exists so experiments and tests can prove decision-equivalence of the
+// cached and from-scratch paths on identical inputs.
+var warmStartOff atomic.Bool
+
+// SetWarmStart enables (true, the default) or disables warm-start caching
+// and affected-range skipping in every ProcState. Disabling never changes
+// any analysis outcome — only how much work reaching it costs.
+func SetWarmStart(on bool) { warmStartOff.Store(!on) }
+
+// WarmStartEnabled reports whether ProcState warm starts are active.
+func WarmStartEnabled() bool { return !warmStartOff.Load() }
+
+// Cache-effectiveness instrumentation (no-ops unless obs.SetEnabled):
+// warm_starts counts fixed points started from a cached response,
+// skipped_residents counts per-probe residents not re-analysed because the
+// candidate cannot affect them.
+var (
+	cWarmStarts   = obs.NewCounter("rta.cache.warm_starts")
+	cSkippedHP    = obs.NewCounter("rta.cache.skipped_residents")
+	cStagedAdopts = obs.NewCounter("rta.cache.staged_adoptions")
+)
+
+// ProcState is the incremental analysis state of one processor. Create one
+// per processor at the start of a partitioning run, mirror every committed
+// subtask with Insert, and use AdmitAt / SlackAt / MaxOwnLoadAt /
+// ResponseAt in place of the from-scratch package functions. The zero
+// value is ready to use (empty processor, no surcharge).
+//
+// A ProcState is not safe for concurrent use; partitioning runs are
+// single-goroutine per task set (the experiment harness parallelizes over
+// task sets, each with its own states).
+type ProcState struct {
+	// Surcharge is the per-fragment analysis surcharge (overhead-aware
+	// admission, see partition/overhead.go). Every C mirrored into the
+	// state — resident and candidate alike — is inflated by it. Zero
+	// reproduces the paper's zero-overhead analysis.
+	Surcharge task.Time
+
+	idx  []int          // resident TaskIndex, priority order
+	ints []Interference // resident (C+Surcharge, T), priority order
+	dls  []task.Time    // resident synthetic deadlines
+	resp []task.Time    // last converged response per resident (0 = unknown)
+
+	// Staging from the last successful AdmitAt probe: if the very next
+	// Insert commits exactly that candidate, the responses computed during
+	// the probe (which already include the candidate's interference) are
+	// adopted as the new cache — they are the true converged fixed points
+	// of the post-insert processor.
+	staged      []task.Time
+	stagedPos   int
+	stagedC     task.Time // surcharged
+	stagedT     task.Time
+	stagedD     task.Time
+	stagedValid bool
+}
+
+// NewProcStates returns one ProcState per processor, all sharing the given
+// analysis surcharge.
+func NewProcStates(m int, surcharge task.Time) []ProcState {
+	states := make([]ProcState, m)
+	for q := range states {
+		states[q].Surcharge = surcharge
+	}
+	return states
+}
+
+// Len returns the number of mirrored residents.
+func (ps *ProcState) Len() int { return len(ps.ints) }
+
+// PosFor returns the priority position a load with task index prio would
+// be inserted at — the first position whose resident has a larger index —
+// matching task.Assignment.Add's ordering exactly.
+func (ps *ProcState) PosFor(prio int) int {
+	pos := 0
+	for pos < len(ps.idx) && ps.idx[pos] <= prio {
+		pos++
+	}
+	return pos
+}
+
+// HP returns the higher-priority interference set of position pos as a
+// shared slice of the internal mirror. The caller must not retain or
+// mutate it across Insert calls.
+func (ps *ProcState) HP(pos int) []Interference { return ps.ints[:pos] }
+
+// Insert mirrors a committed subtask (after the owning task.Assignment.Add)
+// and returns its priority position. If the subtask matches the staged
+// candidate of the immediately preceding successful AdmitAt, the probe's
+// converged responses become the new cache; otherwise the cached responses
+// of displaced residents are kept — they remain valid lower bounds, since
+// the insertion only added interference.
+func (ps *ProcState) Insert(s task.Subtask) int {
+	pos := ps.PosFor(s.TaskIndex)
+	c := s.C + ps.Surcharge
+	ps.idx = insertInt(ps.idx, pos, s.TaskIndex)
+	ps.ints = insertInterference(ps.ints, pos, Interference{C: c, T: s.T})
+	ps.dls = insertTime(ps.dls, pos, s.Deadline)
+	if ps.stagedValid && ps.stagedPos == pos && ps.stagedC == c && ps.stagedT == s.T && ps.stagedD == s.Deadline {
+		ps.resp = append(ps.resp[:0], ps.staged[:len(ps.ints)]...)
+		if obs.On() {
+			cStagedAdopts.Inc()
+		}
+	} else {
+		ps.resp = insertTime(ps.resp, pos, 0)
+	}
+	ps.stagedValid = false
+	return pos
+}
+
+// AdmitAt reports whether the processor stays schedulable when a new load
+// (c, t) with priority index prio is inserted at its priority position and
+// the new load itself meets deadline d. It is the incremental equivalent
+// of SchedulableWithExtraAt on the surcharged resident view, with c taken
+// as the RAW execution time (the surcharge is added internally).
+//
+// With warm starts enabled, residents above the insertion position are
+// skipped (the candidate cannot interfere with them, and the processor
+// invariant — every resident passed RTA when admitted — makes their
+// re-check redundant) and every evaluated fixed point starts from the
+// cached response when that beats the cold lower bound. With warm starts
+// disabled every resident is re-analysed from a cold start, reproducing
+// the from-scratch path. Both modes return identical verdicts.
+func (ps *ProcState) AdmitAt(prio int, c, t, d task.Time) bool {
+	cand := c + ps.Surcharge
+	pos := ps.PosFor(prio)
+	warm := WarmStartEnabled()
+	ps.stagedValid = false
+	n := len(ps.ints)
+	if cap(ps.staged) < n+1 {
+		ps.staged = make([]task.Time, n+1)
+	}
+	staged := ps.staged[:n+1]
+
+	if warm {
+		if obs.On() && pos > 0 {
+			cSkippedHP.Add(int64(pos))
+		}
+		copy(staged[:pos], ps.resp[:pos])
+	} else {
+		for i := 0; i < pos; i++ {
+			r, v, iters := iterate(ps.ints[i].C, ps.ints[:i], 0, 0, ps.dls[i], coldStart(ps.ints[i].C, ps.ints[:i], 0))
+			account(v, iters)
+			if v != VerdictFits {
+				return false
+			}
+			staged[i] = r
+		}
+	}
+
+	// The candidate itself: no cached response exists, so both modes cold
+	// start. Its higher-priority set is exactly ints[:pos].
+	rCand, v, iters := iterate(cand, ps.ints[:pos], 0, 0, d, coldStart(cand, ps.ints[:pos], 0))
+	account(v, iters)
+	if v != VerdictFits {
+		return false
+	}
+	staged[pos] = rCand
+
+	// Residents at and below the insertion position gain the candidate as
+	// one extra interferer; their old fixed points are valid lower bounds.
+	for i := pos; i < n; i++ {
+		start := coldStart(ps.ints[i].C, ps.ints[:i], cand)
+		if warm && ps.resp[i] > start {
+			start = ps.resp[i]
+			if obs.On() {
+				cWarmStarts.Inc()
+			}
+		}
+		r, v, iters := iterate(ps.ints[i].C, ps.ints[:i], cand, t, ps.dls[i], start)
+		account(v, iters)
+		if v != VerdictFits {
+			return false
+		}
+		staged[i+1] = r
+	}
+
+	ps.stagedValid = true
+	ps.stagedPos = pos
+	ps.stagedC = cand
+	ps.stagedT = t
+	ps.stagedD = d
+	return true
+}
+
+// SlackAt returns the testing-point slack of resident i against a new
+// period-t interferer (see Slack), evaluated on the mirrored surcharged
+// view with zero allocation.
+func (ps *ProcState) SlackAt(i int, t task.Time) task.Time {
+	return slackCore(ps.ints[i].C, ps.dls[i], ps.ints[:i], t)
+}
+
+// MaxOwnLoadAt returns the largest execution time a new load inserted at
+// priority position pos could have while meeting deadline d (see
+// MaxOwnLoad), evaluated on the mirror without allocation.
+func (ps *ProcState) MaxOwnLoadAt(pos int, d task.Time) task.Time {
+	return MaxOwnLoad(ps.ints[:pos], d)
+}
+
+// ResponseAt computes the response time of resident pos against limit,
+// warm-starting from its cached response when enabled, and commits the
+// converged value back to the cache. The partitioners use it for the body
+// fragment of a fresh split (equation (1)'s R term).
+func (ps *ProcState) ResponseAt(pos int, limit task.Time) (task.Time, bool) {
+	start := coldStart(ps.ints[pos].C, ps.ints[:pos], 0)
+	if WarmStartEnabled() && ps.resp[pos] > start {
+		start = ps.resp[pos]
+		if obs.On() {
+			cWarmStarts.Inc()
+		}
+	}
+	r, v, iters := iterate(ps.ints[pos].C, ps.ints[:pos], 0, 0, limit, start)
+	account(v, iters)
+	if v != VerdictFits {
+		return r, false
+	}
+	ps.resp[pos] = r
+	return r, true
+}
+
+// Deadline returns the synthetic deadline of resident pos.
+func (ps *ProcState) Deadline(pos int) task.Time { return ps.dls[pos] }
+
+// OwnC returns the (surcharged) execution time of resident pos.
+func (ps *ProcState) OwnC(pos int) task.Time { return ps.ints[pos].C }
+
+func insertInt(s []int, pos, v int) []int {
+	s = append(s, 0)
+	copy(s[pos+1:], s[pos:])
+	s[pos] = v
+	return s
+}
+
+func insertTime(s []task.Time, pos int, v task.Time) []task.Time {
+	s = append(s, 0)
+	copy(s[pos+1:], s[pos:])
+	s[pos] = v
+	return s
+}
+
+func insertInterference(s []Interference, pos int, v Interference) []Interference {
+	s = append(s, Interference{})
+	copy(s[pos+1:], s[pos:])
+	s[pos] = v
+	return s
+}

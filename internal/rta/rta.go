@@ -49,6 +49,53 @@ var (
 // this between single-goroutine admission checks.
 func IterationsValue() int64 { return cIters.Value() }
 
+// AbortsValue returns the running total of iteration-limit aborts (0 unless
+// metrics are enabled). Decision traces read deltas of this to mark
+// admission decisions whose "no" came from an abort rather than a proven
+// deadline miss.
+func AbortsValue() int64 { return cAborts.Value() }
+
+// MaxIters caps the number of demand-function evaluations per response-time
+// fixed point. Each iterate strictly increases the candidate response by at
+// least one tick, so the iteration always terminates on its own; the cap
+// exists to bound the worst case on adversarial inputs (huge deadlines over
+// tiny periods) and to make the abort path testable. An aborted evaluation
+// is reported as VerdictAborted and treated as unschedulable, which is
+// sound (the true response may still exceed the limit) but not exact.
+//
+// Mutate only from single-goroutine setup code (tests); the analysis reads
+// it without synchronization.
+var MaxIters int64 = 1 << 20
+
+// Verdict classifies the outcome of a response-time evaluation, letting
+// callers distinguish a sound "no" (the demand provably exceeds the limit)
+// from an iteration-cap abort (unschedulable by fiat, see MaxIters).
+type Verdict uint8
+
+const (
+	// VerdictFits: the iteration converged to a fixed point R ≤ limit.
+	VerdictFits Verdict = iota
+	// VerdictExceedsLimit: some iterate exceeded the limit, proving the
+	// least fixed point does too — a sound and exact "no".
+	VerdictExceedsLimit
+	// VerdictAborted: MaxIters demand evaluations elapsed without
+	// convergence; treated as unschedulable for soundness.
+	VerdictAborted
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictFits:
+		return "fits"
+	case VerdictExceedsLimit:
+		return "exceeds-limit"
+	case VerdictAborted:
+		return "aborted"
+	default:
+		return "verdict(?)"
+	}
+}
+
 // Interference is a higher-priority load source: a task releasing jobs of
 // length C every T ticks.
 type Interference struct {
@@ -66,44 +113,81 @@ type Interference struct {
 // each iterate strictly increases until it either stabilizes or passes
 // limit.
 func ResponseTime(c task.Time, hp []Interference, limit task.Time) (task.Time, bool) {
-	r, ok, iters := responseTime(c, hp, limit)
+	r, v := ResponseTimeVerdict(c, hp, limit)
+	return r, v == VerdictFits
+}
+
+// ResponseTimeVerdict is ResponseTime with the three-way outcome exposed:
+// converged within limit, proven over limit, or aborted at the MaxIters cap
+// (see Verdict). Both non-fitting verdicts mean "treat as unschedulable",
+// but only VerdictExceedsLimit is an exact answer.
+func ResponseTimeVerdict(c task.Time, hp []Interference, limit task.Time) (task.Time, Verdict) {
+	r, v, iters := iterate(c, hp, 0, 0, limit, coldStart(c, hp, 0))
+	account(v, iters)
+	return r, v
+}
+
+// account records one response-time evaluation in the obs registry.
+func account(v Verdict, iters int64) {
 	if obs.On() {
 		cCalls.Inc()
 		cIters.Add(iters)
 		hItersPer.Observe(iters)
-		if !ok {
+		if v == VerdictAborted {
 			cAborts.Inc()
 		}
 	}
-	return r, ok
 }
 
-// responseTime is the uninstrumented fixed-point iteration; iters counts
-// evaluations of the demand function (0 when c alone already exceeds
-// limit).
-func responseTime(c task.Time, hp []Interference, limit task.Time) (task.Time, bool, int64) {
-	if c > limit {
-		return c, false, 0
-	}
-	r := c
+// coldStart returns the classic lower bound on the least fixed point used
+// when no cached response is available: the task's own demand plus one job
+// of every interferer (including the optional extra one).
+func coldStart(c task.Time, hp []Interference, extraC task.Time) task.Time {
+	r := mathx.AddSat(c, extraC)
 	for _, j := range hp {
 		r = mathx.AddSat(r, j.C)
 	}
+	return r
+}
+
+// iterate is the uninstrumented fixed-point core shared by the from-scratch
+// and warm-started paths: it finds the least fixed point of
+//
+//	R = c + Σ_{j ∈ hp} ⌈R/T_j⌉·C_j [+ ⌈R/extraT⌉·extraC]
+//
+// starting from start, which MUST be a valid lower bound on the least fixed
+// point (any such start converges to the same fixed point: for every
+// r < lfp the demand function satisfies f(r) > r by Knaster–Tarski, so the
+// iterates increase monotonically towards lfp and never overshoot it).
+// A zero extraT disables the extra interferer term. iters counts demand
+// evaluations (0 when c alone already exceeds limit or start does).
+func iterate(c task.Time, hp []Interference, extraC, extraT, limit, start task.Time) (task.Time, Verdict, int64) {
+	if c > limit {
+		return c, VerdictExceedsLimit, 0
+	}
+	r := start
 	iters := int64(0)
 	for {
 		if r > limit {
-			return r, false, iters
+			return r, VerdictExceedsLimit, iters
+		}
+		if iters >= MaxIters {
+			return r, VerdictAborted, iters
 		}
 		next := c
 		for _, j := range hp {
 			next = mathx.AddSat(next, mathx.MulSat(mathx.CeilDiv(r, j.T), j.C))
 		}
+		if extraT > 0 {
+			next = mathx.AddSat(next, mathx.MulSat(mathx.CeilDiv(r, extraT), extraC))
+		}
 		iters++
 		if next == r {
-			return r, true, iters
+			return r, VerdictFits, iters
 		}
 		if next < r {
-			// Cannot happen: the demand function is monotone. Guard anyway.
+			// Only possible if start was not a lower bound on the fixed
+			// point — a broken warm-start invariant, not bad input.
 			panic("rta: response-time iteration decreased")
 		}
 		r = next
@@ -195,18 +279,24 @@ func SchedulableWithExtraAt(list []task.Subtask, prio int, c, t, d task.Time) bo
 // returns the maximum feasible e (0 if none; math.MaxInt64 if unbounded,
 // which cannot happen for t ≤ Δ_i since ⌈x/t⌉ ≥ 1).
 func Slack(list []task.Subtask, i int, t task.Time) task.Time {
-	sub := list[i]
-	hp := hpOf(list, i)
+	return slackCore(list[i].C, list[i].Deadline, hpOf(list, i), t)
+}
+
+// slackCore evaluates the testing-point slack of a task with execution c,
+// deadline d and higher-priority set hp against a period-t interferer. It
+// is the shared core of Slack (fresh slices) and ProcState.SlackAt (reused
+// buffers).
+func slackCore(c, d task.Time, hp []Interference, t task.Time) task.Time {
 	best := task.Time(-1)
 	cSlackCalls.Inc()
 	points := int64(0)
 	defer func() { cSlackPoints.Add(points) }()
 	check := func(x task.Time) {
-		if x <= 0 || x > sub.Deadline {
+		if x <= 0 || x > d {
 			return
 		}
 		points++
-		demand := sub.C
+		demand := c
 		for _, j := range hp {
 			demand = mathx.AddSat(demand, mathx.MulSat(mathx.CeilDiv(x, j.T), j.C))
 		}
@@ -222,11 +312,11 @@ func Slack(list []task.Subtask, i int, t task.Time) task.Time {
 			best = e
 		}
 	}
-	check(sub.Deadline)
+	check(d)
 	for _, j := range hp {
 		for m := task.Time(1); ; m++ {
 			x := mathx.MulSat(m, j.T)
-			if x > sub.Deadline {
+			if x > d {
 				break
 			}
 			check(x)
@@ -234,7 +324,7 @@ func Slack(list []task.Subtask, i int, t task.Time) task.Time {
 	}
 	for m := task.Time(1); ; m++ {
 		x := mathx.MulSat(m, t)
-		if x > sub.Deadline {
+		if x > d {
 			break
 		}
 		check(x)

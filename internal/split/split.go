@@ -107,6 +107,39 @@ func MaxPortionAt(list []task.Subtask, prio int, t, budget, d task.Time) task.Ti
 	return best
 }
 
+// MaxPortionState is MaxPortionAt evaluated on a processor's incremental
+// analysis state instead of a fresh subtask slice: the interference view
+// (including any analysis surcharge) is the state's reused mirror, so a
+// probe allocates nothing. The budget is in the state's surcharged units —
+// callers with a per-fragment surcharge s pass budget+s and subtract s from
+// the result, exactly as with a surcharged list view.
+//
+// Decision-equivalent to MaxPortionAt on the equivalent list view; the
+// property test in the partition package pins this.
+func MaxPortionState(ps *rta.ProcState, prio int, t, budget, d task.Time) task.Time {
+	cTPCalls.Inc()
+	if budget <= 0 || d <= 0 {
+		return 0
+	}
+	pos := ps.PosFor(prio)
+	best := ps.MaxOwnLoadAt(pos, d)
+	if budget < best {
+		best = budget
+	}
+	if best <= 0 {
+		return 0
+	}
+	for i := pos; i < ps.Len(); i++ {
+		if s := ps.SlackAt(i, t); s < best {
+			best = s
+		}
+		if best == 0 {
+			return 0
+		}
+	}
+	return best
+}
+
 // MaxPortionAtBinary is the binary-search reference for MaxPortionAt, used
 // to cross-check it in tests.
 func MaxPortionAtBinary(list []task.Subtask, prio int, t, budget, d task.Time) task.Time {
