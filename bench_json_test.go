@@ -1,0 +1,66 @@
+package repro
+
+// Machine-readable benchmark emission for the hot-path acceptance numbers
+// (ISSUE 3): `go test -run BenchHotpathJSON -benchjson=BENCH_hotpath.json .`
+// runs the hot-path benchmarks through testing.Benchmark and writes ns/op,
+// B/op, allocs/op plus every ReportMetric extra (rta-iters/op,
+// warm-starts/op, splits/op, ...) as JSON, so CI and EXPERIMENTS.md record
+// comparable numbers instead of scraping bench output.
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"testing"
+)
+
+var benchJSONPath = flag.String("benchjson", "", "write hot-path benchmark results as JSON to this path")
+
+type benchRecord struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+func TestBenchHotpathJSON(t *testing.T) {
+	if *benchJSONPath == "" {
+		t.Skip("pass -benchjson=<path> to emit machine-readable hot-path benchmarks")
+	}
+	hot := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"E2AcceptanceGeneral", BenchmarkE2AcceptanceGeneral},
+		{"RTAProcessor", BenchmarkRTAProcessor},
+		{"MaxSplitTestingPoint", BenchmarkMaxSplitTestingPoint},
+		{"PartitionRMTS", BenchmarkPartitionRMTS},
+		{"PartitionRMTSArena", BenchmarkPartitionRMTSArena},
+	}
+	records := make([]benchRecord, 0, len(hot))
+	for _, h := range hot {
+		res := testing.Benchmark(h.fn)
+		rec := benchRecord{
+			Name:        h.name,
+			Iterations:  res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+		}
+		if len(res.Extra) > 0 {
+			rec.Extra = res.Extra
+		}
+		records = append(records, rec)
+		t.Logf("%s: %.0f ns/op, %d B/op, %d allocs/op", h.name, rec.NsPerOp, rec.BytesPerOp, rec.AllocsPerOp)
+	}
+	out, err := json.MarshalIndent(map[string]interface{}{"benchmarks": records}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(*benchJSONPath, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", *benchJSONPath)
+}

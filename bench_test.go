@@ -160,6 +160,21 @@ func BenchmarkPartitionRMTS(b *testing.B) {
 	}
 }
 
+// BenchmarkPartitionRMTSArena is BenchmarkPartitionRMTS on the arena entry
+// point with one persistent Arena — the steady state the experiment workers
+// run in. The allocs/op delta against BenchmarkPartitionRMTS is the direct
+// measure of what scratch reuse buys per partitioning call.
+func BenchmarkPartitionRMTSArena(b *testing.B) {
+	sets := benchSets(32, 8, 0.6)
+	alg := partition.NewRMTS(nil)
+	var ar partition.Arena
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alg.PartitionArena(sets[i%len(sets)], 8, &ar)
+	}
+}
+
 func BenchmarkPartitionRMTSLight(b *testing.B) {
 	sets := benchSets(32, 8, 0.4)
 	b.ReportAllocs()

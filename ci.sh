@@ -25,9 +25,17 @@ echo "== go test =="
 go test ./...
 
 echo "== go test -race (concurrency-sensitive packages) =="
+# The experiments race pass exercises the default reuse path: pooled
+# per-worker workspaces with arenas and persistent RNGs under -race.
 go test -race -short repro/internal/experiments repro/internal/obs repro/internal/partition
+
+echo "== alloc guards (hot paths must stay zero-allocation) =="
+go test -run AllocGuard repro/internal/rta repro/internal/split repro/internal/partition repro/internal/gen
 
 echo "== bench smoke (one iteration per benchmark) =="
 go test -run '^$' -bench=. -benchtime=1x ./... > /dev/null
+
+echo "== hot-path bench JSON (BENCH_hotpath.json) =="
+go test -run TestBenchHotpathJSON -benchjson=BENCH_hotpath.json .
 
 echo "CI gate passed."

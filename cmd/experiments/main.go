@@ -44,6 +44,7 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		rtacache   = flag.Bool("rtacache", true, "warm-start RTA caching in the partitioners (tables are identical either way; disable to cross-check or to measure the saving)")
+		reuse      = flag.Bool("reuse", true, "per-worker scratch reuse (generation buffers, partitioning arenas, RNGs); tables are identical either way; disable to cross-check or to measure the allocation saving")
 	)
 	flag.Parse()
 
@@ -83,7 +84,7 @@ func main() {
 	}
 
 	cfg := experiments.Config{Seed: *seed, SetsPerPoint: *sets, Quick: *quick,
-		Workers: *workers, ProgressETA: *progress}
+		Workers: *workers, ProgressETA: *progress, NoReuse: !*reuse}
 	if !*quiet {
 		cfg.Progress = os.Stderr
 	}

@@ -28,8 +28,8 @@ func AcceptanceGeneral(cfg Config) ([]Table, error) {
 	mt := cfg.meter("acceptance-general", len(points))
 	for i, um := range points {
 		target := um * float64(m)
-		row, err := cfg.acceptance(r.Int63(), cfg.setsPerPoint(), m, func(r *rand.Rand) (task.Set, error) {
-			return gen.TaskSet(r, gen.Config{TargetU: target, UMin: 0.05, UMax: 0.95})
+		row, err := cfg.acceptance(r.Int63(), cfg.setsPerPoint(), m, func(r *rand.Rand, sc *gen.Scratch) (task.Set, error) {
+			return gen.TaskSetInto(r, gen.Config{TargetU: target, UMin: 0.05, UMax: 0.95}, sc)
 		}, algos)
 		if err != nil {
 			return nil, fmt.Errorf("acceptance-general: %w", err)
@@ -59,8 +59,8 @@ func AcceptanceLight(cfg Config) ([]Table, error) {
 	mt := cfg.meter("acceptance-light", len(points))
 	for i, um := range points {
 		target := um * float64(m)
-		row, err := cfg.acceptance(r.Int63(), cfg.setsPerPoint(), m, func(r *rand.Rand) (task.Set, error) {
-			return gen.TaskSet(r, gen.Config{TargetU: target, UMin: 0.05, UMax: 0.40})
+		row, err := cfg.acceptance(r.Int63(), cfg.setsPerPoint(), m, func(r *rand.Rand, sc *gen.Scratch) (task.Set, error) {
+			return gen.TaskSetInto(r, gen.Config{TargetU: target, UMin: 0.05, UMax: 0.40}, sc)
 		}, algos)
 		if err != nil {
 			return nil, fmt.Errorf("acceptance-light: %w", err)
@@ -92,11 +92,11 @@ func AcceptanceHarmonic(cfg Config) ([]Table, error) {
 	mt := cfg.meter("acceptance-harmonic", len(points))
 	for i, um := range points {
 		target := um * float64(m)
-		row, err := cfg.acceptance(r.Int63(), cfg.setsPerPoint(), m, func(r *rand.Rand) (task.Set, error) {
-			return gen.HarmonicSet(r, gen.HarmonicConfig{
+		row, err := cfg.acceptance(r.Int63(), cfg.setsPerPoint(), m, func(r *rand.Rand, sc *gen.Scratch) (task.Set, error) {
+			return gen.HarmonicSetInto(r, gen.HarmonicConfig{
 				TargetU: target, UMin: 0.05, UMax: 0.35, Chains: 1,
 				BasePeriods: []task.Time{256},
-			})
+			}, sc)
 		}, algos)
 		if err != nil {
 			return nil, fmt.Errorf("acceptance-harmonic: %w", err)
@@ -135,10 +135,10 @@ func AcceptanceKChains(cfg Config) ([]Table, error) {
 		mt := cfg.meter(fmt.Sprintf("acceptance-kchains K=%d", k), len(points))
 		for i, um := range points {
 			target := um * float64(m)
-			row, err := cfg.acceptance(r.Int63(), cfg.setsPerPoint(), m, func(r *rand.Rand) (task.Set, error) {
-				ts, err := gen.HarmonicSet(r, gen.HarmonicConfig{
+			row, err := cfg.acceptance(r.Int63(), cfg.setsPerPoint(), m, func(r *rand.Rand, sc *gen.Scratch) (task.Set, error) {
+				ts, err := gen.HarmonicSetInto(r, gen.HarmonicConfig{
 					TargetU: target, UMin: 0.05, UMax: 0.40, Chains: k,
-				})
+				}, sc)
 				if err != nil {
 					return nil, err
 				}
@@ -185,8 +185,8 @@ func ProcsSweep(cfg Config) ([]Table, error) {
 	}
 	mt := cfg.meter("procs-sweep", len(ms))
 	for _, m := range ms {
-		row, err := cfg.acceptance(r.Int63(), cfg.setsPerPoint(), m, func(r *rand.Rand) (task.Set, error) {
-			return gen.TaskSet(r, gen.Config{TargetU: um * float64(m), UMin: 0.05, UMax: 0.60})
+		row, err := cfg.acceptance(r.Int63(), cfg.setsPerPoint(), m, func(r *rand.Rand, sc *gen.Scratch) (task.Set, error) {
+			return gen.TaskSetInto(r, gen.Config{TargetU: um * float64(m), UMin: 0.05, UMax: 0.60}, sc)
 		}, algos)
 		if err != nil {
 			return nil, fmt.Errorf("procs-sweep: %w", err)
@@ -242,20 +242,20 @@ func HeavySweep(cfg Config) ([]Table, error) {
 		}
 		perSet := make([]outcome, n)
 		errs := make([]error, n)
-		cfg.parEach(r.Int63(), n, func(s int, r *rand.Rand) {
-			ts, err := gen.MixedSet(r, gen.MixedConfig{
+		cfg.parEach(r.Int63(), n, func(s int, r *rand.Rand, ws *Workspace) {
+			ts, err := gen.MixedSetInto(r, gen.MixedConfig{
 				TargetU:    um * float64(m),
 				HeavyShare: share,
 				HeavyMin:   0.5, HeavyMax: 0.95,
 				LightMin: 0.05, LightMax: 0.30,
-			})
+			}, ws.Gen())
 			if err != nil {
 				errs[s] = err
 				return
 			}
 			o := outcome{ok: make([]bool, len(algos))}
 			for i, a := range algos {
-				res := a.alg.Partition(ts, m)
+				res := ws.Partition(a.alg, ts, m)
 				o.ok[i] = res.OK && res.Guaranteed
 				if i == 0 {
 					o.pre = res.NumPreAssigned
@@ -318,8 +318,8 @@ func UtilizationTail(cfg Config) ([]Table, error) {
 		n := cfg.setsPerPoint()
 		perSet := make([][]bool, n)
 		errs := make([]error, n)
-		cfg.parEach(r.Int63(), n, func(s int, r *rand.Rand) {
-			ts, err := gen.TaskSet(r, gen.Config{TargetU: um * float64(m), UMin: 0.05, UMax: 0.5})
+		cfg.parEach(r.Int63(), n, func(s int, r *rand.Rand, ws *Workspace) {
+			ts, err := gen.TaskSetInto(r, gen.Config{TargetU: um * float64(m), UMin: 0.05, UMax: 0.5}, ws.Gen())
 			if err != nil {
 				errs[s] = err
 				return
@@ -330,7 +330,7 @@ func UtilizationTail(cfg Config) ([]Table, error) {
 			}
 			row := make([]bool, len(algos))
 			for i, a := range algos {
-				res := a.alg.Partition(ts, m)
+				res := ws.Partition(a.alg, ts, m)
 				row[i] = res.OK && res.Guaranteed
 			}
 			perSet[s] = row

@@ -49,18 +49,18 @@ func Breakdown(cfg Config) ([]Table, error) {
 		m := m
 		perSet := make([][]float64, sets)
 		errs := make([]error, sets)
-		cfg.parEach(r.Int63(), sets, func(s int, r *rand.Rand) {
-			shape, err := gen.TaskSet(r, gen.Config{
+		cfg.parEach(r.Int63(), sets, func(s int, r *rand.Rand, ws *Workspace) {
+			shape, err := gen.TaskSetInto(r, gen.Config{
 				TargetU: float64(m), // full scale = U_M 1.0
 				UMin:    0.05, UMax: 0.40,
-			})
+			}, ws.Gen())
 			if err != nil {
 				errs[s] = err
 				return
 			}
 			row := make([]float64, len(algos))
 			for i, a := range algos {
-				row[i] = breakdownOf(a.alg, shape, m)
+				row[i] = breakdownOf(ws, a.alg, shape, m)
 			}
 			perSet[s] = row
 		})
@@ -88,9 +88,9 @@ func Breakdown(cfg Config) ([]Table, error) {
 // Acceptance is not perfectly monotone in λ because of integer rounding and
 // packing heuristics, so the bisection brackets the last accepted scale and
 // the achieved utilization is recomputed from the accepted integer set.
-func breakdownOf(alg partition.Algorithm, shape task.Set, m int) float64 {
+func breakdownOf(ws *Workspace, alg partition.Algorithm, shape task.Set, m int) float64 {
+	scaled := make(task.Set, len(shape))
 	accepts := func(lambda float64) (bool, float64) {
-		scaled := make(task.Set, len(shape))
 		for i, tk := range shape {
 			c := task.Time(float64(tk.C)*lambda + 0.5)
 			if c < 1 {
@@ -101,7 +101,7 @@ func breakdownOf(alg partition.Algorithm, shape task.Set, m int) float64 {
 			}
 			scaled[i] = task.Task{Name: tk.Name, C: c, T: tk.T}
 		}
-		res := alg.Partition(scaled, m)
+		res := ws.Partition(alg, scaled, m)
 		return res.OK && res.Guaranteed, scaled.NormalizedUtilization(m)
 	}
 	lo, hi := 0.0, 1.0

@@ -49,15 +49,17 @@ func ConstrainedDeadlines(cfg Config) ([]Table, error) {
 		n := cfg.setsPerPoint()
 		perSet := make([][]bool, n)
 		errs := make([]error, n)
-		cfg.parEach(r.Int63(), n, func(s int, r *rand.Rand) {
-			base, err := gen.TaskSet(r, gen.Config{TargetU: um * float64(m), UMin: 0.05, UMax: 0.4})
+		cfg.parEach(r.Int63(), n, func(s int, r *rand.Rand, ws *Workspace) {
+			base, err := gen.TaskSetInto(r, gen.Config{TargetU: um * float64(m), UMin: 0.05, UMax: 0.4}, ws.Gen())
 			if err != nil {
 				errs[s] = err
 				return
 			}
 			ts := base
 			if f[0] < 1.0 || f[1] < 1.0 {
-				ts, err = gen.Constrain(r, base, f[0], f[1])
+				// ConstrainInto writes to the scratch's separate output
+				// buffer, so base (which aliases the set buffer) stays valid.
+				ts, err = gen.ConstrainInto(r, base, f[0], f[1], ws.Gen())
 				if err != nil {
 					errs[s] = err
 					return
@@ -65,7 +67,7 @@ func ConstrainedDeadlines(cfg Config) ([]Table, error) {
 			}
 			row := make([]bool, len(algos))
 			for i, a := range algos {
-				res := a.alg.Partition(ts, m)
+				res := ws.Partition(a.alg, ts, m)
 				row[i] = res.OK && res.Guaranteed
 			}
 			perSet[s] = row

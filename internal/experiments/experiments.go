@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/bounds"
+	"repro/internal/gen"
 	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/stats"
@@ -53,6 +54,27 @@ type Config struct {
 	// only ever goes to the Progress writer, never into tables, so the
 	// determinism contract is unaffected.
 	ProgressETA bool
+	// NoReuse disables the per-worker scratch workspaces: every task set is
+	// generated into fresh memory, every partitioner call allocates its own
+	// working storage, and each index gets a freshly constructed RNG — the
+	// cold path the reuse-off golden test compares against. Tables are
+	// byte-identical either way; only the allocation profile changes.
+	NoReuse bool
+}
+
+// Validate reports configuration errors an experiment run cannot recover
+// from. The zero value of SetsPerPoint is NOT valid here: entry points that
+// accept a Config directly (Run, RunWithMetrics) require an explicit
+// positive count, while the setsPerPoint default remains for internal
+// callers constructing sweeps.
+func (c Config) Validate() error {
+	if c.Workers < 0 {
+		return fmt.Errorf("experiments: Workers must be non-negative (got %d); zero means GOMAXPROCS", c.Workers)
+	}
+	if c.SetsPerPoint <= 0 {
+		return fmt.Errorf("experiments: SetsPerPoint must be positive (got %d)", c.SetsPerPoint)
+	}
+	return nil
 }
 
 func (c Config) setsPerPoint() int {
@@ -70,18 +92,34 @@ func (c Config) workers() int {
 }
 
 // parEach evaluates fn for every index in [0, n) using the configured
-// worker count. Each index receives its own *rand.Rand seeded from base
-// and the index, so results are independent of scheduling order; fn must
-// only write to index-addressed storage (no shared mutable state).
-func (c Config) parEach(base int64, n int, fn func(i int, r *rand.Rand)) {
+// worker count. Each index receives a *rand.Rand seeded from base and the
+// index, so results are independent of scheduling order; fn must only write
+// to index-addressed storage (no shared mutable state). Each worker holds
+// one pooled Workspace for its whole lifetime and reseeds one persistent
+// RNG per index ((*rand.Rand).Seed(s) restores exactly the state of
+// rand.New(rand.NewSource(s))), so the steady state allocates nothing per
+// index; with NoReuse the RNG is constructed fresh per index and the
+// workspace degrades to the cold path.
+func (c Config) parEach(base int64, n int, fn func(i int, r *rand.Rand, ws *Workspace)) {
 	workers := c.workers()
 	if workers > n {
 		workers = n
 	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i, rand.New(rand.NewSource(base+int64(i)*0x9E3779B9)))
+	run := func(i int, ws *Workspace) {
+		seed := base + int64(i)*0x9E3779B9
+		if c.NoReuse {
+			fn(i, rand.New(rand.NewSource(seed)), ws)
+			return
 		}
+		ws.rng.Seed(seed)
+		fn(i, ws.rng, ws)
+	}
+	if workers <= 1 {
+		ws := getWorkspace(c.NoReuse)
+		for i := 0; i < n; i++ {
+			run(i, ws)
+		}
+		putWorkspace(ws)
 		return
 	}
 	var wg sync.WaitGroup
@@ -90,12 +128,14 @@ func (c Config) parEach(base int64, n int, fn func(i int, r *rand.Rand)) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			ws := getWorkspace(c.NoReuse)
+			defer putWorkspace(ws)
 			for {
 				i := int(atomic.AddInt64(&next, 1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i, rand.New(rand.NewSource(base+int64(i)*0x9E3779B9)))
+				run(i, ws)
 			}
 		}()
 	}
@@ -259,11 +299,24 @@ type RunMetrics struct {
 	Spans      []obs.SpanValue      `json:"spans,omitempty"`
 }
 
+// Run validates cfg and executes e. It is the checked entry point CLI-style
+// callers should use; e.Run remains available for internal callers that
+// construct configs programmatically.
+func Run(e Experiment, cfg Config) ([]Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return e.Run(cfg)
+}
+
 // RunWithMetrics runs e with the obs.Default registry rearmed, attaching
 // the resulting counter snapshot and timing to the returned RunMetrics.
 // Tables are produced exactly as by e.Run — instrumentation never alters
-// experiment output, only observes it.
+// experiment output, only observes it. Like Run, it validates cfg first.
 func RunWithMetrics(e Experiment, cfg Config) ([]Table, RunMetrics, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, RunMetrics{}, err
+	}
 	obs.Reset()
 	span := obs.StartSpan("experiment/" + e.Key)
 	start := time.Now()
@@ -324,34 +377,33 @@ func lightAlgos() []algoSpec {
 }
 
 // acceptance runs one sweep point: nSets random sets from genSet (each set
-// drawn from its own index-derived generator, evaluated across the
-// configured workers), each offered to every algorithm; returns the
-// acceptance ratio per algorithm.
-func (c Config) acceptance(base int64, nSets, m int, genSet func(*rand.Rand) (task.Set, error), algos []algoSpec) ([]float64, error) {
-	results := make([][]bool, nSets)
+// drawn from its own index-derived generator into the worker's scratch,
+// evaluated across the configured workers), each offered to every
+// algorithm; returns the acceptance ratio per algorithm. Verdicts land in
+// one flat index-addressed array, so the per-sample loop itself is
+// allocation-free.
+func (c Config) acceptance(base int64, nSets, m int, genSet func(*rand.Rand, *gen.Scratch) (task.Set, error), algos []algoSpec) ([]float64, error) {
+	results := make([]bool, nSets*len(algos))
 	errs := make([]error, nSets)
-	c.parEach(base, nSets, func(s int, r *rand.Rand) {
-		ts, err := genSet(r)
+	c.parEach(base, nSets, func(s int, r *rand.Rand, ws *Workspace) {
+		ts, err := genSet(r, ws.Gen())
 		if err != nil {
 			errs[s] = err
 			return
 		}
-		row := make([]bool, len(algos))
+		row := results[s*len(algos) : (s+1)*len(algos)]
 		for i, a := range algos {
-			res := a.alg.Partition(ts, m)
+			res := ws.Partition(a.alg, ts, m)
 			row[i] = res.OK && res.Guaranteed
 		}
-		results[s] = row
 	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err := firstError(errs); err != nil {
+		return nil, err
 	}
 	out := make([]float64, len(algos))
-	for _, row := range results {
-		for i, ok := range row {
-			if ok {
+	for s := 0; s < nSets; s++ {
+		for i := range algos {
+			if results[s*len(algos)+i] {
 				out[i]++
 			}
 		}

@@ -107,11 +107,30 @@ func TestParallelDeterminism(t *testing.T) {
 	}
 }
 
+func TestRunValidatesConfig(t *testing.T) {
+	e, ok := Find("bounds-table")
+	if !ok {
+		t.Fatal("bounds-table missing")
+	}
+	if _, err := Run(e, Config{Seed: 1, SetsPerPoint: 10, Workers: -1}); err == nil || !strings.Contains(err.Error(), "Workers") {
+		t.Errorf("Run with Workers=-1: want Workers error, got %v", err)
+	}
+	if _, err := Run(e, Config{Seed: 1}); err == nil || !strings.Contains(err.Error(), "SetsPerPoint") {
+		t.Errorf("Run with SetsPerPoint=0: want SetsPerPoint error, got %v", err)
+	}
+	if _, _, err := RunWithMetrics(e, Config{Seed: 1, SetsPerPoint: -5}); err == nil || !strings.Contains(err.Error(), "SetsPerPoint") {
+		t.Errorf("RunWithMetrics with SetsPerPoint=-5: want SetsPerPoint error, got %v", err)
+	}
+	if _, err := Run(e, Config{Seed: 1, SetsPerPoint: 10, Quick: true}); err != nil {
+		t.Errorf("Run with valid config: %v", err)
+	}
+}
+
 func TestParEachCoversAllIndices(t *testing.T) {
 	cfg := Config{Workers: 4}
 	n := 100
 	seen := make([]int32, n)
-	cfg.parEach(42, n, func(i int, r *rand.Rand) {
+	cfg.parEach(42, n, func(i int, r *rand.Rand, _ *Workspace) {
 		seen[i]++
 		_ = r.Int63()
 	})
@@ -127,9 +146,9 @@ func TestParEachSeedsAreStable(t *testing.T) {
 	n := 16
 	a := make([]int64, n)
 	b := make([]int64, n)
-	cfg.parEach(9, n, func(i int, r *rand.Rand) { a[i] = r.Int63() })
+	cfg.parEach(9, n, func(i int, r *rand.Rand, _ *Workspace) { a[i] = r.Int63() })
 	cfg.Workers = 1
-	cfg.parEach(9, n, func(i int, r *rand.Rand) { b[i] = r.Int63() })
+	cfg.parEach(9, n, func(i int, r *rand.Rand, _ *Workspace) { b[i] = r.Int63() })
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatalf("index %d: draws differ across worker counts", i)

@@ -37,8 +37,8 @@ func FPvsEDF(cfg Config) ([]Table, error) {
 	mt := cfg.meter("fp-vs-edf", len(points))
 	for i, um := range points {
 		target := um * float64(m)
-		row, err := cfg.acceptance(r.Int63(), cfg.setsPerPoint(), m, func(r *rand.Rand) (task.Set, error) {
-			return gen.TaskSet(r, gen.Config{TargetU: target, UMin: 0.05, UMax: 0.7})
+		row, err := cfg.acceptance(r.Int63(), cfg.setsPerPoint(), m, func(r *rand.Rand, sc *gen.Scratch) (task.Set, error) {
+			return gen.TaskSetInto(r, gen.Config{TargetU: target, UMin: 0.05, UMax: 0.7}, sc)
 		}, algos)
 		if err != nil {
 			return nil, fmt.Errorf("fp-vs-edf: %w", err)

@@ -73,14 +73,15 @@ func GlobalCompare(cfg Config) ([]Table, error) {
 		},
 	}
 	menu := gen.ChoicePeriods{Values: []task.Time{20, 40, 50, 80, 100, 200, 400}}
+	rmts := partition.NewRMTS(nil) // stateless across calls; shareable between workers
 	mt := cfg.meter("global-compare", len(points))
 	for _, um := range points {
 		um := um
 		n := cfg.setsPerPoint()
 		perSet := make([][4]bool, n)
 		errs := make([]error, n)
-		cfg.parEach(r.Int63(), n, func(s int, r *rand.Rand) {
-			ts, err := gen.TaskSet(r, gen.Config{TargetU: um * float64(m), UMin: 0.05, UMax: 0.9, Periods: menu})
+		cfg.parEach(r.Int63(), n, func(s int, r *rand.Rand, ws *Workspace) {
+			ts, err := gen.TaskSetInto(r, gen.Config{TargetU: um * float64(m), UMin: 0.05, UMax: 0.9, Periods: menu}, ws.Gen())
 			if err != nil {
 				errs[s] = err
 				return
@@ -93,7 +94,7 @@ func GlobalCompare(cfg Config) ([]Table, error) {
 				o[1] = true
 			}
 			o[2] = global.SchedulableByUSBound(ts, m)
-			if res := partition.NewRMTS(nil).Partition(ts, m); res.OK && res.Guaranteed {
+			if res := ws.Partition(rmts, ts, m); res.OK && res.Guaranteed {
 				o[3] = true
 			}
 			perSet[s] = o

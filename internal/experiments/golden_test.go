@@ -16,6 +16,10 @@ var updateGolden = flag.Bool("update", false, "rewrite golden experiment tables"
 // benchmark scale — the same tables `cmd/experiments -all -quick -sets 10
 // -seed 1` prints.
 func renderAllQuick(t *testing.T) []byte {
+	return renderAllQuickCfg(t, quickCfg())
+}
+
+func renderAllQuickCfg(t *testing.T, cfg Config) []byte {
 	t.Helper()
 	var buf bytes.Buffer
 	for _, e := range Registry() {
@@ -25,7 +29,7 @@ func renderAllQuick(t *testing.T) []byte {
 			// agreement) is covered by the split package property tests.
 			continue
 		}
-		tables, err := e.Run(quickCfg())
+		tables, err := e.Run(cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", e.Key, err)
 		}
@@ -81,6 +85,27 @@ func TestGoldenQuickTablesCacheOff(t *testing.T) {
 	got := renderAllQuick(t)
 	if !bytes.Equal(got, want) {
 		t.Fatalf("tables with cache off diverged from golden\n%s", firstDiff(got, want))
+	}
+}
+
+// TestGoldenQuickTablesReuseOff re-renders the same tables with scratch
+// reuse disabled (Config.NoReuse, the `-reuse=false` cold path): arenas and
+// workspaces may only change where memory comes from, never a verdict, so
+// the rendered tables must match the golden file byte for byte.
+func TestGoldenQuickTablesReuseOff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: reuse-off rerun skipped")
+	}
+	path := filepath.Join("testdata", "quick_tables.golden")
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to record): %v", err)
+	}
+	cfg := quickCfg()
+	cfg.NoReuse = true
+	got := renderAllQuickCfg(t, cfg)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("tables with reuse off diverged from golden\n%s", firstDiff(got, want))
 	}
 }
 

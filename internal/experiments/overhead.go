@@ -61,8 +61,8 @@ func OverheadSensitivity(cfg Config) ([]Table, error) {
 		}
 		perSet := make([]outcome, sets)
 		errs := make([]error, sets)
-		cfg.parEach(r.Int63(), sets, func(s int, r *rand.Rand) {
-			ts, err := gen.TaskSet(r, gen.Config{TargetU: um * float64(m), UMin: 0.05, UMax: 0.5, Periods: menu})
+		cfg.parEach(r.Int63(), sets, func(s int, r *rand.Rand, ws *Workspace) {
+			ts, err := gen.TaskSetInto(r, gen.Config{TargetU: um * float64(m), UMin: 0.05, UMax: 0.5, Periods: menu}, ws.Gen())
 			if err != nil {
 				errs[s] = err
 				return
@@ -78,8 +78,10 @@ func OverheadSensitivity(cfg Config) ([]Table, error) {
 				}
 				return rep.Ok()
 			}
+			// Each partitioning result borrows the workspace and is fully
+			// consumed (simulated or deflated) before the next Partition call.
 			var o outcome
-			if res := alg.Partition(ts, m); res.OK && !simWithCharges(res.Assignment) {
+			if res := ws.Partition(alg, ts, m); res.OK && !simWithCharges(res.Assignment) {
 				o.naiveMiss = true
 			}
 			// Task-level inflation (the folklore mitigation).
@@ -90,14 +92,14 @@ func OverheadSensitivity(cfg Config) ([]Table, error) {
 					inflated[i].C = inflated[i].T
 				}
 			}
-			if resP := alg.Partition(inflated, m); resP.OK {
+			if resP := ws.Partition(alg, inflated, m); resP.OK {
 				o.inflAcc = true
 				if !simWithCharges(deflateAssignment(resP.Assignment, ts)) {
 					o.inflMiss = true
 				}
 			}
 			// Overhead-aware admission.
-			if resA := aware.Partition(ts, m); resA.OK {
+			if resA := ws.Partition(aware, ts, m); resA.OK {
 				o.awareAcc = true
 				if !simWithCharges(resA.Assignment) {
 					o.awareMiss = true
@@ -204,8 +206,8 @@ func AdmissionAblation(cfg Config) ([]Table, error) {
 	mt := cfg.meter("admission-ablation", len(points))
 	for i, um := range points {
 		target := um * float64(m)
-		row, err := cfg.acceptance(r.Int63(), cfg.setsPerPoint(), m, func(r *rand.Rand) (task.Set, error) {
-			return gen.TaskSet(r, gen.Config{TargetU: target, UMin: 0.05, UMax: 0.6})
+		row, err := cfg.acceptance(r.Int63(), cfg.setsPerPoint(), m, func(r *rand.Rand, sc *gen.Scratch) (task.Set, error) {
+			return gen.TaskSetInto(r, gen.Config{TargetU: target, UMin: 0.05, UMax: 0.6}, sc)
 		}, algos)
 		if err != nil {
 			return nil, fmt.Errorf("admission-ablation: %w", err)

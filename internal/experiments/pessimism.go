@@ -40,14 +40,14 @@ func AnalysisPessimism(cfg Config) ([]Table, error) {
 	}
 	perSet := make([][]sample, sets)
 	errs := make([]error, sets)
-	cfg.parEach(r.Int63(), sets, func(s int, r *rand.Rand) {
+	cfg.parEach(r.Int63(), sets, func(s int, r *rand.Rand, ws *Workspace) {
 		um := 0.6 + 0.3*r.Float64()
-		ts, err := gen.TaskSet(r, gen.Config{TargetU: um * float64(m), UMin: 0.05, UMax: 0.5, Periods: menu})
+		ts, err := gen.TaskSetInto(r, gen.Config{TargetU: um * float64(m), UMin: 0.05, UMax: 0.5, Periods: menu}, ws.Gen())
 		if err != nil {
 			errs[s] = err
 			return
 		}
-		res := alg.Partition(ts, m)
+		res := ws.Partition(alg, ts, m)
 		if !res.OK {
 			return
 		}

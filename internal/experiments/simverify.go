@@ -39,20 +39,22 @@ func SimulateVerify(cfg Config) ([]Table, error) {
 	}
 	perSet := make([][]agg, sets)
 	errs := make([]error, sets)
-	cfg.parEach(r.Int63(), sets, func(s int, r *rand.Rand) {
+	cfg.parEach(r.Int63(), sets, func(s int, r *rand.Rand, ws *Workspace) {
 		um := 0.55 + 0.4*r.Float64()
-		ts, err := gen.TaskSet(r, gen.Config{
+		ts, err := gen.TaskSetInto(r, gen.Config{
 			TargetU: um * float64(m),
 			UMin:    0.05, UMax: 0.5,
 			Periods: periodMenu,
-		})
+		}, ws.Gen())
 		if err != nil {
 			errs[s] = err
 			return
 		}
 		row := make([]agg, len(algos))
 		for i, a := range algos {
-			res := a.alg.Partition(ts, m)
+			// The result (and its assignment) borrows the workspace; it is
+			// fully consumed by the simulation before the next Partition call.
+			res := ws.Partition(a.alg, ts, m)
 			if !res.OK || !res.Guaranteed {
 				continue
 			}

@@ -40,7 +40,7 @@ func UniprocessorBreakdown(cfg Config) ([]Table, error) {
 	for _, n := range ns {
 		n := n
 		samples := make([]float64, sets)
-		cfg.parEach(r.Int63(), sets, func(s int, r *rand.Rand) {
+		cfg.parEach(r.Int63(), sets, func(s int, r *rand.Rand, _ *Workspace) {
 			samples[s] = uniBreakdown(r, n)
 		})
 		var lo float64 = 2

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"math/rand"
+	"sync"
+
+	"repro/internal/gen"
+	"repro/internal/partition"
+	"repro/internal/task"
+)
+
+// Workspace is one worker's persistent scratch state for the per-sample
+// pipeline (generate → partition → analyze): a generator scratch, a
+// partitioning arena and a reusable RNG. parEach hands each worker one
+// workspace and reuses it across every index the worker steals, so the
+// steady-state sweep loop allocates nothing per task set.
+//
+// Ownership follows the arena contract (partition.Arena): anything returned
+// by Gen-backed generators or Partition borrows the workspace and is valid
+// only until the next generate/Partition call on the same workspace. A
+// Workspace is not safe for concurrent use; workspaces are pooled and
+// recycled across parEach calls.
+type Workspace struct {
+	gen     gen.Scratch
+	arena   partition.Arena
+	rng     *rand.Rand
+	noReuse bool
+}
+
+// Gen returns the workspace's generator scratch, or nil in no-reuse mode —
+// a nil scratch makes every gen.*Into call allocate fresh, reproducing the
+// cold path exactly.
+func (ws *Workspace) Gen() *gen.Scratch {
+	if ws == nil || ws.noReuse {
+		return nil
+	}
+	return &ws.gen
+}
+
+// Partition runs alg on (ts, m) drawing all working storage from the
+// workspace arena. The result borrows the workspace. In no-reuse mode — or
+// for an algorithm without arena support — it is a plain cold Partition
+// call; the verdict and every Result field are identical either way (the
+// arena equivalence tests pin this).
+func (ws *Workspace) Partition(alg partition.Algorithm, ts task.Set, m int) *partition.Result {
+	if ws != nil && !ws.noReuse {
+		if ap, ok := alg.(partition.ArenaPartitioner); ok {
+			return ap.PartitionArena(ts, m, &ws.arena)
+		}
+	}
+	return alg.Partition(ts, m)
+}
+
+// wsPool recycles workspaces across parEach calls (and across benchmark
+// iterations), so buffer capacities survive the whole process lifetime.
+var wsPool = sync.Pool{New: func() interface{} {
+	return &Workspace{rng: rand.New(rand.NewSource(0))}
+}}
+
+func getWorkspace(noReuse bool) *Workspace {
+	ws := wsPool.Get().(*Workspace)
+	ws.noReuse = noReuse
+	return ws
+}
+
+func putWorkspace(ws *Workspace) { wsPool.Put(ws) }

@@ -1,0 +1,26 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Alloc guard for scratch-backed generation: a warm Scratch must absorb all
+// working storage of TaskSetInto (utilization draws, the set buffer, task
+// names). Run with `go test -run AllocGuard ./...`.
+func TestAllocGuardTaskSetInto(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	cfg := Config{TargetU: 3.2, UMin: 0.05, UMax: 0.5}
+	sc := &Scratch{}
+	if _, err := TaskSetInto(r, cfg, sc); err != nil { // warm
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := TaskSetInto(r, cfg, sc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("TaskSetInto with warm scratch: %v allocs/run, want 0", allocs)
+	}
+}

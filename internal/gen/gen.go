@@ -90,9 +90,13 @@ type Config struct {
 	MaxTasks int
 }
 
+// defaultPeriods is boxed once at init so the nil-Periods fast path does not
+// allocate an interface value per generated set.
+var defaultPeriods PeriodGen = LogUniformPeriods{Min: 100, Max: 10000}
+
 func (c Config) periods() PeriodGen {
 	if c.Periods == nil {
-		return LogUniformPeriods{Min: 100, Max: 10000}
+		return defaultPeriods
 	}
 	return c.Periods
 }
@@ -105,6 +109,16 @@ func (c Config) periods() PeriodGen {
 // total utilization therefore differs from TargetU only by integer
 // rounding.
 func TaskSet(r *rand.Rand, c Config) (task.Set, error) {
+	return TaskSetInto(r, c, nil)
+}
+
+// TaskSetInto is TaskSet drawing into caller-owned scratch buffers: the
+// utilization vector and the returned set reuse sc's capacity, so a warm
+// steady state allocates nothing. The returned set aliases sc and is valid
+// only until the next generate call on the same Scratch (see Scratch). A
+// nil sc reproduces TaskSet exactly; the RNG draw sequence is identical in
+// both modes.
+func TaskSetInto(r *rand.Rand, c Config, sc *Scratch) (task.Set, error) {
 	if c.TargetU <= 0 {
 		return nil, fmt.Errorf("gen: non-positive target utilization %g", c.TargetU)
 	}
@@ -116,7 +130,7 @@ func TaskSet(r *rand.Rand, c Config) (task.Set, error) {
 		maxTasks = 10000
 	}
 	pg := c.periods()
-	var us []float64
+	us := sc.usBuf()
 	total := 0.0
 	for total < c.TargetU {
 		if len(us) >= maxTasks {
@@ -145,13 +159,20 @@ func TaskSet(r *rand.Rand, c Config) (task.Set, error) {
 		us = append(us, u)
 		total += u
 	}
-	return Materialize(r, us, pg)
+	sc.saveUs(us)
+	return MaterializeInto(r, us, pg, sc)
 }
 
 // Materialize converts a utilization vector into an integer task set using
 // the period generator: T drawn per task, C = clamp(round(U·T), 1, T).
 func Materialize(r *rand.Rand, us []float64, pg PeriodGen) (task.Set, error) {
-	ts := make(task.Set, 0, len(us))
+	return MaterializeInto(r, us, pg, nil)
+}
+
+// MaterializeInto is Materialize drawing into sc's set buffer (see
+// TaskSetInto for the aliasing contract; nil sc allocates fresh).
+func MaterializeInto(r *rand.Rand, us []float64, pg PeriodGen, sc *Scratch) (task.Set, error) {
+	ts := sc.setBuf(len(us))
 	for i, u := range us {
 		if u <= 0 || u > 1 {
 			return nil, fmt.Errorf("gen: utilization %g out of (0,1] at index %d", u, i)
@@ -164,8 +185,9 @@ func Materialize(r *rand.Rand, us []float64, pg PeriodGen) (task.Set, error) {
 		if c > t {
 			c = t
 		}
-		ts = append(ts, task.Task{Name: fmt.Sprintf("t%d", i), C: c, T: t})
+		ts = append(ts, task.Task{Name: uniformName(i), C: c, T: t})
 	}
+	sc.saveSet(ts)
 	ts.SortRM()
 	return ts, nil
 }
@@ -175,10 +197,23 @@ func Materialize(r *rand.Rand, us []float64, pg PeriodGen) (task.Set, error) {
 // standard way to derive constrained-deadline workloads from implicit ones.
 // fMax = 1 may still leave some tasks implicit. The input is not modified.
 func Constrain(r *rand.Rand, ts task.Set, fMin, fMax float64) (task.Set, error) {
+	return ConstrainInto(r, ts, fMin, fMax, nil)
+}
+
+// ConstrainInto is Constrain copying into a scratch-owned output buffer
+// (distinct from the set buffer, so ts may itself be a scratch-generated
+// set). Nil sc allocates fresh; the input is never modified either way.
+func ConstrainInto(r *rand.Rand, ts task.Set, fMin, fMax float64, sc *Scratch) (task.Set, error) {
 	if fMin <= 0 || fMax < fMin || fMax > 1 {
 		return nil, fmt.Errorf("gen: invalid deadline fraction range [%g,%g]", fMin, fMax)
 	}
-	out := ts.Clone()
+	var out task.Set
+	if sc == nil {
+		out = ts.Clone()
+	} else {
+		out = append(sc.out[:0], ts...)
+		sc.out = out
+	}
 	for i := range out {
 		f := fMin + r.Float64()*(fMax-fMin)
 		d := task.Time(math.Round(f * float64(out[i].T)))

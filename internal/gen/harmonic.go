@@ -38,6 +38,13 @@ var defaultChainBases = []task.Time{64, 81, 125, 49, 121, 169, 289, 361}
 // harmonic chains: chain k uses periods base_k · Π factors. Utilizations
 // are drawn as in TaskSet and tasks are dealt to chains round-robin.
 func HarmonicSet(r *rand.Rand, cfg HarmonicConfig) (task.Set, error) {
+	return HarmonicSetInto(r, cfg, nil)
+}
+
+// HarmonicSetInto is HarmonicSet drawing into caller-owned scratch (chain
+// ladders and the returned set reuse sc's capacity; see TaskSetInto for
+// the aliasing contract). Nil sc reproduces HarmonicSet exactly.
+func HarmonicSetInto(r *rand.Rand, cfg HarmonicConfig, sc *Scratch) (task.Set, error) {
 	if cfg.Chains < 1 {
 		return nil, fmt.Errorf("gen: chain count %d < 1", cfg.Chains)
 	}
@@ -71,9 +78,9 @@ func HarmonicSet(r *rand.Rand, cfg HarmonicConfig) (task.Set, error) {
 	}
 
 	// Pre-build each chain's period ladder: base, base·f1, base·f1·f2, ...
-	ladders := make([][]task.Time, cfg.Chains)
+	ladders := sc.laddersBuf(cfg.Chains)
 	for k, b := range bases {
-		ladder := []task.Time{b}
+		ladder := append(ladders[k], b)
 		p := b
 		for l := 0; l < maxLevels; l++ {
 			p *= task.Time(factors[r.Intn(len(factors))])
@@ -82,7 +89,7 @@ func HarmonicSet(r *rand.Rand, cfg HarmonicConfig) (task.Set, error) {
 		ladders[k] = ladder
 	}
 
-	var ts task.Set
+	ts := sc.setBuf(0)
 	total := 0.0
 	i := 0
 	for total < cfg.TargetU {
@@ -105,10 +112,11 @@ func HarmonicSet(r *rand.Rand, cfg HarmonicConfig) (task.Set, error) {
 		if c > t {
 			c = t
 		}
-		ts = append(ts, task.Task{Name: fmt.Sprintf("h%d", i), C: c, T: t})
+		ts = append(ts, task.Task{Name: harmonicName(i), C: c, T: t})
 		total += float64(c) / float64(t)
 		i++
 	}
+	sc.saveSet(ts)
 	ts.SortRM()
 	return ts, nil
 }
@@ -133,6 +141,13 @@ type MixedConfig struct {
 // MixedSet generates a heavy/light mix: heavy tasks are added until they
 // carry HeavyShare·TargetU, light tasks fill the rest.
 func MixedSet(r *rand.Rand, cfg MixedConfig) (task.Set, error) {
+	return MixedSetInto(r, cfg, nil)
+}
+
+// MixedSetInto is MixedSet drawing into caller-owned scratch (see
+// TaskSetInto for the aliasing contract). Nil sc reproduces MixedSet
+// exactly.
+func MixedSetInto(r *rand.Rand, cfg MixedConfig, sc *Scratch) (task.Set, error) {
 	if cfg.HeavyShare < 0 || cfg.HeavyShare > 1 {
 		return nil, fmt.Errorf("gen: heavy share %g out of [0,1]", cfg.HeavyShare)
 	}
@@ -140,7 +155,7 @@ func MixedSet(r *rand.Rand, cfg MixedConfig) (task.Set, error) {
 	if pg == nil {
 		pg = LogUniformPeriods{Min: 100, Max: 10000}
 	}
-	var us []float64
+	us := sc.usBuf()
 	heavyTarget := cfg.TargetU * cfg.HeavyShare
 	heavy := 0.0
 	for heavy < heavyTarget && cfg.HeavyShare > 0 {
@@ -164,5 +179,6 @@ func MixedSet(r *rand.Rand, cfg MixedConfig) (task.Set, error) {
 		us = append(us, u)
 		sum += u
 	}
-	return Materialize(r, us, pg)
+	sc.saveUs(us)
+	return MaterializeInto(r, us, pg, sc)
 }

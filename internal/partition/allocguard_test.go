@@ -1,0 +1,46 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/task"
+)
+
+// Alloc guard for the arena partitioning path: once an Arena has been warmed
+// on a task set, repartitioning the same shape must not allocate. This is
+// the property that makes per-worker Workspace reuse in the experiment
+// harness worthwhile. Run with `go test -run AllocGuard ./...`.
+func TestAllocGuardPartitionArena(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	ts := make(task.Set, 0, 10)
+	for i := 0; i < 10; i++ {
+		T := task.Time(50 + r.Intn(950))
+		C := task.Time(1 + r.Intn(int(T)/3))
+		ts = append(ts, task.Task{Name: "g", C: C, T: T})
+	}
+	m := 4
+	algos := []struct {
+		name string
+		alg  ArenaPartitioner
+	}{
+		{"RM-TS", NewRMTS(nil)},
+		{"RM-TS/light", RMTSLight{}},
+		{"SPA2", SPA2{}},
+		{"FF-RTA", FirstFitRTA{}},
+		{"EDF-FF", EDFFirstFit{}},
+	}
+	for _, a := range algos {
+		a := a
+		t.Run(a.name, func(t *testing.T) {
+			ar := &Arena{}
+			a.alg.PartitionArena(ts, m, ar) // warm every buffer
+			allocs := testing.AllocsPerRun(100, func() {
+				a.alg.PartitionArena(ts, m, ar)
+			})
+			if allocs != 0 {
+				t.Errorf("%s PartitionArena on warm arena: %v allocs/run, want 0", a.name, allocs)
+			}
+		})
+	}
+}

@@ -2,7 +2,6 @@ package partition
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/bounds"
 	"repro/internal/obs"
@@ -58,7 +57,12 @@ func (a FirstFitRTA) Name() string { return "P-RM-FF(" + a.Order.String() + ")" 
 
 // Partition implements Algorithm.
 func (a FirstFitRTA) Partition(ts task.Set, m int) *Result {
-	return fitPartition(ts, m, a.Order, pickFirstFit, a.Trace)
+	return a.PartitionArena(ts, m, nil)
+}
+
+// PartitionArena implements ArenaPartitioner.
+func (a FirstFitRTA) PartitionArena(ts task.Set, m int, ar *Arena) *Result {
+	return fitPartitionAdmit(ts, m, a.Order, pickFirstFit, AdmitRTA, a.Trace, ar)
 }
 
 // WorstFitRTA is strict partitioned RM with worst-fit (minimum assigned
@@ -76,12 +80,18 @@ func (a WorstFitRTA) Name() string { return "P-RM-WF(" + a.Order.String() + ")" 
 
 // Partition implements Algorithm.
 func (a WorstFitRTA) Partition(ts task.Set, m int) *Result {
-	return fitPartition(ts, m, a.Order, pickWorstFit, a.Trace)
+	return a.PartitionArena(ts, m, nil)
 }
 
-// pickFirstFit returns candidate processors in index order.
-func pickFirstFit(asg *task.Assignment) []int {
-	out := make([]int, asg.M())
+// PartitionArena implements ArenaPartitioner.
+func (a WorstFitRTA) PartitionArena(ts task.Set, m int, ar *Arena) *Result {
+	return fitPartitionAdmit(ts, m, a.Order, pickWorstFit, AdmitRTA, a.Trace, ar)
+}
+
+// pickFirstFit returns candidate processors in index order, in the arena's
+// order buffer.
+func pickFirstFit(ar *Arena, asg *task.Assignment) []int {
+	out := intBuf(&ar.order, asg.M())
 	for q := range out {
 		out[q] = q
 	}
@@ -89,12 +99,25 @@ func pickFirstFit(asg *task.Assignment) []int {
 }
 
 // pickWorstFit returns candidate processors sorted by ascending assigned
-// utilization (ties by index).
-func pickWorstFit(asg *task.Assignment) []int {
-	out := pickFirstFit(asg)
-	sort.SliceStable(out, func(a, b int) bool {
-		return asg.Utilization(out[a]) < asg.Utilization(out[b])
-	})
+// utilization (ties by index). Utilizations are computed once per call and
+// sorted with a stable insertion sort — the same permutation the former
+// sort.SliceStable produced.
+func pickWorstFit(ar *Arena, asg *task.Assignment) []int {
+	out := pickFirstFit(ar, asg)
+	utils := floatBuf(&ar.utils, len(out))
+	for q := range utils {
+		utils[q] = asg.Utilization(q)
+	}
+	for i := 1; i < len(out); i++ {
+		q := out[i]
+		u := utils[q]
+		j := i - 1
+		for j >= 0 && utils[out[j]] > u {
+			out[j+1] = out[j]
+			j--
+		}
+		out[j+1] = q
+	}
 	return out
 }
 
@@ -184,15 +207,19 @@ func (a FirstFit) Name() string {
 
 // Partition implements Algorithm.
 func (a FirstFit) Partition(ts task.Set, m int) *Result {
-	return fitPartitionAdmit(ts, m, a.Order, pickFirstFit, a.Admission, a.Trace)
+	return a.PartitionArena(ts, m, nil)
 }
 
-func fitPartition(ts task.Set, m int, order FitOrder, pick func(*task.Assignment) []int, tr *obs.Trace) *Result {
-	return fitPartitionAdmit(ts, m, order, pick, AdmitRTA, tr)
+// PartitionArena implements ArenaPartitioner.
+func (a FirstFit) PartitionArena(ts task.Set, m int, ar *Arena) *Result {
+	return fitPartitionAdmit(ts, m, a.Order, pickFirstFit, a.Admission, a.Trace, ar)
 }
 
-func fitPartitionAdmit(ts task.Set, m int, order FitOrder, pick func(*task.Assignment) []int, admit Admission, tr *obs.Trace) *Result {
-	sorted, asg, fail := prepare(ts, m)
+func fitPartitionAdmit(ts task.Set, m int, order FitOrder, pick func(*Arena, *task.Assignment) []int, admit Admission, tr *obs.Trace, ar *Arena) *Result {
+	if ar == nil {
+		ar = new(Arena)
+	}
+	sorted, asg, fail := ar.prepare(ts, m)
 	if fail != nil {
 		return fail
 	}
@@ -201,34 +228,19 @@ func fitPartitionAdmit(ts task.Set, m int, order FitOrder, pick func(*task.Assig
 			return res
 		}
 	}
-	res := &Result{Assignment: asg, FailedTask: -1}
+	res := ar.result("")
 
-	idxs := make([]int, len(sorted))
-	for i := range idxs {
-		idxs[i] = i
-	}
-	switch order {
-	case DecreasingUtilization:
-		sort.SliceStable(idxs, func(a, b int) bool {
-			return sorted[idxs[a]].Utilization() > sorted[idxs[b]].Utilization()
-		})
-	case IncreasingPriority:
-		for i, j := 0, len(idxs)-1; i < j; i, j = i+1, j-1 {
-			idxs[i], idxs[j] = idxs[j], idxs[i]
-		}
-	case DecreasingPriority:
-		// already in place
-	}
+	idxs := ar.taskOrder(sorted, order)
 
 	// Per-processor incremental RTA state; only the exact test consults it
 	// (the threshold tests don't run fixed points), but the mirror costs
 	// nothing to maintain and keeps one assignment path.
-	states := rta.NewProcStates(m, 0)
+	states := ar.procStates(m, 0)
 
 	for _, i := range idxs {
 		t := sorted[i]
 		placed := false
-		for _, q := range pick(asg) {
+		for _, q := range pick(ar, asg) {
 			cAssignAttempts.Inc()
 			before := traceIters(tr)
 			abortsBefore := traceAborts(tr)

@@ -2,7 +2,6 @@ package partition
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/edfa"
 	"repro/internal/task"
@@ -34,7 +33,12 @@ func (a EDFFirstFit) Name() string { return "P-EDF-FF(" + a.Order.String() + ")"
 
 // Partition implements Algorithm.
 func (a EDFFirstFit) Partition(ts task.Set, m int) *Result {
-	return edfFit(ts, m, a.Order, pickFirstFit)
+	return a.PartitionArena(ts, m, nil)
+}
+
+// PartitionArena implements ArenaPartitioner.
+func (a EDFFirstFit) PartitionArena(ts task.Set, m int, ar *Arena) *Result {
+	return edfFit(ts, m, a.Order, pickFirstFit, ar)
 }
 
 // EDFWorstFit is strict partitioned EDF with worst-fit processor choice.
@@ -48,11 +52,19 @@ func (a EDFWorstFit) Name() string { return "P-EDF-WF(" + a.Order.String() + ")"
 
 // Partition implements Algorithm.
 func (a EDFWorstFit) Partition(ts task.Set, m int) *Result {
-	return edfFit(ts, m, a.Order, pickWorstFit)
+	return a.PartitionArena(ts, m, nil)
 }
 
-func edfFit(ts task.Set, m int, order FitOrder, pick func(*task.Assignment) []int) *Result {
-	sorted, asg, fail := prepare(ts, m)
+// PartitionArena implements ArenaPartitioner.
+func (a EDFWorstFit) PartitionArena(ts task.Set, m int, ar *Arena) *Result {
+	return edfFit(ts, m, a.Order, pickWorstFit, ar)
+}
+
+func edfFit(ts task.Set, m int, order FitOrder, pick func(*Arena, *task.Assignment) []int, ar *Arena) *Result {
+	if ar == nil {
+		ar = new(Arena)
+	}
+	sorted, asg, fail := ar.prepare(ts, m)
 	if fail != nil {
 		return fail
 	}
@@ -60,29 +72,15 @@ func edfFit(ts task.Set, m int, order FitOrder, pick func(*task.Assignment) []in
 		res.Scheduler = "EDF"
 		return res
 	}
-	res := &Result{Assignment: asg, FailedTask: -1, Scheduler: "EDF"}
+	res := ar.result("EDF")
 
-	idxs := make([]int, len(sorted))
-	for i := range idxs {
-		idxs[i] = i
-	}
-	switch order {
-	case DecreasingUtilization:
-		sort.SliceStable(idxs, func(a, b int) bool {
-			return sorted[idxs[a]].Utilization() > sorted[idxs[b]].Utilization()
-		})
-	case IncreasingPriority:
-		for i, j := 0, len(idxs)-1; i < j; i, j = i+1, j-1 {
-			idxs[i], idxs[j] = idxs[j], idxs[i]
-		}
-	case DecreasingPriority:
-	}
+	idxs := ar.taskOrder(sorted, order)
 
 	for _, i := range idxs {
 		t := sorted[i]
 		u := t.Utilization()
 		placed := false
-		for _, q := range pick(asg) {
+		for _, q := range pick(ar, asg) {
 			if asg.Utilization(q)+u <= 1+utilEps {
 				asg.Add(q, task.Whole(i, t))
 				placed = true

@@ -2,7 +2,6 @@ package partition
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/edfa"
 	"repro/internal/obs"
@@ -34,33 +33,29 @@ func (EDFTS) Name() string { return "EDF-TS" }
 
 // Partition implements Algorithm.
 func (a EDFTS) Partition(ts task.Set, m int) *Result {
-	sorted, asg, fail := prepare(ts, m)
+	return a.PartitionArena(ts, m, nil)
+}
+
+// PartitionArena implements ArenaPartitioner.
+func (a EDFTS) PartitionArena(ts task.Set, m int, ar *Arena) *Result {
+	if ar == nil {
+		ar = new(Arena)
+	}
+	sorted, asg, fail := ar.prepare(ts, m)
 	if fail != nil {
 		return fail
 	}
 	tr := a.Trace
-	res := &Result{Assignment: asg, FailedTask: -1, Scheduler: "EDF"}
+	res := ar.result("EDF")
 
 	// EDF-WM considers tasks in decreasing utilization order.
-	idxs := make([]int, len(sorted))
-	for i := range idxs {
-		idxs[i] = i
-	}
-	sort.SliceStable(idxs, func(a, b int) bool {
-		return sorted[idxs[a]].Utilization() > sorted[idxs[b]].Utilization()
-	})
+	idxs := ar.taskOrder(sorted, DecreasingUtilization)
 
 	// Incremental demand mirror: the per-processor []edfa.Demand view is
 	// maintained across placements instead of rebuilt from asg.Procs[q] on
 	// every probe (the EDF counterpart of rta.ProcState's interference
 	// mirror), and probes run on a single reused scratch buffer.
-	demands := make([][]edfa.Demand, m)
-	add := func(q int, s task.Subtask) {
-		asg.Add(q, s)
-		demands[q] = append(demands[q], edfa.Demand{C: s.C, T: s.T, D: s.Deadline})
-	}
-	sources := func(q int) []edfa.Demand { return demands[q] }
-	scratch := make([]edfa.Demand, 0, len(sorted)+1)
+	demands := ar.demandsBuf(m)
 
 	for _, i := range idxs {
 		t := sorted[i]
@@ -69,10 +64,11 @@ func (a EDFTS) Partition(ts task.Set, m int) *Result {
 		placed := false
 		for q := 0; q < m; q++ {
 			cAssignAttempts.Inc()
-			scratch = append(scratch[:0], demands[q]...)
+			scratch := append(ar.scratch[:0], demands[q]...)
 			scratch = append(scratch, edfa.Demand{C: t.C, T: t.T, D: d})
+			ar.scratch = scratch
 			if edfa.Schedulable(scratch) {
-				add(q, task.Whole(i, t))
+				edfAdd(asg, demands, q, task.Whole(i, t))
 				cAssignWhole.Inc()
 				if tr != nil {
 					tr.Add(obs.Event{Kind: obs.EvAssigned, Task: i, Part: 1, Proc: q,
@@ -90,7 +86,7 @@ func (a EDFTS) Partition(ts task.Set, m int) *Result {
 		}
 		// Window split: try k = 2..m equal windows w = D/k; greedily take
 		// the largest per-processor budgets until the demand is covered.
-		if !splitByWindows(add, sources, i, t, m, tr) {
+		if !splitByWindows(ar, asg, demands, i, t, m, tr) {
 			res.Reason = fmt.Sprintf("no window split fits τ%d (demand test)", i)
 			res.FailedTask = i
 			traceFail(tr, i, res.Reason)
@@ -105,11 +101,19 @@ func (a EDFTS) Partition(ts task.Set, m int) *Result {
 	return res
 }
 
+// edfAdd commits a fragment to both the assignment and the incremental
+// demand mirror.
+func edfAdd(asg *task.Assignment, demands [][]edfa.Demand, q int, s task.Subtask) {
+	asg.Add(q, s)
+	demands[q] = append(demands[q], edfa.Demand{C: s.C, T: s.T, D: s.Deadline})
+}
+
 // splitByWindows attempts the EDF-WM style split of task i; it returns
-// whether fragments covering the full demand were assigned. add commits a
-// fragment to both the assignment and the incremental demand mirror that
-// backs sources.
-func splitByWindows(add func(int, task.Subtask), sources func(int) []edfa.Demand, i int, t task.Task, m int, tr *obs.Trace) bool {
+// whether fragments covering the full demand were assigned. Committed
+// fragments update both the assignment and the demand mirror. The candidate
+// list lives in the arena and is ordered by (capacity desc, index asc) — a
+// total order, so the sort is deterministic.
+func splitByWindows(ar *Arena, asg *task.Assignment, demands [][]edfa.Demand, i int, t task.Task, m int, tr *obs.Trace) bool {
 	d := t.Deadline()
 	base := t.T - d
 	for k := task.Time(2); k <= task.Time(m); k++ {
@@ -117,23 +121,23 @@ func splitByWindows(add func(int, task.Subtask), sources func(int) []edfa.Demand
 		if w < 1 {
 			break
 		}
-		type cap struct {
-			q int
-			c task.Time
-		}
-		caps := make([]cap, 0, m)
+		caps := ar.caps[:0]
 		for q := 0; q < m; q++ {
-			c := edfa.MaxAdditionalDemand(sources(q), t.T, w, t.C)
+			c := edfa.MaxAdditionalDemand(demands[q], t.T, w, t.C)
 			if c > 0 {
-				caps = append(caps, cap{q, c})
+				caps = append(caps, edfCap{q, c})
 			}
 		}
-		sort.Slice(caps, func(a, b int) bool {
-			if caps[a].c != caps[b].c {
-				return caps[a].c > caps[b].c
+		ar.caps = caps
+		for a := 1; a < len(caps); a++ {
+			x := caps[a]
+			b := a - 1
+			for b >= 0 && (x.c > caps[b].c || (x.c == caps[b].c && x.q < caps[b].q)) {
+				caps[b+1] = caps[b]
+				b--
 			}
-			return caps[a].q < caps[b].q
-		})
+			caps[b+1] = x
+		}
 		var total task.Time
 		use := 0
 		for use < len(caps) && use < int(k) && total < t.C {
@@ -151,7 +155,7 @@ func splitByWindows(add func(int, task.Subtask), sources func(int) []edfa.Demand
 				c = remaining
 			}
 			offset := base + task.Time(part-1)*w
-			add(caps[part-1].q, task.Subtask{
+			edfAdd(asg, demands, caps[part-1].q, task.Subtask{
 				TaskIndex: i, Part: part, C: c, T: t.T,
 				Deadline: w, Offset: offset, Tail: part == use || remaining == c,
 			})

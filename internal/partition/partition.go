@@ -280,20 +280,6 @@ func Verify(res *Result) error {
 	return nil
 }
 
-// prepared clones, sorts and validates the input, returning the working set
-// and an initialized assignment, or a failure Result.
-func prepare(ts task.Set, m int) (task.Set, *task.Assignment, *Result) {
-	if m <= 0 {
-		return nil, nil, &Result{FailedTask: -1, Reason: "no processors"}
-	}
-	sorted := ts.Clone()
-	sorted.SortDM() // identical to RM order for implicit-deadline sets
-	if err := sorted.Validate(); err != nil {
-		return nil, nil, &Result{FailedTask: -1, Reason: err.Error(), Assignment: task.NewAssignment(sorted, m)}
-	}
-	return sorted, task.NewAssignment(sorted, m), nil
-}
-
 // requireImplicit fails algorithms whose theory only covers the
 // implicit-deadline L&L model (the SPA thresholds, the bound-based
 // admissions, the EDF utilization test, global scheduling bounds).

@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/bounds"
 	"repro/internal/obs"
-	"repro/internal/rta"
 	"repro/internal/task"
 )
 
@@ -33,13 +32,21 @@ func (RMTSLight) Name() string { return "RM-TS/light" }
 
 // Partition implements Algorithm.
 func (a RMTSLight) Partition(ts task.Set, m int) *Result {
-	sorted, asg, fail := prepare(ts, m)
+	return a.PartitionArena(ts, m, nil)
+}
+
+// PartitionArena implements ArenaPartitioner.
+func (a RMTSLight) PartitionArena(ts task.Set, m int, ar *Arena) *Result {
+	if ar == nil {
+		ar = new(Arena)
+	}
+	sorted, asg, fail := ar.prepare(ts, m)
 	if fail != nil {
 		return fail
 	}
-	full := make([]bool, m)
-	states := rta.NewProcStates(m, a.Surcharge)
-	res := &Result{Assignment: asg, FailedTask: -1}
+	full := boolBuf(&ar.full, m)
+	states := ar.procStates(m, a.Surcharge)
+	res := ar.result("")
 	tr := a.Trace
 	if i := surchargeFeasible(sorted, a.Surcharge); i >= 0 {
 		res.Reason = fmt.Sprintf("τ%d cannot meet its deadline under the overhead surcharge (C+s > T)", i)
@@ -139,14 +146,26 @@ func (a *RMTS) Lambda(ts task.Set) float64 {
 
 // Partition implements Algorithm.
 func (a *RMTS) Partition(ts task.Set, m int) *Result {
-	sorted, asg, fail := prepare(ts, m)
+	return a.PartitionArena(ts, m, nil)
+}
+
+// PartitionArena implements ArenaPartitioner.
+func (a *RMTS) PartitionArena(ts task.Set, m int, ar *Arena) *Result {
+	if ar == nil {
+		ar = new(Arena)
+	}
+	sorted, asg, fail := ar.prepare(ts, m)
 	if fail != nil {
 		return fail
 	}
 	n := len(sorted)
 	lightThr := bounds.LightThresholdFor(n)
-	lambda := a.Lambda(sorted)
-	res := &Result{Assignment: asg, FailedTask: -1}
+	p := a.PUB
+	if p == nil {
+		p = bounds.LiuLayland{}
+	}
+	lambda := bounds.EffectiveRMTSScratch(p, sorted, &ar.bsc)
+	res := ar.result("")
 	tr := a.Trace
 	if i := surchargeFeasible(sorted, a.Surcharge); i >= 0 {
 		res.Reason = fmt.Sprintf("τ%d cannot meet its deadline under the overhead surcharge (C+s > T)", i)
@@ -155,16 +174,16 @@ func (a *RMTS) Partition(ts task.Set, m int) *Result {
 		return res
 	}
 
-	full := make([]bool, m)
-	states := rta.NewProcStates(m, a.Surcharge)
-	normal := make([]bool, m)
+	full := boolBuf(&ar.full, m)
+	states := ar.procStates(m, a.Surcharge)
+	normal := boolBuf(&ar.normal, m)
 	for q := range normal {
 		normal[q] = true
 	}
-	var preProcs []int // pre-assigned processors in assignment order
+	preProcs := ar.preProcs[:0] // pre-assigned processors in assignment order
 
 	// Suffix utilizations: suffix[i] = Σ_{j>i} U_j.
-	suffix := make([]float64, n+1)
+	suffix := floatBuf(&ar.suffix, n+1)
 	for i := n - 1; i >= 0; i-- {
 		suffix[i] = suffix[i+1] + sorted[i].Utilization()
 	}
@@ -179,7 +198,7 @@ func (a *RMTS) Partition(ts task.Set, m int) *Result {
 	// average-case acceptance and never invalidates a successful result.
 	tracePhase(tr, "phase 1: pre-assignment of heavy tasks (condition (8))")
 	normalCount := m
-	pre := make([]bool, n)
+	pre := boolBuf(&ar.pre, n)
 	for i := 0; i < n; i++ {
 		u := sorted[i].Utilization()
 		if u <= lightThr {
@@ -222,15 +241,18 @@ func (a *RMTS) Partition(ts task.Set, m int) *Result {
 	// overflow). A fragment that exhausts the normal processors carries
 	// over into phase 3 with its offset state intact.
 	tracePhase(tr, "phase 2: worst-fit packing on normal processors")
-	var carry *fragment
+	ar.preProcs = preProcs
 	nextPre := len(preProcs) - 1 // phase 3 cursor: largest index first
-	phase3Assign := func(f fragment) bool {
+	// phase3Assign places the carried fragment first-fit on the
+	// pre-assigned processors and reports the final committed fragment's
+	// part number (the task's total fragment count).
+	phase3Assign := func(f fragment) (bool, int) {
 		for {
 			for nextPre >= 0 && full[preProcs[nextPre]] {
 				nextPre--
 			}
 			if nextPre < 0 {
-				return false
+				return false, f.part
 			}
 			q := preProcs[nextPre]
 			placed, rem, becameFull := assignOrSplit(asg, &states[q], q, f, sorted, tr)
@@ -238,7 +260,7 @@ func (a *RMTS) Partition(ts task.Set, m int) *Result {
 				full[q] = true
 			}
 			if placed {
-				return true
+				return true, f.part
 			}
 			f = rem
 		}
@@ -249,10 +271,11 @@ func (a *RMTS) Partition(ts task.Set, m int) *Result {
 			continue
 		}
 		f := wholeFragment(i, sorted[i])
+		carried := false
 		for {
 			q := minUtilProcessor(asg, normal, full)
 			if q < 0 {
-				carry = &f
+				carried = true
 				break
 			}
 			placed, rem, becameFull := assignOrSplit(asg, &states[q], q, f, sorted, tr)
@@ -260,24 +283,27 @@ func (a *RMTS) Partition(ts task.Set, m int) *Result {
 				full[q] = true
 			}
 			if placed {
-				carry = nil
 				break
 			}
 			f = rem
 		}
 		// Phase 3: pre-assigned processors, first-fit from the processor
 		// hosting the lowest-priority pre-assigned task (largest index).
-		if carry != nil {
+		if carried {
 			tracePhase(tr, fmt.Sprintf("phase 3: τ%d overflows onto pre-assigned processors", i))
-			if !phase3Assign(*carry) {
+			ok, finalPart := phase3Assign(f)
+			if !ok {
 				res.Reason = fmt.Sprintf("all processors full while assigning τ%d", i)
 				res.FailedTask = i
 				traceFail(tr, i, res.Reason)
 				return res
 			}
-			carry = nil
+			f.part = finalPart
 		}
-		if _, procs := asg.Subtasks(i); len(procs) > 1 {
+		// A fragment's part number increments exactly once per committed
+		// body, so the final placed fragment's part is the task's fragment
+		// count — the alloc-free equivalent of len(asg.Subtasks(i)) > 1.
+		if f.part > 1 {
 			res.NumSplit++
 		}
 	}

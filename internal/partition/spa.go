@@ -37,7 +37,15 @@ func (SPA1) Name() string { return "SPA1" }
 
 // Partition implements Algorithm.
 func (a SPA1) Partition(ts task.Set, m int) *Result {
-	sorted, asg, fail := prepare(ts, m)
+	return a.PartitionArena(ts, m, nil)
+}
+
+// PartitionArena implements ArenaPartitioner.
+func (a SPA1) PartitionArena(ts task.Set, m int, ar *Arena) *Result {
+	if ar == nil {
+		ar = new(Arena)
+	}
+	sorted, asg, fail := ar.prepare(ts, m)
 	if fail != nil {
 		return fail
 	}
@@ -47,8 +55,8 @@ func (a SPA1) Partition(ts task.Set, m int) *Result {
 		return res
 	}
 	theta := bounds.LL(len(sorted))
-	res := &Result{Assignment: asg, FailedTask: -1}
-	full := make([]bool, m)
+	res := ar.result("")
+	full := boolBuf(&ar.full, m)
 	for i := len(sorted) - 1; i >= 0; i-- {
 		f := wholeFragment(i, sorted[i])
 		for {
@@ -154,7 +162,15 @@ func (SPA2) Name() string { return "SPA2" }
 
 // Partition implements Algorithm.
 func (a SPA2) Partition(ts task.Set, m int) *Result {
-	sorted, asg, fail := prepare(ts, m)
+	return a.PartitionArena(ts, m, nil)
+}
+
+// PartitionArena implements ArenaPartitioner.
+func (a SPA2) PartitionArena(ts task.Set, m int, ar *Arena) *Result {
+	if ar == nil {
+		ar = new(Arena)
+	}
+	sorted, asg, fail := ar.prepare(ts, m)
 	if fail != nil {
 		return fail
 	}
@@ -166,16 +182,16 @@ func (a SPA2) Partition(ts task.Set, m int) *Result {
 	n := len(sorted)
 	theta := bounds.LL(n)
 	lightThr := bounds.LightThresholdFor(n)
-	res := &Result{Assignment: asg, FailedTask: -1}
+	res := ar.result("")
 
-	full := make([]bool, m)
-	normal := make([]bool, m)
+	full := boolBuf(&ar.full, m)
+	normal := boolBuf(&ar.normal, m)
 	for q := range normal {
 		normal[q] = true
 	}
-	var preProcs []int
+	preProcs := ar.preProcs[:0]
 
-	suffix := make([]float64, n+1)
+	suffix := floatBuf(&ar.suffix, n+1)
 	for i := n - 1; i >= 0; i-- {
 		suffix[i] = suffix[i+1] + sorted[i].Utilization()
 	}
@@ -184,7 +200,7 @@ func (a SPA2) Partition(ts task.Set, m int) *Result {
 	// order, lowest-index normal processor.
 	tracePhase(tr, "phase 1: pre-assignment of heavy tasks (Θ condition)")
 	normalCount := m
-	pre := make([]bool, n)
+	pre := boolBuf(&ar.pre, n)
 	for i := 0; i < n; i++ {
 		u := sorted[i].Utilization()
 		if u <= lightThr || normalCount == 0 {
@@ -217,6 +233,7 @@ func (a SPA2) Partition(ts task.Set, m int) *Result {
 	// Phases 2 and 3: threshold packing on normal processors, then
 	// first-fit filling of pre-assigned processors from the largest index.
 	tracePhase(tr, "phase 2/3: threshold packing (normal, then pre-assigned processors)")
+	ar.preProcs = preProcs
 	nextPre := len(preProcs) - 1
 	for i := n - 1; i >= 0; i-- {
 		if pre[i] {

@@ -97,11 +97,40 @@ type ProcState struct {
 // NewProcStates returns one ProcState per processor, all sharing the given
 // analysis surcharge.
 func NewProcStates(m int, surcharge task.Time) []ProcState {
-	states := make([]ProcState, m)
+	return ResetProcStates(nil, m, surcharge)
+}
+
+// ResetProcStates recycles a ProcState slice from a previous partitioning
+// run into m empty states with the given surcharge, growing it only when
+// the capacity (including buffers of states beyond the previous length) is
+// insufficient. The result is observationally identical to
+// NewProcStates(m, surcharge); reusing the slice preserves each state's
+// mirror/cache buffer capacities so steady-state runs allocate nothing.
+func ResetProcStates(states []ProcState, m int, surcharge task.Time) []ProcState {
+	if cap(states) < m {
+		grown := make([]ProcState, m)
+		// Reslice to capacity so buffers owned by states past the previous
+		// length survive the grow.
+		copy(grown, states[:cap(states)])
+		states = grown
+	} else {
+		states = states[:m]
+	}
 	for q := range states {
-		states[q].Surcharge = surcharge
+		states[q].Reset(surcharge)
 	}
 	return states
+}
+
+// Reset empties the state for a new partitioning run, keeping the mirror
+// and cache buffers for reuse.
+func (ps *ProcState) Reset(surcharge task.Time) {
+	ps.Surcharge = surcharge
+	ps.idx = ps.idx[:0]
+	ps.ints = ps.ints[:0]
+	ps.dls = ps.dls[:0]
+	ps.resp = ps.resp[:0]
+	ps.stagedValid = false
 }
 
 // Len returns the number of mirrored residents.

@@ -204,6 +204,42 @@ func hpOf(list []task.Subtask, i int) []Interference {
 	return hp
 }
 
+// MirrorInto rebuilds the interference mirror of a priority-sorted subtask
+// list into buf, growing it in place only when capacity is insufficient.
+// Position i's higher-priority set is the prefix mirror[:i], so one mirror
+// serves a whole processor scan. The result aliases buf; callers keep it
+// for the next call.
+func MirrorInto(list []task.Subtask, buf []Interference) []Interference {
+	buf = buf[:0]
+	for _, s := range list {
+		buf = append(buf, Interference{C: s.C, T: s.T})
+	}
+	return buf
+}
+
+// ProcessorSchedulableScratch is ProcessorSchedulable evaluated against a
+// caller-provided interference scratch: the mirror is built once with
+// MirrorInto and every subtask's higher-priority set is a prefix of it, so
+// the whole check allocates nothing once buf has capacity. The (possibly
+// grown) buffer is returned for reuse.
+func ProcessorSchedulableScratch(list []task.Subtask, buf []Interference) (bool, []Interference) {
+	buf = MirrorInto(list, buf)
+	for i := range list {
+		if _, ok := ResponseTime(list[i].C, buf[:i], list[i].Deadline); !ok {
+			return false, buf
+		}
+	}
+	return true, buf
+}
+
+// SlackHP is the testing-point slack of a task with execution c and
+// deadline d against a period-t interferer, given its higher-priority
+// interference set — the scratch-friendly form of Slack for callers that
+// hold a shared mirror (see MirrorInto).
+func SlackHP(c, d task.Time, hp []Interference, t task.Time) task.Time {
+	return slackCore(c, d, hp, t)
+}
+
 // SubtaskResponse computes the response time of the subtask at position i of
 // the priority-sorted list (highest priority first), and whether it meets
 // its synthetic deadline.
@@ -215,12 +251,8 @@ func SubtaskResponse(list []task.Subtask, i int) (task.Time, bool) {
 // list meets its synthetic deadline under preemptive fixed-priority
 // scheduling.
 func ProcessorSchedulable(list []task.Subtask) bool {
-	for i := range list {
-		if _, ok := SubtaskResponse(list, i); !ok {
-			return false
-		}
-	}
-	return true
+	ok, _ := ProcessorSchedulableScratch(list, nil)
+	return ok
 }
 
 // SchedulableWithExtra reports whether the processor stays schedulable when

@@ -42,26 +42,37 @@ var (
 // It minimizes, over the resident subtasks, the exact RTA slack with
 // respect to a period-t interferer.
 func MaxPortion(list []task.Subtask, t, budget, d task.Time) task.Time {
+	portion, _ := MaxPortionScratch(list, t, budget, d, nil)
+	return portion
+}
+
+// MaxPortionScratch is MaxPortion with a caller-provided interference
+// scratch: the resident mirror is built once (rta.MirrorInto) and each
+// resident's higher-priority set is a prefix of it, so a call allocates
+// nothing once buf has capacity. The (possibly grown) buffer is returned
+// for reuse.
+func MaxPortionScratch(list []task.Subtask, t, budget, d task.Time, buf []rta.Interference) (task.Time, []rta.Interference) {
 	cTPCalls.Inc()
 	if budget <= 0 {
-		return 0
+		return 0, buf
 	}
 	best := budget
 	if d < best {
 		best = d
 	}
 	if best <= 0 {
-		return 0
+		return 0, buf
 	}
+	buf = rta.MirrorInto(list, buf)
 	for i := range list {
-		if s := rta.Slack(list, i, t); s < best {
+		if s := rta.SlackHP(list[i].C, list[i].Deadline, buf[:i], t); s < best {
 			best = s
 		}
 		if best == 0 {
-			return 0
+			return 0, buf
 		}
 	}
-	return best
+	return best, buf
 }
 
 // MaxPortionAt generalizes MaxPortion to an arbitrary priority position:

@@ -22,15 +22,39 @@ type Assignment struct {
 
 // NewAssignment returns an empty assignment for set ts on m processors.
 func NewAssignment(ts Set, m int) *Assignment {
-	a := &Assignment{
-		Set:         ts,
-		Procs:       make([][]Subtask, m),
-		PreAssigned: make([]int, m),
+	a := &Assignment{}
+	a.Reset(ts, m)
+	return a
+}
+
+// Reset re-initialises the assignment for set ts on m processors, recycling
+// the per-processor subtask slices and the pre-assignment array from the
+// previous use. After Reset the assignment is observationally identical to
+// NewAssignment(ts, m); only slice capacities are carried over, so repeated
+// Reset/fill cycles on one Assignment allocate nothing once capacities have
+// grown to the working-set size.
+func (a *Assignment) Reset(ts Set, m int) {
+	a.Set = ts
+	if cap(a.Procs) < m {
+		grown := make([][]Subtask, m)
+		// Reslice to capacity so per-processor slices that grew in earlier
+		// uses keep their backing arrays.
+		copy(grown, a.Procs[:cap(a.Procs)])
+		a.Procs = grown
+	} else {
+		a.Procs = a.Procs[:m]
+	}
+	for q := range a.Procs {
+		a.Procs[q] = a.Procs[q][:0]
+	}
+	if cap(a.PreAssigned) < m {
+		a.PreAssigned = make([]int, m)
+	} else {
+		a.PreAssigned = a.PreAssigned[:m]
 	}
 	for i := range a.PreAssigned {
 		a.PreAssigned[i] = -1
 	}
-	return a
 }
 
 // M returns the number of processors.

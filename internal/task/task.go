@@ -110,10 +110,22 @@ func (s Set) Clone() Set {
 
 // SortRM sorts the set into rate-monotonic priority order: non-decreasing
 // period, ties broken by original order (the sort is stable).
+//
+// Stable insertion sort: sets are small (tens of tasks), the hot analysis
+// path sorts one per generated sample, and sort.SliceStable allocates for
+// its reflection-based swapper. An element moves only past strictly
+// greater keys, so the resulting permutation is byte-identical to
+// sort.SliceStable with the same less function.
 func (s Set) SortRM() {
-	sort.SliceStable(s, func(i, j int) bool {
-		return s[i].T < s[j].T
-	})
+	for i := 1; i < len(s); i++ {
+		t := s[i]
+		j := i - 1
+		for j >= 0 && s[j].T > t.T {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = t
+	}
 }
 
 // SortDM sorts the set into deadline-monotonic priority order:
@@ -121,13 +133,27 @@ func (s Set) SortRM() {
 // order (stable). For implicit-deadline sets this is exactly SortRM, so
 // the partitioning algorithms use it uniformly.
 func (s Set) SortDM() {
-	sort.SliceStable(s, func(i, j int) bool {
-		di, dj := s[i].Deadline(), s[j].Deadline()
-		if di != dj {
-			return di < dj
+	for i := 1; i < len(s); i++ {
+		t := s[i]
+		d := t.Deadline()
+		j := i - 1
+		for j >= 0 && dmAfter(s[j], d, t.T) {
+			s[j+1] = s[j]
+			j--
 		}
-		return s[i].T < s[j].T
-	})
+		s[j+1] = t
+	}
+}
+
+// dmAfter reports whether task a orders strictly after deadline/period key
+// (d, p) in deadline-monotonic order — the insertion-sort counterpart of
+// SortDM's former sort.SliceStable less function.
+func dmAfter(a Task, d, p Time) bool {
+	da := a.Deadline()
+	if da != d {
+		return da > d
+	}
+	return a.T > p
 }
 
 // IsSortedRM reports whether the set is in non-decreasing period order.
