@@ -2,9 +2,12 @@
 # Tier-1 verification gate (see ROADMAP.md): formatting, vet, build, full
 # test suite, a race-detector pass over the concurrent packages (the
 # experiment harness fans out over workers; the obs counters and the RTA
-# warm-start toggle are shared atomics), and a one-iteration bench smoke so
-# every benchmark keeps compiling and running. Run from the repository
-# root; any failure fails the gate.
+# warm-start toggle are shared atomics), a one-iteration bench smoke so
+# every benchmark keeps compiling and running, a fault-injection pass over
+# the hardened pipeline (DESIGN.md §9), short fuzz smokes for the invariant
+# checker and the task-set parser, and a -paranoid quick table that
+# re-validates every partitioning the harness produces. Run from the
+# repository root; any failure fails the gate.
 set -eu
 
 echo "== gofmt =="
@@ -31,6 +34,17 @@ go test -race -short repro/internal/experiments repro/internal/obs repro/interna
 
 echo "== alloc guards (hot paths must stay zero-allocation) =="
 go test -run AllocGuard repro/internal/rta repro/internal/split repro/internal/partition repro/internal/gen
+
+echo "== fault injection (every injected fault must surface as a seed-reproducible SampleError) =="
+go test repro/internal/faultinject
+go test -count=1 -run 'TestInjected|TestCheckpointWriteFailure|TestKillAndResume|TestMidSweepCancellation' repro/internal/experiments
+
+echo "== fuzz smokes (invariant checker, task-set parser round trip) =="
+go test -run '^$' -fuzz FuzzValidate -fuzztime 5s repro/internal/partition
+go test -run '^$' -fuzz FuzzParseRoundTrip -fuzztime 5s repro/internal/taskio
+
+echo "== paranoid quick table (full invariant re-validation of every partitioning) =="
+go run ./cmd/experiments -run acceptance-general -quick -sets 50 -paranoid -q > /dev/null
 
 echo "== bench smoke (one iteration per benchmark) =="
 go test -run '^$' -bench=. -benchtime=1x ./... > /dev/null

@@ -41,10 +41,37 @@ func main() {
 	)
 	flag.Parse()
 
+	fail := func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, "acceptance: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	if *m < 1 {
+		fail("-m must be at least 1 (got %d)", *m)
+	}
+	if *sets < 1 {
+		fail("-sets must be positive (got %d)", *sets)
+	}
+	if *step <= 0 {
+		fail("-step must be positive (got %g)", *step)
+	}
+	if *from > *to {
+		fail("need -from ≤ -to (got from=%g to=%g)", *from, *to)
+	}
+	if *umin <= 0 || *umax > 1 || *umin > *umax {
+		fail("need 0 < -umin ≤ -umax ≤ 1 (got umin=%g umax=%g)", *umin, *umax)
+	}
+	if *k < 1 {
+		fail("-k must be at least 1 (got %d)", *k)
+	}
+	switch *class {
+	case "general", "light", "harmonic", "kchains":
+	default:
+		fail("unknown class %q (want general, light, harmonic, or kchains)", *class)
+	}
+
 	specs, err := parseAlgos(*algos)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "acceptance:", err)
-		os.Exit(2)
+		fail("%v", err)
 	}
 
 	genSet := func(r *rand.Rand, target float64) (task.Set, error) {

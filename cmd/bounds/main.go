@@ -23,6 +23,10 @@ func main() {
 		m       = flag.Int("m", 1, "number of processors (for normalized utilization)")
 	)
 	flag.Parse()
+	if *m < 1 {
+		fmt.Fprintf(os.Stderr, "bounds: -m must be at least 1 (got %d)\n", *m)
+		os.Exit(2)
+	}
 	if *setPath == "" {
 		fmt.Fprintln(os.Stderr, "bounds: -set is required")
 		flag.Usage()

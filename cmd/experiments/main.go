@@ -13,15 +13,28 @@
 // per-experiment counter snapshot (RTA iterations, splits, ...) after the
 // tables; -cpuprofile/-memprofile write pprof profiles. None of them alter
 // the table output — it stays bit-for-bit identical for a given seed.
+//
+// Robustness flags (DESIGN.md §9): -timeout bounds the whole run; SIGINT or
+// SIGTERM cancels it gracefully — in both cases workers drain, completed
+// sweep rows are still printed, and the exit status is non-zero.
+// -checkpoint persists each completed sweep point atomically; -resume
+// restores them, making an interrupted+resumed run render byte-identical
+// output to an uninterrupted one. -paranoid re-validates every successful
+// partitioning against the full invariant set; a violation aborts only that
+// sample and is reported with a deterministic replay recipe.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
@@ -29,6 +42,10 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		list       = flag.Bool("list", false, "list experiments and exit")
 		run        = flag.String("run", "", "experiment key to run")
@@ -45,6 +62,10 @@ func main() {
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		rtacache   = flag.Bool("rtacache", true, "warm-start RTA caching in the partitioners (tables are identical either way; disable to cross-check or to measure the saving)")
 		reuse      = flag.Bool("reuse", true, "per-worker scratch reuse (generation buffers, partitioning arenas, RNGs); tables are identical either way; disable to cross-check or to measure the allocation saving")
+		timeout    = flag.Duration("timeout", 0, "overall wall-clock deadline for the run (0 = none); on expiry workers drain and completed sweep rows are still printed")
+		checkpoint = flag.String("checkpoint", "", "write completed sweep points to this file (atomic temp+rename after every point)")
+		resume     = flag.Bool("resume", false, "restore completed points from the -checkpoint file before running; restored output is byte-identical to an uninterrupted run")
+		paranoid   = flag.Bool("paranoid", false, "re-validate every successful partitioning against the full invariant set (slower); a violation aborts that sample with a seed-reproducible report")
 	)
 	flag.Parse()
 
@@ -52,7 +73,7 @@ func main() {
 		for _, e := range experiments.Registry() {
 			fmt.Printf("%-22s %s\n", e.Key, e.Title)
 		}
-		return
+		return 0
 	}
 	fail := func(format string, args ...interface{}) {
 		fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
@@ -70,6 +91,12 @@ func main() {
 	if *progress && *quiet {
 		fail("-progress and -q are mutually exclusive")
 	}
+	if *timeout < 0 {
+		fail("-timeout must be non-negative (got %v)", *timeout)
+	}
+	if *resume && *checkpoint == "" {
+		fail("-resume requires -checkpoint <file>")
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -84,9 +111,38 @@ func main() {
 	}
 
 	cfg := experiments.Config{Seed: *seed, SetsPerPoint: *sets, Quick: *quick,
-		Workers: *workers, ProgressETA: *progress, NoReuse: !*reuse}
+		Workers: *workers, ProgressETA: *progress, NoReuse: !*reuse, Paranoid: *paranoid}
 	if !*quiet {
 		cfg.Progress = os.Stderr
+	}
+
+	// Cancellation: an optional overall deadline, and SIGINT/SIGTERM for
+	// interactive/orchestrated interruption. Both cancel the same context;
+	// sweeps drain their workers and hand back the rows completed so far.
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	cfg = cfg.WithContext(ctx)
+
+	if *checkpoint != "" {
+		if *resume {
+			cp, err := experiments.ResumeCheckpoint(*checkpoint, cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				return 1
+			}
+			if !*quiet && cp.Points() > 0 {
+				fmt.Fprintf(os.Stderr, "experiments: resuming %d completed points from %s\n", cp.Points(), *checkpoint)
+			}
+			cfg.Checkpoint = cp
+		} else {
+			cfg.Checkpoint = experiments.NewCheckpoint(*checkpoint, cfg)
+		}
 	}
 
 	var toRun []experiments.Experiment
@@ -113,11 +169,11 @@ func main() {
 		obs.SetEnabled(true)
 	}
 	rta.SetWarmStart(*rtacache)
+	exit := 0
 	for _, e := range toRun {
 		tables, rm, err := experiments.RunWithMetrics(e, cfg)
-		if err != nil {
-			fail("%s: %v", e.Key, err)
-		}
+		// Render whatever completed — on cancellation or a sample failure
+		// the experiment returns the rows finished before the interruption.
 		for _, t := range tables {
 			if *csv {
 				fmt.Printf("# %s — %s\n", t.ID, t.Title)
@@ -131,17 +187,34 @@ func main() {
 			rm.Render(os.Stdout)
 			fmt.Println()
 		}
+		if err != nil {
+			exit = 1
+			var se *experiments.SampleError
+			if errors.As(err, &se) {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n%s\n", err, se.Repro())
+			} else {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			}
+			if ctx.Err() != nil {
+				// Cancelled or timed out: later experiments would return
+				// immediately and emptily — stop here.
+				break
+			}
+		}
 	}
 
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
 		if err != nil {
-			fail("%v", err)
+			fmt.Fprintf(os.Stderr, "experiments: memprofile: %v\n", err)
+			return 1
 		}
 		defer f.Close()
 		runtime.GC()
 		if err := pprof.WriteHeapProfile(f); err != nil {
-			fail("memprofile: %v", err)
+			fmt.Fprintf(os.Stderr, "experiments: memprofile: %v\n", err)
+			return 1
 		}
 	}
+	return exit
 }

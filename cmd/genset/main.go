@@ -39,14 +39,36 @@ func main() {
 	)
 	flag.Parse()
 
+	fail := func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, "genset: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	if *u <= 0 {
+		fail("-u must be positive (got %g)", *u)
+	}
+	if *umin <= 0 || *umax > 1 || *umin > *umax {
+		fail("need 0 < -umin ≤ -umax ≤ 1 (got umin=%g umax=%g)", *umin, *umax)
+	}
+	if *k < 1 {
+		fail("-k must be at least 1 (got %d)", *k)
+	}
+	if *heavy < 0 || *heavy > 1 {
+		fail("-heavy must be in [0,1] (got %g)", *heavy)
+	}
+	if *pmin < 1 || *pmax < *pmin {
+		fail("need 1 ≤ -pmin ≤ -pmax (got pmin=%d pmax=%d)", *pmin, *pmax)
+	}
+	if *dmin <= 0 || *dmax > 1 || *dmin > *dmax {
+		fail("need 0 < -dmin ≤ -dmax ≤ 1 (got dmin=%g dmax=%g)", *dmin, *dmax)
+	}
+
 	var pg gen.PeriodGen = gen.LogUniformPeriods{Min: *pmin, Max: *pmax}
 	if *menu != "" {
 		var values []task.Time
 		for _, s := range strings.Split(*menu, ",") {
 			v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "genset: bad menu entry %q\n", s)
-				os.Exit(2)
+			if err != nil || v < 1 {
+				fail("bad menu entry %q (want a positive integer period)", s)
 			}
 			values = append(values, v)
 		}

@@ -35,6 +35,28 @@ func main() {
 		planPath = flag.String("plan", "", "replay a saved plan JSON instead of partitioning (-set/-m/-algo ignored)")
 	)
 	flag.Parse()
+	fail := func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, "simulate: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	if *m < 1 {
+		fail("-m must be at least 1 (got %d)", *m)
+	}
+	if *horizon < 0 {
+		fail("-horizon must be non-negative (got %d); 0 means hyperperiod", *horizon)
+	}
+	if *cap < 1 {
+		fail("-cap must be positive (got %d)", *cap)
+	}
+	if *gantt < 0 {
+		fail("-gantt must be non-negative (got %d)", *gantt)
+	}
+	if *dispOv < 0 || *migOv < 0 {
+		fail("overheads must be non-negative (got dispatch=%d migration=%d)", *dispOv, *migOv)
+	}
+	if *planPath != "" && *setPath != "" {
+		fail("-plan and -set are mutually exclusive")
+	}
 	if *planPath != "" {
 		replayPlan(*planPath, *horizon, *cap, *contMiss, *gantt, *dispOv, *migOv)
 		return

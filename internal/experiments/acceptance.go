@@ -24,23 +24,27 @@ func AcceptanceGeneral(cfg Config) ([]Table, error) {
 		points = seq(0.65, 0.95, 0.10)
 	}
 	algos := defaultAlgos()
-	ratios := make([][]float64, len(points))
+	bases := pointBases(r, len(points))
 	mt := cfg.meter("acceptance-general", len(points))
-	for i, um := range points {
-		target := um * float64(m)
-		row, err := cfg.acceptance(r.Int63(), cfg.setsPerPoint(), m, func(r *rand.Rand, sc *gen.Scratch) (task.Set, error) {
+	ratios, err := cfg.sweepRows("acceptance-general", len(points), func(pc Config, i int) ([]float64, error) {
+		target := points[i] * float64(m)
+		row, err := pc.acceptance(bases[i], cfg.setsPerPoint(), m, func(r *rand.Rand, sc *gen.Scratch) (task.Set, error) {
 			return gen.TaskSetInto(r, gen.Config{TargetU: target, UMin: 0.05, UMax: 0.95}, sc)
 		}, algos)
 		if err != nil {
-			return nil, fmt.Errorf("acceptance-general: %w", err)
+			return nil, err
 		}
-		ratios[i] = row
-		mt.Tick("U_M=%.3f", um)
-	}
-	return []Table{sweepTable("acceptance-general", fmt.Sprintf("M=%d, U_i∈[0.05,0.95], periods log-uniform [100,10000], %d sets/point", m, cfg.setsPerPoint()),
-		points, algos, ratios,
+		mt.Tick("U_M=%.3f", points[i])
+		return row, nil
+	})
+	tbl := sweepTable("acceptance-general", fmt.Sprintf("M=%d, U_i∈[0.05,0.95], periods log-uniform [100,10000], %d sets/point", m, cfg.setsPerPoint()),
+		points[:len(ratios)], algos, ratios,
 		"expected: RM-TS ≥ SPA2 everywhere; SPA2 ≈ 0 above Θ≈0.70; RM-TS degrades gracefully towards 1.0",
-	)}, nil
+	)
+	if err != nil {
+		return []Table{tbl}, fmt.Errorf("acceptance-general: %w", err)
+	}
+	return []Table{tbl}, nil
 }
 
 // AcceptanceLight (E3) is the light-task-set comparison: every U_i ≤ 0.40
@@ -55,23 +59,27 @@ func AcceptanceLight(cfg Config) ([]Table, error) {
 		points = seq(0.65, 0.95, 0.10)
 	}
 	algos := lightAlgos()
-	ratios := make([][]float64, len(points))
+	bases := pointBases(r, len(points))
 	mt := cfg.meter("acceptance-light", len(points))
-	for i, um := range points {
-		target := um * float64(m)
-		row, err := cfg.acceptance(r.Int63(), cfg.setsPerPoint(), m, func(r *rand.Rand, sc *gen.Scratch) (task.Set, error) {
+	ratios, err := cfg.sweepRows("acceptance-light", len(points), func(pc Config, i int) ([]float64, error) {
+		target := points[i] * float64(m)
+		row, err := pc.acceptance(bases[i], cfg.setsPerPoint(), m, func(r *rand.Rand, sc *gen.Scratch) (task.Set, error) {
 			return gen.TaskSetInto(r, gen.Config{TargetU: target, UMin: 0.05, UMax: 0.40}, sc)
 		}, algos)
 		if err != nil {
-			return nil, fmt.Errorf("acceptance-light: %w", err)
+			return nil, err
 		}
-		ratios[i] = row
-		mt.Tick("U_M=%.3f", um)
-	}
-	return []Table{sweepTable("acceptance-light", fmt.Sprintf("M=%d, U_i∈[0.05,0.40] (light), %d sets/point", m, cfg.setsPerPoint()),
-		points, algos, ratios,
+		mt.Tick("U_M=%.3f", points[i])
+		return row, nil
+	})
+	tbl := sweepTable("acceptance-light", fmt.Sprintf("M=%d, U_i∈[0.05,0.40] (light), %d sets/point", m, cfg.setsPerPoint()),
+		points[:len(ratios)], algos, ratios,
 		"expected: RM-TS/light ≈ RM-TS; SPA1/SPA2 cap at Θ≈0.70",
-	)}, nil
+	)
+	if err != nil {
+		return []Table{tbl}, fmt.Errorf("acceptance-light: %w", err)
+	}
+	return []Table{tbl}, nil
 }
 
 // AcceptanceHarmonic (E4) instantiates the 100% bound: light harmonic task
@@ -88,27 +96,31 @@ func AcceptanceHarmonic(cfg Config) ([]Table, error) {
 		points = seq(0.75, 1.00, 0.125)
 	}
 	algos := lightAlgos()
-	ratios := make([][]float64, len(points))
+	bases := pointBases(r, len(points))
 	mt := cfg.meter("acceptance-harmonic", len(points))
-	for i, um := range points {
-		target := um * float64(m)
-		row, err := cfg.acceptance(r.Int63(), cfg.setsPerPoint(), m, func(r *rand.Rand, sc *gen.Scratch) (task.Set, error) {
+	ratios, err := cfg.sweepRows("acceptance-harmonic", len(points), func(pc Config, i int) ([]float64, error) {
+		target := points[i] * float64(m)
+		row, err := pc.acceptance(bases[i], cfg.setsPerPoint(), m, func(r *rand.Rand, sc *gen.Scratch) (task.Set, error) {
 			return gen.HarmonicSetInto(r, gen.HarmonicConfig{
 				TargetU: target, UMin: 0.05, UMax: 0.35, Chains: 1,
 				BasePeriods: []task.Time{256},
 			}, sc)
 		}, algos)
 		if err != nil {
-			return nil, fmt.Errorf("acceptance-harmonic: %w", err)
+			return nil, err
 		}
-		ratios[i] = row
-		mt.Tick("U_M=%.3f", um)
-	}
-	return []Table{sweepTable("acceptance-harmonic", fmt.Sprintf("M=%d, harmonic single chain (base 256), light tasks, %d sets/point", m, cfg.setsPerPoint()),
-		points, algos, ratios,
+		mt.Tick("U_M=%.3f", points[i])
+		return row, nil
+	})
+	tbl := sweepTable("acceptance-harmonic", fmt.Sprintf("M=%d, harmonic single chain (base 256), light tasks, %d sets/point", m, cfg.setsPerPoint()),
+		points[:len(ratios)], algos, ratios,
 		"Λ(τ) = 100% (harmonic bound); Theorem 8 guarantees RM-TS/light ≈ 1.0 up to U_M ≈ 1 − 1/T_min",
 		"SPA1/SPA2 cannot exploit harmonicity: they cap at Θ ≈ 0.70",
-	)}, nil
+	)
+	if err != nil {
+		return []Table{tbl}, fmt.Errorf("acceptance-harmonic: %w", err)
+	}
+	return []Table{tbl}, nil
 }
 
 // AcceptanceKChains (E5) evaluates the §V instantiations: task sets whose
@@ -130,12 +142,16 @@ func AcceptanceKChains(cfg Config) ([]Table, error) {
 			{"RM-TS(HC)", partition.NewRMTS(bounds.HarmonicChain{Minimal: true})},
 			{"SPA2", partition.SPA2{}},
 		}
-		ratios := make([][]float64, len(points))
-		var boundVal float64
+		id := fmt.Sprintf("acceptance-kchains/K=%d", k)
+		bases := pointBases(r, len(points))
 		mt := cfg.meter(fmt.Sprintf("acceptance-kchains K=%d", k), len(points))
-		for i, um := range points {
-			target := um * float64(m)
-			row, err := cfg.acceptance(r.Int63(), cfg.setsPerPoint(), m, func(r *rand.Rand, sc *gen.Scratch) (task.Set, error) {
+		// Each checkpointed row carries the point's effective bound as a
+		// trailing extra column, so the table footnote survives a resume in
+		// which every point was restored and no generator ran.
+		rows, err := cfg.sweepRows(id, len(points), func(pc Config, i int) ([]float64, error) {
+			target := points[i] * float64(m)
+			var boundVal float64
+			row, err := pc.acceptance(bases[i], cfg.setsPerPoint(), m, func(r *rand.Rand, sc *gen.Scratch) (task.Set, error) {
 				ts, err := gen.HarmonicSetInto(r, gen.HarmonicConfig{
 					TargetU: target, UMin: 0.05, UMax: 0.40, Chains: k,
 				}, sc)
@@ -146,17 +162,26 @@ func AcceptanceKChains(cfg Config) ([]Table, error) {
 				return ts, nil
 			}, algos)
 			if err != nil {
-				return nil, fmt.Errorf("acceptance-kchains: %w", err)
+				return nil, err
 			}
-			ratios[i] = row
-			mt.Tick("U_M=%.3f", um)
+			mt.Tick("U_M=%.3f", points[i])
+			return append(row, boundVal), nil
+		})
+		ratios := make([][]float64, len(rows))
+		var boundVal float64
+		for i, row := range rows {
+			ratios[i] = row[:len(row)-1]
+			boundVal = row[len(row)-1]
 		}
 		tables = append(tables, sweepTable(
-			fmt.Sprintf("acceptance-kchains/K=%d", k),
+			id,
 			fmt.Sprintf("M=%d, %d harmonic chains, light tasks, %d sets/point", m, k, cfg.setsPerPoint()),
-			points, algos, ratios,
+			points[:len(ratios)], algos, ratios,
 			fmt.Sprintf("effective RM-TS bound min(K-bound, 2Θ/(1+Θ)) ≈ %s for this set size", fmtPct(boundVal)),
 		))
+		if err != nil {
+			return tables, fmt.Errorf("acceptance-kchains: %w", err)
+		}
 	}
 	return tables, nil
 }
@@ -183,20 +208,28 @@ func ProcsSweep(cfg Config) ([]Table, error) {
 		Header: header,
 		Notes:  []string{"expected: RM-TS improves with M; SPA2 pinned at 0 (0.93 > Θ); P-RM-FF trails RM-TS"},
 	}
+	bases := pointBases(r, len(ms))
 	mt := cfg.meter("procs-sweep", len(ms))
-	for _, m := range ms {
-		row, err := cfg.acceptance(r.Int63(), cfg.setsPerPoint(), m, func(r *rand.Rand, sc *gen.Scratch) (task.Set, error) {
+	rows, err := cfg.sweepRows("procs-sweep", len(ms), func(pc Config, i int) ([]float64, error) {
+		m := ms[i]
+		row, err := pc.acceptance(bases[i], cfg.setsPerPoint(), m, func(r *rand.Rand, sc *gen.Scratch) (task.Set, error) {
 			return gen.TaskSetInto(r, gen.Config{TargetU: um * float64(m), UMin: 0.05, UMax: 0.60}, sc)
 		}, algos)
 		if err != nil {
-			return nil, fmt.Errorf("procs-sweep: %w", err)
+			return nil, err
 		}
-		cells := []string{fmt.Sprintf("%d", m)}
+		mt.Tick("M=%d", m)
+		return row, nil
+	})
+	for i, row := range rows {
+		cells := []string{fmt.Sprintf("%d", ms[i])}
 		for _, v := range row {
 			cells = append(cells, fmt.Sprintf("%.3f", v))
 		}
 		t.Rows = append(t.Rows, cells)
-		mt.Tick("M=%d", m)
+	}
+	if err != nil {
+		return []Table{t}, fmt.Errorf("procs-sweep: %w", err)
 	}
 	return []Table{t}, nil
 }
@@ -232,9 +265,10 @@ func HeavySweep(cfg Config) ([]Table, error) {
 		Header: header,
 		Notes:  []string{"expected: RM-TS robust across shares; pre-assignment count grows with the share"},
 	}
+	bases := pointBases(r, len(shares))
 	mt := cfg.meter("heavy-sweep", len(shares))
-	for _, share := range shares {
-		share := share
+	rows, err := cfg.sweepRows("heavy-sweep", len(shares), func(pc Config, p int) ([]float64, error) {
+		share := shares[p]
 		n := cfg.setsPerPoint()
 		type outcome struct {
 			ok  []bool
@@ -242,7 +276,7 @@ func HeavySweep(cfg Config) ([]Table, error) {
 		}
 		perSet := make([]outcome, n)
 		errs := make([]error, n)
-		cfg.parEach(r.Int63(), n, func(s int, r *rand.Rand, ws *Workspace) {
+		if err := pc.parEach(bases[p], n, func(s int, r *rand.Rand, ws *Workspace) {
 			ts, err := gen.MixedSetInto(r, gen.MixedConfig{
 				TargetU:    um * float64(m),
 				HeavyShare: share,
@@ -262,9 +296,11 @@ func HeavySweep(cfg Config) ([]Table, error) {
 				}
 			}
 			perSet[s] = o
-		})
+		}); err != nil {
+			return nil, err
+		}
 		if err := firstError(errs); err != nil {
-			return nil, fmt.Errorf("heavy-sweep: %w", err)
+			return nil, err
 		}
 		accepted := make([]int, len(algos))
 		preSum := 0
@@ -279,13 +315,24 @@ func HeavySweep(cfg Config) ([]Table, error) {
 			}
 			preSum += o.pre
 		}
-		cells := []string{fmt.Sprintf("%.1f", share)}
+		row := make([]float64, 0, len(algos)+1)
 		for _, k := range accepted {
-			cells = append(cells, fmt.Sprintf("%.3f", float64(k)/float64(n)))
+			row = append(row, float64(k)/float64(n))
 		}
-		cells = append(cells, fmt.Sprintf("%.2f", float64(preSum)/float64(n)))
-		t.Rows = append(t.Rows, cells)
+		row = append(row, float64(preSum)/float64(n))
 		mt.Tick("share=%.1f", share)
+		return row, nil
+	})
+	for i, row := range rows {
+		cells := []string{fmt.Sprintf("%.1f", shares[i])}
+		for _, v := range row[:len(row)-1] {
+			cells = append(cells, fmt.Sprintf("%.3f", v))
+		}
+		cells = append(cells, fmt.Sprintf("%.2f", row[len(row)-1]))
+		t.Rows = append(t.Rows, cells)
+	}
+	if err != nil {
+		return []Table{t}, fmt.Errorf("heavy-sweep: %w", err)
 	}
 	return []Table{t}, nil
 }
@@ -312,13 +359,14 @@ func UtilizationTail(cfg Config) ([]Table, error) {
 		Notes:  []string{"expected: SPA2 = 0 everywhere (its guarantee caps at Θ); RM-TS > 0 well past Θ"},
 	}
 	ums := []float64{0.72, 0.78, 0.84, 0.90}
+	bases := pointBases(r, len(ums))
 	mt := cfg.meter("utilization-tail", len(ums))
-	for _, um := range ums {
-		um := um
+	rows, err := cfg.sweepRows("utilization-tail", len(ums), func(pc Config, p int) ([]float64, error) {
+		um := ums[p]
 		n := cfg.setsPerPoint()
 		perSet := make([][]bool, n)
 		errs := make([]error, n)
-		cfg.parEach(r.Int63(), n, func(s int, r *rand.Rand, ws *Workspace) {
+		if err := pc.parEach(bases[p], n, func(s int, r *rand.Rand, ws *Workspace) {
 			ts, err := gen.TaskSetInto(r, gen.Config{TargetU: um * float64(m), UMin: 0.05, UMax: 0.5}, ws.Gen())
 			if err != nil {
 				errs[s] = err
@@ -334,24 +382,32 @@ func UtilizationTail(cfg Config) ([]Table, error) {
 				row[i] = res.OK && res.Guaranteed
 			}
 			perSet[s] = row
-		})
-		if err := firstError(errs); err != nil {
-			return nil, fmt.Errorf("utilization-tail: %w", err)
+		}); err != nil {
+			return nil, err
 		}
-		counts := make([]int, len(algos))
-		for _, row := range perSet {
-			for i, ok := range row {
-				if ok {
-					counts[i]++
+		if err := firstError(errs); err != nil {
+			return nil, err
+		}
+		row := make([]float64, len(algos))
+		for _, ok := range perSet {
+			for i, v := range ok {
+				if v {
+					row[i]++
 				}
 			}
 		}
-		cells := []string{fmt.Sprintf("%.2f", um)}
-		for _, k := range counts {
-			cells = append(cells, fmt.Sprintf("%d/%d", k, n))
+		mt.Tick("U_M=%.2f", um)
+		return row, nil
+	})
+	for i, row := range rows {
+		cells := []string{fmt.Sprintf("%.2f", ums[i])}
+		for _, k := range row {
+			cells = append(cells, fmt.Sprintf("%d/%d", int(k), cfg.setsPerPoint()))
 		}
 		t.Rows = append(t.Rows, cells)
-		mt.Tick("U_M=%.2f", um)
+	}
+	if err != nil {
+		return []Table{t}, fmt.Errorf("utilization-tail: %w", err)
 	}
 	return []Table{t}, nil
 }

@@ -49,7 +49,7 @@ func Breakdown(cfg Config) ([]Table, error) {
 		m := m
 		perSet := make([][]float64, sets)
 		errs := make([]error, sets)
-		cfg.parEach(r.Int63(), sets, func(s int, r *rand.Rand, ws *Workspace) {
+		parErr := cfg.parEach(r.Int63(), sets, func(s int, r *rand.Rand, ws *Workspace) {
 			shape, err := gen.TaskSetInto(r, gen.Config{
 				TargetU: float64(m), // full scale = U_M 1.0
 				UMin:    0.05, UMax: 0.40,
@@ -64,6 +64,9 @@ func Breakdown(cfg Config) ([]Table, error) {
 			}
 			perSet[s] = row
 		})
+		if parErr != nil {
+			return nil, fmt.Errorf("breakdown: %w", parErr)
+		}
 		if err := firstError(errs); err != nil {
 			return nil, fmt.Errorf("breakdown: %w", err)
 		}

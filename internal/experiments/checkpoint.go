@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/faultinject"
+)
+
+// checkpointVersion guards the file format; bump on incompatible changes.
+const checkpointVersion = 1
+
+// checkpointFile is the on-disk shape: the run configuration the rows were
+// computed under, plus one completed row per finished sweep point, keyed
+// "<table id>/<point index>". Rows are stored as raw float64 values —
+// encoding/json round-trips float64 exactly, so a restored row renders
+// byte-identically to a recomputed one.
+type checkpointFile struct {
+	Version int                  `json:"version"`
+	Seed    int64                `json:"seed"`
+	Sets    int                  `json:"sets"`
+	Quick   bool                 `json:"quick"`
+	Rows    map[string][]float64 `json:"rows"`
+}
+
+// Checkpoint persists completed sweep points so a killed run can resume
+// without recomputing them. Writes are atomic (temp file + fsync + rename
+// in the destination directory), so a crash mid-write leaves the previous
+// checkpoint intact, never a corrupt one. A write failure degrades
+// gracefully: the sweep keeps computing with checkpointing disabled and a
+// warning on the progress stream — checkpointing is an optimization, never
+// a correctness dependency.
+//
+// A Checkpoint is confined to the experiment-driving goroutine (sweep
+// points complete sequentially; the fan-out below a point never touches
+// it), so it needs no locking.
+type Checkpoint struct {
+	path     string
+	file     checkpointFile
+	hits     int
+	disabled bool
+}
+
+// NewCheckpoint returns an empty checkpoint that will persist to path,
+// recording the identity of cfg. Any existing file at path is ignored and
+// overwritten on the first completed point.
+func NewCheckpoint(path string, cfg Config) *Checkpoint {
+	return &Checkpoint{path: path, file: checkpointFile{
+		Version: checkpointVersion,
+		Seed:    cfg.Seed,
+		Sets:    cfg.setsPerPoint(),
+		Quick:   cfg.Quick,
+		Rows:    map[string][]float64{},
+	}}
+}
+
+// ResumeCheckpoint loads the checkpoint at path and verifies it was
+// written by a run with the same identity as cfg — resuming under a
+// different seed, scale or sweep shape would splice rows from a different
+// experiment into the tables. A missing file is not an error: it returns
+// an empty checkpoint (the run simply starts from the beginning, which is
+// what resuming a run killed before its first completed point means).
+func ResumeCheckpoint(path string, cfg Config) (*Checkpoint, error) {
+	cp := NewCheckpoint(path, cfg)
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return cp, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("experiments: resume: %w", err)
+	}
+	var f checkpointFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("experiments: resume: corrupt checkpoint %s: %w", path, err)
+	}
+	if f.Version != checkpointVersion {
+		return nil, fmt.Errorf("experiments: resume: checkpoint %s has version %d, want %d", path, f.Version, checkpointVersion)
+	}
+	if f.Seed != cfg.Seed || f.Sets != cfg.setsPerPoint() || f.Quick != cfg.Quick {
+		return nil, fmt.Errorf("experiments: resume: checkpoint %s was written by seed=%d sets=%d quick=%v, run is seed=%d sets=%d quick=%v",
+			path, f.Seed, f.Sets, f.Quick, cfg.Seed, cfg.setsPerPoint(), cfg.Quick)
+	}
+	if f.Rows == nil {
+		f.Rows = map[string][]float64{}
+	}
+	cp.file = f
+	return cp, nil
+}
+
+// Hits returns how many sweep points were restored from the checkpoint
+// instead of recomputed.
+func (cp *Checkpoint) Hits() int {
+	if cp == nil {
+		return 0
+	}
+	return cp.hits
+}
+
+// Points returns how many completed points the checkpoint currently holds.
+func (cp *Checkpoint) Points() int {
+	if cp == nil {
+		return 0
+	}
+	return len(cp.file.Rows)
+}
+
+// lookup returns the stored row for key, counting a hit. Nil-safe.
+func (cp *Checkpoint) lookup(key string) ([]float64, bool) {
+	if cp == nil {
+		return nil, false
+	}
+	row, ok := cp.file.Rows[key]
+	if ok {
+		cp.hits++
+	}
+	return row, ok
+}
+
+// store records a completed point and persists the checkpoint atomically.
+// On a write failure it warns once on cfg's progress stream and disables
+// further writes; the sweep continues unaffected. Nil-safe.
+func (cp *Checkpoint) store(cfg Config, key string, row []float64) {
+	if cp == nil || cp.disabled {
+		return
+	}
+	cp.file.Rows[key] = row
+	if err := cp.save(); err != nil {
+		cp.disabled = true
+		cfg.progressf("warning: checkpoint write failed, continuing without checkpoints: %v", err)
+	}
+}
+
+// save writes the checkpoint atomically: marshal, write to a temp file in
+// the destination directory, fsync, rename over the target, fsync the
+// directory. The injected CheckpointWrite fault fires before any byte is
+// written, modelling a full disk or revoked permissions.
+func (cp *Checkpoint) save() error {
+	if err := faultinject.CheckpointWriteErr(); err != nil {
+		return err
+	}
+	data, err := json.Marshal(cp.file)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(cp.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(cp.path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), cp.path); err != nil {
+		return err
+	}
+	// Persist the rename itself; ignore platforms where directories cannot
+	// be fsynced.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}

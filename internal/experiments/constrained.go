@@ -49,7 +49,7 @@ func ConstrainedDeadlines(cfg Config) ([]Table, error) {
 		n := cfg.setsPerPoint()
 		perSet := make([][]bool, n)
 		errs := make([]error, n)
-		cfg.parEach(r.Int63(), n, func(s int, r *rand.Rand, ws *Workspace) {
+		parErr := cfg.parEach(r.Int63(), n, func(s int, r *rand.Rand, ws *Workspace) {
 			base, err := gen.TaskSetInto(r, gen.Config{TargetU: um * float64(m), UMin: 0.05, UMax: 0.4}, ws.Gen())
 			if err != nil {
 				errs[s] = err
@@ -72,6 +72,9 @@ func ConstrainedDeadlines(cfg Config) ([]Table, error) {
 			}
 			perSet[s] = row
 		})
+		if parErr != nil {
+			return nil, fmt.Errorf("constrained-deadlines: %w", parErr)
+		}
 		if err := firstError(errs); err != nil {
 			return nil, fmt.Errorf("constrained-deadlines: %w", err)
 		}

@@ -1,0 +1,64 @@
+package experiments
+
+import "fmt"
+
+// SampleError is the repro bundle of a failed experiment sample: a panic
+// raised while generating, partitioning or analysing one task set, caught
+// by the per-sample isolation in parEach and converted into an error that
+// carries everything needed to replay the exact sample deterministically.
+// Sibling samples and workers are unaffected; the experiment run reports
+// the first SampleError after completing the rest of the point.
+//
+// To replay: the task set that failed is the one drawn from
+// rand.New(rand.NewSource(Seed)) by the failing experiment's generator at
+// sweep point Point — i.e. rerun the experiment with the same -seed and
+// -sets and the same code revision, and the identical sample is
+// regenerated bit for bit (sample seeds are derived from BaseSeed and
+// Index before fan-out, so worker count and scheduling are irrelevant).
+type SampleError struct {
+	// Experiment is the registry key of the running experiment, when known
+	// (empty for direct e.Run calls that bypass Run/RunWithMetrics).
+	Experiment string
+	// Point is the sweep point index the sample belonged to, or -1 when
+	// the failure was outside a point sweep.
+	Point int
+	// Index is the sample index within the point's parEach fan-out.
+	Index int
+	// BaseSeed is the point's fan-out base seed.
+	BaseSeed int64
+	// Seed is the derived RNG seed of the failing sample: the generator
+	// state that reproduces its task set.
+	Seed int64
+	// PanicValue is the stringified recovered panic value.
+	PanicValue string
+	// Stack is the goroutine stack captured at recovery.
+	Stack string
+}
+
+func (e *SampleError) Error() string {
+	where := ""
+	if e.Experiment != "" {
+		where = e.Experiment + ": "
+	}
+	point := ""
+	if e.Point >= 0 {
+		point = fmt.Sprintf(" point %d", e.Point)
+	}
+	return fmt.Sprintf("%ssample panic at%s sample %d (base seed %d, sample seed %d): %s",
+		where, point, e.Index, e.BaseSeed, e.Seed, e.PanicValue)
+}
+
+// Repro returns a multi-line replay recipe for the failed sample, suitable
+// for CLI diagnostics.
+func (e *SampleError) Repro() string {
+	exp := e.Experiment
+	if exp == "" {
+		exp = "<experiment>"
+	}
+	return fmt.Sprintf(
+		"repro: experiment=%s point=%d sample=%d base-seed=%d sample-seed=%d\n"+
+			"       the failing task set is regenerated bit-for-bit by rerunning the\n"+
+			"       experiment with the same -seed/-sets at this revision (sample seeds\n"+
+			"       are index-derived, so -workers does not matter)",
+		exp, e.Point, e.Index, e.BaseSeed, e.Seed)
+}

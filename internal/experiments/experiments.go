@@ -14,10 +14,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -25,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/bounds"
+	"repro/internal/faultinject"
 	"repro/internal/gen"
 	"repro/internal/obs"
 	"repro/internal/partition"
@@ -60,6 +63,48 @@ type Config struct {
 	// cold path the reuse-off golden test compares against. Tables are
 	// byte-identical either way; only the allocation profile changes.
 	NoReuse bool
+	// Checkpoint, when non-nil, persists each completed sweep point and
+	// restores already-completed points on resume. Restored rows are
+	// byte-identical to recomputed ones, and the per-point RNG bases are
+	// drawn up front, so a resumed run renders exactly the table an
+	// uninterrupted run would have.
+	Checkpoint *Checkpoint
+	// Paranoid re-validates every successful partitioning result against
+	// the full invariant set (partition.ValidateFor) before it is counted.
+	// A violation panics in the worker and surfaces as a seed-reproducible
+	// SampleError through the panic isolation layer.
+	Paranoid bool
+
+	// ctx carries the cancellation signal (set via WithContext); nil means
+	// context.Background(). Cancellation is observed between samples and
+	// between sweep points: completed rows are still returned alongside the
+	// context error.
+	ctx context.Context
+	// expKey is the registry key of the running experiment, stamped by
+	// Run/RunWithMetrics so SampleErrors and checkpoint keys can name it.
+	expKey string
+	// point1 is the 1-based sweep point index the current parEach fan-out
+	// belongs to (0 = not inside a point sweep); sweepRows maintains it.
+	point1 int
+}
+
+// WithContext returns a copy of c whose experiment run observes ctx:
+// cancellation or deadline expiry stops the run between samples, returning
+// the rows completed so far together with the context's error.
+func (c Config) WithContext(ctx context.Context) Config {
+	c.ctx = ctx
+	return c
+}
+
+// cSamplePanics counts recovered per-sample panics (injected or real);
+// like all obs counters it is never read back by the analysis itself.
+var cSamplePanics = obs.NewCounter("experiments.sample_panics")
+
+func (c Config) context() context.Context {
+	if c.ctx == nil {
+		return context.Background()
+	}
+	return c.ctx
 }
 
 // Validate reports configuration errors an experiment run cannot recover
@@ -100,12 +145,37 @@ func (c Config) workers() int {
 // rand.New(rand.NewSource(s))), so the steady state allocates nothing per
 // index; with NoReuse the RNG is constructed fresh per index and the
 // workspace degrades to the cold path.
-func (c Config) parEach(base int64, n int, fn func(i int, r *rand.Rand, ws *Workspace)) {
+//
+// Robustness: each sample runs under recover — a panic in fn (a bug, a
+// paranoid-mode invariant violation, or an injected fault) is converted to
+// a *SampleError carrying the sample's derived seed, and sibling samples
+// and workers keep running. Cancellation of the configured context is
+// observed between indices; workers drain and the already-computed
+// index-addressed results remain valid. The returned error is the first
+// SampleError in index order, the context's error, or nil.
+func (c Config) parEach(base int64, n int, fn func(i int, r *rand.Rand, ws *Workspace)) error {
+	ctx := c.context()
 	workers := c.workers()
 	if workers > n {
 		workers = n
 	}
+	panics := make([]error, n)
 	run := func(i int, ws *Workspace) {
+		defer func() {
+			if v := recover(); v != nil {
+				cSamplePanics.Inc()
+				panics[i] = &SampleError{
+					Experiment: c.expKey,
+					Point:      c.point1 - 1,
+					Index:      i,
+					BaseSeed:   base,
+					Seed:       base + int64(i)*0x9E3779B9,
+					PanicValue: fmt.Sprint(v),
+					Stack:      string(debug.Stack()),
+				}
+			}
+		}()
+		faultinject.MaybePanic()
 		seed := base + int64(i)*0x9E3779B9
 		if c.NoReuse {
 			fn(i, rand.New(rand.NewSource(seed)), ws)
@@ -115,12 +185,15 @@ func (c Config) parEach(base int64, n int, fn func(i int, r *rand.Rand, ws *Work
 		fn(i, ws.rng, ws)
 	}
 	if workers <= 1 {
-		ws := getWorkspace(c.NoReuse)
+		ws := getWorkspace(c)
+		defer putWorkspace(ws)
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
 			run(i, ws)
 		}
-		putWorkspace(ws)
-		return
+		return firstError(panics)
 	}
 	var wg sync.WaitGroup
 	next := int64(0)
@@ -128,9 +201,9 @@ func (c Config) parEach(base int64, n int, fn func(i int, r *rand.Rand, ws *Work
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			ws := getWorkspace(c.NoReuse)
+			ws := getWorkspace(c)
 			defer putWorkspace(ws)
-			for {
+			for ctx.Err() == nil {
 				i := int(atomic.AddInt64(&next, 1)) - 1
 				if i >= n {
 					return
@@ -140,6 +213,10 @@ func (c Config) parEach(base int64, n int, fn func(i int, r *rand.Rand, ws *Work
 		}()
 	}
 	wg.Wait()
+	if err := firstError(panics); err != nil {
+		return err
+	}
+	return ctx.Err()
 }
 
 func (c Config) progressf(format string, args ...interface{}) {
@@ -306,6 +383,7 @@ func Run(e Experiment, cfg Config) ([]Table, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	cfg.expKey = e.Key
 	return e.Run(cfg)
 }
 
@@ -317,6 +395,7 @@ func RunWithMetrics(e Experiment, cfg Config) ([]Table, RunMetrics, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, RunMetrics{}, err
 	}
+	cfg.expKey = e.Key
 	obs.Reset()
 	span := obs.StartSpan("experiment/" + e.Key)
 	start := time.Now()
@@ -385,7 +464,7 @@ func lightAlgos() []algoSpec {
 func (c Config) acceptance(base int64, nSets, m int, genSet func(*rand.Rand, *gen.Scratch) (task.Set, error), algos []algoSpec) ([]float64, error) {
 	results := make([]bool, nSets*len(algos))
 	errs := make([]error, nSets)
-	c.parEach(base, nSets, func(s int, r *rand.Rand, ws *Workspace) {
+	if err := c.parEach(base, nSets, func(s int, r *rand.Rand, ws *Workspace) {
 		ts, err := genSet(r, ws.Gen())
 		if err != nil {
 			errs[s] = err
@@ -396,7 +475,9 @@ func (c Config) acceptance(base int64, nSets, m int, genSet func(*rand.Rand, *ge
 			res := ws.Partition(a.alg, ts, m)
 			row[i] = res.OK && res.Guaranteed
 		}
-	})
+	}); err != nil {
+		return nil, err
+	}
 	if err := firstError(errs); err != nil {
 		return nil, err
 	}
@@ -412,6 +493,56 @@ func (c Config) acceptance(base int64, nSets, m int, genSet func(*rand.Rand, *ge
 		out[i] /= float64(nSets)
 	}
 	return out, nil
+}
+
+// sweepRows drives a point sweep robustly: it checks cancellation before
+// every point, restores completed points from the configured checkpoint,
+// computes the rest via compute (run under a Config whose point1 marks the
+// point for SampleError attribution), and checkpoints each freshly
+// completed row. On cancellation or a sample failure it returns the rows
+// completed so far together with the error, so callers can still render a
+// partial table.
+//
+// compute receives the per-point Config pc and must thread it into parEach
+// (not the captured outer cfg) or point attribution and cancellation are
+// lost. Checkpoint keys embed id and the point index; resume correctness
+// additionally requires callers to draw all per-point RNG bases before the
+// sweep, so the generator stream is identical whether a point is restored
+// or recomputed.
+func (c Config) sweepRows(id string, n int, compute func(pc Config, i int) ([]float64, error)) ([][]float64, error) {
+	rows := make([][]float64, 0, n)
+	for i := 0; i < n; i++ {
+		if err := c.context().Err(); err != nil {
+			return rows, err
+		}
+		key := fmt.Sprintf("%s/%d", id, i)
+		if row, ok := c.Checkpoint.lookup(key); ok {
+			rows = append(rows, row)
+			continue
+		}
+		pc := c
+		pc.point1 = i + 1
+		row, err := compute(pc, i)
+		if err != nil {
+			return rows, err
+		}
+		rows = append(rows, row)
+		c.Checkpoint.store(c, key, row)
+	}
+	return rows, nil
+}
+
+// pointBases pre-draws one parEach base seed per sweep point from r. Sweeps
+// that checkpoint must draw every base up front: the draws advance r, and a
+// resumed run skips computing restored points, so drawing lazily inside the
+// sweep would shift the generator stream of every later point and break the
+// byte-identical-resume contract.
+func pointBases(r *rand.Rand, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = r.Int63()
+	}
+	return out
 }
 
 // sweepTable renders a U_M sweep as a table: one row per utilization point,

@@ -130,10 +130,12 @@ func TestParEachCoversAllIndices(t *testing.T) {
 	cfg := Config{Workers: 4}
 	n := 100
 	seen := make([]int32, n)
-	cfg.parEach(42, n, func(i int, r *rand.Rand, _ *Workspace) {
+	if err := cfg.parEach(42, n, func(i int, r *rand.Rand, _ *Workspace) {
 		seen[i]++
 		_ = r.Int63()
-	})
+	}); err != nil {
+		t.Fatalf("parEach: %v", err)
+	}
 	for i, c := range seen {
 		if c != 1 {
 			t.Fatalf("index %d visited %d times", i, c)
@@ -146,9 +148,13 @@ func TestParEachSeedsAreStable(t *testing.T) {
 	n := 16
 	a := make([]int64, n)
 	b := make([]int64, n)
-	cfg.parEach(9, n, func(i int, r *rand.Rand, _ *Workspace) { a[i] = r.Int63() })
+	if err := cfg.parEach(9, n, func(i int, r *rand.Rand, _ *Workspace) { a[i] = r.Int63() }); err != nil {
+		t.Fatalf("parEach: %v", err)
+	}
 	cfg.Workers = 1
-	cfg.parEach(9, n, func(i int, r *rand.Rand, _ *Workspace) { b[i] = r.Int63() })
+	if err := cfg.parEach(9, n, func(i int, r *rand.Rand, _ *Workspace) { b[i] = r.Int63() }); err != nil {
+		t.Fatalf("parEach: %v", err)
+	}
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatalf("index %d: draws differ across worker counts", i)

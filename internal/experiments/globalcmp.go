@@ -80,7 +80,7 @@ func GlobalCompare(cfg Config) ([]Table, error) {
 		n := cfg.setsPerPoint()
 		perSet := make([][4]bool, n)
 		errs := make([]error, n)
-		cfg.parEach(r.Int63(), n, func(s int, r *rand.Rand, ws *Workspace) {
+		parErr := cfg.parEach(r.Int63(), n, func(s int, r *rand.Rand, ws *Workspace) {
 			ts, err := gen.TaskSetInto(r, gen.Config{TargetU: um * float64(m), UMin: 0.05, UMax: 0.9, Periods: menu}, ws.Gen())
 			if err != nil {
 				errs[s] = err
@@ -99,6 +99,9 @@ func GlobalCompare(cfg Config) ([]Table, error) {
 			}
 			perSet[s] = o
 		})
+		if parErr != nil {
+			return nil, fmt.Errorf("global-compare: %w", parErr)
+		}
 		if err := firstError(errs); err != nil {
 			return nil, fmt.Errorf("global-compare: %w", err)
 		}

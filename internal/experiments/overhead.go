@@ -61,7 +61,7 @@ func OverheadSensitivity(cfg Config) ([]Table, error) {
 		}
 		perSet := make([]outcome, sets)
 		errs := make([]error, sets)
-		cfg.parEach(r.Int63(), sets, func(s int, r *rand.Rand, ws *Workspace) {
+		parErr := cfg.parEach(r.Int63(), sets, func(s int, r *rand.Rand, ws *Workspace) {
 			ts, err := gen.TaskSetInto(r, gen.Config{TargetU: um * float64(m), UMin: 0.05, UMax: 0.5, Periods: menu}, ws.Gen())
 			if err != nil {
 				errs[s] = err
@@ -107,6 +107,9 @@ func OverheadSensitivity(cfg Config) ([]Table, error) {
 			}
 			perSet[s] = o
 		})
+		if parErr != nil {
+			return nil, fmt.Errorf("overhead-sensitivity: %w", parErr)
+		}
 		if err := firstError(errs); err != nil {
 			return nil, fmt.Errorf("overhead-sensitivity: %w", err)
 		}

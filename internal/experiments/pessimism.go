@@ -40,7 +40,7 @@ func AnalysisPessimism(cfg Config) ([]Table, error) {
 	}
 	perSet := make([][]sample, sets)
 	errs := make([]error, sets)
-	cfg.parEach(r.Int63(), sets, func(s int, r *rand.Rand, ws *Workspace) {
+	parErr := cfg.parEach(r.Int63(), sets, func(s int, r *rand.Rand, ws *Workspace) {
 		um := 0.6 + 0.3*r.Float64()
 		ts, err := gen.TaskSetInto(r, gen.Config{TargetU: um * float64(m), UMin: 0.05, UMax: 0.5, Periods: menu}, ws.Gen())
 		if err != nil {
@@ -89,6 +89,9 @@ func AnalysisPessimism(cfg Config) ([]Table, error) {
 		}
 		perSet[s] = out
 	})
+	if parErr != nil {
+		return nil, fmt.Errorf("analysis-pessimism: %w", parErr)
+	}
 	if err := firstError(errs); err != nil {
 		return nil, fmt.Errorf("analysis-pessimism: %w", err)
 	}

@@ -1,0 +1,298 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// cancelAfterWriter cancels a context on its nth Write. Hooked up as the
+// Progress writer it cancels deterministically between sweep points: the
+// meter's Tick emits exactly one write per completed point.
+type cancelAfterWriter struct {
+	cancel context.CancelFunc
+	after  int
+	n      int
+}
+
+func (w *cancelAfterWriter) Write(p []byte) (int, error) {
+	w.n++
+	if w.n == w.after {
+		w.cancel()
+	}
+	return len(p), nil
+}
+
+func TestParEachIsolatesPanics(t *testing.T) {
+	cfg := Config{Workers: 4}
+	n := 50
+	done := make([]bool, n)
+	err := cfg.parEach(123, n, func(i int, r *rand.Rand, _ *Workspace) {
+		if i == 17 {
+			panic("boom")
+		}
+		done[i] = true
+	})
+	var se *SampleError
+	if !errors.As(err, &se) {
+		t.Fatalf("want *SampleError, got %v (%T)", err, err)
+	}
+	if se.Index != 17 || se.BaseSeed != 123 {
+		t.Errorf("bad attribution: index=%d base=%d", se.Index, se.BaseSeed)
+	}
+	if se.Seed != 123+17*0x9E3779B9 {
+		t.Errorf("seed %d does not match the derivation rule", se.Seed)
+	}
+	if se.PanicValue != "boom" {
+		t.Errorf("panic value %q", se.PanicValue)
+	}
+	if !strings.Contains(se.Stack, "robustness_test") {
+		t.Errorf("stack does not point at the panic site:\n%s", se.Stack)
+	}
+	for i, d := range done {
+		if i != 17 && !d {
+			t.Fatalf("sibling sample %d did not run", i)
+		}
+	}
+}
+
+func TestMidSweepCancellationReturnsPartialRows(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := Config{Seed: 7, SetsPerPoint: 25, Quick: true, Workers: 2,
+		Progress: &cancelAfterWriter{cancel: cancel, after: 1}}.WithContext(ctx)
+	before := runtime.NumGoroutine()
+	tables, err := AcceptanceGeneral(cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(tables) != 1 {
+		t.Fatalf("want 1 partial table, got %d", len(tables))
+	}
+	// The quick sweep has 4 points; cancelling after the first completed
+	// point must keep it and drop the rest.
+	if got := len(tables[0].Rows); got < 1 || got >= 4 {
+		t.Fatalf("partial table has %d rows, want 1..3", got)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("goroutines leaked across cancellation: %d before, %d after", before, n)
+	}
+}
+
+func TestCancelledBeforeStartComputesNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := Config{Seed: 7, SetsPerPoint: 10, Quick: true, Workers: 2}.WithContext(ctx)
+	tables, err := AcceptanceGeneral(cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) != 0 {
+		t.Fatalf("pre-cancelled run produced rows: %+v", tables)
+	}
+}
+
+// TestKillAndResumeByteIdentical is the in-package half of the
+// kill-and-resume contract: interrupt a checkpointed sweep mid-run, resume
+// it under a fresh Config, and require the rendered output to be
+// byte-identical to an uninterrupted run. (cmd/experiments has the
+// process-level SIGINT version.)
+func TestKillAndResumeByteIdentical(t *testing.T) {
+	e, ok := Find("acceptance-general")
+	if !ok {
+		t.Fatal("acceptance-general missing")
+	}
+	base := Config{Seed: 11, SetsPerPoint: 25, Quick: true, Workers: 3}
+	want := render(mustRun(t, e, base))
+
+	path := filepath.Join(t.TempDir(), "cp.json")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	interrupted := base
+	interrupted.Progress = &cancelAfterWriter{cancel: cancel, after: 1}
+	interrupted.Checkpoint = NewCheckpoint(path, interrupted)
+	interrupted = interrupted.WithContext(ctx)
+	if _, err := Run(e, interrupted); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run: err = %v, want context.Canceled", err)
+	}
+	if interrupted.Checkpoint.Points() == 0 {
+		t.Fatal("interrupted run checkpointed no points")
+	}
+
+	resumed := base
+	cp, err := ResumeCheckpoint(path, resumed)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if cp.Points() == 0 {
+		t.Fatal("checkpoint file restored no points")
+	}
+	resumed.Checkpoint = cp
+	got := render(mustRun(t, e, resumed))
+	if got != want {
+		t.Fatalf("resumed output differs from uninterrupted run\n--- want\n%s--- got\n%s", want, got)
+	}
+	if cp.Hits() == 0 {
+		t.Fatal("resume recomputed every point instead of restoring")
+	}
+}
+
+func TestResumeRejectsMismatchedConfig(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp.json")
+	cp := NewCheckpoint(path, Config{Seed: 1, SetsPerPoint: 10})
+	cp.store(Config{}, "x/0", []float64{1, 2})
+	if cp.Points() != 1 {
+		t.Fatal("store failed")
+	}
+	if _, err := ResumeCheckpoint(path, Config{Seed: 2, SetsPerPoint: 10}); err == nil {
+		t.Error("resume under a different seed was accepted")
+	}
+	if _, err := ResumeCheckpoint(path, Config{Seed: 1, SetsPerPoint: 20}); err == nil {
+		t.Error("resume under a different scale was accepted")
+	}
+	if _, err := ResumeCheckpoint(path, Config{Seed: 1, SetsPerPoint: 10, Quick: true}); err == nil {
+		t.Error("resume under a different sweep shape was accepted")
+	}
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ResumeCheckpoint(path, Config{Seed: 1, SetsPerPoint: 10}); err == nil {
+		t.Error("corrupt checkpoint was accepted")
+	}
+	// A missing file is a fresh start, not an error.
+	if cp, err := ResumeCheckpoint(filepath.Join(t.TempDir(), "absent.json"), Config{Seed: 1, SetsPerPoint: 10}); err != nil || cp.Points() != 0 {
+		t.Errorf("missing checkpoint: cp=%v err=%v", cp, err)
+	}
+}
+
+func TestInjectedSamplePanicIsSeedReproducible(t *testing.T) {
+	defer faultinject.Disarm()
+	e, ok := Find("acceptance-general")
+	if !ok {
+		t.Fatal("acceptance-general missing")
+	}
+	// Single worker: fault-site ordinals are deterministic (package caveat),
+	// so two runs must fail at the identical sample.
+	cfg := Config{Seed: 3, SetsPerPoint: 10, Quick: true, Workers: 1}
+	run := func() *SampleError {
+		t.Helper()
+		faultinject.Arm(faultinject.Plan{Seed: 99, SamplePanicEvery: 7})
+		tables, err := Run(e, cfg)
+		if err == nil {
+			t.Fatal("injected panics produced no error")
+		}
+		var se *SampleError
+		if !errors.As(err, &se) {
+			t.Fatalf("err = %v (%T), want *SampleError", err, err)
+		}
+		if len(tables) != 1 {
+			t.Fatalf("failing run returned no partial table")
+		}
+		return se
+	}
+	a := run()
+	b := run()
+	if a.Point != b.Point || a.Index != b.Index || a.BaseSeed != b.BaseSeed || a.Seed != b.Seed {
+		t.Fatalf("injected failure is not reproducible:\n%+v\n%+v", a, b)
+	}
+	if a.Experiment != "acceptance-general" {
+		t.Errorf("experiment attribution %q", a.Experiment)
+	}
+	if a.Point < 0 {
+		t.Errorf("sweep point not attributed: %d", a.Point)
+	}
+	if a.Seed != a.BaseSeed+int64(a.Index)*0x9E3779B9 {
+		t.Errorf("seed %d does not match the derivation rule", a.Seed)
+	}
+	if a.PanicValue != faultinject.PanicValue {
+		t.Errorf("panic value %q", a.PanicValue)
+	}
+	if a.Repro() == "" || a.Stack == "" {
+		t.Error("missing repro recipe or stack")
+	}
+}
+
+func TestInjectedRTAAbortNeverCrashes(t *testing.T) {
+	defer faultinject.Disarm()
+	e, ok := Find("acceptance-general")
+	if !ok {
+		t.Fatal("acceptance-general missing")
+	}
+	faultinject.Arm(faultinject.Plan{Seed: 5, RTAAbortEvery: 20})
+	cfg := Config{Seed: 3, SetsPerPoint: 10, Quick: true, Workers: 2}
+	_, err := Run(e, cfg)
+	// Forced iteration-cap aborts degrade to "not schedulable" verdicts; if
+	// a cross-check trips on the inconsistency it must surface as an
+	// isolated SampleError, never as an unrecovered panic.
+	if err != nil {
+		var se *SampleError
+		if !errors.As(err, &se) {
+			t.Fatalf("rta aborts surfaced as a non-sample error: %v", err)
+		}
+	}
+	if faultinject.Fired(faultinject.RTAAbort) == 0 {
+		t.Fatal("no rta aborts fired — the injection site is dead")
+	}
+}
+
+func TestCheckpointWriteFailureDegradesGracefully(t *testing.T) {
+	defer faultinject.Disarm()
+	e, ok := Find("acceptance-general")
+	if !ok {
+		t.Fatal("acceptance-general missing")
+	}
+	base := Config{Seed: 11, SetsPerPoint: 25, Quick: true, Workers: 2}
+	want := render(mustRun(t, e, base))
+
+	faultinject.Arm(faultinject.Plan{CheckpointWriteEvery: 1})
+	var progress bytes.Buffer
+	cfg := base
+	cfg.Progress = &progress
+	path := filepath.Join(t.TempDir(), "cp.json")
+	cfg.Checkpoint = NewCheckpoint(path, cfg)
+	got := render(mustRun(t, e, cfg))
+	if got != want {
+		t.Fatal("checkpoint write failure altered the table output")
+	}
+	if !strings.Contains(progress.String(), "checkpoint write failed") {
+		t.Fatalf("no degradation warning on the progress stream:\n%s", progress.String())
+	}
+	// The first failure disables checkpointing; the site is not consulted
+	// again.
+	if fired := faultinject.Fired(faultinject.CheckpointWrite); fired != 1 {
+		t.Errorf("checkpointing not disabled after the first failure: fired %d times", fired)
+	}
+	if _, err := os.Stat(path); err == nil {
+		t.Error("a checkpoint file appeared despite every write failing")
+	}
+}
+
+// TestParanoidRunMatchesDefault pins that the paranoid re-validation is
+// observation-only: it never alters experiment output, it only panics (into
+// a SampleError) when an invariant is broken.
+func TestParanoidRunMatchesDefault(t *testing.T) {
+	e, ok := Find("acceptance-general")
+	if !ok {
+		t.Fatal("acceptance-general missing")
+	}
+	base := Config{Seed: 5, SetsPerPoint: 10, Quick: true, Workers: 2}
+	want := render(mustRun(t, e, base))
+	p := base
+	p.Paranoid = true
+	if got := render(mustRun(t, e, p)); got != want {
+		t.Fatal("paranoid validation altered the table output")
+	}
+}

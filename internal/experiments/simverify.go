@@ -39,7 +39,7 @@ func SimulateVerify(cfg Config) ([]Table, error) {
 	}
 	perSet := make([][]agg, sets)
 	errs := make([]error, sets)
-	cfg.parEach(r.Int63(), sets, func(s int, r *rand.Rand, ws *Workspace) {
+	parErr := cfg.parEach(r.Int63(), sets, func(s int, r *rand.Rand, ws *Workspace) {
 		um := 0.55 + 0.4*r.Float64()
 		ts, err := gen.TaskSetInto(r, gen.Config{
 			TargetU: um * float64(m),
@@ -67,6 +67,9 @@ func SimulateVerify(cfg Config) ([]Table, error) {
 		}
 		perSet[s] = row
 	})
+	if parErr != nil {
+		return nil, fmt.Errorf("simulate-verify: %w", parErr)
+	}
 	if err := firstError(errs); err != nil {
 		return nil, fmt.Errorf("simulate-verify: %w", err)
 	}

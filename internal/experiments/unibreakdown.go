@@ -40,9 +40,11 @@ func UniprocessorBreakdown(cfg Config) ([]Table, error) {
 	for _, n := range ns {
 		n := n
 		samples := make([]float64, sets)
-		cfg.parEach(r.Int63(), sets, func(s int, r *rand.Rand, _ *Workspace) {
+		if err := cfg.parEach(r.Int63(), sets, func(s int, r *rand.Rand, _ *Workspace) {
 			samples[s] = uniBreakdown(r, n)
-		})
+		}); err != nil {
+			return nil, fmt.Errorf("uni-breakdown: %w", err)
+		}
 		var lo float64 = 2
 		for _, v := range samples {
 			if v < lo {

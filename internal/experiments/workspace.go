@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 
@@ -21,10 +22,11 @@ import (
 // Workspace is not safe for concurrent use; workspaces are pooled and
 // recycled across parEach calls.
 type Workspace struct {
-	gen     gen.Scratch
-	arena   partition.Arena
-	rng     *rand.Rand
-	noReuse bool
+	gen      gen.Scratch
+	arena    partition.Arena
+	rng      *rand.Rand
+	noReuse  bool
+	paranoid bool
 }
 
 // Gen returns the workspace's generator scratch, or nil in no-reuse mode —
@@ -43,12 +45,24 @@ func (ws *Workspace) Gen() *gen.Scratch {
 // call; the verdict and every Result field are identical either way (the
 // arena equivalence tests pin this).
 func (ws *Workspace) Partition(alg partition.Algorithm, ts task.Set, m int) *partition.Result {
+	var res *partition.Result
 	if ws != nil && !ws.noReuse {
 		if ap, ok := alg.(partition.ArenaPartitioner); ok {
-			return ap.PartitionArena(ts, m, &ws.arena)
+			res = ap.PartitionArena(ts, m, &ws.arena)
 		}
 	}
-	return alg.Partition(ts, m)
+	if res == nil {
+		res = alg.Partition(ts, m)
+	}
+	// Paranoid mode: re-prove every successful result from scratch. The
+	// panic is deliberate — parEach's isolation converts it into a
+	// seed-reproducible SampleError naming this exact sample.
+	if ws != nil && ws.paranoid && res != nil && res.OK {
+		if err := partition.ValidateFor(alg, res); err != nil {
+			panic(fmt.Sprintf("paranoid: invariant violation in %s on m=%d: %v", alg.Name(), m, err))
+		}
+	}
+	return res
 }
 
 // wsPool recycles workspaces across parEach calls (and across benchmark
@@ -57,9 +71,10 @@ var wsPool = sync.Pool{New: func() interface{} {
 	return &Workspace{rng: rand.New(rand.NewSource(0))}
 }}
 
-func getWorkspace(noReuse bool) *Workspace {
+func getWorkspace(c Config) *Workspace {
 	ws := wsPool.Get().(*Workspace)
-	ws.noReuse = noReuse
+	ws.noReuse = c.NoReuse
+	ws.paranoid = c.Paranoid
 	return ws
 }
 

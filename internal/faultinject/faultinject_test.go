@@ -1,0 +1,93 @@
+package faultinject
+
+import "testing"
+
+func TestDisarmedHooksAreInert(t *testing.T) {
+	Disarm()
+	for i := 0; i < 100; i++ {
+		if ShouldAbortRTA() {
+			t.Fatal("disarmed ShouldAbortRTA fired")
+		}
+		MaybePanic()
+		if err := CheckpointWriteErr(); err != nil {
+			t.Fatalf("disarmed CheckpointWriteErr = %v", err)
+		}
+	}
+}
+
+func TestEveryOneFiresAlways(t *testing.T) {
+	Arm(Plan{Seed: 42, RTAAbortEvery: 1, CheckpointWriteEvery: 1})
+	defer Disarm()
+	for i := 0; i < 10; i++ {
+		if !ShouldAbortRTA() {
+			t.Fatal("Every=1 RTAAbort did not fire")
+		}
+		if CheckpointWriteErr() == nil {
+			t.Fatal("Every=1 CheckpointWrite did not fire")
+		}
+	}
+	if Fired(RTAAbort) != 10 || Calls(RTAAbort) != 10 {
+		t.Fatalf("RTAAbort fired=%d calls=%d, want 10/10", Fired(RTAAbort), Calls(RTAAbort))
+	}
+}
+
+func TestFiringPatternIsSeedDeterministic(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		Arm(Plan{Seed: seed, RTAAbortEvery: 3})
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = ShouldAbortRTA()
+		}
+		Disarm()
+		return out
+	}
+	a, b := pattern(7), pattern(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+	}
+	c := pattern(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical firing patterns (suspicious hash)")
+	}
+}
+
+func TestRateIsRoughlyOneInN(t *testing.T) {
+	Arm(Plan{Seed: 1, SamplePanicEvery: 4})
+	defer Disarm()
+	panics := 0
+	for i := 0; i < 4000; i++ {
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					if p != PanicValue {
+						t.Fatalf("unexpected panic value %v", p)
+					}
+					panics++
+				}
+			}()
+			MaybePanic()
+		}()
+	}
+	if panics < 700 || panics > 1300 {
+		t.Errorf("Every=4 fired %d/4000 times, want ≈1000", panics)
+	}
+}
+
+func TestRearmResetsCounters(t *testing.T) {
+	Arm(Plan{Seed: 1, RTAAbortEvery: 1})
+	ShouldAbortRTA()
+	Arm(Plan{Seed: 1, RTAAbortEvery: 1})
+	defer Disarm()
+	if Calls(RTAAbort) != 0 || Fired(RTAAbort) != 0 {
+		t.Errorf("re-Arm kept counters: calls=%d fired=%d", Calls(RTAAbort), Fired(RTAAbort))
+	}
+}

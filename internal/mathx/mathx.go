@@ -11,7 +11,9 @@ package mathx
 
 import "math"
 
-// CeilDiv returns ceil(a/b) for a >= 0, b > 0.
+// CeilDiv returns ceil(a/b) for a >= 0, b > 0. The quotient is computed as
+// a/b plus a remainder correction rather than (a+b-1)/b, so dividends near
+// math.MaxInt64 cannot overflow the intermediate sum.
 func CeilDiv(a, b int64) int64 {
 	if b <= 0 {
 		panic("mathx: CeilDiv with non-positive divisor")
@@ -19,7 +21,11 @@ func CeilDiv(a, b int64) int64 {
 	if a <= 0 {
 		return 0
 	}
-	return (a + b - 1) / b
+	q := a / b
+	if a%b != 0 {
+		q++
+	}
+	return q
 }
 
 // GCD returns the greatest common divisor of a and b.
@@ -94,6 +100,36 @@ func AddSat(a, b int64) int64 {
 		return math.MaxInt64
 	}
 	return a + b
+}
+
+// AddChecked returns a+b and true for non-negative inputs whose sum fits in
+// int64, or math.MaxInt64 and false on overflow. The analysis hot paths use
+// it where a silent wrap would turn an over-limit demand into a small bogus
+// one; the false return lets callers degrade to an explicit verdict
+// (rta.VerdictExceedsLimit) instead.
+func AddChecked(a, b int64) (int64, bool) {
+	if a < 0 || b < 0 {
+		panic("mathx: AddChecked requires non-negative operands")
+	}
+	if a > math.MaxInt64-b {
+		return math.MaxInt64, false
+	}
+	return a + b, true
+}
+
+// MulChecked returns a*b and true for non-negative inputs whose product fits
+// in int64, or math.MaxInt64 and false on overflow.
+func MulChecked(a, b int64) (int64, bool) {
+	if a < 0 || b < 0 {
+		panic("mathx: MulChecked requires non-negative operands")
+	}
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	if a > math.MaxInt64/b {
+		return math.MaxInt64, false
+	}
+	return a * b, true
 }
 
 // MinInt64 returns the smaller of a and b.

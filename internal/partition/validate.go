@@ -1,0 +1,107 @@
+// Invariant guards for partitioning results (the paranoid mode of the
+// robustness layer, DESIGN.md §9). Verify and VerifyEDF re-prove
+// schedulability of a successful result; Validate layers the remaining
+// paper invariants on top — the ones the arena-recycled hot path trusts
+// rather than checks:
+//
+//   - structural soundness (task.Assignment.Validate): split portions sum
+//     to C_i, fragment parts contiguous with one tail, no two fragments of
+//     a task share a processor, per-processor priority ordering;
+//   - per-processor analysis satisfaction: exact RTA of every subtask
+//     against its synthetic deadline for fixed-priority results, the
+//     processor demand criterion for EDF results;
+//   - the splitting budget of the paper's packing argument: each split
+//     task closes the processor its body fragment lands on, so a
+//     successful partitioning onto M processors has at most M−1 split
+//     tasks (fixed-priority splitting algorithms only);
+//   - bookkeeping consistency: NumSplit matches the assignment, assigned
+//     per-processor utilization never exceeds 1.
+//
+// ValidateStructural is everything except the exact schedulability
+// re-proof; it exists because the threshold-packed SPA results are proven
+// schedulable by the utilization-bound theorems of [16], not by exact RTA
+// of the synthetic deadlines, and in quantization corner cases outside
+// those theorems the RTA re-check can fail on a result the algorithm
+// never claimed to certify. ValidateFor picks the strongest level the
+// producing algorithm supports.
+package partition
+
+import "fmt"
+
+// Validate re-checks every invariant a successful Result promises,
+// including the exact schedulability re-proof (Verify or VerifyEDF by
+// scheduler). It reruns the analyses from scratch — never touching
+// warm-start caches or arenas — so a nil error certifies the partition
+// even if the producing hot path was corrupted. Experiments run it behind
+// the paranoid flag; a violation there is converted into a
+// seed-reproducible SampleError by the panic isolation layer.
+func Validate(res *Result) error {
+	var err error
+	if res != nil && res.Scheduler == "EDF" {
+		err = VerifyEDF(res)
+	} else {
+		err = Verify(res)
+	}
+	if err != nil {
+		return err
+	}
+	return validateBookkeeping(res)
+}
+
+// ValidateStructural checks every Validate invariant except the exact
+// schedulability re-proof: structural assignment soundness, utilization
+// caps, the split budget, and bookkeeping consistency. It holds for every
+// algorithm in the package, threshold-packed or not.
+func ValidateStructural(res *Result) error {
+	if res == nil || res.Assignment == nil {
+		return fmt.Errorf("partition: nil result")
+	}
+	if !res.OK {
+		return fmt.Errorf("partition: result reports failure: %s", res.Reason)
+	}
+	if err := res.Assignment.Validate(); err != nil {
+		return fmt.Errorf("partition: structural check failed: %w", err)
+	}
+	return validateBookkeeping(res)
+}
+
+// ValidateFor validates res at the strongest level alg's theory supports:
+// the full exact re-proof for the RTA- and demand-based algorithms, the
+// structural level for the threshold-packed ones (whose guarantee comes
+// from the utilization-bound theorems of [16], see the package comment).
+func ValidateFor(alg Algorithm, res *Result) error {
+	switch alg.(type) {
+	case SPA1, SPA2, FirstFit:
+		return ValidateStructural(res)
+	default:
+		return Validate(res)
+	}
+}
+
+// validateBookkeeping holds the invariants shared by Validate and
+// ValidateStructural; callers have already established res.OK and a
+// structurally valid assignment.
+func validateBookkeeping(res *Result) error {
+	asg := res.Assignment
+	// Per-processor utilization sanity: no admission path may overfill a
+	// processor past 1, threshold-based or not. The epsilon absorbs the
+	// float rounding of the C/T sums; schedulability itself is certified
+	// by the exact integer analyses, not by this check.
+	for q := range asg.Procs {
+		if u := asg.Utilization(q); u > 1+1e-9 {
+			return fmt.Errorf("partition: processor %d utilization %.6f exceeds 1", q, u)
+		}
+	}
+	split := asg.SplitTasks()
+	if res.NumSplit != len(split) {
+		return fmt.Errorf("partition: NumSplit = %d but the assignment has %d split tasks", res.NumSplit, len(split))
+	}
+	// The packing argument: a fixed-priority split closes its processor, so
+	// M processors admit at most M−1 split tasks. (EDF-TS window splitting
+	// spreads a task over several windows and is bounded instead by the
+	// no-shared-processor structural rule.)
+	if res.Scheduler != "EDF" && len(split) > asg.M()-1 {
+		return fmt.Errorf("partition: %d split tasks on %d processors (want ≤ M−1 = %d)", len(split), asg.M(), asg.M()-1)
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package partition
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/task"
+)
+
+func rmtsResult(t *testing.T) *Result {
+	t.Helper()
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		ts := fuzzSet(r)
+		m := 2 + r.Intn(4)
+		res := NewRMTS(nil).Partition(ts, m)
+		if res.OK && res.NumSplit > 0 {
+			return res
+		}
+	}
+	t.Fatal("no successful split partition found")
+	return nil
+}
+
+func TestValidateAcceptsGoodResults(t *testing.T) {
+	res := rmtsResult(t)
+	if err := Validate(res); err != nil {
+		t.Fatalf("Validate rejected a good RM-TS result: %v", err)
+	}
+	if err := ValidateStructural(res); err != nil {
+		t.Fatalf("ValidateStructural rejected a good RM-TS result: %v", err)
+	}
+}
+
+func TestValidateCatchesTamperedPortionSum(t *testing.T) {
+	res := rmtsResult(t)
+	// Inflate one fragment's execution: portions no longer sum to C_i.
+	res.Assignment.Procs[0][0].C++
+	if err := Validate(res); err == nil {
+		t.Fatal("Validate accepted a tampered portion sum")
+	}
+	if err := ValidateStructural(res); err == nil {
+		t.Fatal("ValidateStructural accepted a tampered portion sum")
+	}
+}
+
+func TestValidateCatchesSplitBudgetViolation(t *testing.T) {
+	// Build a hand-made 2-processor assignment with 2 split tasks — more
+	// than the M−1 = 1 the packing argument allows — that is structurally
+	// valid and trivially schedulable.
+	ts := task.Set{{Name: "a", C: 2, T: 100}, {Name: "b", C: 2, T: 100}}
+	sorted := ts.Clone()
+	sorted.SortRM()
+	asg := task.NewAssignment(sorted, 2)
+	asg.Add(0, task.Subtask{TaskIndex: 0, Part: 1, C: 1, T: 100, Deadline: 100, Offset: 0})
+	asg.Add(1, task.Subtask{TaskIndex: 0, Part: 2, C: 1, T: 100, Deadline: 97, Offset: 3, Tail: true})
+	asg.Add(1, task.Subtask{TaskIndex: 1, Part: 1, C: 1, T: 100, Deadline: 100, Offset: 0})
+	asg.Add(0, task.Subtask{TaskIndex: 1, Part: 2, C: 1, T: 100, Deadline: 97, Offset: 3, Tail: true})
+	res := &Result{OK: true, Assignment: asg, FailedTask: -1, NumSplit: 2}
+	err := Validate(res)
+	if err == nil {
+		t.Fatal("Validate accepted 2 split tasks on 2 processors")
+	}
+	if !strings.Contains(err.Error(), "split tasks") {
+		t.Fatalf("wrong failure: %v", err)
+	}
+}
+
+func TestValidateCatchesNumSplitMismatch(t *testing.T) {
+	res := rmtsResult(t)
+	res.NumSplit++
+	if err := Validate(res); err == nil || !strings.Contains(err.Error(), "NumSplit") {
+		t.Fatalf("Validate missed the NumSplit mismatch: %v", err)
+	}
+}
+
+func TestValidateRejectsFailedAndNil(t *testing.T) {
+	if err := Validate(nil); err == nil {
+		t.Error("Validate(nil) = nil")
+	}
+	if err := ValidateStructural(&Result{OK: false, Reason: "x"}); err == nil {
+		t.Error("ValidateStructural accepted a failed result")
+	}
+}
+
+// TestValidateForAllAlgorithms runs every algorithm over random sets and
+// requires ValidateFor to accept every successful result — the exact
+// property the paranoid experiment mode enforces per sample.
+func TestValidateForAllAlgorithms(t *testing.T) {
+	r := rand.New(rand.NewSource(4242))
+	algos := allValidateAlgos()
+	for trial := 0; trial < 150; trial++ {
+		ts := fuzzSet(r)
+		m := 1 + r.Intn(6)
+		for _, alg := range algos {
+			res := alg.Partition(ts, m)
+			if !res.OK {
+				continue
+			}
+			if err := ValidateFor(alg, res); err != nil {
+				t.Fatalf("trial %d: %s: ValidateFor rejected its own result: %v\nset=%v\n%s",
+					trial, alg.Name(), err, ts, res.Assignment)
+			}
+		}
+	}
+}
+
+// allValidateAlgos is the full algorithm inventory the invariant fuzz
+// covers: the paper's splitting algorithms, the SPA baselines, strict
+// RTA/threshold packing, and the EDF comparators.
+func allValidateAlgos() []Algorithm {
+	return []Algorithm{
+		RMTSLight{},
+		NewRMTS(nil),
+		SPA1{},
+		SPA2{},
+		FirstFitRTA{},
+		WorstFitRTA{},
+		FirstFit{Admission: AdmitHyperbolic},
+		FirstFit{Admission: AdmitLL},
+		EDFFirstFit{},
+		EDFWorstFit{},
+		EDFTS{},
+	}
+}
+
+// FuzzValidate is the native fuzz target over all algorithms: derive a
+// task set from the fuzz input, partition it with every algorithm, and
+// require every successful result to pass its invariant guard. Crashes
+// and guard rejections are both failures.
+func FuzzValidate(f *testing.F) {
+	f.Add(int64(1), uint8(2))
+	f.Add(int64(31337), uint8(4))
+	f.Add(int64(-7), uint8(1))
+	f.Add(int64(424242), uint8(6))
+	algos := allValidateAlgos()
+	f.Fuzz(func(t *testing.T, seed int64, mRaw uint8) {
+		r := rand.New(rand.NewSource(seed))
+		ts := fuzzSet(r)
+		m := 1 + int(mRaw%8)
+		for _, alg := range algos {
+			res := alg.Partition(ts, m)
+			if res == nil {
+				t.Fatalf("%s returned nil", alg.Name())
+			}
+			if !res.OK {
+				continue
+			}
+			if err := ValidateFor(alg, res); err != nil {
+				t.Fatalf("%s: invariant violation on seed=%d m=%d: %v", alg.Name(), seed, m, err)
+			}
+		}
+	})
+}

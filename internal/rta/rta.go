@@ -24,6 +24,7 @@ package rta
 import (
 	"math"
 
+	"repro/internal/faultinject"
 	"repro/internal/mathx"
 	"repro/internal/obs"
 	"repro/internal/task"
@@ -165,6 +166,11 @@ func iterate(c task.Time, hp []Interference, extraC, extraT, limit, start task.T
 	if c > limit {
 		return c, VerdictExceedsLimit, 0
 	}
+	if faultinject.ShouldAbortRTA() {
+		// Injected iteration-cap abort: report the current iterate exactly
+		// as the genuine MaxIters path would, without doing the work.
+		return start, VerdictAborted, 0
+	}
 	r := start
 	iters := int64(0)
 	for {
@@ -175,13 +181,29 @@ func iterate(c task.Time, hp []Interference, extraC, extraT, limit, start task.T
 			return r, VerdictAborted, iters
 		}
 		next := c
+		ok := true
 		for _, j := range hp {
-			next = mathx.AddSat(next, mathx.MulSat(mathx.CeilDiv(r, j.T), j.C))
+			var contrib task.Time
+			if contrib, ok = mathx.MulChecked(mathx.CeilDiv(r, j.T), j.C); ok {
+				next, ok = mathx.AddChecked(next, contrib)
+			}
+			if !ok {
+				break
+			}
 		}
-		if extraT > 0 {
-			next = mathx.AddSat(next, mathx.MulSat(mathx.CeilDiv(r, extraT), extraC))
+		if ok && extraT > 0 {
+			var contrib task.Time
+			if contrib, ok = mathx.MulChecked(mathx.CeilDiv(r, extraT), extraC); ok {
+				next, ok = mathx.AddChecked(next, contrib)
+			}
 		}
 		iters++
+		if !ok {
+			// The demand at iterate r overflows int64, so the true demand —
+			// and with it the least fixed point — exceeds MaxInt64 ≥ limit:
+			// an exact over-limit verdict, not a silent wrap.
+			return task.Time(math.MaxInt64), VerdictExceedsLimit, iters
+		}
 		if next == r {
 			return r, VerdictFits, iters
 		}
@@ -347,16 +369,19 @@ func slackCore(c, d task.Time, hp []Interference, t task.Time) task.Time {
 	check(d)
 	for _, j := range hp {
 		for m := task.Time(1); ; m++ {
-			x := mathx.MulSat(m, j.T)
-			if x > d {
+			// Checked multiply: an overflowing testing point m·T lies past
+			// every deadline, and with MulSat alone the saturated x never
+			// passes a d of MaxInt64, looping forever.
+			x, ok := mathx.MulChecked(m, j.T)
+			if !ok || x > d {
 				break
 			}
 			check(x)
 		}
 	}
 	for m := task.Time(1); ; m++ {
-		x := mathx.MulSat(m, t)
-		if x > d {
+		x, ok := mathx.MulChecked(m, t)
+		if !ok || x > d {
 			break
 		}
 		check(x)
@@ -401,8 +426,8 @@ func MaxOwnLoad(hp []Interference, d task.Time) task.Time {
 	check(d)
 	for _, j := range hp {
 		for m := task.Time(1); ; m++ {
-			x := mathx.MulSat(m, j.T)
-			if x > d {
+			x, ok := mathx.MulChecked(m, j.T)
+			if !ok || x > d {
 				break
 			}
 			check(x)

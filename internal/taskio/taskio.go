@@ -15,6 +15,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"unicode/utf8"
 
 	"repro/internal/task"
 )
@@ -83,6 +84,12 @@ func parseText(data []byte) (task.Set, error) {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
+		}
+		if !utf8.ValidString(line) {
+			// JSON output (Save) cannot carry invalid UTF-8 faithfully — the
+			// encoder would silently substitute U+FFFD, breaking the
+			// parse/save round trip — so reject it here with a position.
+			return nil, fmt.Errorf("taskio: line %d: not valid UTF-8", lineNo)
 		}
 		fields := strings.Fields(line)
 		var name string
