@@ -11,10 +11,23 @@ import (
 	"encoding/json"
 	"flag"
 	"os"
+	"os/exec"
+	"runtime"
+	"strings"
 	"testing"
 )
 
 var benchJSONPath = flag.String("benchjson", "", "write hot-path benchmark results as JSON to this path")
+
+// benchMeta mirrors perfdiff.Meta so records are attributable: two captures
+// that disagree should say which toolchain, CPU budget and revision each
+// came from.
+type benchMeta struct {
+	Schema     int    `json:"schema"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GitRev     string `json:"git_rev"`
+}
 
 type benchRecord struct {
 	Name        string             `json:"name"`
@@ -55,7 +68,15 @@ func TestBenchHotpathJSON(t *testing.T) {
 		records = append(records, rec)
 		t.Logf("%s: %.0f ns/op, %d B/op, %d allocs/op", h.name, rec.NsPerOp, rec.BytesPerOp, rec.AllocsPerOp)
 	}
-	out, err := json.MarshalIndent(map[string]interface{}{"benchmarks": records}, "", "  ")
+	meta := benchMeta{Schema: 1, GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0), GitRev: "unknown"}
+	if rev, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output(); err == nil {
+		meta.GitRev = strings.TrimSpace(string(rev))
+	}
+	doc := struct {
+		Meta       benchMeta     `json:"meta"`
+		Benchmarks []benchRecord `json:"benchmarks"`
+	}{meta, records}
+	out, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,9 +5,11 @@
 # warm-start toggle are shared atomics), a one-iteration bench smoke so
 # every benchmark keeps compiling and running, a fault-injection pass over
 # the hardened pipeline (DESIGN.md §9), short fuzz smokes for the invariant
-# checker and the task-set parser, and a -paranoid quick table that
-# re-validates every partitioning the harness produces. Run from the
-# repository root; any failure fails the gate.
+# checker and the task-set parser, a -paranoid quick table that
+# re-validates every partitioning the harness produces, a telemetry smoke
+# that schema-lints a run-event log, and a perf-regression gate diffing the
+# regenerated hot-path bench record against the committed baseline
+# (DESIGN.md §10). Run from the repository root; any failure fails the gate.
 set -eu
 
 echo "== gofmt =="
@@ -49,7 +51,22 @@ go run ./cmd/experiments -run acceptance-general -quick -sets 50 -paranoid -q > 
 echo "== bench smoke (one iteration per benchmark) =="
 go test -run '^$' -bench=. -benchtime=1x ./... > /dev/null
 
+echo "== telemetry smoke (run-event log must pass strict schema validation) =="
+events_log=$(mktemp /tmp/ci-events.XXXXXX.jsonl)
+go run ./cmd/experiments -run acceptance-general -quick -sets 16 -q -events "$events_log" > /dev/null
+go run ./cmd/perfdiff -validate-events "$events_log"
+rm -f "$events_log"
+
 echo "== hot-path bench JSON (BENCH_hotpath.json) =="
+baseline=$(mktemp /tmp/ci-bench-baseline.XXXXXX.json)
+cp BENCH_hotpath.json "$baseline"
 go test -run TestBenchHotpathJSON -benchjson=BENCH_hotpath.json .
+
+echo "== perf-regression gate (new record vs committed baseline) =="
+# Timing and bytes are noisy on shared CI hardware, so ns/op and B/op only
+# warn; allocs/op and the domain metrics (rta-iters/op, splits/op, ...) are
+# deterministic for the fixed bench seeds and gate hard.
+go run ./cmd/perfdiff -warn 'ns/op,B/op' -allocs-tol 0.25 -extra-tol 0.25 "$baseline" BENCH_hotpath.json
+rm -f "$baseline"
 
 echo "CI gate passed."

@@ -10,9 +10,16 @@
 //
 // Observability flags: -progress decorates the per-point progress lines on
 // stderr with counts, elapsed time and an ETA; -metrics prints a
-// per-experiment counter snapshot (RTA iterations, splits, ...) after the
-// tables; -cpuprofile/-memprofile write pprof profiles. None of them alter
-// the table output — it stays bit-for-bit identical for a given seed.
+// per-experiment counter snapshot (RTA iterations, splits, ...) to stderr
+// after the tables (stdout carries only tables/CSV, so machine parsing is
+// never disturbed); -metrics-json writes the same snapshots as a
+// schema-versioned JSON document; -events appends a JSONL flight-recorder
+// stream (run/experiment/point lifecycle, per-point counter deltas, sample
+// errors with repro seeds, checkpoint writes); -listen serves live
+// /metrics, /progress and /debug/pprof endpoints while the run executes;
+// -cpuprofile/-memprofile write pprof profiles. None of them alter the
+// table output — it stays bit-for-bit identical for a given seed
+// (DESIGN.md §10).
 //
 // Robustness flags (DESIGN.md §9): -timeout bounds the whole run; SIGINT or
 // SIGTERM cancels it gracefully — in both cases workers drain, completed
@@ -26,6 +33,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -45,6 +53,22 @@ func main() {
 	os.Exit(run())
 }
 
+// metricsDoc is the -metrics-json document: one schema-versioned file with
+// an entry per executed experiment. Counters/histograms are deterministic
+// for a fixed seed; seconds and spans are wall-clock.
+type metricsDoc struct {
+	Schema int               `json:"schema"`
+	Runs   []runMetricsEntry `json:"runs"`
+}
+
+type runMetricsEntry struct {
+	Key        string                `json:"key"`
+	Seconds    float64               `json:"seconds"`
+	Counters   []obs.CounterValue    `json:"counters"`
+	Histograms []obs.HistogramExport `json:"histograms,omitempty"`
+	Spans      []obs.SpanValue       `json:"spans,omitempty"`
+}
+
 func run() int {
 	var (
 		list       = flag.Bool("list", false, "list experiments and exit")
@@ -57,7 +81,10 @@ func run() int {
 		quiet      = flag.Bool("q", false, "suppress progress output")
 		workers    = flag.Int("workers", 0, "concurrent workers for set evaluation (0 = GOMAXPROCS; results are identical at any count)")
 		progress   = flag.Bool("progress", false, "decorate progress lines with point counts, elapsed time and an ETA (stderr)")
-		metrics    = flag.Bool("metrics", false, "print per-experiment analysis-cost counters after the tables")
+		metrics    = flag.Bool("metrics", false, "print per-experiment analysis-cost counters to stderr after the tables")
+		metricsOut = flag.String("metrics-json", "", "write per-experiment metric snapshots (schema-versioned JSON) to this file")
+		events     = flag.String("events", "", "write a JSONL run-event stream (experiment/point lifecycle, sample errors, checkpoints) to this file")
+		listen     = flag.String("listen", "", "serve live status at this address (host:port): /metrics, /progress, /debug/pprof/")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		rtacache   = flag.Bool("rtacache", true, "warm-start RTA caching in the partitioners (tables are identical either way; disable to cross-check or to measure the saving)")
@@ -165,11 +192,46 @@ func run() int {
 		os.Exit(2)
 	}
 
-	if *metrics {
+	// Any export surface needs the counters collected; enabling them never
+	// alters experiment output (the golden tests pin this).
+	if *metrics || *metricsOut != "" || *events != "" || *listen != "" {
 		obs.SetEnabled(true)
 	}
 	rta.SetWarmStart(*rtacache)
+
+	var rec *obs.Recorder
+	if *events != "" {
+		f, err := os.Create(*events)
+		if err != nil {
+			fail("events: %v", err)
+		}
+		rec = obs.NewRecorder(f)
+		rec.Emit(obs.RunEvent{Kind: obs.EvRunStart, Schema: obs.EventSchemaVersion,
+			GoVersion: runtime.Version(), Seed: *seed, Sets: *sets, Quick: *quick,
+			Workers: *workers})
+		cfg.Events = rec
+	}
+	var metricsFile *os.File
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fail("metrics-json: %v", err)
+		}
+		metricsFile = f
+	}
+	if *listen != "" {
+		srv, err := obs.Serve(*listen, obs.Default)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer srv.Close()
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "experiments: status on http://%s (/metrics /progress /debug/pprof/)\n", srv.Addr())
+		}
+	}
+
 	exit := 0
+	var metricRuns []runMetricsEntry
 	for _, e := range toRun {
 		tables, rm, err := experiments.RunWithMetrics(e, cfg)
 		// Render whatever completed — on cancellation or a sample failure
@@ -183,9 +245,20 @@ func run() int {
 				t.Render(os.Stdout)
 			}
 		}
+		// The metrics report goes to stderr: stdout carries only tables
+		// (aligned or CSV), so piping -csv output into a parser stays safe.
 		if *metrics {
-			rm.Render(os.Stdout)
-			fmt.Println()
+			rm.Render(os.Stderr)
+			fmt.Fprintln(os.Stderr)
+		}
+		if metricsFile != nil {
+			metricRuns = append(metricRuns, runMetricsEntry{
+				Key:        rm.Key,
+				Seconds:    rm.Seconds,
+				Counters:   rm.Counters,
+				Histograms: obs.ExportHistograms(rm.Histograms),
+				Spans:      rm.Spans,
+			})
 		}
 		if err != nil {
 			exit = 1
@@ -200,6 +273,26 @@ func run() int {
 				// immediately and emptily — stop here.
 				break
 			}
+		}
+	}
+
+	if rec != nil {
+		rec.Emit(obs.RunEvent{Kind: obs.EvRunEnd})
+		if err := rec.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: events: %v\n", err)
+			return 1
+		}
+	}
+	if metricsFile != nil {
+		enc := json.NewEncoder(metricsFile)
+		enc.SetIndent("", "  ")
+		err := enc.Encode(metricsDoc{Schema: obs.SnapshotSchemaVersion, Runs: metricRuns})
+		if cerr := metricsFile.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: metrics-json: %v\n", err)
+			return 1
 		}
 	}
 

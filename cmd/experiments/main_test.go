@@ -3,13 +3,29 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"encoding/json"
 	"io"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
+
+// buildExperiments compiles the command under test into dir and returns the
+// binary path.
+func buildExperiments(t *testing.T, dir string) string {
+	t.Helper()
+	goBin := filepath.Join(runtime.GOROOT(), "bin", "go")
+	bin := filepath.Join(dir, "experiments-under-test")
+	if out, err := exec.Command(goBin, "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	return bin
+}
 
 // TestSigintKillAndResume is the process-level kill-and-resume contract:
 // build the binary, interrupt a checkpointed run with SIGINT after its
@@ -19,12 +35,8 @@ func TestSigintKillAndResume(t *testing.T) {
 	if testing.Short() {
 		t.Skip("integration test builds and runs the binary")
 	}
-	goBin := filepath.Join(runtime.GOROOT(), "bin", "go")
 	dir := t.TempDir()
-	bin := filepath.Join(dir, "experiments-under-test")
-	if out, err := exec.Command(goBin, "build", "-o", bin, ".").CombinedOutput(); err != nil {
-		t.Fatalf("build: %v\n%s", err, out)
-	}
+	bin := buildExperiments(t, dir)
 
 	args := []string{"-run", "acceptance-general", "-sets", "800", "-seed", "7"}
 	ref, err := exec.Command(bin, append(append([]string{}, args...), "-q")...).Output()
@@ -76,5 +88,134 @@ func TestSigintKillAndResume(t *testing.T) {
 	}
 	if !bytes.Equal(resumed, ref) {
 		t.Fatalf("resumed stdout differs from uninterrupted run\n--- reference\n%s--- resumed\n%s", ref, resumed)
+	}
+}
+
+// TestCSVStdoutPure is the regression test for the -csv -metrics stream
+// corruption: stdout must carry only table data — `# <id> — <title>` table
+// headers, CSV rows with a constant field count, and blank separators —
+// with the metrics report routed to stderr.
+func TestCSVStdoutPure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test builds and runs the binary")
+	}
+	bin := buildExperiments(t, t.TempDir())
+	cmd := exec.Command(bin, "-run", "acceptance-general", "-quick", "-sets", "8", "-seed", "3", "-csv", "-metrics", "-q")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("run: %v\nstderr:\n%s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "# metrics acceptance-general") {
+		t.Errorf("metrics report missing from stderr:\n%s", stderr.String())
+	}
+	if strings.Contains(stdout.String(), "# metrics") {
+		t.Errorf("metrics report leaked into stdout:\n%s", stdout.String())
+	}
+	fields := -1
+	for i, line := range strings.Split(stdout.String(), "\n") {
+		switch {
+		case line == "":
+		case strings.HasPrefix(line, "# "):
+			if !strings.Contains(line, "—") {
+				t.Errorf("stdout line %d: unexpected comment %q", i+1, line)
+			}
+		default:
+			n := strings.Count(line, ",")
+			if fields == -1 {
+				fields = n
+			}
+			if n != fields || n == 0 {
+				t.Errorf("stdout line %d: %d commas, want %d: %q", i+1, n, fields, line)
+			}
+		}
+	}
+	if fields == -1 {
+		t.Fatalf("no CSV rows on stdout:\n%s", stdout.String())
+	}
+}
+
+// TestExportDoesNotAlterTables is the determinism acceptance gate for the
+// telemetry exports: stdout with -events, -metrics-json and -listen all
+// enabled must be byte-identical to a plain run, and the artifacts written
+// on the side must be valid (the event log passes strict schema
+// validation).
+func TestExportDoesNotAlterTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test builds and runs the binary")
+	}
+	dir := t.TempDir()
+	bin := buildExperiments(t, dir)
+	args := []string{"-run", "acceptance-general", "-quick", "-sets", "16", "-seed", "7", "-q"}
+	ref, err := exec.Command(bin, args...).Output()
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	evPath := filepath.Join(dir, "events.jsonl")
+	mPath := filepath.Join(dir, "metrics.json")
+	exported, err := exec.Command(bin, append(append([]string{}, args...),
+		"-events", evPath, "-metrics-json", mPath, "-listen", "127.0.0.1:0")...).Output()
+	if err != nil {
+		t.Fatalf("exporting run: %v", err)
+	}
+	if !bytes.Equal(exported, ref) {
+		t.Fatalf("stdout changed with exports enabled\n--- reference\n%s--- exported\n%s", ref, exported)
+	}
+
+	ev, err := os.Open(evPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ev.Close()
+	n, err := obs.ValidateEventLog(ev)
+	if err != nil {
+		t.Fatalf("event log invalid: %v", err)
+	}
+	if n < 7 { // run-start + experiment-start + 4 points + experiment-end + run-end
+		t.Errorf("event log suspiciously short: %d events", n)
+	}
+
+	data, err := os.ReadFile(mPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema int `json:"schema"`
+		Runs   []struct {
+			Key      string             `json:"key"`
+			Counters []obs.CounterValue `json:"counters"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("metrics-json: %v\n%s", err, data)
+	}
+	if doc.Schema != obs.SnapshotSchemaVersion || len(doc.Runs) != 1 ||
+		doc.Runs[0].Key != "acceptance-general" ||
+		(obs.Snapshot{Counters: doc.Runs[0].Counters}).Get("rta.calls") == 0 {
+		t.Fatalf("metrics-json content wrong:\n%s", data)
+	}
+}
+
+// TestFlagValidationExit2 checks the usage-error convention for the new
+// flags: unusable -events/-metrics-json paths and an unbindable -listen
+// address exit 2 before any experiment work runs.
+func TestFlagValidationExit2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test builds and runs the binary")
+	}
+	bin := buildExperiments(t, t.TempDir())
+	base := []string{"-run", "acceptance-general", "-quick", "-sets", "4", "-q"}
+	for name, extra := range map[string][]string{
+		"events dir":        {"-events", "/nonexistent-dir/ev.jsonl"},
+		"metrics-json dir":  {"-metrics-json", "/nonexistent-dir/m.json"},
+		"listen unbindable": {"-listen", "256.256.256.256:1"},
+	} {
+		cmd := exec.Command(bin, append(append([]string{}, base...), extra...)...)
+		out, err := cmd.CombinedOutput()
+		ee, ok := err.(*exec.ExitError)
+		if !ok || ee.ExitCode() != 2 {
+			t.Errorf("%s: err=%v (want exit 2)\n%s", name, err, out)
+		}
 	}
 }

@@ -1,0 +1,107 @@
+// Command perfdiff is the perf-regression gate over the machine-readable
+// bench records ci.sh emits (BENCH_hotpath.json): it diffs two records
+// metric by metric under per-metric growth tolerances, prints an aligned
+// table, and exits non-zero when a gated metric regressed — so a hot-path
+// slowdown or allocation creep fails CI instead of landing silently.
+//
+// Usage:
+//
+//	perfdiff [flags] OLD.json NEW.json
+//	perfdiff -validate-events FILE.jsonl
+//
+// Tolerances are fractional growth allowances: -allocs-tol 0.10 accepts up
+// to +10% allocs/op. Metrics listed in -warn only warn on regression —
+// timing (ns/op) is inherently noisy in CI, while allocs/op is
+// deterministic and gates hard. Exit status: 0 clean (or warnings only),
+// 1 regression, 2 usage error.
+//
+// The second form validates a JSONL run-event log written by
+// `experiments -events` against the strict event schema (see
+// internal/obs), so CI can lint the telemetry stream it just produced.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/perfdiff"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		nsTol     = flag.Float64("ns-tol", 0.50, "allowed fractional ns/op growth")
+		bytesTol  = flag.Float64("bytes-tol", 0.50, "allowed fractional B/op growth")
+		allocsTol = flag.Float64("allocs-tol", 0.10, "allowed fractional allocs/op growth")
+		extraTol  = flag.Float64("extra-tol", 0.50, "allowed fractional growth of domain metrics (rta-iters/op, ...)")
+		warn      = flag.String("warn", "", "comma-separated metrics that only warn on regression (e.g. 'ns/op,B/op')")
+		validate  = flag.String("validate-events", "", "validate a JSONL run-event log instead of diffing bench records")
+	)
+	flag.Parse()
+
+	fail := func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, "perfdiff: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	for name, v := range map[string]float64{
+		"-ns-tol": *nsTol, "-bytes-tol": *bytesTol, "-allocs-tol": *allocsTol, "-extra-tol": *extraTol,
+	} {
+		if v < 0 {
+			fail("%s must be non-negative (got %v)", name, v)
+		}
+	}
+
+	if *validate != "" {
+		if flag.NArg() != 0 {
+			fail("-validate-events takes no positional arguments (got %d)", flag.NArg())
+		}
+		f, err := os.Open(*validate)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer f.Close()
+		n, err := obs.ValidateEventLog(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "perfdiff: %s: invalid event log: %v\n", *validate, err)
+			return 1
+		}
+		fmt.Printf("%s: %d events, schema v%d, ok\n", *validate, n, obs.EventSchemaVersion)
+		return 0
+	}
+
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "perfdiff: need OLD.json NEW.json (or -validate-events FILE)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldF, err := perfdiff.Load(flag.Arg(0))
+	if err != nil {
+		fail("%v", err)
+	}
+	newF, err := perfdiff.Load(flag.Arg(1))
+	if err != nil {
+		fail("%v", err)
+	}
+
+	tol := perfdiff.Tolerances{Ns: *nsTol, Bytes: *bytesTol, Allocs: *allocsTol,
+		Extra: *extraTol, WarnOnly: map[string]bool{}}
+	for _, m := range strings.Split(*warn, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			tol.WarnOnly[m] = true
+		}
+	}
+
+	rep := perfdiff.Diff(oldF, newF, tol)
+	rep.Render(os.Stdout)
+	if rep.Failed() {
+		fmt.Fprintln(os.Stderr, "perfdiff: performance regression detected")
+		return 1
+	}
+	return 0
+}

@@ -118,18 +118,21 @@ func (cp *Checkpoint) lookup(key string) ([]float64, bool) {
 	return row, ok
 }
 
-// store records a completed point and persists the checkpoint atomically.
-// On a write failure it warns once on cfg's progress stream and disables
-// further writes; the sweep continues unaffected. Nil-safe.
-func (cp *Checkpoint) store(cfg Config, key string, row []float64) {
+// store records a completed point and persists the checkpoint atomically,
+// reporting whether the write landed on disk. On a write failure it warns
+// once on cfg's progress stream and disables further writes; the sweep
+// continues unaffected. Nil-safe.
+func (cp *Checkpoint) store(cfg Config, key string, row []float64) bool {
 	if cp == nil || cp.disabled {
-		return
+		return false
 	}
 	cp.file.Rows[key] = row
 	if err := cp.save(); err != nil {
 		cp.disabled = true
 		cfg.progressf("warning: checkpoint write failed, continuing without checkpoints: %v", err)
+		return false
 	}
+	return true
 }
 
 // save writes the checkpoint atomically: marshal, write to a temp file in

@@ -1,0 +1,291 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+)
+
+// recordE2Events runs acceptance-general at quick scale with an event
+// recorder attached and returns the JSONL stream (bracketed by the
+// run-start/run-end records cmd/experiments would emit).
+func recordE2Events(t *testing.T, workers int, seed int64) []byte {
+	t.Helper()
+	e, ok := Find("acceptance-general")
+	if !ok {
+		t.Fatal("acceptance-general not registered")
+	}
+	var buf bytes.Buffer
+	rec := obs.NewRecorder(&buf)
+	rec.Emit(obs.RunEvent{Kind: obs.EvRunStart, Schema: obs.EventSchemaVersion,
+		Seed: seed, Sets: 16, Quick: true, Workers: workers})
+	obs.Reset()
+	_, _, err := RunWithMetrics(e, Config{Seed: seed, SetsPerPoint: 16, Quick: true,
+		Workers: workers, Events: rec})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	rec.Emit(obs.RunEvent{Kind: obs.EvRunEnd})
+	if err := rec.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// stripMs zeroes the fields the determinism contract excludes: the
+// wall-clock ms stamp, and the worker count the run-start record documents
+// (it reflects the actual configuration, which this test varies on
+// purpose).
+func stripMs(t *testing.T, stream []byte) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	for _, line := range bytes.Split(bytes.TrimRight(stream, "\n"), []byte("\n")) {
+		var e obs.RunEvent
+		if err := json.Unmarshal(line, &e); err != nil {
+			t.Fatalf("bad event line %s: %v", line, err)
+		}
+		e.Ms = 0
+		e.Workers = 0
+		data, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out.Write(data)
+		out.WriteByte('\n')
+	}
+	return out.Bytes()
+}
+
+// TestEventStreamGolden pins the event-stream schema and its determinism:
+// the stream validates, and with the ms stamp zeroed it is byte-identical
+// across runs and across worker counts at a fixed seed — including the
+// per-point counter deltas, which inherit the worker-invariance of the obs
+// counters.
+func TestEventStreamGolden(t *testing.T) {
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+
+	first := recordE2Events(t, 1, 7)
+	if n, err := obs.ValidateEventLog(bytes.NewReader(first)); err != nil {
+		t.Fatalf("stream does not validate: %v\n%s", err, first)
+	} else if n < 6 { // run-start, experiment-start, ≥4 points (quick sweep is 4 points at minimum), experiment-end, run-end
+		t.Fatalf("suspiciously short stream (%d events):\n%s", n, first)
+	}
+
+	base := stripMs(t, first)
+	for _, workers := range []int{1, 8} {
+		got := stripMs(t, recordE2Events(t, workers, 7))
+		if !bytes.Equal(got, base) {
+			t.Errorf("event stream diverged at workers=%d:\n--- base\n%s--- got\n%s", workers, base, got)
+		}
+	}
+
+	// Spot-check the content: every sweep point appears as point-done with
+	// nonzero RTA-iteration attribution.
+	var points, withRTA int
+	for _, line := range bytes.Split(bytes.TrimRight(first, "\n"), []byte("\n")) {
+		var e obs.RunEvent
+		if err := json.Unmarshal(line, &e); err != nil {
+			t.Fatal(err)
+		}
+		if e.Kind == obs.EvPointDone {
+			points++
+			if (obs.Snapshot{Counters: e.Counters}).Get("rta.iterations") > 0 {
+				withRTA++
+			}
+		}
+	}
+	if points == 0 || points != withRTA {
+		t.Errorf("point-done events: %d total, %d with rta.iters deltas", points, withRTA)
+	}
+}
+
+// TestEventStreamDisabledObs checks the -events-without--metrics shape:
+// the stream still validates, points are still recorded, counter deltas are
+// simply absent.
+func TestEventStreamDisabledObs(t *testing.T) {
+	obs.SetEnabled(false)
+	stream := recordE2Events(t, 2, 3)
+	if _, err := obs.ValidateEventLog(bytes.NewReader(stream)); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if !bytes.Contains(stream, []byte(`"kind":"point-done"`)) {
+		t.Fatalf("no point-done events:\n%s", stream)
+	}
+	if bytes.Contains(stream, []byte(`"counters"`)) {
+		t.Fatalf("counter deltas present with obs disabled:\n%s", stream)
+	}
+}
+
+// TestEventStreamSampleError arms the sample-panic fault site and requires
+// the stream to carry a sample-error record whose seeds match the
+// SampleError returned by the run.
+func TestEventStreamSampleError(t *testing.T) {
+	defer faultinject.Disarm()
+	e, _ := Find("acceptance-general")
+	var buf bytes.Buffer
+	rec := obs.NewRecorder(&buf)
+	faultinject.Arm(faultinject.Plan{Seed: 99, SamplePanicEvery: 7})
+	_, err := Run(e, Config{Seed: 7, SetsPerPoint: 16, Quick: true, Workers: 1, Events: rec})
+	faultinject.Disarm()
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var se *SampleError
+	if !errors.As(err, &se) {
+		t.Fatalf("expected SampleError, got %v", err)
+	}
+	var found bool
+	for _, line := range bytes.Split(bytes.TrimRight(buf.Bytes(), "\n"), []byte("\n")) {
+		var ev obs.RunEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Kind == obs.EvSampleError {
+			found = true
+			if ev.Point != se.Point+1 || ev.Sample != se.Index+1 ||
+				ev.BaseSeed != se.BaseSeed || ev.SampleSeed != se.Seed || ev.Panic == "" {
+				t.Errorf("sample-error event %+v does not match %+v", ev, se)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no sample-error event in stream:\n%s", buf.Bytes())
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"kind":"experiment-end"`)) ||
+		!bytes.Contains(buf.Bytes(), []byte(`"err"`)) {
+		t.Errorf("experiment-end with err missing:\n%s", buf.Bytes())
+	}
+}
+
+// TestEventStreamCheckpoint checks checkpoint-write and point-restored
+// records: a checkpointed run emits one checkpoint event per stored point,
+// and a resumed run replays restored points as point-restored.
+func TestEventStreamCheckpoint(t *testing.T) {
+	e, _ := Find("acceptance-general")
+	cp := t.TempDir() + "/cp.json"
+	cfg := Config{Seed: 7, SetsPerPoint: 8, Quick: true, Workers: 2}
+
+	var first bytes.Buffer
+	rec := obs.NewRecorder(&first)
+	cfg1 := cfg
+	cfg1.Checkpoint = NewCheckpoint(cp, cfg)
+	cfg1.Events = rec
+	if _, err := Run(e, cfg1); err != nil {
+		t.Fatalf("checkpointed run: %v", err)
+	}
+	rec.Close()
+	if !bytes.Contains(first.Bytes(), []byte(`"kind":"checkpoint"`)) {
+		t.Fatalf("no checkpoint events:\n%s", first.Bytes())
+	}
+
+	restored, err := ResumeCheckpoint(cp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	rec2 := obs.NewRecorder(&second)
+	cfg2 := cfg
+	cfg2.Checkpoint = restored
+	cfg2.Events = rec2
+	if _, err := Run(e, cfg2); err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	rec2.Close()
+	if !bytes.Contains(second.Bytes(), []byte(`"kind":"point-restored"`)) {
+		t.Fatalf("no point-restored events on resume:\n%s", second.Bytes())
+	}
+	if bytes.Contains(second.Bytes(), []byte(`"kind":"point-done"`)) {
+		t.Errorf("fully restored run recomputed points:\n%s", second.Bytes())
+	}
+}
+
+// TestStatusEndpointsDuringRun serves the obs status handler while a
+// quick-scale experiment runs and checks that /progress reports the sweep
+// and /metrics parses as a schema-versioned snapshot. The endpoints are
+// polled concurrently with the run; whatever interleaving occurs, the final
+// state must show the completed sweep.
+func TestStatusEndpointsDuringRun(t *testing.T) {
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+	obs.Reset()
+	obs.ResetProgress()
+	defer obs.ResetProgress()
+
+	srv := httptest.NewServer(obs.StatusHandler(obs.Default))
+	defer srv.Close()
+
+	e, _ := Find("acceptance-general")
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(e, Config{Seed: 7, SetsPerPoint: 16, Quick: true, Workers: 2})
+		done <- err
+	}()
+	// Poll once mid-run (best effort — the run may already be over) and
+	// then assert on the settled state.
+	pollProgress(t, srv)
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	states := fetchProgress(t, srv)
+	var e2 *obs.MeterState
+	for i := range states {
+		if states[i].Label == "acceptance-general" {
+			e2 = &states[i]
+		}
+	}
+	if e2 == nil || e2.Done != e2.Total || e2.Done == 0 {
+		t.Fatalf("settled /progress missing completed sweep: %+v", states)
+	}
+
+	req, _ := http.NewRequest("GET", srv.URL+"/metrics", nil)
+	req.Header.Set("Accept", "application/json")
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var exp obs.SnapshotExport
+	if err := json.Unmarshal(body, &exp); err != nil {
+		t.Fatalf("/metrics: %v\n%s", err, body)
+	}
+	if exp.Schema != obs.SnapshotSchemaVersion ||
+		(obs.Snapshot{Counters: exp.Counters}).Get("rta.calls") == 0 {
+		t.Fatalf("/metrics snapshot wrong:\n%s", body)
+	}
+}
+
+func pollProgress(t *testing.T, srv *httptest.Server) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+func fetchProgress(t *testing.T, srv *httptest.Server) []obs.MeterState {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var prog struct {
+		Sweeps []obs.MeterState `json:"sweeps"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&prog); err != nil {
+		t.Fatal(err)
+	}
+	return prog.Sweeps
+}

@@ -15,6 +15,7 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -74,6 +75,14 @@ type Config struct {
 	// A violation panics in the worker and surfaces as a seed-reproducible
 	// SampleError through the panic isolation layer.
 	Paranoid bool
+	// Events, when non-nil, receives the structured run-event stream
+	// (obs.RunEvent JSONL): experiment and sweep-point lifecycle, per-point
+	// counter deltas, checkpoint writes, and sample errors with their repro
+	// seeds. Events are emitted by the sweep-driving goroutine only — never
+	// from inside the per-sample fan-out — and apart from the wall-clock ms
+	// stamp the stream is deterministic for a fixed seed at any worker
+	// count. A nil recorder costs nothing.
+	Events *obs.Recorder
 
 	// ctx carries the cancellation signal (set via WithContext); nil means
 	// context.Background(). Cancellation is observed between samples and
@@ -384,7 +393,7 @@ func Run(e Experiment, cfg Config) ([]Table, error) {
 		return nil, err
 	}
 	cfg.expKey = e.Key
-	return e.Run(cfg)
+	return cfg.runTraced(e)
 }
 
 // RunWithMetrics runs e with the obs.Default registry rearmed, attaching
@@ -399,7 +408,7 @@ func RunWithMetrics(e Experiment, cfg Config) ([]Table, RunMetrics, error) {
 	obs.Reset()
 	span := obs.StartSpan("experiment/" + e.Key)
 	start := time.Now()
-	tables, err := e.Run(cfg)
+	tables, err := cfg.runTraced(e)
 	span.End()
 	snap := obs.Default.Snapshot()
 	return tables, RunMetrics{
@@ -409,6 +418,32 @@ func RunWithMetrics(e Experiment, cfg Config) ([]Table, RunMetrics, error) {
 		Histograms: snap.Histograms,
 		Spans:      snap.Spans,
 	}, err
+}
+
+// runTraced brackets e.Run with experiment lifecycle events on the
+// configured recorder; a SampleError additionally gets its own record
+// carrying the repro seeds. With a nil recorder this is exactly e.Run.
+func (c Config) runTraced(e Experiment) ([]Table, error) {
+	c.Events.Emit(obs.RunEvent{Kind: obs.EvExperimentStart, Experiment: e.Key})
+	tables, err := e.Run(c)
+	end := obs.RunEvent{Kind: obs.EvExperimentEnd, Experiment: e.Key, Tables: len(tables)}
+	if err != nil {
+		end.Err = err.Error()
+		var se *SampleError
+		if errors.As(err, &se) {
+			c.Events.Emit(obs.RunEvent{
+				Kind:       obs.EvSampleError,
+				Experiment: e.Key,
+				Point:      se.Point + 1,
+				Sample:     se.Index + 1,
+				BaseSeed:   se.BaseSeed,
+				SampleSeed: se.Seed,
+				Panic:      se.PanicValue,
+			})
+		}
+	}
+	c.Events.Emit(end)
+	return tables, err
 }
 
 // Render writes the metrics as comment-prefixed lines, safe to interleave
@@ -518,16 +553,35 @@ func (c Config) sweepRows(id string, n int, compute func(pc Config, i int) ([]fl
 		key := fmt.Sprintf("%s/%d", id, i)
 		if row, ok := c.Checkpoint.lookup(key); ok {
 			rows = append(rows, row)
+			c.Events.Emit(obs.RunEvent{Kind: obs.EvPointRestored,
+				Experiment: c.expKey, Label: id, Point: i + 1, Points: n})
 			continue
 		}
 		pc := c
 		pc.point1 = i + 1
+		// Per-point counter attribution for the event stream: the registry
+		// delta across the point's fan-out (RTA iterations, warm-starts,
+		// splits, ...) is worker-invariant, so the recorded stream is
+		// deterministic apart from wall-clock stamps. Snapshots happen only
+		// here, between points, never inside the fan-out.
+		var before obs.Snapshot
+		if c.Events != nil {
+			before = obs.Default.Snapshot()
+		}
 		row, err := compute(pc, i)
 		if err != nil {
 			return rows, err
 		}
+		if c.Events != nil {
+			c.Events.Emit(obs.RunEvent{Kind: obs.EvPointDone,
+				Experiment: c.expKey, Label: id, Point: i + 1, Points: n,
+				Counters: obs.DiffCounters(before, obs.Default.Snapshot())})
+		}
 		rows = append(rows, row)
-		c.Checkpoint.store(c, key, row)
+		if c.Checkpoint.store(c, key, row) {
+			c.Events.Emit(obs.RunEvent{Kind: obs.EvCheckpoint,
+				Experiment: c.expKey, Label: id, Points: c.Checkpoint.Points()})
+		}
 	}
 	return rows, nil
 }

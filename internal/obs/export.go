@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+)
+
+// SnapshotSchemaVersion stamps every exported metrics document. Bump it on
+// any change that renames, retypes or removes a field; purely additive
+// fields (new optional keys) do not require a bump. Consumers must reject
+// documents with a schema they do not know. See DESIGN.md §10 for the
+// policy and the determinism argument.
+const SnapshotSchemaVersion = 1
+
+// HistogramExport is the JSON form of one histogram: the raw bucket data of
+// HistogramValue plus derived statistics (mean and bucket-resolution
+// quantile estimates) so consumers do not have to re-implement the bucket
+// walk. Everything here is a pure function of the counter data, so exports
+// of deterministic runs are byte-identical.
+type HistogramExport struct {
+	HistogramValue
+	MeanValue float64 `json:"mean"`
+	P50       float64 `json:"p50"`
+	P90       float64 `json:"p90"`
+	P99       float64 `json:"p99"`
+}
+
+// Quantile returns a bucket-resolution estimate of the q-th quantile
+// (0 < q ≤ 1): the upper bound of the first bucket whose cumulative count
+// reaches q·Count, or Max for ranks landing in the overflow bucket. For an
+// empty histogram it returns 0.
+func (h HistogramValue) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(h.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for _, b := range h.Buckets {
+		cum += b.Count
+		if cum >= rank {
+			if b.Upper < 0 {
+				return float64(h.Max)
+			}
+			return float64(b.Upper)
+		}
+	}
+	return float64(h.Max)
+}
+
+// ExportHistograms derives the JSON export form of a histogram list.
+func ExportHistograms(hs []HistogramValue) []HistogramExport {
+	if len(hs) == 0 {
+		return nil
+	}
+	out := make([]HistogramExport, len(hs))
+	for i, h := range hs {
+		out[i] = HistogramExport{
+			HistogramValue: h,
+			MeanValue:      h.Mean(),
+			P50:            h.Quantile(0.50),
+			P90:            h.Quantile(0.90),
+			P99:            h.Quantile(0.99),
+		}
+	}
+	return out
+}
+
+// SnapshotExport is the schema-versioned JSON document for one metrics
+// snapshot. Counters and histograms are deterministic for a fixed seed;
+// spans are wall-clock and kept in their own field so consumers can ignore
+// them when comparing runs.
+type SnapshotExport struct {
+	Schema     int               `json:"schema"`
+	Counters   []CounterValue    `json:"counters"`
+	Histograms []HistogramExport `json:"histograms,omitempty"`
+	Spans      []SpanValue       `json:"spans,omitempty"`
+}
+
+// Export derives the schema-versioned JSON form of the snapshot.
+func (s Snapshot) Export() SnapshotExport {
+	return SnapshotExport{
+		Schema:     SnapshotSchemaVersion,
+		Counters:   s.Counters,
+		Histograms: ExportHistograms(s.Histograms),
+		Spans:      s.Spans,
+	}
+}
+
+// WriteJSON writes the snapshot as an indented, schema-versioned JSON
+// document followed by a newline.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s.Export())
+}

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// exportRegistry builds a registry with fixed contents so the export golden
+// is stable.
+func exportRegistry() *Registry {
+	r := NewRegistry()
+	SetEnabled(true)
+	r.Counter("rta.calls").Add(42)
+	r.Counter("partition.splits").Add(7)
+	h := r.Histogram("rta.iters", 1, 2, 4, 8)
+	for _, v := range []int64{1, 1, 2, 3, 5, 9, 30} {
+		h.Observe(v)
+	}
+	SetEnabled(false)
+	return r
+}
+
+// TestSnapshotExportGolden pins the exported JSON document byte for byte:
+// the schema stamp, field names, ordering and derived statistics. Any
+// change here is a schema change and must follow the DESIGN.md §10 version
+// policy.
+func TestSnapshotExportGolden(t *testing.T) {
+	defer SetEnabled(false)
+	var buf bytes.Buffer
+	if err := exportRegistry().Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `{
+  "schema": 1,
+  "counters": [
+    {
+      "name": "partition.splits",
+      "value": 7
+    },
+    {
+      "name": "rta.calls",
+      "value": 42
+    }
+  ],
+  "histograms": [
+    {
+      "name": "rta.iters",
+      "count": 7,
+      "sum": 51,
+      "max": 30,
+      "buckets": [
+        {
+          "upper": 1,
+          "count": 2
+        },
+        {
+          "upper": 2,
+          "count": 1
+        },
+        {
+          "upper": 4,
+          "count": 1
+        },
+        {
+          "upper": 8,
+          "count": 1
+        },
+        {
+          "upper": -1,
+          "count": 2
+        }
+      ],
+      "mean": 7.285714285714286,
+      "p50": 4,
+      "p90": 30,
+      "p99": 30
+    }
+  ]
+}
+`
+	if got := buf.String(); got != want {
+		t.Errorf("export drifted from golden:\n--- want\n%s\n--- got\n%s", want, got)
+	}
+}
+
+// TestQuantileEstimates checks the bucket-walk quantiles against hand
+// computation, including the overflow bucket falling back to Max.
+func TestQuantileEstimates(t *testing.T) {
+	h := HistogramValue{
+		Count: 10, Sum: 100, Max: 99,
+		Buckets: []BucketValue{{Upper: 1, Count: 5}, {Upper: 4, Count: 4}, {Upper: -1, Count: 1}},
+	}
+	for _, tc := range []struct {
+		q    float64
+		want float64
+	}{{0.50, 1}, {0.90, 4}, {0.99, 99}, {1.0, 99}} {
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%.2f) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if got := (HistogramValue{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %v, want 0", got)
+	}
+}
+
+// TestExportDeterministic re-exports an identical registry and requires
+// byte equality — the determinism half of the schema contract.
+func TestExportDeterministic(t *testing.T) {
+	defer SetEnabled(false)
+	var a, b bytes.Buffer
+	if err := exportRegistry().Snapshot().WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := exportRegistry().Snapshot().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("export not deterministic:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+// TestExportOmitsEmptySections checks that a counters-only snapshot leaves
+// the optional histogram/span sections out entirely instead of emitting
+// null or empty arrays with unstable presence.
+func TestExportOmitsEmptySections(t *testing.T) {
+	r := NewRegistry()
+	SetEnabled(true)
+	r.Counter("x").Inc()
+	SetEnabled(false)
+	data, err := json.Marshal(r.Snapshot().Export())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if strings.Contains(s, "histograms") || strings.Contains(s, "spans") {
+		t.Errorf("empty sections serialized: %s", s)
+	}
+}

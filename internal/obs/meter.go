@@ -3,17 +3,22 @@ package obs
 import (
 	"fmt"
 	"io"
+	"sync"
 	"time"
 )
 
 // Meter emits per-point progress lines for a sweep with a known number of
 // points, optionally decorated with percentage, elapsed time and an ETA
 // estimate (elapsed/done scaled to the remainder). A Meter created with a
-// nil writer is inert, so callers can construct one unconditionally.
+// nil writer is inert on the text side, so callers can construct one
+// unconditionally; every Meter — inert or not — additionally publishes its
+// state to the process-wide progress tracker, which the live status
+// endpoint (serve.go) reads for /progress.
 //
 // Progress output is wall-clock-dependent by nature; it must only ever go
-// to a side channel (stderr), never into experiment artifacts, to preserve
-// the bit-for-bit determinism contract of the harness.
+// to a side channel (stderr or the status server), never into experiment
+// artifacts, to preserve the bit-for-bit determinism contract of the
+// harness.
 type Meter struct {
 	w     io.Writer
 	label string
@@ -21,6 +26,7 @@ type Meter struct {
 	done  int
 	eta   bool
 	start time.Time
+	state *meterState
 }
 
 // NewMeter returns a progress meter for total points, printing lines
@@ -28,17 +34,23 @@ type Meter struct {
 // harness's classic "<label>: <point> done" format; when true each line
 // appends "(<done>/<total> <pct>%, elapsed <e>, eta <r>)".
 func NewMeter(w io.Writer, label string, total int, eta bool) *Meter {
-	return &Meter{w: w, label: label, total: total, eta: eta, start: time.Now()}
+	return &Meter{w: w, label: label, total: total, eta: eta,
+		start: time.Now(), state: trackMeter(label, total)}
 }
 
 // Tick marks one point done and prints its progress line; format/args
-// describe the point (e.g. "U_M=%.3f"). No-op when the writer is nil.
+// describe the point (e.g. "U_M=%.3f"). With a nil writer nothing is
+// printed, but the point still counts toward the published MeterState.
 func (m *Meter) Tick(format string, args ...interface{}) {
-	if m == nil || m.w == nil {
+	if m == nil {
 		return
 	}
 	m.done++
 	point := fmt.Sprintf(format, args...)
+	m.state.tick(point)
+	if m.w == nil {
+		return
+	}
 	if !m.eta || m.total <= 0 {
 		fmt.Fprintf(m.w, "%s: %s done\n", m.label, point)
 		return
@@ -62,4 +74,91 @@ func roundDuration(d time.Duration) time.Duration {
 	default:
 		return d.Round(time.Millisecond)
 	}
+}
+
+// MeterState is a point-in-time view of one sweep's progress, as served by
+// the /progress endpoint. Done/Total are sweep points; EtaSeconds is the
+// same elapsed/done extrapolation the stderr meter prints, 0 when the sweep
+// is finished or has not completed a point yet.
+type MeterState struct {
+	Label          string  `json:"label"`
+	Done           int     `json:"done"`
+	Total          int     `json:"total"`
+	Percent        int     `json:"percent"`
+	LastPoint      string  `json:"last_point,omitempty"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	EtaSeconds     float64 `json:"eta_seconds,omitempty"`
+}
+
+// meterState is the tracker-side record behind one Meter. All fields are
+// guarded by progressMu.
+type meterState struct {
+	label string
+	total int
+	done  int
+	last  string
+	start time.Time
+}
+
+var (
+	progressMu     sync.Mutex
+	progressMeters []*meterState
+)
+
+// trackMeter registers a sweep with the progress tracker. Re-registering a
+// label (the same experiment run again in one process) restarts its entry
+// rather than appending a duplicate.
+func trackMeter(label string, total int) *meterState {
+	progressMu.Lock()
+	defer progressMu.Unlock()
+	for i, st := range progressMeters {
+		if st.label == label {
+			fresh := &meterState{label: label, total: total, start: time.Now()}
+			progressMeters[i] = fresh
+			return fresh
+		}
+	}
+	st := &meterState{label: label, total: total, start: time.Now()}
+	progressMeters = append(progressMeters, st)
+	return st
+}
+
+func (st *meterState) tick(point string) {
+	progressMu.Lock()
+	st.done++
+	st.last = point
+	progressMu.Unlock()
+}
+
+// ProgressStates returns a snapshot of every tracked sweep in registration
+// order. Safe to call concurrently with running sweeps.
+func ProgressStates() []MeterState {
+	progressMu.Lock()
+	defer progressMu.Unlock()
+	out := make([]MeterState, 0, len(progressMeters))
+	for _, st := range progressMeters {
+		ms := MeterState{
+			Label:          st.label,
+			Done:           st.done,
+			Total:          st.total,
+			LastPoint:      st.last,
+			ElapsedSeconds: time.Since(st.start).Seconds(),
+		}
+		if st.total > 0 {
+			ms.Percent = 100 * st.done / st.total
+		}
+		if st.done > 0 && st.done < st.total {
+			ms.EtaSeconds = ms.ElapsedSeconds / float64(st.done) * float64(st.total-st.done)
+		}
+		out = append(out, ms)
+	}
+	return out
+}
+
+// ResetProgress clears the progress tracker (tests, or between independent
+// runs sharing one process).
+func ResetProgress() {
+	progressMu.Lock()
+	progressMeters = nil
+	progressMu.Unlock()
 }

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"time"
+)
+
+// StatusServer is the read-only live view of a running harness: current
+// metrics, sweep progress, and the stdlib pprof handlers. It never mutates
+// observability state — every endpoint renders a mutex-guarded snapshot —
+// so serving cannot perturb experiment output (wall-clock perturbation from
+// profiling aside, which is exactly what pprof is for).
+//
+//	GET /metrics   — registry snapshot; JSON (schema-versioned
+//	                 SnapshotExport) when the Accept header prefers
+//	                 application/json, aligned text otherwise
+//	GET /progress  — per-sweep point completion and ETA as JSON
+//	                 (text with ?format=text)
+//	GET /debug/pprof/ — net/http/pprof index, profiles, symbolization
+type StatusServer struct {
+	reg *Registry
+	lis net.Listener
+	srv *http.Server
+}
+
+// Serve listens on addr (host:port; :0 picks a free port) and starts the
+// status server over reg in a background goroutine. The returned server
+// reports its bound address via Addr and is shut down with Close.
+func Serve(addr string, reg *Registry) (*StatusServer, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &StatusServer{reg: reg, lis: lis}
+	s.srv = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = s.srv.Serve(lis) }()
+	return s, nil
+}
+
+// Addr returns the server's bound listen address.
+func (s *StatusServer) Addr() string { return s.lis.Addr().String() }
+
+// Close stops accepting connections and closes the listener.
+func (s *StatusServer) Close() error { return s.srv.Close() }
+
+// Handler returns the status routes as a plain http.Handler, so tests can
+// drive them through httptest without opening a socket.
+func (s *StatusServer) Handler() http.Handler {
+	return StatusHandler(s.reg)
+}
+
+// StatusHandler builds the read-only status mux over reg (nil means the
+// Default registry).
+func StatusHandler(reg *Registry) http.Handler {
+	if reg == nil {
+		reg = Default
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "endpoints: /metrics /progress /debug/pprof/")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap := reg.Snapshot()
+		if wantsJSON(r) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = snap.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		snap.WriteText(w)
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+		states := ProgressStates()
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			for _, st := range states {
+				fmt.Fprintf(w, "%-24s %d/%d %3d%%", st.Label, st.Done, st.Total, st.Percent)
+				if st.LastPoint != "" {
+					fmt.Fprintf(w, "  last %s", st.LastPoint)
+				}
+				if st.EtaSeconds > 0 {
+					fmt.Fprintf(w, "  eta %s", roundDuration(time.Duration(st.EtaSeconds*float64(time.Second))))
+				}
+				fmt.Fprintln(w)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Schema int          `json:"schema"`
+			Sweeps []MeterState `json:"sweeps"`
+		}{Schema: SnapshotSchemaVersion, Sweeps: states})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// wantsJSON implements the /metrics content negotiation: JSON when the
+// Accept header mentions application/json, text otherwise. A missing
+// Accept header means text, so a bare curl prints human-readable output.
+func wantsJSON(r *http.Request) bool {
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "application/json")
+}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, srv *httptest.Server, path, accept string) (int, string) {
+	t.Helper()
+	req, err := http.NewRequest("GET", srv.URL+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestStatusHandlerEndpoints drives /metrics (both content types),
+// /progress and the pprof index through httptest against a registry with
+// live data and a ticking meter.
+func TestStatusHandlerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	SetEnabled(true)
+	reg.Counter("rta.calls").Add(11)
+	reg.Histogram("rta.iters", 1, 2, 4).Observe(3)
+	SetEnabled(false)
+	ResetProgress()
+	defer ResetProgress()
+	mt := NewMeter(nil, "acceptance-general", 4, false)
+	mt.Tick("U_M=%.3f", 0.65)
+	mt.Tick("U_M=%.3f", 0.75)
+
+	srv := httptest.NewServer(StatusHandler(reg))
+	defer srv.Close()
+
+	code, text := get(t, srv, "/metrics", "")
+	if code != 200 || !strings.Contains(text, "rta.calls 11") {
+		t.Errorf("/metrics text: code %d body %q", code, text)
+	}
+
+	code, body := get(t, srv, "/metrics", "application/json")
+	if code != 200 {
+		t.Fatalf("/metrics json: code %d", code)
+	}
+	var exp SnapshotExport
+	if err := json.Unmarshal([]byte(body), &exp); err != nil {
+		t.Fatalf("/metrics json: %v\n%s", err, body)
+	}
+	if exp.Schema != SnapshotSchemaVersion {
+		t.Errorf("/metrics schema %d, want %d", exp.Schema, SnapshotSchemaVersion)
+	}
+	if (Snapshot{Counters: exp.Counters}).Get("rta.calls") != 11 {
+		t.Errorf("/metrics json counters wrong: %s", body)
+	}
+	if len(exp.Histograms) != 1 || exp.Histograms[0].P99 != 4 {
+		t.Errorf("/metrics json histograms wrong: %s", body)
+	}
+
+	code, body = get(t, srv, "/progress", "")
+	if code != 200 {
+		t.Fatalf("/progress: code %d", code)
+	}
+	var prog struct {
+		Schema int          `json:"schema"`
+		Sweeps []MeterState `json:"sweeps"`
+	}
+	if err := json.Unmarshal([]byte(body), &prog); err != nil {
+		t.Fatalf("/progress: %v\n%s", err, body)
+	}
+	if len(prog.Sweeps) != 1 {
+		t.Fatalf("/progress sweeps: %s", body)
+	}
+	st := prog.Sweeps[0]
+	if st.Label != "acceptance-general" || st.Done != 2 || st.Total != 4 ||
+		st.Percent != 50 || st.LastPoint != "U_M=0.750" {
+		t.Errorf("/progress state wrong: %+v", st)
+	}
+	if st.EtaSeconds <= 0 || st.ElapsedSeconds < 0 {
+		t.Errorf("/progress timing wrong: %+v", st)
+	}
+
+	code, body = get(t, srv, "/progress?format=text", "")
+	if code != 200 || !strings.Contains(body, "acceptance-general") || !strings.Contains(body, "2/4") {
+		t.Errorf("/progress text: code %d body %q", code, body)
+	}
+
+	code, body = get(t, srv, "/debug/pprof/", "")
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/: code %d", code)
+	}
+
+	if code, _ = get(t, srv, "/nope", ""); code != 404 {
+		t.Errorf("unknown path: code %d, want 404", code)
+	}
+}
+
+// TestServeBindsAndCloses covers the socket path: Serve on :0, hit the
+// bound address, Close tears it down.
+func TestServeBindsAndCloses(t *testing.T) {
+	reg := NewRegistry()
+	s, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + s.Addr() + "/metrics"); err == nil {
+		t.Error("server still reachable after Close")
+	}
+}
+
+// TestMeterTracksWithNilWriter pins the -listen-without--progress path: an
+// inert meter (nil writer) still publishes tracker state, and
+// re-registering a label restarts its entry.
+func TestMeterTracksWithNilWriter(t *testing.T) {
+	ResetProgress()
+	defer ResetProgress()
+	mt := NewMeter(nil, "sweep", 3, true)
+	mt.Tick("p%d", 1)
+	states := ProgressStates()
+	if len(states) != 1 || states[0].Done != 1 || states[0].Total != 3 {
+		t.Fatalf("states: %+v", states)
+	}
+	NewMeter(nil, "sweep", 5, false)
+	states = ProgressStates()
+	if len(states) != 1 || states[0].Done != 0 || states[0].Total != 5 {
+		t.Fatalf("re-registered states: %+v", states)
+	}
+}

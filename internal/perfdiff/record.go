@@ -1,0 +1,88 @@
+// Package perfdiff reads the machine-readable hot-path benchmark records
+// ci.sh emits (BENCH_hotpath.json) and diffs two of them under per-metric
+// tolerances, so a perf regression in the RTA/partitioning hot path fails
+// CI instead of landing silently. The comparison covers the three standard
+// benchmark metrics (ns/op, B/op, allocs/op) and every domain metric the
+// benchmarks report via ReportMetric (rta-iters/op, warm-starts/op,
+// splits/op, ...).
+package perfdiff
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Meta identifies the environment a bench record was captured in, so
+// records are attributable when they disagree. Absent in records written
+// before the metadata was introduced; every field is optional.
+type Meta struct {
+	Schema     int    `json:"schema,omitempty"`
+	GoVersion  string `json:"go_version,omitempty"`
+	GOMAXPROCS int    `json:"gomaxprocs,omitempty"`
+	GitRev     string `json:"git_rev,omitempty"`
+}
+
+// String renders the metadata as a short attribution suffix, "" when empty.
+func (m *Meta) String() string {
+	if m == nil {
+		return ""
+	}
+	s := m.GoVersion
+	if m.GOMAXPROCS > 0 {
+		s += fmt.Sprintf("/%dcpu", m.GOMAXPROCS)
+	}
+	if m.GitRev != "" {
+		s += " @" + m.GitRev
+	}
+	return s
+}
+
+// Record is one benchmark's measurements, mirroring the field names
+// bench_json_test.go writes.
+type Record struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// File is one bench record: optional capture metadata plus the benchmark
+// list.
+type File struct {
+	Meta       *Meta    `json:"meta,omitempty"`
+	Benchmarks []Record `json:"benchmarks"`
+}
+
+// Parse decodes a bench record, rejecting unknown top-level shapes and
+// records without benchmarks.
+func Parse(data []byte) (File, error) {
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return File{}, err
+	}
+	if len(f.Benchmarks) == 0 {
+		return File{}, fmt.Errorf("no benchmarks in record")
+	}
+	for i, b := range f.Benchmarks {
+		if b.Name == "" {
+			return File{}, fmt.Errorf("benchmark %d has no name", i)
+		}
+	}
+	return f, nil
+}
+
+// Load reads and parses the bench record at path.
+func Load(path string) (File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return File{}, err
+	}
+	f, err := Parse(data)
+	if err != nil {
+		return File{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
