@@ -7,7 +7,9 @@
 # the hardened pipeline (DESIGN.md §9), short fuzz smokes for the invariant
 # checker and the task-set parser, a -paranoid quick table that
 # re-validates every partitioning the harness produces, a telemetry smoke
-# that schema-lints a run-event log, and a perf-regression gate diffing the
+# that schema-lints a run-event log (including the v2 rejection-cause
+# breakdown), an explain-replay golden (a fixed recipe must render a
+# byte-identical why-report), and a perf-regression gate diffing the
 # regenerated hot-path bench record against the committed baseline
 # (DESIGN.md §10). Run from the repository root; any failure fails the gate.
 set -eu
@@ -56,6 +58,17 @@ events_log=$(mktemp /tmp/ci-events.XXXXXX.jsonl)
 go run ./cmd/experiments -run acceptance-general -quick -sets 16 -q -events "$events_log" > /dev/null
 go run ./cmd/perfdiff -validate-events "$events_log"
 rm -f "$events_log"
+
+echo "== explain replay golden (fixed recipe must render a byte-identical report) =="
+# Exit 1 is the expected verdict here — the fixture recipe replays a sample
+# RM-TS rejects; any other status (crash, usage error) fails the gate.
+explain_out=$(mktemp /tmp/ci-explain.XXXXXX.txt)
+explain_recipe='repro: experiment=acceptance-general point=3 sample=0 base-seed=1871513160099489213 sample-seed=1871513160099489213'
+explain_status=0
+go run ./cmd/explain -recipe "$explain_recipe" -quick -algo rm-ts > "$explain_out" || explain_status=$?
+[ "$explain_status" -eq 1 ]
+cmp "$explain_out" cmd/explain/testdata/recipe_rmts.golden
+rm -f "$explain_out"
 
 echo "== hot-path bench JSON (BENCH_hotpath.json) =="
 baseline=$(mktemp /tmp/ci-bench-baseline.XXXXXX.json)

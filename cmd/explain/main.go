@@ -1,0 +1,159 @@
+// Command explain re-runs one partitioning decision and reports WHY it came
+// out the way it did: the terminal verdict, the rejection cause, the bound
+// context (Θ, Λ(τ), U_M), the failing task's final fragment, per-processor
+// evidence (RTA responses, MaxSplit prefixes, threshold room), and the split
+// chains of the assignment.
+//
+// Usage:
+//
+//	explain -set tasks.txt -m 4 [-algo ...] [-pub ...] [-json]
+//	explain -recipe "repro: experiment=acceptance-general point=3 sample=7 base-seed=... sample-seed=..." [-quick] [-algo ...]
+//
+// The -recipe form accepts the replay recipe printed by a failing experiment
+// sample (experiments.SampleError.Repro) and regenerates that exact task set
+// from its seeds; -quick must match the original run's quick flag. Output is
+// deterministic: identical inputs render byte-identical reports.
+//
+// Exit status: 0 the set is accepted with a guarantee, 1 it is rejected (or
+// packed without a guarantee), 2 usage or input error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/bounds"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/explain"
+	"repro/internal/obs"
+	"repro/internal/task"
+	"repro/internal/taskio"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// replayInfo echoes the replayed coordinates in -json output, so a report is
+// self-describing about where its task set came from.
+type replayInfo struct {
+	Experiment string `json:"experiment"`
+	Point      int    `json:"point"`
+	Sample     int    `json:"sample,omitempty"`
+	SampleSeed int64  `json:"sample_seed"`
+	Quick      bool   `json:"quick"`
+}
+
+type report struct {
+	Replay *replayInfo `json:"replay,omitempty"`
+	*explain.Explanation
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("explain", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		setPath = fs.String("set", "", "task set file (text or JSON)")
+		m       = fs.Int("m", 0, "number of processors (with -set)")
+		recipe  = fs.String("recipe", "", "sample replay recipe (the \"repro: experiment=... sample-seed=...\" line of a sample error)")
+		quick   = fs.Bool("quick", false, "the recipe's run used -quick scale")
+		algo    = fs.String("algo", "auto", "algorithm: auto, rm-ts, rm-ts-light, spa1, spa2, ff, wf, edf-ff, edf-ts")
+		pubName = fs.String("pub", "best", "parametric bound for RM-TS: ll, hc, t, r, best")
+		jsonOut = fs.Bool("json", false, "emit the explanation as JSON instead of text")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "explain:", err)
+		return 2
+	}
+	if (*setPath == "") == (*recipe == "") {
+		return fail(fmt.Errorf("need exactly one of -set or -recipe"))
+	}
+
+	var (
+		ts     task.Set
+		procs  int
+		replay *replayInfo
+	)
+	switch {
+	case *recipe != "":
+		if *m != 0 {
+			return fail(fmt.Errorf("-m conflicts with -recipe (the experiment fixes the processor count)"))
+		}
+		rc, err := experiments.ParseRecipe(*recipe)
+		if err != nil {
+			return fail(err)
+		}
+		ts, procs, err = experiments.ReplaySample(rc.Experiment, *quick, rc.Point, rc.SampleSeed)
+		if err != nil {
+			return fail(err)
+		}
+		replay = &replayInfo{Experiment: rc.Experiment, Point: rc.Point,
+			Sample: rc.Sample, SampleSeed: rc.SampleSeed, Quick: *quick}
+	default:
+		if *m < 1 {
+			return fail(fmt.Errorf("-set needs -m ≥ 1 (got %d)", *m))
+		}
+		var err error
+		ts, err = taskio.Load(*setPath)
+		if err != nil {
+			return fail(err)
+		}
+		procs = *m
+	}
+
+	pub, err := pubByName(*pubName)
+	if err != nil {
+		return fail(err)
+	}
+	alg, err := explain.AlgorithmByName(*algo, pub, ts)
+	if err != nil {
+		return fail(err)
+	}
+
+	// Metric counters feed the trace's per-decision RTA iteration deltas; a
+	// fresh process starts them at zero, so the report stays deterministic.
+	obs.SetEnabled(true)
+	e := explain.Run(alg, ts, procs)
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report{Replay: replay, Explanation: e}); err != nil {
+			return fail(err)
+		}
+	} else {
+		if replay != nil {
+			fmt.Fprintf(stdout, "replayed %s point %d (quick=%v), sample seed %d: %d tasks on %d processors\n\n",
+				replay.Experiment, replay.Point, replay.Quick, replay.SampleSeed, len(ts), procs)
+		}
+		e.WriteText(stdout)
+	}
+	if e.Verdict == "accepted" {
+		return 0
+	}
+	return 1
+}
+
+func pubByName(name string) (bounds.PUB, error) {
+	switch name {
+	case "ll":
+		return bounds.LiuLayland{}, nil
+	case "hc":
+		return bounds.HarmonicChain{Minimal: true}, nil
+	case "t":
+		return bounds.TBound{}, nil
+	case "r":
+		return bounds.RBound{}, nil
+	case "best", "":
+		return bounds.Max{Bounds: core.DefaultBounds()}, nil
+	default:
+		return nil, fmt.Errorf("unknown bound %q (want ll, hc, t, r, best)", name)
+	}
+}

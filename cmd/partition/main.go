@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	partition -set tasks.txt -m 4 [-algo rm-ts|rm-ts-light|spa1|spa2|ff|wf|auto] [-pub ll|hc|t|r|best] [-trace]
+//	partition -set tasks.txt -m 4 [-algo rm-ts|rm-ts-light|spa1|spa2|ff|wf|auto] [-pub ll|hc|t|r|best] [-trace [-trace-format text|json]]
 //
 // The task-set file holds either "name C T" lines or the JSON format of
 // internal/taskio. Exit status 1 means the set could not be scheduled.
@@ -23,16 +23,21 @@ import (
 
 func main() {
 	var (
-		setPath = flag.String("set", "", "task set file (text or JSON)")
-		m       = flag.Int("m", 2, "number of processors")
-		algo    = flag.String("algo", "auto", "algorithm: auto, rm-ts, rm-ts-light, spa1, spa2, ff, wf, edf-ff, edf-ts")
-		pubName = flag.String("pub", "best", "parametric bound for RM-TS: ll, hc, t, r, best")
-		quiet   = flag.Bool("q", false, "only print the verdict")
-		sens    = flag.Bool("sensitivity", false, "also compute critical scaling factors (global and per task)")
-		outPlan = flag.String("o", "", "write the verified plan as JSON (replayable via simulate -plan)")
-		trace   = flag.Bool("trace", false, "print the partitioning decision trace (assign attempts, RTA costs, splits)")
+		setPath  = flag.String("set", "", "task set file (text or JSON)")
+		m        = flag.Int("m", 2, "number of processors")
+		algo     = flag.String("algo", "auto", "algorithm: auto, rm-ts, rm-ts-light, spa1, spa2, ff, wf, edf-ff, edf-ts")
+		pubName  = flag.String("pub", "best", "parametric bound for RM-TS: ll, hc, t, r, best")
+		quiet    = flag.Bool("q", false, "only print the verdict")
+		sens     = flag.Bool("sensitivity", false, "also compute critical scaling factors (global and per task)")
+		outPlan  = flag.String("o", "", "write the verified plan as JSON (replayable via simulate -plan)")
+		trace    = flag.Bool("trace", false, "print the partitioning decision trace (assign attempts, RTA costs, splits)")
+		traceFmt = flag.String("trace-format", "text", "decision-trace format: text or json")
 	)
 	flag.Parse()
+	if *traceFmt != "text" && *traceFmt != "json" {
+		fmt.Fprintf(os.Stderr, "partition: -trace-format must be text or json (got %q)\n", *traceFmt)
+		os.Exit(2)
+	}
 	if *setPath == "" {
 		fmt.Fprintln(os.Stderr, "partition: -set is required")
 		flag.Usage()
@@ -66,11 +71,23 @@ func main() {
 		os.Exit(2)
 	}
 
+	writeTrace := func() {
+		if tr == nil {
+			return
+		}
+		if *traceFmt == "json" {
+			if err := tr.WriteJSON(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "partition: trace:", err)
+				os.Exit(2)
+			}
+			return
+		}
+		tr.WriteText(os.Stdout)
+	}
+
 	plan, err := core.Partition(ts, *m, core.Options{Algorithm: alg, PUB: pub, Trace: tr})
 	if err != nil {
-		if tr != nil {
-			tr.WriteText(os.Stdout)
-		}
+		writeTrace()
 		fmt.Fprintf(os.Stderr, "partition: NOT SCHEDULABLE: %v\n", err)
 		os.Exit(1)
 	}
@@ -86,7 +103,7 @@ func main() {
 	}
 	if tr != nil {
 		fmt.Println()
-		tr.WriteText(os.Stdout)
+		writeTrace()
 	}
 	if !*quiet {
 		fmt.Println()

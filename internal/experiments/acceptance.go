@@ -10,6 +10,89 @@ import (
 	"repro/internal/task"
 )
 
+// Per-sweep parameter helpers. Each sweep's processor count, point grid and
+// task-set generator live here — and ONLY here — so that ReplaySample (see
+// replay.go) regenerates a sample under exactly the parameters the sweep
+// used; the sweep bodies and the replay registry can never drift apart.
+
+func generalParams(quick bool) (m int, points []float64) {
+	if quick {
+		return 4, seq(0.65, 0.95, 0.10)
+	}
+	return 8, seq(0.60, 1.00, 0.025)
+}
+
+func generalSet(r *rand.Rand, sc *gen.Scratch, target float64) (task.Set, error) {
+	return gen.TaskSetInto(r, gen.Config{TargetU: target, UMin: 0.05, UMax: 0.95}, sc)
+}
+
+func lightParams(quick bool) (m int, points []float64) {
+	if quick {
+		return 4, seq(0.65, 0.95, 0.10)
+	}
+	return 8, seq(0.60, 1.00, 0.025)
+}
+
+func lightSet(r *rand.Rand, sc *gen.Scratch, target float64) (task.Set, error) {
+	return gen.TaskSetInto(r, gen.Config{TargetU: target, UMin: 0.05, UMax: 0.40}, sc)
+}
+
+func harmonicParams(quick bool) (m int, points []float64) {
+	if quick {
+		return 4, seq(0.75, 1.00, 0.125)
+	}
+	return 8, seq(0.70, 1.00, 0.02)
+}
+
+func harmonicSet(r *rand.Rand, sc *gen.Scratch, target float64) (task.Set, error) {
+	return gen.HarmonicSetInto(r, gen.HarmonicConfig{
+		TargetU: target, UMin: 0.05, UMax: 0.35, Chains: 1,
+		BasePeriods: []task.Time{256},
+	}, sc)
+}
+
+// procsSweepUM is the fixed normalized utilization of procs-sweep (E7).
+const procsSweepUM = 0.93
+
+func procsParams(quick bool) (ms []int) {
+	if quick {
+		return []int{2, 4, 8}
+	}
+	return []int{2, 4, 8, 16, 32}
+}
+
+func procsSet(r *rand.Rand, sc *gen.Scratch, target float64) (task.Set, error) {
+	return gen.TaskSetInto(r, gen.Config{TargetU: target, UMin: 0.05, UMax: 0.60}, sc)
+}
+
+func heavyParams(quick bool) (m int, um float64, shares []float64) {
+	if quick {
+		return 4, 0.90, []float64{0, 0.4, 0.8}
+	}
+	return 8, 0.94, []float64{0, 0.2, 0.4, 0.6, 0.8}
+}
+
+func heavySet(r *rand.Rand, sc *gen.Scratch, target, share float64) (task.Set, error) {
+	return gen.MixedSetInto(r, gen.MixedConfig{
+		TargetU:    target,
+		HeavyShare: share,
+		HeavyMin:   0.5, HeavyMax: 0.95,
+		LightMin: 0.05, LightMax: 0.30,
+	}, sc)
+}
+
+func tailParams(quick bool) (m int, ums []float64) {
+	m = 8
+	if quick {
+		m = 4
+	}
+	return m, []float64{0.72, 0.78, 0.84, 0.90}
+}
+
+func tailSet(r *rand.Rand, sc *gen.Scratch, target float64) (task.Set, error) {
+	return gen.TaskSetInto(r, gen.Config{TargetU: target, UMin: 0.05, UMax: 0.5}, sc)
+}
+
 // AcceptanceGeneral (E2) sweeps normalized utilization for general task
 // sets (individual utilizations up to 0.95) on M processors, comparing
 // RM-TS against SPA2 and strict first-fit partitioning. Expected shape:
@@ -17,19 +100,14 @@ import (
 // high well beyond it; strict partitioning trails both at high U_M.
 func AcceptanceGeneral(cfg Config) ([]Table, error) {
 	r := rand.New(rand.NewSource(cfg.Seed ^ 0xE2))
-	m := 8
-	points := seq(0.60, 1.00, 0.025)
-	if cfg.Quick {
-		m = 4
-		points = seq(0.65, 0.95, 0.10)
-	}
+	m, points := generalParams(cfg.Quick)
 	algos := defaultAlgos()
 	bases := pointBases(r, len(points))
 	mt := cfg.meter("acceptance-general", len(points))
 	ratios, err := cfg.sweepRows("acceptance-general", len(points), func(pc Config, i int) ([]float64, error) {
 		target := points[i] * float64(m)
 		row, err := pc.acceptance(bases[i], cfg.setsPerPoint(), m, func(r *rand.Rand, sc *gen.Scratch) (task.Set, error) {
-			return gen.TaskSetInto(r, gen.Config{TargetU: target, UMin: 0.05, UMax: 0.95}, sc)
+			return generalSet(r, sc, target)
 		}, algos)
 		if err != nil {
 			return nil, err
@@ -52,19 +130,14 @@ func AcceptanceGeneral(cfg Config) ([]Table, error) {
 // RM-TS/light ≈ RM-TS, both far above SPA1/SPA2 past the L&L bound.
 func AcceptanceLight(cfg Config) ([]Table, error) {
 	r := rand.New(rand.NewSource(cfg.Seed ^ 0xE3))
-	m := 8
-	points := seq(0.60, 1.00, 0.025)
-	if cfg.Quick {
-		m = 4
-		points = seq(0.65, 0.95, 0.10)
-	}
+	m, points := lightParams(cfg.Quick)
 	algos := lightAlgos()
 	bases := pointBases(r, len(points))
 	mt := cfg.meter("acceptance-light", len(points))
 	ratios, err := cfg.sweepRows("acceptance-light", len(points), func(pc Config, i int) ([]float64, error) {
 		target := points[i] * float64(m)
 		row, err := pc.acceptance(bases[i], cfg.setsPerPoint(), m, func(r *rand.Rand, sc *gen.Scratch) (task.Set, error) {
-			return gen.TaskSetInto(r, gen.Config{TargetU: target, UMin: 0.05, UMax: 0.40}, sc)
+			return lightSet(r, sc, target)
 		}, algos)
 		if err != nil {
 			return nil, err
@@ -89,22 +162,14 @@ func AcceptanceLight(cfg Config) ([]Table, error) {
 // harmonic structure.
 func AcceptanceHarmonic(cfg Config) ([]Table, error) {
 	r := rand.New(rand.NewSource(cfg.Seed ^ 0xE4))
-	m := 8
-	points := seq(0.70, 1.00, 0.02)
-	if cfg.Quick {
-		m = 4
-		points = seq(0.75, 1.00, 0.125)
-	}
+	m, points := harmonicParams(cfg.Quick)
 	algos := lightAlgos()
 	bases := pointBases(r, len(points))
 	mt := cfg.meter("acceptance-harmonic", len(points))
 	ratios, err := cfg.sweepRows("acceptance-harmonic", len(points), func(pc Config, i int) ([]float64, error) {
 		target := points[i] * float64(m)
 		row, err := pc.acceptance(bases[i], cfg.setsPerPoint(), m, func(r *rand.Rand, sc *gen.Scratch) (task.Set, error) {
-			return gen.HarmonicSetInto(r, gen.HarmonicConfig{
-				TargetU: target, UMin: 0.05, UMax: 0.35, Chains: 1,
-				BasePeriods: []task.Time{256},
-			}, sc)
+			return harmonicSet(r, sc, target)
 		}, algos)
 		if err != nil {
 			return nil, err
@@ -192,11 +257,8 @@ func AcceptanceKChains(cfg Config) ([]Table, error) {
 // stays at zero (0.93 > Θ), strict first-fit trails RM-TS at every M.
 func ProcsSweep(cfg Config) ([]Table, error) {
 	r := rand.New(rand.NewSource(cfg.Seed ^ 0xE7))
-	um := 0.93
-	ms := []int{2, 4, 8, 16, 32}
-	if cfg.Quick {
-		ms = []int{2, 4, 8}
-	}
+	um := procsSweepUM
+	ms := procsParams(cfg.Quick)
 	algos := defaultAlgos()
 	header := []string{"M"}
 	for _, a := range algos {
@@ -213,7 +275,7 @@ func ProcsSweep(cfg Config) ([]Table, error) {
 	rows, err := cfg.sweepRows("procs-sweep", len(ms), func(pc Config, i int) ([]float64, error) {
 		m := ms[i]
 		row, err := pc.acceptance(bases[i], cfg.setsPerPoint(), m, func(r *rand.Rand, sc *gen.Scratch) (task.Set, error) {
-			return gen.TaskSetInto(r, gen.Config{TargetU: um * float64(m), UMin: 0.05, UMax: 0.60}, sc)
+			return procsSet(r, sc, um*float64(m))
 		}, algos)
 		if err != nil {
 			return nil, err
@@ -240,14 +302,7 @@ func ProcsSweep(cfg Config) ([]Table, error) {
 // RM-TS stays robust as the heavy share grows; strict first-fit suffers.
 func HeavySweep(cfg Config) ([]Table, error) {
 	r := rand.New(rand.NewSource(cfg.Seed ^ 0xE8))
-	m := 8
-	um := 0.94
-	shares := []float64{0, 0.2, 0.4, 0.6, 0.8}
-	if cfg.Quick {
-		m = 4
-		um = 0.90
-		shares = []float64{0, 0.4, 0.8}
-	}
+	m, um, shares := heavyParams(cfg.Quick)
 	rmts := partition.NewRMTS(nil)
 	algos := []algoSpec{
 		{"RM-TS", rmts},
@@ -277,12 +332,7 @@ func HeavySweep(cfg Config) ([]Table, error) {
 		perSet := make([]outcome, n)
 		errs := make([]error, n)
 		if err := pc.parEach(bases[p], n, func(s int, r *rand.Rand, ws *Workspace) {
-			ts, err := gen.MixedSetInto(r, gen.MixedConfig{
-				TargetU:    um * float64(m),
-				HeavyShare: share,
-				HeavyMin:   0.5, HeavyMax: 0.95,
-				LightMin: 0.05, LightMax: 0.30,
-			}, ws.Gen())
+			ts, err := heavySet(r, ws.Gen(), um*float64(m), share)
 			if err != nil {
 				errs[s] = err
 				return
@@ -343,10 +393,7 @@ func HeavySweep(cfg Config) ([]Table, error) {
 // algorithm schedules with a guarantee.
 func UtilizationTail(cfg Config) ([]Table, error) {
 	r := rand.New(rand.NewSource(cfg.Seed ^ 0xE11))
-	m := 8
-	if cfg.Quick {
-		m = 4
-	}
+	m, ums := tailParams(cfg.Quick)
 	algos := defaultAlgos()
 	header := []string{"U_M"}
 	for _, a := range algos {
@@ -358,7 +405,6 @@ func UtilizationTail(cfg Config) ([]Table, error) {
 		Header: header,
 		Notes:  []string{"expected: SPA2 = 0 everywhere (its guarantee caps at Θ); RM-TS > 0 well past Θ"},
 	}
-	ums := []float64{0.72, 0.78, 0.84, 0.90}
 	bases := pointBases(r, len(ums))
 	mt := cfg.meter("utilization-tail", len(ums))
 	rows, err := cfg.sweepRows("utilization-tail", len(ums), func(pc Config, p int) ([]float64, error) {
@@ -367,7 +413,7 @@ func UtilizationTail(cfg Config) ([]Table, error) {
 		perSet := make([][]bool, n)
 		errs := make([]error, n)
 		if err := pc.parEach(bases[p], n, func(s int, r *rand.Rand, ws *Workspace) {
-			ts, err := gen.TaskSetInto(r, gen.Config{TargetU: um * float64(m), UMin: 0.05, UMax: 0.5}, ws.Gen())
+			ts, err := tailSet(r, ws.Gen(), um*float64(m))
 			if err != nil {
 				errs[s] = err
 				return

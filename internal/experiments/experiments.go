@@ -95,6 +95,40 @@ type Config struct {
 	// point1 is the 1-based sweep point index the current parEach fan-out
 	// belongs to (0 = not inside a point sweep); sweepRows maintains it.
 	point1 int
+	// causes, when non-nil, collects the current point's rejection-cause
+	// breakdown. sweepRows installs a fresh tally per point only when Events
+	// is configured, so cause attribution is structurally absent — not merely
+	// skipped — on the benchmarked hot path; acceptance() records into it.
+	causes *causeTally
+}
+
+// causeTally accumulates one sweep point's rejection-cause breakdown, emitted
+// on the point-done event as obs.RejectCount cells.
+type causeTally struct {
+	rejections []obs.RejectCount
+}
+
+// add folds one acceptance fan-out's per-sample causes (index-addressed,
+// sample-major like the verdict array) into the tally. Aggregation iterates
+// algorithms in spec order and causes in taxonomy declaration order, so the
+// emitted breakdown is deterministic at any worker count.
+func (t *causeTally) add(algos []algoSpec, causes []partition.Cause, nSets int) {
+	counts := make(map[partition.Cause]int64, len(causes))
+	for i, a := range algos {
+		for k := range counts {
+			delete(counts, k)
+		}
+		for s := 0; s < nSets; s++ {
+			if cz := causes[s*len(algos)+i]; cz != partition.CauseNone {
+				counts[cz]++
+			}
+		}
+		for _, cz := range partition.RejectionCauses() {
+			if n := counts[cz]; n > 0 {
+				t.rejections = append(t.rejections, obs.RejectCount{Algo: a.name, Cause: cz.String(), N: n})
+			}
+		}
+	}
 }
 
 // WithContext returns a copy of c whose experiment run observes ctx:
@@ -178,14 +212,14 @@ func (c Config) parEach(base int64, n int, fn func(i int, r *rand.Rand, ws *Work
 					Point:      c.point1 - 1,
 					Index:      i,
 					BaseSeed:   base,
-					Seed:       base + int64(i)*0x9E3779B9,
+					Seed:       base + int64(i)*sampleSeedStride,
 					PanicValue: fmt.Sprint(v),
 					Stack:      string(debug.Stack()),
 				}
 			}
 		}()
 		faultinject.MaybePanic()
-		seed := base + int64(i)*0x9E3779B9
+		seed := base + int64(i)*sampleSeedStride
 		if c.NoReuse {
 			fn(i, rand.New(rand.NewSource(seed)), ws)
 			return
@@ -498,6 +532,10 @@ func lightAlgos() []algoSpec {
 // allocation-free.
 func (c Config) acceptance(base int64, nSets, m int, genSet func(*rand.Rand, *gen.Scratch) (task.Set, error), algos []algoSpec) ([]float64, error) {
 	results := make([]bool, nSets*len(algos))
+	var causes []partition.Cause
+	if c.causes != nil {
+		causes = make([]partition.Cause, nSets*len(algos))
+	}
 	errs := make([]error, nSets)
 	if err := c.parEach(base, nSets, func(s int, r *rand.Rand, ws *Workspace) {
 		ts, err := genSet(r, ws.Gen())
@@ -509,12 +547,18 @@ func (c Config) acceptance(base int64, nSets, m int, genSet func(*rand.Rand, *ge
 		for i, a := range algos {
 			res := ws.Partition(a.alg, ts, m)
 			row[i] = res.OK && res.Guaranteed
+			if causes != nil {
+				causes[s*len(algos)+i] = res.RejectionCause()
+			}
 		}
 	}); err != nil {
 		return nil, err
 	}
 	if err := firstError(errs); err != nil {
 		return nil, err
+	}
+	if c.causes != nil {
+		c.causes.add(algos, causes, nSets)
 	}
 	out := make([]float64, len(algos))
 	for s := 0; s < nSets; s++ {
@@ -567,6 +611,7 @@ func (c Config) sweepRows(id string, n int, compute func(pc Config, i int) ([]fl
 		var before obs.Snapshot
 		if c.Events != nil {
 			before = obs.Default.Snapshot()
+			pc.causes = &causeTally{}
 		}
 		row, err := compute(pc, i)
 		if err != nil {
@@ -575,7 +620,8 @@ func (c Config) sweepRows(id string, n int, compute func(pc Config, i int) ([]fl
 		if c.Events != nil {
 			c.Events.Emit(obs.RunEvent{Kind: obs.EvPointDone,
 				Experiment: c.expKey, Label: id, Point: i + 1, Points: n,
-				Counters: obs.DiffCounters(before, obs.Default.Snapshot())})
+				Counters:   obs.DiffCounters(before, obs.Default.Snapshot()),
+				Rejections: pc.causes.rejections})
 		}
 		rows = append(rows, row)
 		if c.Checkpoint.store(c, key, row) {

@@ -1,0 +1,121 @@
+package explain
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteText renders the Explanation as a deterministic human-readable "why"
+// report: verdict and cause first, then the bound context, the failed
+// fragment, the per-processor evidence, and the split chains. Byte-identical
+// output for identical inputs (the cmd/explain golden test pins this).
+func (e *Explanation) WriteText(w io.Writer) {
+	var b strings.Builder
+
+	switch e.Verdict {
+	case "accepted":
+		fmt.Fprintf(&b, "verdict: ACCEPTED by %s\n", e.Algorithm)
+	case "accepted-unguaranteed":
+		fmt.Fprintf(&b, "verdict: PACKED by %s, but NOT GUARANTEED (cause: %s)\n", e.Algorithm, e.Cause)
+	default:
+		fmt.Fprintf(&b, "verdict: REJECTED by %s (cause: %s)\n", e.Algorithm, e.Cause)
+	}
+	if e.Verdict != "accepted" && e.CauseDetail != "" {
+		fmt.Fprintf(&b, "  %s\n", e.CauseDetail)
+	}
+	if e.Reason != "" {
+		fmt.Fprintf(&b, "reason: %s\n", e.Reason)
+	}
+	b.WriteByte('\n')
+
+	fmt.Fprintf(&b, "task set: N=%d on M=%d (%s)  U(τ)=%.4f  U_M(τ)=%.4f  max U_i=%.4f\n",
+		e.N, e.M, e.Scheduler, e.Bound.TotalU, e.Bound.NormalizedU, e.Bound.MaxU)
+	fmt.Fprintf(&b, "model: implicit=%v  light=%v  harmonic=%v\n",
+		e.Bound.Implicit, e.Bound.Light, e.Bound.Harmonic)
+	fmt.Fprintf(&b, "bounds: Θ(N)=%.4f  light-threshold Θ/(1+Θ)=%.4f  RM-TS cap 2Θ/(1+Θ)=%.4f  best Λ(τ)=%.4f (%s)\n",
+		e.Bound.Theta, e.Bound.LightThr, e.Bound.RMTSCap, e.Bound.BestValue, e.Bound.BestBound)
+	if e.Bound.Lambda > 0 {
+		fmt.Fprintf(&b, "effective RM-TS bound min(Λ(τ), 2Θ/(1+Θ)) = %.4f", e.Bound.Lambda)
+		if e.Bound.NormalizedU > e.Bound.Lambda {
+			fmt.Fprintf(&b, "  — U_M exceeds it by %.4f", e.Bound.NormalizedU-e.Bound.Lambda)
+		}
+		b.WriteByte('\n')
+	}
+
+	if e.FailedTask != nil {
+		t := e.FailedTask
+		name := ""
+		if t.Name != "" {
+			name = fmt.Sprintf(" (%s)", t.Name)
+		}
+		fmt.Fprintf(&b, "\nfailed task: τ%d%s  C=%d T=%d D=%d U=%.4f\n", t.Index, name, t.C, t.T, t.D, t.U)
+	}
+	if e.Fragment != nil {
+		f := e.Fragment
+		src := "whole task (no split happened)"
+		if f.FromTrace {
+			src = "from the decision trace"
+		}
+		fmt.Fprintf(&b, "final fragment: part %d, remaining C=%d, synthetic deadline Δ=%d — %s\n",
+			f.Part, f.RemC, f.Deadline, src)
+	}
+
+	if len(e.Processors) > 0 {
+		if e.Verdict == "rejected" && e.Fragment != nil {
+			fmt.Fprintf(&b, "\nper-processor evidence (final fragment offered to each):\n")
+		} else {
+			fmt.Fprintf(&b, "\nprocessors:\n")
+		}
+		for _, p := range e.Processors {
+			fmt.Fprintf(&b, "  P%d: U=%.4f, %d subtasks", p.Proc, p.Utilization, len(p.Residents))
+			if p.PreAssigned >= 0 {
+				fmt.Fprintf(&b, ", dedicated to pre-assigned τ%d", p.PreAssigned)
+			}
+			b.WriteByte('\n')
+			if ev := p.Evidence; ev != nil {
+				if ev.OwnVerdict != "" {
+					rel := "≤"
+					if ev.OwnVerdict != "fits" {
+						rel = ">"
+					}
+					fmt.Fprintf(&b, "      fragment RTA: R=%d %s Δ=%d (%s)\n",
+						ev.OwnResponse, rel, e.Fragment.Deadline, ev.OwnVerdict)
+				}
+				if ev.Blocked != nil {
+					fmt.Fprintf(&b, "      first blocked resident: τ%d.%d  R=%d > Δ=%d (%s)\n",
+						ev.Blocked.Task, ev.Blocked.Part, ev.Blocked.Response, ev.Blocked.Deadline, ev.Blocked.Verdict)
+				}
+				if ev.HasMaxPortion {
+					fmt.Fprintf(&b, "      MaxSplit admissible prefix: %d of %d\n", ev.MaxPortion, e.Fragment.RemC)
+				}
+				if ev.HasThreshold {
+					fmt.Fprintf(&b, "      Θ-threshold room: %.4f (fragment needs U=%.4f)\n",
+						ev.ThresholdRoom, float64(e.Fragment.RemC)/float64(e.Fragment.T))
+				}
+				if ev.HasUtilization {
+					fmt.Fprintf(&b, "      utilization room: %.4f (fragment needs U=%.4f)\n",
+						ev.UtilizationRoom, float64(e.Fragment.RemC)/float64(e.Fragment.T))
+				}
+			}
+		}
+	}
+
+	if len(e.SplitChains) > 0 {
+		fmt.Fprintf(&b, "\nsplit chains:\n")
+		for _, c := range e.SplitChains {
+			fmt.Fprintf(&b, "  τ%d:", c.Task)
+			for i, p := range c.Parts {
+				if i > 0 {
+					b.WriteString(" →")
+				}
+				fmt.Fprintf(&b, " part %d on P%d (C′=%d, Δ=%d)", p.Part, p.Proc, p.C, p.Deadline)
+			}
+			b.WriteByte('\n')
+		}
+	}
+
+	fmt.Fprintf(&b, "\ntotals: %d split, %d pre-assigned; %d trace decisions\n",
+		e.NumSplit, e.NumPreAssigned, len(e.Events))
+	io.WriteString(w, b.String())
+}

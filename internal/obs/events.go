@@ -14,7 +14,13 @@ import (
 // bump policy matches SnapshotSchemaVersion: renames/retypes/removals bump,
 // additive optional fields do not. ValidateEventLog rejects logs whose
 // run-start carries a different schema.
-const EventSchemaVersion = 1
+//
+// v2: point-done events gained the Rejections cause breakdown (per-algorithm
+// rejection-cause counters from the partition cause taxonomy). The bump is
+// deliberate despite the field being additive: v2 validators enforce the
+// rejections vocabulary, and consumers keying analytics off the breakdown
+// must not silently read v1 logs that predate cause attribution.
+const EventSchemaVersion = 2
 
 // Run-event vocabulary. One run (a cmd/experiments invocation) brackets the
 // stream with run-start/run-end; each experiment brackets its points with
@@ -80,6 +86,13 @@ type RunEvent struct {
 	// are listed. Empty when metric collection is disabled.
 	Counters []CounterValue `json:"counters,omitempty"`
 
+	// Rejections breaks the point's rejected samples down by algorithm and
+	// cause (the partition cause taxonomy, kebab-case names). Only causes
+	// that occurred are listed, in (algorithm, cause) declaration order, so
+	// the stream stays deterministic. Present on point-done events of sweeps
+	// that attribute causes; empty otherwise.
+	Rejections []RejectCount `json:"rejections,omitempty"`
+
 	// sample-error fields: the 1-based failing sample plus the seeds that
 	// regenerate it bit for bit (see experiments.SampleError).
 	Sample     int    `json:"sample,omitempty"`
@@ -89,6 +102,14 @@ type RunEvent struct {
 
 	// Err carries the message of experiment-end/error events.
 	Err string `json:"err,omitempty"`
+}
+
+// RejectCount is one cell of a point's rejection-cause breakdown: within
+// one algorithm's column, N samples were rejected for Cause.
+type RejectCount struct {
+	Algo  string `json:"algo"`
+	Cause string `json:"cause"`
+	N     int64  `json:"n"`
 }
 
 // Recorder writes RunEvents as one JSON object per line (JSONL). It is
@@ -230,6 +251,18 @@ func ValidateEventLog(rd io.Reader) (int, error) {
 			}
 			if e.Schema != EventSchemaVersion {
 				return n, fmt.Errorf("event 0: schema %d, supported %d", e.Schema, EventSchemaVersion)
+			}
+		}
+		for j, rc := range e.Rejections {
+			switch {
+			case e.Kind != EvPointDone:
+				return n, fmt.Errorf("event %d: rejections on a %s event (only %s carries them)", n, e.Kind, EvPointDone)
+			case rc.Algo == "":
+				return n, fmt.Errorf("event %d: rejections[%d] has no algorithm", n, j)
+			case rc.Cause == "":
+				return n, fmt.Errorf("event %d: rejections[%d] has no cause", n, j)
+			case rc.N <= 0:
+				return n, fmt.Errorf("event %d: rejections[%d] (%s/%s) has non-positive count %d", n, j, rc.Algo, rc.Cause, rc.N)
 			}
 		}
 		n++

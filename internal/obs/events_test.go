@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -18,7 +19,11 @@ func record(t *testing.T) []byte {
 	rec.Emit(RunEvent{Kind: EvExperimentStart, Experiment: "acceptance-general"})
 	rec.Emit(RunEvent{Kind: EvPointDone, Experiment: "acceptance-general",
 		Label: "acceptance-general", Point: 1, Points: 4,
-		Counters: []CounterValue{{Name: "rta.iters", Value: 123}}})
+		Counters: []CounterValue{{Name: "rta.iters", Value: 123}},
+		Rejections: []RejectCount{
+			{Algo: "SPA2", Cause: "threshold-exhausted", N: 9},
+			{Algo: "RM-TS", Cause: "maxsplit-exhausted", N: 2},
+		}})
 	rec.Emit(RunEvent{Kind: EvPointRestored, Experiment: "acceptance-general",
 		Label: "acceptance-general", Point: 2, Points: 4})
 	rec.Emit(RunEvent{Kind: EvCheckpoint, Experiment: "acceptance-general", Points: 2})
@@ -50,7 +55,7 @@ func TestEventLogRoundTrip(t *testing.T) {
 	wantKeys := []string{
 		"seq ms kind schema go seed sets quick workers",
 		"seq ms kind experiment",
-		"seq ms kind experiment label point points counters",
+		"seq ms kind experiment label point points counters rejections",
 		"seq ms kind experiment label point points",
 		"seq ms kind experiment points",
 		"seq ms kind experiment point sample base_seed sample_seed panic",
@@ -62,25 +67,24 @@ func TestEventLogRoundTrip(t *testing.T) {
 		t.Fatalf("%d lines, want %d", len(lines), len(wantKeys))
 	}
 	for i, line := range lines {
-		var obj map[string]interface{}
-		if err := json.Unmarshal([]byte(line), &obj); err != nil {
-			t.Fatalf("line %d: %v", i, err)
-		}
 		// Key order in the marshalled struct is declaration order; rebuild
-		// it from the raw line to compare stably.
+		// it from the raw line to compare stably. Each top-level value is
+		// skipped as a unit — dec.More() tracks the innermost container, so
+		// a naive walk would stop at the first nested array's end and miss
+		// every key after it.
 		var keys []string
 		dec := json.NewDecoder(strings.NewReader(line))
-		dec.Token() // {
+		if _, err := dec.Token(); err != nil { // {
+			t.Fatalf("line %d: %v", i, err)
+		}
 		for dec.More() {
 			tok, err := dec.Token()
 			if err != nil {
 				t.Fatalf("line %d: %v", i, err)
 			}
-			if k, ok := tok.(string); ok {
-				if _, present := obj[k]; present {
-					keys = append(keys, k)
-					delete(obj, k)
-				}
+			keys = append(keys, tok.(string))
+			if err := skipValue(dec); err != nil {
+				t.Fatalf("line %d: %v", i, err)
 			}
 		}
 		if got := strings.Join(keys, " "); got != wantKeys[i] {
@@ -89,17 +93,54 @@ func TestEventLogRoundTrip(t *testing.T) {
 	}
 }
 
+// skipValue consumes one complete JSON value (scalar or nested structure)
+// from dec.
+func skipValue(dec *json.Decoder) error {
+	tok, err := dec.Token()
+	if err != nil {
+		return err
+	}
+	if d, ok := tok.(json.Delim); ok && (d == '{' || d == '[') {
+		depth := 1
+		for depth > 0 {
+			tok, err := dec.Token()
+			if err != nil {
+				return err
+			}
+			if d, ok := tok.(json.Delim); ok {
+				switch d {
+				case '{', '[':
+					depth++
+				case '}', ']':
+					depth--
+				}
+			}
+		}
+	}
+	return nil
+}
+
 // TestValidateEventLogRejections exercises the validator's failure modes.
 func TestValidateEventLogRejections(t *testing.T) {
 	good := string(record(t))
+	start := fmt.Sprintf(`{"seq":0,"ms":0,"kind":"run-start","schema":%d}`+"\n", EventSchemaVersion)
 	cases := map[string]string{
 		"empty":          "",
 		"not json":       "hello\n",
-		"unknown field":  `{"seq":0,"ms":0,"kind":"run-start","schema":1,"bogus":1}` + "\n",
-		"unknown kind":   `{"seq":0,"ms":0,"kind":"run-start","schema":1}` + "\n" + `{"seq":1,"ms":0,"kind":"mystery"}` + "\n",
+		"unknown field":  fmt.Sprintf(`{"seq":0,"ms":0,"kind":"run-start","schema":%d,"bogus":1}`+"\n", EventSchemaVersion),
+		"unknown kind":   start + `{"seq":1,"ms":0,"kind":"mystery"}` + "\n",
 		"no run-start":   `{"seq":0,"ms":0,"kind":"run-end"}` + "\n",
 		"wrong schema":   `{"seq":0,"ms":0,"kind":"run-start","schema":99}` + "\n",
 		"seq regression": strings.Replace(good, `"seq":3`, `"seq":7`, 1),
+
+		"rejections off point-done": start +
+			`{"seq":1,"ms":0,"kind":"checkpoint","rejections":[{"algo":"A","cause":"c","n":1}]}` + "\n",
+		"rejection no algo": start +
+			`{"seq":1,"ms":0,"kind":"point-done","rejections":[{"algo":"","cause":"c","n":1}]}` + "\n",
+		"rejection no cause": start +
+			`{"seq":1,"ms":0,"kind":"point-done","rejections":[{"algo":"A","cause":"","n":1}]}` + "\n",
+		"rejection zero count": start +
+			`{"seq":1,"ms":0,"kind":"point-done","rejections":[{"algo":"A","cause":"c","n":0}]}` + "\n",
 	}
 	for name, in := range cases {
 		if _, err := ValidateEventLog(strings.NewReader(in)); err == nil {

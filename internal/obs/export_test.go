@@ -105,6 +105,72 @@ func TestQuantileEstimates(t *testing.T) {
 	}
 }
 
+// TestQuantileEdgeCases covers the degenerate shapes the bucket walk must
+// handle: an empty histogram, one single observation, every observation in
+// one bucket, and p99 resolving across two buckets. Live histograms (not
+// hand-built values) so the Observe → snapshot path is the thing tested.
+func TestQuantileEdgeCases(t *testing.T) {
+	SetEnabled(true)
+	defer SetEnabled(false)
+	snap := func(observe func(*Histogram)) HistogramValue {
+		r := NewRegistry()
+		h := r.Histogram("h", 1, 2, 4)
+		observe(h)
+		s := r.Snapshot()
+		if len(s.Histograms) != 1 {
+			t.Fatalf("snapshot has %d histograms", len(s.Histograms))
+		}
+		return s.Histograms[0]
+	}
+
+	empty := snap(func(h *Histogram) {})
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty histogram: Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+
+	// A single sample is every quantile at once — including ranks that
+	// round down to zero (q·Count < 1 must still pick rank 1).
+	single := snap(func(h *Histogram) { h.Observe(3) })
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		if got := single.Quantile(q); got != 4 {
+			t.Errorf("single sample: Quantile(%v) = %v, want bucket upper 4", q, got)
+		}
+	}
+
+	// All observations land in one bucket: every quantile is that bucket's
+	// upper bound regardless of rank.
+	oneBucket := snap(func(h *Histogram) {
+		for i := 0; i < 100; i++ {
+			h.Observe(2)
+		}
+	})
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		if got := oneBucket.Quantile(q); got != 2 {
+			t.Errorf("one bucket: Quantile(%v) = %v, want 2", q, got)
+		}
+	}
+
+	// Two buckets, 99 low + 1 high: p50/p90 resolve to the low bucket, the
+	// p99 rank (99 of 100) is exactly the last low observation, and only
+	// p100 crosses into the high bucket.
+	twoBuckets := snap(func(h *Histogram) {
+		for i := 0; i < 99; i++ {
+			h.Observe(1)
+		}
+		h.Observe(4)
+	})
+	for _, tc := range []struct {
+		q    float64
+		want float64
+	}{{0.50, 1}, {0.90, 1}, {0.99, 1}, {1.0, 4}} {
+		if got := twoBuckets.Quantile(tc.q); got != tc.want {
+			t.Errorf("two buckets: Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
 // TestExportDeterministic re-exports an identical registry and requires
 // byte equality — the determinism half of the schema contract.
 func TestExportDeterministic(t *testing.T) {

@@ -6,7 +6,11 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"os/exec"
+	"runtime"
+	"runtime/debug"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -21,6 +25,10 @@ import (
 //	                 application/json, aligned text otherwise
 //	GET /progress  — per-sweep point completion and ETA as JSON
 //	                 (text with ?format=text)
+//	GET /healthz   — liveness probe: 200 with the build identity (go
+//	                 version, GOMAXPROCS, git revision) under the same
+//	                 field names the perfdiff bench records carry, so a
+//	                 live harness is attributable to a bench capture
 //	GET /debug/pprof/ — net/http/pprof index, profiles, symbolization
 type StatusServer struct {
 	reg *Registry
@@ -103,6 +111,12 @@ func StatusHandler(reg *Registry) http.Handler {
 			Sweeps []MeterState `json:"sweeps"`
 		}{Schema: SnapshotSchemaVersion, Sweeps: states})
 	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(healthInfo())
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -117,4 +131,49 @@ func StatusHandler(reg *Registry) http.Handler {
 func wantsJSON(r *http.Request) bool {
 	accept := r.Header.Get("Accept")
 	return strings.Contains(accept, "application/json")
+}
+
+// Health is the /healthz body. The identity fields deliberately use the
+// perfdiff.Meta JSON names (go_version, gomaxprocs, git_rev), so a live
+// harness can be matched against the BENCH_hotpath.json capture metadata.
+type Health struct {
+	OK         bool   `json:"ok"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GitRev     string `json:"git_rev"`
+}
+
+var (
+	healthOnce sync.Once
+	health     Health
+)
+
+// healthInfo resolves the build identity once per process: the git revision
+// comes from the binary's embedded VCS stamp when present (release builds),
+// falling back to asking git directly (go test / go run builds have no
+// stamp), then to "unknown" — the same fallback chain the bench-record
+// capture uses, so the two agree on any given checkout.
+func healthInfo() Health {
+	healthOnce.Do(func() {
+		health = Health{
+			OK:         true,
+			GoVersion:  runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			GitRev:     "unknown",
+		}
+		if bi, ok := debug.ReadBuildInfo(); ok {
+			for _, s := range bi.Settings {
+				if s.Key == "vcs.revision" && len(s.Value) >= 7 {
+					health.GitRev = s.Value[:7]
+					return
+				}
+			}
+		}
+		if rev, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output(); err == nil {
+			if v := strings.TrimSpace(string(rev)); v != "" {
+				health.GitRev = v
+			}
+		}
+	})
+	return health
 }

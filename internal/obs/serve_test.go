@@ -104,6 +104,25 @@ func TestStatusHandlerEndpoints(t *testing.T) {
 		t.Errorf("/debug/pprof/: code %d", code)
 	}
 
+	code, body = get(t, srv, "/healthz", "")
+	if code != 200 {
+		t.Fatalf("/healthz: code %d", code)
+	}
+	var h Health
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("/healthz: %v\n%s", err, body)
+	}
+	if !h.OK || h.GoVersion == "" || h.GOMAXPROCS < 1 || h.GitRev == "" {
+		t.Errorf("/healthz body incomplete: %+v", h)
+	}
+	// The identity must use the perfdiff.Meta field names, so a live harness
+	// can be matched against BENCH_hotpath.json capture metadata.
+	for _, key := range []string{`"go_version"`, `"gomaxprocs"`, `"git_rev"`} {
+		if !strings.Contains(body, key) {
+			t.Errorf("/healthz lacks %s: %s", key, body)
+		}
+	}
+
 	if code, _ = get(t, srv, "/nope", ""); code != 404 {
 		t.Errorf("unknown path: code %d, want 404", code)
 	}

@@ -83,16 +83,16 @@ var (
 // NewAssignment.
 func (ar *Arena) prepare(ts task.Set, m int) (task.Set, *task.Assignment, *Result) {
 	if m <= 0 {
-		ar.res = Result{FailedTask: -1, Reason: "no processors"}
-		return nil, nil, &ar.res
+		ar.res = Result{}
+		return nil, nil, failWith(&ar.res, CauseInvalidInput, -1, "no processors")
 	}
 	sorted := append(ar.sorted[:0], ts...)
 	ar.sorted = sorted
 	sorted.SortDM() // identical to RM order for implicit-deadline sets
 	ar.asg.Reset(sorted, m)
 	if err := sorted.Validate(); err != nil {
-		ar.res = Result{FailedTask: -1, Reason: err.Error(), Assignment: &ar.asg}
-		return nil, nil, &ar.res
+		ar.res = Result{Assignment: &ar.asg}
+		return nil, nil, failWith(&ar.res, CauseInvalidInput, -1, err.Error())
 	}
 	return sorted, &ar.asg, nil
 }

@@ -270,8 +270,14 @@ func fitPartitionAdmit(ts task.Set, m int, order FitOrder, pick func(*Arena, *ta
 			}
 		}
 		if !placed {
-			res.Reason = fmt.Sprintf("no processor admits τ%d whole (strict partitioning)", i)
-			res.FailedTask = i
+			cause := CauseRTADeadlineMiss
+			if admit != AdmitRTA {
+				// The bound-based admissions (LL/HB/HT) are utilization
+				// thresholds, not deadline-miss proofs.
+				cause = CauseThresholdExhausted
+			}
+			failWith(res, cause, i,
+				fmt.Sprintf("no processor admits τ%d whole (strict partitioning)", i))
 			traceFail(tr, i, res.Reason)
 			return res
 		}

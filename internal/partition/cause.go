@@ -1,0 +1,173 @@
+package partition
+
+import "repro/internal/obs"
+
+// Cause classifies why a partitioning attempt rejected a task set. The
+// paper's algorithms fail for a small number of structurally distinct
+// reasons — a utilization-threshold test running out of room, exact RTA
+// proving a deadline miss on every candidate processor, MaxSplit finding no
+// admissible prefix anywhere, the heavy-task pre-assignment phase consuming
+// every processor — and each terminal failure path tags its Result with
+// exactly one of them, so sweeps can report cause-resolved acceptance
+// curves and the explain layer can name the violated test.
+//
+// The taxonomy is part of the provenance contract (DESIGN.md §11): values
+// are appended, never renumbered, and String() names are the stable
+// vocabulary used by the run-event schema and cmd/explain.
+type Cause uint8
+
+const (
+	// CauseNone: the partitioning succeeded (or no attempt was made).
+	CauseNone Cause = iota
+	// CauseInvalidInput: the task set failed validation or m ≤ 0.
+	CauseInvalidInput
+	// CauseModelMismatch: the algorithm's theory does not cover the set
+	// (e.g. a threshold/bound-based algorithm given constrained deadlines).
+	CauseModelMismatch
+	// CauseSurchargeInfeasible: a task cannot meet its deadline under the
+	// configured per-fragment overhead surcharge (C + s > T), before any
+	// packing was attempted.
+	CauseSurchargeInfeasible
+	// CauseThresholdExhausted: a utilization-threshold admission (the SPA
+	// Θ test, or a bound-based strict admission such as LL/HB/HT) had no
+	// room on any processor — the parametric-bound violation the paper's
+	// §I criticizes.
+	CauseThresholdExhausted
+	// CauseRTADeadlineMiss: exact RTA proved a deadline miss on every
+	// candidate processor for a whole-task placement (strict partitioning
+	// with AdmitRTA).
+	CauseRTADeadlineMiss
+	// CauseMaxSplitExhausted: the splitting algorithms ran every processor
+	// full — the terminal fragment's MaxSplit found no admissible prefix on
+	// the last processors and no processor remained.
+	CauseMaxSplitExhausted
+	// CausePreAssignExhausted: the heavy-task pre-assignment phase placed a
+	// dedicated task on every processor, leaving no normal processor for
+	// the remaining tasks.
+	CausePreAssignExhausted
+	// CauseDemandOverload: an EDF demand-based admission (utilization ≤ 1
+	// or the exact QPA test) rejected the task on every processor and — for
+	// EDF-TS — no window split covered the demand.
+	CauseDemandOverload
+	// CauseGuaranteeViolated: the packing itself succeeded but the
+	// algorithm's utilization-bound theorem does not cover the set (SPA1 on
+	// a non-light set, SPA1/SPA2 above Θ), so acceptance in the guaranteed
+	// sense fails. Derived by RejectionCause, never set on a Result.
+	CauseGuaranteeViolated
+
+	numCauses
+)
+
+// String returns the stable kebab-case name of the cause — the vocabulary
+// used in run events, metrics counters and explain reports.
+func (c Cause) String() string {
+	switch c {
+	case CauseNone:
+		return "none"
+	case CauseInvalidInput:
+		return "invalid-input"
+	case CauseModelMismatch:
+		return "model-mismatch"
+	case CauseSurchargeInfeasible:
+		return "surcharge-infeasible"
+	case CauseThresholdExhausted:
+		return "threshold-exhausted"
+	case CauseRTADeadlineMiss:
+		return "rta-deadline-miss"
+	case CauseMaxSplitExhausted:
+		return "maxsplit-exhausted"
+	case CausePreAssignExhausted:
+		return "preassign-exhausted"
+	case CauseDemandOverload:
+		return "demand-overload"
+	case CauseGuaranteeViolated:
+		return "guarantee-violated"
+	default:
+		return "cause(?)"
+	}
+}
+
+// Describe returns a one-line human explanation of the cause, used by the
+// explain layer's reports.
+func (c Cause) Describe() string {
+	switch c {
+	case CauseNone:
+		return "every task was placed and the result is guaranteed schedulable"
+	case CauseInvalidInput:
+		return "the input was rejected before partitioning (invalid task set or no processors)"
+	case CauseModelMismatch:
+		return "the algorithm's guarantee does not cover this task model"
+	case CauseSurchargeInfeasible:
+		return "a task cannot meet its deadline under the overhead surcharge even alone"
+	case CauseThresholdExhausted:
+		return "the utilization-threshold admission ran out of room on every processor"
+	case CauseRTADeadlineMiss:
+		return "exact response-time analysis proved a deadline miss on every candidate processor"
+	case CauseMaxSplitExhausted:
+		return "every processor filled up and MaxSplit found no admissible prefix for the remaining fragment"
+	case CausePreAssignExhausted:
+		return "heavy-task pre-assignment consumed every processor before packing could finish"
+	case CauseDemandOverload:
+		return "the EDF demand test rejected the task on every processor"
+	case CauseGuaranteeViolated:
+		return "the packing succeeded but the algorithm's utilization-bound guarantee does not apply"
+	default:
+		return "unknown cause"
+	}
+}
+
+// RejectionCauses lists every cause a rejection can carry (everything but
+// CauseNone), in stable order — the iteration set for cause-resolved
+// aggregation.
+func RejectionCauses() []Cause {
+	out := make([]Cause, 0, numCauses-1)
+	for c := CauseNone + 1; c < numCauses; c++ {
+		out = append(out, c)
+	}
+	return out
+}
+
+// RejectionCause maps a Result to the cause of its rejection under the
+// experiments' acceptance notion (OK && Guaranteed): CauseNone for accepted
+// sets, CauseGuaranteeViolated for packings that succeeded without a
+// covering guarantee, and the Result's tagged terminal cause otherwise.
+func (r *Result) RejectionCause() Cause {
+	switch {
+	case r == nil:
+		return CauseInvalidInput
+	case r.OK && r.Guaranteed:
+		return CauseNone
+	case r.OK:
+		return CauseGuaranteeViolated
+	default:
+		if r.Cause == CauseNone {
+			// A failed Result always carries a cause; an untagged one can
+			// only come from legacy construction paths.
+			return CauseInvalidInput
+		}
+		return r.Cause
+	}
+}
+
+// cRejectCauses counts terminal rejections per cause in the obs registry
+// ("partition.reject.<cause>"). Like every obs counter they cost one atomic
+// load when metrics are off and are never read back by the analysis, so
+// tagging cannot alter experiment output.
+var cRejectCauses = func() []*obs.Counter {
+	cs := make([]*obs.Counter, numCauses)
+	for c := CauseNone + 1; c < numCauses; c++ {
+		cs[c] = obs.NewCounter("partition.reject." + c.String())
+	}
+	return cs
+}()
+
+// failWith tags a Result's terminal failure: cause, failed task and reason,
+// plus the per-cause rejection counter. It is the single chokepoint every
+// algorithm's failure path funnels through.
+func failWith(res *Result, cause Cause, failed int, reason string) *Result {
+	res.Cause = cause
+	res.FailedTask = failed
+	res.Reason = reason
+	cRejectCauses[cause].Inc()
+	return res
+}

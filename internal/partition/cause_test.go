@@ -1,0 +1,127 @@
+package partition
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/task"
+)
+
+// overloaded is a set no algorithm can place on 2 processors (total
+// utilization 2.7 > 2), driving every packing to its terminal failure.
+var overloaded = task.Set{
+	{Name: "a", C: 9, T: 10},
+	{Name: "b", C: 9, T: 10},
+	{Name: "c", C: 9, T: 10},
+}
+
+// lightOverloaded overloads 2 processors with light tasks only (7×0.4 = 2.8;
+// U=0.4 is below Θ/(1+Θ) ≈ 0.42 at N=7), so no pre-assignment happens.
+var lightOverloaded = task.Set{
+	{C: 4, T: 10}, {C: 4, T: 10}, {C: 4, T: 10}, {C: 4, T: 10},
+	{C: 4, T: 10}, {C: 4, T: 10}, {C: 4, T: 10},
+}
+
+func TestRejectionCauseTagging(t *testing.T) {
+	cases := []struct {
+		name string
+		alg  Algorithm
+		ts   task.Set
+		m    int
+		want Cause
+	}{
+		{"rmts-light overload", RMTSLight{}, overloaded, 2, CauseMaxSplitExhausted},
+		// All-light overload (7×U=0.4 on 2 procs): RM-TS pre-assigns nothing,
+		// so the failure is the packing running out of processors.
+		{"rmts light-overload", NewRMTS(nil), lightOverloaded, 2, CauseMaxSplitExhausted},
+		// Heavy overload: RM-TS dedicates every processor to a heavy task in
+		// phase 1 and the rest find no normal processor.
+		{"rmts heavy-overload", NewRMTS(nil), overloaded, 2, CausePreAssignExhausted},
+		{"spa1 overload", SPA1{}, overloaded, 2, CauseThresholdExhausted},
+		{"spa2 overload", SPA2{}, overloaded, 2, CauseThresholdExhausted},
+		{"ff-rta overload", FirstFitRTA{}, overloaded, 2, CauseRTADeadlineMiss},
+		{"ff-ll overload", FirstFit{Admission: AdmitLL}, overloaded, 2, CauseThresholdExhausted},
+		{"edf-ff overload", EDFFirstFit{}, overloaded, 2, CauseDemandOverload},
+		{"edf-ts overload", EDFTS{}, overloaded, 2, CauseDemandOverload},
+		{"spa1 constrained", SPA1{}, task.Set{{C: 1, T: 10, D: 5}}, 1, CauseModelMismatch},
+		{"no processors", RMTSLight{}, overloaded, 0, CauseInvalidInput},
+		{"invalid set", RMTSLight{}, task.Set{{C: 5, T: 3}}, 2, CauseInvalidInput},
+		{"surcharge infeasible", RMTSLight{Surcharge: 3}, task.Set{{C: 8, T: 10}}, 1, CauseSurchargeInfeasible},
+	}
+	for _, tc := range cases {
+		res := tc.alg.Partition(tc.ts, tc.m)
+		if res.OK {
+			t.Errorf("%s: unexpectedly OK", tc.name)
+			continue
+		}
+		if res.Cause != tc.want {
+			t.Errorf("%s: Cause = %s, want %s (reason: %s)", tc.name, res.Cause, tc.want, res.Reason)
+		}
+		if got := res.RejectionCause(); got != tc.want {
+			t.Errorf("%s: RejectionCause = %s, want %s", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestRejectionCauseSuccessAndGuarantee(t *testing.T) {
+	ts := task.Set{{C: 1, T: 10}, {C: 1, T: 10}}
+	res := (RMTSLight{}).Partition(ts, 2)
+	if !res.OK || res.Cause != CauseNone || res.RejectionCause() != CauseNone {
+		t.Fatalf("accepted set: Cause=%s RejectionCause=%s", res.Cause, res.RejectionCause())
+	}
+	// SPA1 packs this non-light set (one heavy task, plenty of room) but its
+	// theorem does not cover it: OK && !Guaranteed → guarantee-violated.
+	heavy := task.Set{{C: 9, T: 10}, {C: 1, T: 100}}
+	hres := (SPA1{}).Partition(heavy, 2)
+	if !hres.OK {
+		t.Fatalf("SPA1 failed to pack the heavy set: %s", hres.Reason)
+	}
+	if hres.Guaranteed {
+		t.Fatal("SPA1 claims a guarantee on a non-light set")
+	}
+	if got := hres.RejectionCause(); got != CauseGuaranteeViolated {
+		t.Fatalf("RejectionCause = %s, want %s", got, CauseGuaranteeViolated)
+	}
+}
+
+func TestCauseNamesStableAndUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range RejectionCauses() {
+		s := c.String()
+		if s == "" || strings.Contains(s, "?") {
+			t.Errorf("cause %d has no name", c)
+		}
+		if seen[s] {
+			t.Errorf("duplicate cause name %q", s)
+		}
+		seen[s] = true
+		if c.Describe() == "unknown cause" {
+			t.Errorf("cause %s has no description", s)
+		}
+	}
+	if Cause(255).String() != "cause(?)" {
+		t.Error("out-of-range cause should render as cause(?)")
+	}
+	if CauseNone.String() != "none" {
+		t.Error("CauseNone should render as none")
+	}
+}
+
+func TestPreAssignExhaustedCause(t *testing.T) {
+	// Two heavy tasks pre-assign onto both processors (U=0.9 > lightThr and
+	// condition (8) holds trivially for the suffix), then the remaining load
+	// finds every processor occupied by a dedicated heavy task.
+	ts := task.Set{
+		{Name: "h1", C: 9, T: 10},
+		{Name: "h2", C: 9, T: 10},
+		{Name: "x1", C: 5, T: 10},
+		{Name: "x2", C: 5, T: 10},
+	}
+	res := (SPA2{}).Partition(ts, 2)
+	if res.OK {
+		t.Skip("SPA2 unexpectedly packed the set; pre-assign exhaustion not reachable here")
+	}
+	if res.NumPreAssigned == 2 && res.Cause != CausePreAssignExhausted {
+		t.Errorf("Cause = %s with all processors pre-assigned, want %s", res.Cause, CausePreAssignExhausted)
+	}
+}

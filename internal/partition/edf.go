@@ -88,8 +88,8 @@ func edfFit(ts task.Set, m int, order FitOrder, pick func(*Arena, *task.Assignme
 			}
 		}
 		if !placed {
-			res.Reason = fmt.Sprintf("no processor has utilization room for τ%d (strict EDF partitioning)", i)
-			res.FailedTask = i
+			failWith(res, CauseDemandOverload, i,
+				fmt.Sprintf("no processor has utilization room for τ%d (strict EDF partitioning)", i))
 			return res
 		}
 	}

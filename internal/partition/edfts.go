@@ -87,8 +87,8 @@ func (a EDFTS) PartitionArena(ts task.Set, m int, ar *Arena) *Result {
 		// Window split: try k = 2..m equal windows w = D/k; greedily take
 		// the largest per-processor budgets until the demand is covered.
 		if !splitByWindows(ar, asg, demands, i, t, m, tr) {
-			res.Reason = fmt.Sprintf("no window split fits τ%d (demand test)", i)
-			res.FailedTask = i
+			failWith(res, CauseDemandOverload, i,
+				fmt.Sprintf("no window split fits τ%d (demand test)", i))
 			traceFail(tr, i, res.Reason)
 			return res
 		}

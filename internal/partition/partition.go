@@ -75,6 +75,9 @@ type Result struct {
 	FailedTask int
 	// Reason describes a failure in one line; empty on success.
 	Reason string
+	// Cause classifies the terminal failure (CauseNone on success). Use
+	// RejectionCause to fold in the guarantee dimension.
+	Cause Cause
 	// NumSplit is the number of tasks divided across processors.
 	NumSplit int
 	// NumPreAssigned is the number of heavy tasks placed by RM-TS/SPA2
@@ -287,11 +290,9 @@ func requireImplicit(sorted task.Set, asg *task.Assignment, who string) *Result 
 	if sorted.Implicit() {
 		return nil
 	}
-	return &Result{
-		Assignment: asg,
-		FailedTask: -1,
-		Reason:     who + " requires implicit deadlines (D = T); use the RTA-based algorithms for constrained deadlines",
-	}
+	res := &Result{Assignment: asg}
+	return failWith(res, CauseModelMismatch, -1,
+		who+" requires implicit deadlines (D = T); use the RTA-based algorithms for constrained deadlines")
 }
 
 // surchargeFeasible reports the first task that cannot possibly meet its

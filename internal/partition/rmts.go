@@ -49,8 +49,8 @@ func (a RMTSLight) PartitionArena(ts task.Set, m int, ar *Arena) *Result {
 	res := ar.result("")
 	tr := a.Trace
 	if i := surchargeFeasible(sorted, a.Surcharge); i >= 0 {
-		res.Reason = fmt.Sprintf("τ%d cannot meet its deadline under the overhead surcharge (C+s > T)", i)
-		res.FailedTask = i
+		failWith(res, CauseSurchargeInfeasible, i,
+			fmt.Sprintf("τ%d cannot meet its deadline under the overhead surcharge (C+s > T)", i))
 		traceFail(tr, i, res.Reason)
 		return res
 	}
@@ -60,8 +60,8 @@ func (a RMTSLight) PartitionArena(ts task.Set, m int, ar *Arena) *Result {
 		for {
 			q := minUtilProcessor(asg, nil, full)
 			if q < 0 {
-				res.Reason = fmt.Sprintf("all processors full while assigning τ%d", i)
-				res.FailedTask = i
+				failWith(res, CauseMaxSplitExhausted, i,
+					fmt.Sprintf("all processors full while assigning τ%d", i))
 				traceFail(tr, i, res.Reason)
 				return res
 			}
@@ -168,8 +168,8 @@ func (a *RMTS) PartitionArena(ts task.Set, m int, ar *Arena) *Result {
 	res := ar.result("")
 	tr := a.Trace
 	if i := surchargeFeasible(sorted, a.Surcharge); i >= 0 {
-		res.Reason = fmt.Sprintf("τ%d cannot meet its deadline under the overhead surcharge (C+s > T)", i)
-		res.FailedTask = i
+		failWith(res, CauseSurchargeInfeasible, i,
+			fmt.Sprintf("τ%d cannot meet its deadline under the overhead surcharge (C+s > T)", i))
 		traceFail(tr, i, res.Reason)
 		return res
 	}
@@ -293,8 +293,14 @@ func (a *RMTS) PartitionArena(ts task.Set, m int, ar *Arena) *Result {
 			tracePhase(tr, fmt.Sprintf("phase 3: τ%d overflows onto pre-assigned processors", i))
 			ok, finalPart := phase3Assign(f)
 			if !ok {
-				res.Reason = fmt.Sprintf("all processors full while assigning τ%d", i)
-				res.FailedTask = i
+				cause := CauseMaxSplitExhausted
+				if res.NumPreAssigned == m {
+					// Every processor hosts a pre-assigned heavy task; the
+					// packing never had a normal processor to work with.
+					cause = CausePreAssignExhausted
+				}
+				failWith(res, cause, i,
+					fmt.Sprintf("all processors full while assigning τ%d", i))
 				traceFail(tr, i, res.Reason)
 				return res
 			}

@@ -62,8 +62,8 @@ func (a SPA1) PartitionArena(ts task.Set, m int, ar *Arena) *Result {
 		for {
 			q := minUtilProcessor(asg, nil, full)
 			if q < 0 {
-				res.Reason = fmt.Sprintf("all processors at the Θ threshold while assigning τ%d", i)
-				res.FailedTask = i
+				failWith(res, CauseThresholdExhausted, i,
+					fmt.Sprintf("all processors at the Θ threshold while assigning τ%d", i))
 				traceFail(tr, i, res.Reason)
 				return res
 			}
@@ -257,8 +257,12 @@ func (a SPA2) PartitionArena(ts task.Set, m int, ar *Arena) *Result {
 				nextPre--
 			}
 			if nextPre < 0 {
-				res.Reason = fmt.Sprintf("all processors at the Θ threshold while assigning τ%d", i)
-				res.FailedTask = i
+				cause := CauseThresholdExhausted
+				if res.NumPreAssigned == m {
+					cause = CausePreAssignExhausted
+				}
+				failWith(res, cause, i,
+					fmt.Sprintf("all processors at the Θ threshold while assigning τ%d", i))
 				traceFail(tr, i, res.Reason)
 				return res
 			}

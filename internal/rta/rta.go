@@ -128,6 +128,17 @@ func ResponseTimeVerdict(c task.Time, hp []Interference, limit task.Time) (task.
 	return r, v
 }
 
+// ResponseTimeExtraVerdict evaluates the fixed point with one additional
+// interferer (extraC, extraT) on top of hp — the "what if this fragment were
+// forced onto the processor" probe the explain layer uses to show which
+// resident subtask's response time breaks and by how much. A zero extraT
+// disables the extra term, making it ResponseTimeVerdict.
+func ResponseTimeExtraVerdict(c task.Time, hp []Interference, extraC, extraT, limit task.Time) (task.Time, Verdict) {
+	r, v, iters := iterate(c, hp, extraC, extraT, limit, coldStart(c, hp, extraC))
+	account(v, iters)
+	return r, v
+}
+
 // account records one response-time evaluation in the obs registry.
 func account(v Verdict, iters int64) {
 	if obs.On() {
