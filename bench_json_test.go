@@ -51,6 +51,7 @@ func TestBenchHotpathJSON(t *testing.T) {
 		{"MaxSplitTestingPoint", BenchmarkMaxSplitTestingPoint},
 		{"PartitionRMTS", BenchmarkPartitionRMTS},
 		{"PartitionRMTSArena", BenchmarkPartitionRMTSArena},
+		{"AdmitService", BenchmarkAdmitService},
 	}
 	records := make([]benchRecord, 0, len(hot))
 	for _, h := range hot {

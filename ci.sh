@@ -5,13 +5,17 @@
 # warm-start toggle are shared atomics), a one-iteration bench smoke so
 # every benchmark keeps compiling and running, a fault-injection pass over
 # the hardened pipeline (DESIGN.md §9), short fuzz smokes for the invariant
-# checker and the task-set parser, a -paranoid quick table that
-# re-validates every partitioning the harness produces, a telemetry smoke
-# that schema-lints a run-event log (including the v2 rejection-cause
-# breakdown), an explain-replay golden (a fixed recipe must render a
-# byte-identical why-report), and a perf-regression gate diffing the
-# regenerated hot-path bench record against the committed baseline
-# (DESIGN.md §10). Run from the repository root; any failure fails the gate.
+# checker, the task-set parser and the warm-state removal invalidation, a
+# -paranoid quick table that re-validates every partitioning the harness
+# produces, a telemetry smoke that schema-lints a run-event log (including
+# the v2 rejection-cause breakdown), an explain-replay golden (a fixed
+# recipe must render a byte-identical why-report), an admitd smoke that
+# boots the admission service and drives the admit→remove→re-admit cycle
+# plus a load run through its -check client, and a perf-regression gate
+# diffing the regenerated hot-path bench record against the committed
+# baseline (DESIGN.md §10) — including the sustained-admissions record,
+# which must stay at or above 100k admissions/sec. Run from the repository
+# root; any failure fails the gate.
 set -eu
 
 echo "== gofmt =="
@@ -34,7 +38,7 @@ go test ./...
 echo "== go test -race (concurrency-sensitive packages) =="
 # The experiments race pass exercises the default reuse path: pooled
 # per-worker workspaces with arenas and persistent RNGs under -race.
-go test -race -short repro/internal/experiments repro/internal/obs repro/internal/partition
+go test -race -short repro/internal/experiments repro/internal/obs repro/internal/partition repro/internal/admit
 
 echo "== alloc guards (hot paths must stay zero-allocation) =="
 go test -run AllocGuard repro/internal/rta repro/internal/split repro/internal/partition repro/internal/gen
@@ -43,9 +47,10 @@ echo "== fault injection (every injected fault must surface as a seed-reproducib
 go test repro/internal/faultinject
 go test -count=1 -run 'TestInjected|TestCheckpointWriteFailure|TestKillAndResume|TestMidSweepCancellation' repro/internal/experiments
 
-echo "== fuzz smokes (invariant checker, task-set parser round trip) =="
+echo "== fuzz smokes (invariant checker, task-set parser round trip, removal invalidation) =="
 go test -run '^$' -fuzz FuzzValidate -fuzztime 5s repro/internal/partition
 go test -run '^$' -fuzz FuzzParseRoundTrip -fuzztime 5s repro/internal/taskio
+go test -run '^$' -fuzz FuzzProcStateRemove -fuzztime 5s repro/internal/rta
 
 echo "== paranoid quick table (full invariant re-validation of every partitioning) =="
 go run ./cmd/experiments -run acceptance-general -quick -sets 50 -paranoid -q > /dev/null
@@ -70,6 +75,26 @@ go run ./cmd/explain -recipe "$explain_recipe" -quick -algo rm-ts > "$explain_ou
 cmp "$explain_out" cmd/explain/testdata/recipe_rmts.golden
 rm -f "$explain_out"
 
+echo "== admitd smoke (boot, admit→remove→re-admit cycle, load run, graceful stop) =="
+admitd_bin=$(mktemp /tmp/ci-admitd.XXXXXX)
+admitd_addr=$(mktemp /tmp/ci-admitd-addr.XXXXXX)
+rm -f "$admitd_addr"
+go build -o "$admitd_bin" ./cmd/admitd
+"$admitd_bin" -listen 127.0.0.1:0 -addr-file "$admitd_addr" -q &
+admitd_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$admitd_addr" ] && break
+    sleep 0.1
+done
+[ -s "$admitd_addr" ]
+# The -check client verifies /healthz, the endpoint index, a full
+# admit→reject→remove→re-admit cycle with a typed rejection, and a
+# sustained admit/remove load over HTTP.
+"$admitd_bin" -check "$(cat "$admitd_addr")" -check-load 1000
+kill -TERM "$admitd_pid"
+wait "$admitd_pid"
+rm -f "$admitd_bin" "$admitd_addr"
+
 echo "== hot-path bench JSON (BENCH_hotpath.json) =="
 baseline=$(mktemp /tmp/ci-bench-baseline.XXXXXX.json)
 cp BENCH_hotpath.json "$baseline"
@@ -81,5 +106,10 @@ echo "== perf-regression gate (new record vs committed baseline) =="
 # deterministic for the fixed bench seeds and gate hard.
 go run ./cmd/perfdiff -warn 'ns/op,B/op' -allocs-tol 0.25 -extra-tol 0.25 "$baseline" BENCH_hotpath.json
 rm -f "$baseline"
+
+echo "== admissions-throughput target (AdmitService >= 100k admissions/sec) =="
+admit_ns=$(awk '/"name": "AdmitService"/{f=1} f && /"ns_per_op"/{gsub(/[^0-9.]/, ""); print; exit}' BENCH_hotpath.json)
+echo "AdmitService: ${admit_ns} ns/op"
+awk -v ns="$admit_ns" 'BEGIN { exit !(ns > 0 && ns <= 10000) }'
 
 echo "CI gate passed."

@@ -1,0 +1,245 @@
+// Command admitd serves the online admission-control API (internal/admit)
+// next to the observability surface (internal/obs) on one listener.
+//
+// Usage:
+//
+//	admitd [-listen host:port] [-addr-file path] [-shards n]
+//	admitd -check host:port [-check-load n]
+//
+// Server mode binds -listen (:0 picks a free port; -addr-file publishes
+// the bound address for scripts) and serves until SIGINT or SIGTERM, then
+// shuts down gracefully — in-flight admissions get complete responses.
+//
+//	POST   /v1/clusters               create a virtual cluster
+//	GET    /v1/clusters               list clusters
+//	GET    /v1/clusters/{name}        cluster status + stats
+//	DELETE /v1/clusters/{name}        delete a cluster
+//	POST   /v1/clusters/{name}/admit  admit one task (200 either verdict)
+//	POST   /v1/clusters/{name}/remove remove a resident task by handle
+//	GET    /metrics /progress /healthz /debug/pprof/  (obs status routes)
+//
+// Check mode is a self-contained smoke client for CI: against a running
+// admitd it verifies /healthz, the "/" index, the full admit → reject →
+// remove → re-admit cycle with a typed rejection, and then drives a
+// sustained admit/remove load, reporting the achieved admissions/sec.
+// Exit status: 0 check passed, 1 check failed, 2 usage.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/admit"
+	"repro/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("admitd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		listen   = fs.String("listen", "127.0.0.1:8080", "serve the admission API and status routes at this address (host:port; :0 picks a free port)")
+		addrFile = fs.String("addr-file", "", "write the bound address to this file once listening (for -listen :0 in scripts)")
+		shards   = fs.Int("shards", 0, "cluster-registry lock stripes (0 = default)")
+		check    = fs.String("check", "", "client mode: run the admission smoke against the admitd at this address and exit")
+		load     = fs.Int("check-load", 2000, "admissions driven by the -check load smoke")
+		quiet    = fs.Bool("q", false, "suppress informational output")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "admitd: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+	if *check != "" {
+		if *load <= 0 {
+			fmt.Fprintf(stderr, "admitd: -check-load must be positive (got %d)\n", *load)
+			return 2
+		}
+		return runCheck(*check, *load, stdout, stderr)
+	}
+
+	// The status surface is part of the daemon's contract, so metrics are
+	// always on (in the batch harness they are opt-in to keep hot loops
+	// untouched; a service that serves /metrics should fill it).
+	obs.SetEnabled(true)
+	svc := admit.NewService(*shards)
+	srv, err := obs.ServeWith(*listen, obs.Default, svc.Routes()...)
+	if err != nil {
+		fmt.Fprintf(stderr, "admitd: %v\n", err)
+		return 2
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(srv.Addr()+"\n"), 0o644); err != nil {
+			fmt.Fprintf(stderr, "admitd: write -addr-file: %v\n", err)
+			srv.Close()
+			return 2
+		}
+	}
+	if !*quiet {
+		fmt.Fprintf(stderr, "admitd: serving on %s\n", srv.Addr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	if !*quiet {
+		fmt.Fprintf(stderr, "admitd: %v, shutting down\n", s)
+	}
+	if err := srv.Close(); err != nil {
+		fmt.Fprintf(stderr, "admitd: shutdown: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// checkClient is the -check mode's tiny JSON client.
+type checkClient struct {
+	base string
+	hc   *http.Client
+}
+
+// do issues one request and decodes any JSON body into a generic map.
+func (c *checkClient) do(method, path, body string) (int, map[string]any, error) {
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, nil, err
+	}
+	var v map[string]any
+	if len(raw) > 0 && json.Unmarshal(raw, &v) != nil {
+		v = map[string]any{"_raw": string(raw)}
+	}
+	return resp.StatusCode, v, nil
+}
+
+// runCheck drives the smoke sequence against a live admitd: health, index,
+// the admit → reject → remove → re-admit cycle, and a sustained load run.
+func runCheck(addr string, load int, stdout, stderr io.Writer) int {
+	c := &checkClient{base: "http://" + addr, hc: &http.Client{Timeout: 10 * time.Second}}
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, "admitd check: "+format+"\n", args...)
+		return 1
+	}
+
+	// Health and the endpoint index (must name every mounted route family).
+	code, v, err := c.do("GET", "/healthz", "")
+	if err != nil || code != 200 || v["ok"] != true {
+		return fail("/healthz: code %d v %v err %v", code, v, err)
+	}
+	code, v, err = c.do("GET", "/", "")
+	if err != nil || code != 200 {
+		return fail("/: code %d err %v", code, err)
+	}
+	index, _ := v["_raw"].(string)
+	for _, want := range []string{"/healthz", "/metrics", "/v1/clusters", "/v1/clusters/{name}/admit"} {
+		if !strings.Contains(index, want) {
+			return fail("/ index omits %s: %q", want, index)
+		}
+	}
+
+	// Admission cycle on a single-processor cluster: two half-utilization
+	// tasks fill it, a third is an analyzed rejection, removing one admits
+	// the third on retry.
+	const cluster = "smoke"
+	defer c.do("DELETE", "/v1/clusters/"+cluster, "")
+	code, v, err = c.do("POST", "/v1/clusters", fmt.Sprintf(`{"name":%q,"m":1}`, cluster))
+	if err != nil || code != 201 {
+		return fail("create: code %d v %v err %v", code, v, err)
+	}
+	admit := func(body string) (map[string]any, error) {
+		code, v, err := c.do("POST", "/v1/clusters/"+cluster+"/admit", body)
+		if err == nil && code != 200 {
+			err = fmt.Errorf("code %d: %v", code, v)
+		}
+		return v, err
+	}
+	first, err := admit(`{"name":"a","c":5,"t":10}`)
+	if err != nil || first["accepted"] != true {
+		return fail("admit a: %v err %v", first, err)
+	}
+	if v, err = admit(`{"name":"b","c":4,"t":10}`); err != nil || v["accepted"] != true {
+		return fail("admit b: %v err %v", v, err)
+	}
+	rej, err := admit(`{"name":"c","c":5,"t":10}`)
+	if err != nil || rej["accepted"] == true {
+		return fail("overload admit: %v err %v", rej, err)
+	}
+	if rej["cause"] != "rta-deadline-miss" || rej["evidence"] == nil {
+		return fail("rejection untyped: %v", rej)
+	}
+	handle := int64(first["handle"].(float64))
+	code, v, err = c.do("POST", "/v1/clusters/"+cluster+"/remove", fmt.Sprintf(`{"handle":%d}`, handle))
+	if err != nil || code != 200 || v["removed"] != true {
+		return fail("remove: code %d v %v err %v", code, v, err)
+	}
+	if v, err = admit(`{"name":"c","c":5,"t":10}`); err != nil || v["accepted"] != true {
+		return fail("re-admit after remove: %v err %v", v, err)
+	}
+
+	// Load smoke: sustained admit/remove churn against a wider cluster.
+	const loadCluster = "smoke-load"
+	defer c.do("DELETE", "/v1/clusters/"+loadCluster, "")
+	code, v, err = c.do("POST", "/v1/clusters", fmt.Sprintf(`{"name":%q,"m":2}`, loadCluster))
+	if err != nil || code != 201 {
+		return fail("create load cluster: code %d v %v err %v", code, v, err)
+	}
+	// Offered load (mean utilization ≈ 0.11 per task, one removal per three
+	// admissions) exceeds the two processors in steady state, so the run
+	// exercises acceptances, analyzed rejections, and removal churn.
+	var handles []int64
+	accepted, rejected := 0, 0
+	start := time.Now()
+	for i := 0; i < load; i++ {
+		body := fmt.Sprintf(`{"c":%d,"t":%d}`, 1+i%5, 10+(i%7)*10)
+		code, v, err := c.do("POST", "/v1/clusters/"+loadCluster+"/admit", body)
+		if err != nil || code != 200 {
+			return fail("load admit %d: code %d err %v", i, code, err)
+		}
+		if v["accepted"] == true {
+			accepted++
+			handles = append(handles, int64(v["handle"].(float64)))
+		} else {
+			rejected++
+		}
+		if len(handles) > 0 && i%3 == 2 {
+			h := handles[0]
+			handles = handles[1:]
+			if code, v, err := c.do("POST", "/v1/clusters/"+loadCluster+"/remove",
+				fmt.Sprintf(`{"handle":%d}`, h)); err != nil || code != 200 {
+				return fail("load remove: code %d v %v err %v", code, v, err)
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	if accepted == 0 || rejected == 0 {
+		return fail("load smoke not exercising both verdicts: %d accepted, %d rejected", accepted, rejected)
+	}
+	fmt.Fprintf(stdout, "check ok: %d admissions in %v (%.0f/sec over HTTP), %d accepted, %d rejected\n",
+		load, elapsed.Round(time.Millisecond), float64(load)/elapsed.Seconds(), accepted, rejected)
+	return 0
+}

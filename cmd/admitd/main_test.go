@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// buildAdmitd compiles the command under test into dir and returns the
+// binary path.
+func buildAdmitd(t *testing.T, dir string) string {
+	t.Helper()
+	goBin := filepath.Join(runtime.GOROOT(), "bin", "go")
+	bin := filepath.Join(dir, "admitd-under-test")
+	if out, err := exec.Command(goBin, "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// exitCode runs the binary and returns its exit status (-1 on signal death).
+func exitCode(t *testing.T, bin string, args ...string) (int, string) {
+	t.Helper()
+	var buf bytes.Buffer
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	err := cmd.Run()
+	if err == nil {
+		return 0, buf.String()
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return ee.ExitCode(), buf.String()
+	}
+	t.Fatalf("run %v: %v", args, err)
+	return -1, ""
+}
+
+// TestServeCheckAndShutdown is the full daemon lifecycle: boot on a free
+// port, publish the address, pass the -check client (which exercises the
+// admit → reject → remove → re-admit cycle and a load smoke), then shut
+// down gracefully on SIGTERM.
+func TestServeCheckAndShutdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test builds and runs the binary")
+	}
+	dir := t.TempDir()
+	bin := buildAdmitd(t, dir)
+
+	addrFile := filepath.Join(dir, "addr")
+	srv := exec.Command(bin, "-listen", "127.0.0.1:0", "-addr-file", addrFile, "-q")
+	var srvOut bytes.Buffer
+	srv.Stdout, srv.Stderr = &srvOut, &srvOut
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Process.Kill()
+
+	var addr string
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); time.Sleep(20 * time.Millisecond) {
+		if raw, err := os.ReadFile(addrFile); err == nil && len(raw) > 0 {
+			addr = strings.TrimSpace(string(raw))
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("no address published; server output:\n%s", srvOut.String())
+	}
+
+	code, out := exitCode(t, bin, "-check", addr, "-check-load", "300")
+	if code != 0 {
+		t.Fatalf("check failed (exit %d):\n%s\nserver output:\n%s", code, out, srvOut.String())
+	}
+	if !strings.Contains(out, "check ok:") || !strings.Contains(out, "accepted") {
+		t.Errorf("check report malformed: %q", out)
+	}
+
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Wait(); err != nil {
+		t.Fatalf("server did not exit cleanly on SIGTERM: %v\n%s", err, srvOut.String())
+	}
+}
+
+// TestExitCodes pins the usage/failure contract: 2 for usage errors, 1 for
+// a failed check (nothing listening), 0 only for a passed check.
+func TestExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test builds and runs the binary")
+	}
+	dir := t.TempDir()
+	bin := buildAdmitd(t, dir)
+
+	if code, _ := exitCode(t, bin, "-nope"); code != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", code)
+	}
+	if code, _ := exitCode(t, bin, "stray"); code != 2 {
+		t.Errorf("stray argument: exit %d, want 2", code)
+	}
+	if code, _ := exitCode(t, bin, "-check", "127.0.0.1:9", "-check-load", "0"); code != 2 {
+		t.Errorf("bad -check-load: exit %d, want 2", code)
+	}
+	// Port 9 (discard) is almost certainly refusing connections; a failed
+	// check is exit 1, distinct from usage errors.
+	if code, _ := exitCode(t, bin, "-check", "127.0.0.1:9"); code != 1 {
+		t.Errorf("unreachable check: exit %d, want 1", code)
+	}
+	// An unbindable listen address is an operational error at startup.
+	if code, _ := exitCode(t, bin, "-listen", "256.256.256.256:1"); code != 2 {
+		t.Errorf("unbindable listen: exit %d, want 2", code)
+	}
+}

@@ -14,8 +14,10 @@
 // from its seeds; -quick must match the original run's quick flag. Output is
 // deterministic: identical inputs render byte-identical reports.
 //
-// Exit status: 0 the set is accepted with a guarantee, 1 it is rejected (or
-// packed without a guarantee), 2 usage or input error.
+// Exit status: 0 the set is accepted with a guarantee, 1 it was analyzed and
+// rejected (or packed without a guarantee), 2 usage or input error — including
+// sets the analysis cannot even consider (invalid tasks, or a task model the
+// chosen algorithm does not cover).
 package main
 
 import (
@@ -30,6 +32,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/explain"
 	"repro/internal/obs"
+	"repro/internal/partition"
 	"repro/internal/task"
 	"repro/internal/taskio"
 )
@@ -135,10 +138,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		e.WriteText(stdout)
 	}
-	if e.Verdict == "accepted" {
+	switch {
+	case e.Verdict == "accepted":
 		return 0
+	case e.Cause == partition.CauseInvalidInput.String() || e.Cause == partition.CauseModelMismatch.String():
+		// Not an analyzed verdict: the set never reached the admission test
+		// (invalid tasks, or a model the algorithm does not cover). Exit 1 is
+		// reserved for "analyzed and rejected", so these are usage errors.
+		fmt.Fprintf(stderr, "explain: input not analyzable: %s\n", e.CauseDetail)
+		return 2
+	default:
+		return 1
 	}
-	return 1
 }
 
 func pubByName(name string) (bounds.PUB, error) {

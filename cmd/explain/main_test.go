@@ -108,13 +108,51 @@ func TestUsageErrors(t *testing.T) {
 		{"-set", "x"},                          // missing -m
 		{"-recipe", "garbage"},                 // unparsable recipe
 		{"-recipe", rejectedRecipe, "-m", "4"}, // -m with -recipe
-		{"-recipe", "repro: experiment=breakdown point=0 sample-seed=1"}, // not replayable
-		{"-recipe", rejectedRecipe, "-algo", "nope"},                     // unknown algorithm
-		{"-recipe", rejectedRecipe, "-pub", "nope"},                      // unknown bound
+		{"-recipe", "repro: experiment=breakdown point=0 sample-seed=1"},             // not replayable
+		{"-recipe", rejectedRecipe, "-algo", "nope"},                                 // unknown algorithm
+		{"-recipe", rejectedRecipe, "-pub", "nope"},                                  // unknown bound
+		{"-recipe", "experiment=acceptance-general point=3 sample=-2 sample-seed=5"}, // negative sample
 	}
 	for _, args := range cases {
 		if _, _, code := runCapture(t, args...); code != 2 {
 			t.Errorf("args %v: exit %d, want 2", args, code)
 		}
+	}
+}
+
+// TestExitCodeContract pins what each exit status means: 1 is reserved for
+// "analyzed and rejected"; a set the algorithm cannot even consider (model
+// mismatch) is a usage error, 2 — previously it leaked out as 1, making an
+// unanalyzable input indistinguishable from a real rejection in scripts.
+func TestExitCodeContract(t *testing.T) {
+	dir := t.TempDir()
+	constrained := filepath.Join(dir, "constrained.json")
+	if err := os.WriteFile(constrained, []byte(`{"tasks":[{"c":2,"t":10,"d":8},{"c":3,"t":15,"d":12}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// SPA1 covers only implicit deadlines: the constrained set is not
+	// analyzable, so this is exit 2 with a diagnostic, not a verdict.
+	out, errb, code := runCapture(t, "-set", constrained, "-m", "2", "-algo", "spa1")
+	if code != 2 {
+		t.Fatalf("model mismatch: exit %d (stdout %q), want 2", code, out)
+	}
+	if !strings.Contains(errb, "not analyzable") {
+		t.Errorf("model mismatch lacks diagnostic on stderr: %q", errb)
+	}
+
+	// The same set under an algorithm that handles constrained deadlines is
+	// analyzed normally — deadlines alone must not trip the usage path.
+	if _, errb, code := runCapture(t, "-set", constrained, "-m", "2", "-algo", "ff"); code != 0 {
+		t.Fatalf("constrained set under ff: exit %d (stderr %q), want 0", code, errb)
+	}
+
+	// A genuinely overloaded but valid set is an analyzed rejection: exit 1.
+	overload := filepath.Join(dir, "overload.txt")
+	if err := os.WriteFile(overload, []byte("a 9 10\nb 9 10\nc 9 10\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, errb, code := runCapture(t, "-set", overload, "-m", "1", "-algo", "ff"); code != 1 {
+		t.Fatalf("overloaded set: exit %d (stderr %q), want 1", code, errb)
 	}
 }

@@ -1,0 +1,387 @@
+// Package admit is the multi-tenant online admission-control service over
+// the partition.Online engine (ROADMAP item 1): clients create named
+// virtual clusters (M processors, a placement policy, an optional analysis
+// surcharge) and then admit and remove tasks one at a time, getting back a
+// placement or a typed rejection that reuses the partition.Cause taxonomy
+// and the internal/explain evidence vocabulary.
+//
+// Concurrency model: clusters live in a fixed array of RWMutex-striped
+// shards keyed by an FNV hash of the cluster name, so lookups on the hot
+// admit path take only a read lock on one stripe. Each cluster serializes
+// its own engine operations behind a per-cluster mutex (the Online engine
+// is single-writer by design); per-tenant statistics are plain atomics,
+// readable lock-free while admissions are in flight.
+//
+// Rejection caching: admission is deterministic in (cluster state,
+// candidate), so each cluster memoizes rejected verdicts under an exact
+// canonical byte key of every resident plus the candidate — no hashing in
+// the key, hence no collision unsoundness. Only rejections are cached:
+// they are the expensive repeated case under churn (retry storms re-ask
+// the same question against the same state), while an acceptance mutates
+// the state and so can never repeat. Any successful admit or remove
+// changes the canonical state and thereby orphans stale entries; the map
+// is cleared wholesale when it outgrows its cap.
+package admit
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bounds"
+	"repro/internal/explain"
+	"repro/internal/obs"
+	"repro/internal/partition"
+	"repro/internal/task"
+)
+
+// Service-wide instrumentation (no-ops unless obs.SetEnabled), aggregated
+// across every tenant; the per-cluster Stats atomics are always live.
+var (
+	cRequests        = obs.NewCounter("admit.requests")
+	cAccepted        = obs.NewCounter("admit.accepted")
+	cRejected        = obs.NewCounter("admit.rejected")
+	cRemoved         = obs.NewCounter("admit.removed")
+	cCacheHits       = obs.NewCounter("admit.cache_hits")
+	cClustersCreated = obs.NewCounter("admit.clusters_created")
+	cClustersDeleted = obs.NewCounter("admit.clusters_deleted")
+)
+
+// defaultCacheCap bounds each cluster's rejection cache; outgrowing it
+// clears the map (the entries are all orphaned by state drift eventually,
+// and wholesale clearing keeps the policy deterministic).
+const defaultCacheCap = 1024
+
+// ErrExists is returned by Create when the cluster name is already taken.
+var ErrExists = errors.New("admit: cluster name already taken")
+
+// Service is the sharded cluster registry.
+type Service struct {
+	shards []shard
+}
+
+type shard struct {
+	mu       sync.RWMutex
+	clusters map[string]*Cluster
+}
+
+// NewService creates a registry striped over the given number of shards
+// (clamped to [1, 256]; pass 0 for the default of 16).
+func NewService(shards int) *Service {
+	switch {
+	case shards <= 0:
+		shards = 16
+	case shards > 256:
+		shards = 256
+	}
+	s := &Service{shards: make([]shard, shards)}
+	for i := range s.shards {
+		s.shards[i].clusters = make(map[string]*Cluster)
+	}
+	return s
+}
+
+func (s *Service) shardFor(name string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return &s.shards[h.Sum32()%uint32(len(s.shards))]
+}
+
+// Create registers a new cluster. It fails if the name is empty or taken,
+// or the engine parameters are invalid.
+func (s *Service) Create(name string, m int, policy string, surcharge task.Time) (*Cluster, error) {
+	if name == "" {
+		return nil, errors.New("admit: cluster name must not be empty")
+	}
+	eng, err := partition.NewOnline(m, policy, surcharge)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{name: name, eng: eng, cacheCap: defaultCacheCap}
+	sh := s.shardFor(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.clusters[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	sh.clusters[name] = c
+	cClustersCreated.Inc()
+	return c, nil
+}
+
+// Get returns the named cluster, if registered.
+func (s *Service) Get(name string) (*Cluster, bool) {
+	sh := s.shardFor(name)
+	sh.mu.RLock()
+	c, ok := sh.clusters[name]
+	sh.mu.RUnlock()
+	return c, ok
+}
+
+// Delete unregisters the named cluster, reporting whether it existed.
+// In-flight operations on the removed cluster finish against its (now
+// unreachable) state.
+func (s *Service) Delete(name string) bool {
+	sh := s.shardFor(name)
+	sh.mu.Lock()
+	_, ok := sh.clusters[name]
+	delete(sh.clusters, name)
+	sh.mu.Unlock()
+	if ok {
+		cClustersDeleted.Inc()
+	}
+	return ok
+}
+
+// Names returns every registered cluster name, sorted.
+func (s *Service) Names() []string {
+	var out []string
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for name := range sh.clusters {
+			out = append(out, name)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats is a cluster's per-tenant operation counters. All fields are
+// written with atomics and may be read lock-free via StatsSnapshot.
+type Stats struct {
+	Requests  atomic.Int64
+	Accepted  atomic.Int64
+	Rejected  atomic.Int64
+	Removed   atomic.Int64
+	CacheHits atomic.Int64
+}
+
+// StatsSnapshot is a point-in-time copy of a cluster's Stats.
+type StatsSnapshot struct {
+	Requests  int64 `json:"requests"`
+	Accepted  int64 `json:"accepted"`
+	Rejected  int64 `json:"rejected"`
+	Removed   int64 `json:"removed"`
+	CacheHits int64 `json:"cacheHits"`
+}
+
+// Cluster is one tenant's virtual cluster: the engine, its rejection
+// cache, and the tenant's stats.
+type Cluster struct {
+	name  string
+	stats Stats
+
+	mu       sync.Mutex // serializes eng, cache and keyBuf
+	eng      *partition.Online
+	cache    map[string]Result
+	cacheCap int
+	keyBuf   []byte
+}
+
+// Name returns the cluster's registered name.
+func (c *Cluster) Name() string { return c.name }
+
+// StatsSnapshot reads the per-tenant counters without taking the cluster
+// lock.
+func (c *Cluster) StatsSnapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Requests:  c.stats.Requests.Load(),
+		Accepted:  c.stats.Accepted.Load(),
+		Rejected:  c.stats.Rejected.Load(),
+		Removed:   c.stats.Removed.Load(),
+		CacheHits: c.stats.CacheHits.Load(),
+	}
+}
+
+// ProcEvidence is one processor's rejection evidence: its load at the
+// moment of rejection plus the recomputed admission probe in the cluster
+// policy's own vocabulary (internal/explain).
+type ProcEvidence struct {
+	Proc        int                   `json:"proc"`
+	Utilization float64               `json:"u"`
+	Residents   int                   `json:"residents"`
+	Detail      *explain.ProcEvidence `json:"detail,omitempty"`
+}
+
+// Result is the outcome of one admission attempt. On acceptance, Handle
+// names the placement for a later Remove; on rejection, Cause/Reason carry
+// the partition taxonomy and Evidence the per-processor probes (analyzed
+// rejections only — input errors carry none).
+type Result struct {
+	Accepted bool   `json:"accepted"`
+	Handle   uint64 `json:"handle,omitempty"`
+	Proc     int    `json:"proc"`
+	Response int64  `json:"response,omitempty"`
+
+	Cause       string         `json:"cause,omitempty"`
+	CauseDetail string         `json:"causeDetail,omitempty"`
+	Reason      string         `json:"reason,omitempty"`
+	Evidence    []ProcEvidence `json:"evidence,omitempty"`
+
+	// CacheHit reports that a memoized rejection answered the request. It
+	// is the only field allowed to differ from the uncached computation.
+	CacheHit bool `json:"cacheHit,omitempty"`
+}
+
+// Admit runs one admission attempt against the cluster.
+func (c *Cluster) Admit(t task.Task) Result {
+	cRequests.Inc()
+	c.stats.Requests.Add(1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	var key []byte
+	if c.cacheCap > 0 {
+		key = c.canonicalKey(t)
+		if res, ok := c.cache[string(key)]; ok {
+			cCacheHits.Inc()
+			cRejected.Inc()
+			c.stats.CacheHits.Add(1)
+			c.stats.Rejected.Add(1)
+			res.CacheHit = true
+			return res
+		}
+	}
+
+	pl, err := c.eng.Admit(t)
+	if err == nil {
+		cAccepted.Inc()
+		c.stats.Accepted.Add(1)
+		return Result{Accepted: true, Handle: pl.Handle, Proc: pl.Proc, Response: pl.Response}
+	}
+	var rej *partition.Rejection
+	if !errors.As(err, &rej) {
+		// The engine only returns *Rejection; anything else is a bug.
+		panic("admit: online engine returned an untyped error: " + err.Error())
+	}
+	cRejected.Inc()
+	c.stats.Rejected.Add(1)
+	res := Result{
+		Proc:        -1,
+		Cause:       rej.Cause.String(),
+		CauseDetail: rej.Cause.Describe(),
+		Reason:      rej.Reason,
+		Evidence:    c.evidence(rej.Cause, t),
+	}
+	if c.cacheCap > 0 {
+		if len(c.cache) >= c.cacheCap {
+			clear(c.cache)
+		}
+		if c.cache == nil {
+			c.cache = make(map[string]Result)
+		}
+		c.cache[string(key)] = res
+	}
+	return res
+}
+
+// Remove releases a previously admitted task, reporting whether the handle
+// was resident.
+func (c *Cluster) Remove(handle uint64) bool {
+	c.mu.Lock()
+	ok := c.eng.Remove(handle)
+	c.mu.Unlock()
+	if ok {
+		cRemoved.Inc()
+		c.stats.Removed.Add(1)
+	}
+	return ok
+}
+
+// canonicalKey serializes the full admission question — every resident of
+// every processor (surcharge and policy are cluster constants) plus the
+// candidate — into the reused key buffer. Byte-exact equality of keys is
+// byte-exact equality of questions.
+func (c *Cluster) canonicalKey(t task.Task) []byte {
+	b := c.keyBuf[:0]
+	for q := 0; q < c.eng.M(); q++ {
+		for _, sub := range c.eng.Residents(q) {
+			b = binary.AppendVarint(b, sub.C)
+			b = binary.AppendVarint(b, sub.T)
+			b = binary.AppendVarint(b, sub.Deadline)
+		}
+		b = append(b, 0xFF) // processor boundary
+	}
+	b = binary.AppendVarint(b, t.C)
+	b = binary.AppendVarint(b, t.T)
+	b = binary.AppendVarint(b, t.D)
+	b = append(b, t.Name...)
+	c.keyBuf = b
+	return b
+}
+
+// evidence assembles the per-processor rejection probes for analyzed
+// rejections; input-shaped causes (invalid input, surcharge infeasibility,
+// model mismatch) get none — no processor was consulted.
+func (c *Cluster) evidence(cause partition.Cause, t task.Task) []ProcEvidence {
+	switch cause {
+	case partition.CauseThresholdExhausted, partition.CauseRTADeadlineMiss:
+	default:
+		return nil
+	}
+	s := c.eng.Surcharge()
+	d := t.Deadline()
+	prio := int(d)
+	out := make([]ProcEvidence, c.eng.M())
+	for q := range out {
+		res := c.eng.Residents(q)
+		pe := ProcEvidence{Proc: q, Utilization: c.eng.Utilization(q), Residents: len(res)}
+		if cause == partition.CauseThresholdExhausted {
+			u := 0.0
+			for _, sub := range res {
+				u += float64(sub.C+s) / float64(sub.T)
+			}
+			pe.Detail = explain.ProbeThreshold(u, bounds.LL(len(res)+1))
+		} else {
+			for i := range res {
+				res[i].C += s
+			}
+			pe.Detail = explain.ProbeRTA(res, prio, t.C+s, t.T, d, false)
+		}
+		out[q] = pe
+	}
+	return out
+}
+
+// ProcStatus is one processor's live load.
+type ProcStatus struct {
+	Proc        int     `json:"proc"`
+	Residents   int     `json:"residents"`
+	Utilization float64 `json:"u"`
+}
+
+// Status is a cluster's live state snapshot.
+type Status struct {
+	Name      string        `json:"name"`
+	M         int           `json:"m"`
+	Policy    string        `json:"policy"`
+	Surcharge int64         `json:"surcharge"`
+	Tasks     int           `json:"tasks"`
+	Procs     []ProcStatus  `json:"procs"`
+	Stats     StatsSnapshot `json:"stats"`
+}
+
+// Status snapshots the cluster's configuration and per-processor load.
+func (c *Cluster) Status() Status {
+	c.mu.Lock()
+	st := Status{
+		Name:      c.name,
+		M:         c.eng.M(),
+		Policy:    c.eng.Policy(),
+		Surcharge: c.eng.Surcharge(),
+		Tasks:     c.eng.Len(),
+		Procs:     make([]ProcStatus, c.eng.M()),
+	}
+	for q := range st.Procs {
+		st.Procs[q] = ProcStatus{Proc: q, Residents: c.eng.ProcLen(q), Utilization: c.eng.Utilization(q)}
+	}
+	c.mu.Unlock()
+	st.Stats = c.StatsSnapshot()
+	return st
+}

@@ -1,0 +1,235 @@
+package admit
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/partition"
+	"repro/internal/task"
+)
+
+func TestServiceRegistry(t *testing.T) {
+	s := NewService(4)
+	if _, err := s.Create("", 2, "", 0); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := s.Create("a", 0, "", 0); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := s.Create("a", 2, "nope", 0); err == nil {
+		t.Error("bad policy accepted")
+	}
+	c, err := s.Create("a", 2, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "a" {
+		t.Errorf("Name() = %q", c.Name())
+	}
+	if _, err := s.Create("a", 2, "", 0); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if got, ok := s.Get("a"); !ok || got != c {
+		t.Error("Get(a) did not return the created cluster")
+	}
+	if _, ok := s.Get("b"); ok {
+		t.Error("Get(b) found a ghost")
+	}
+	// Names across shards, sorted.
+	for _, n := range []string{"z", "m", "b"} {
+		if _, err := s.Create(n, 1, "", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Names(); !reflect.DeepEqual(got, []string{"a", "b", "m", "z"}) {
+		t.Errorf("Names() = %v", got)
+	}
+	if !s.Delete("m") || s.Delete("m") {
+		t.Error("Delete semantics broken")
+	}
+	if _, ok := s.Get("m"); ok {
+		t.Error("deleted cluster still reachable")
+	}
+}
+
+// TestClusterCacheEquivalence drives identical random churn through a
+// cached cluster and a twin with the cache disabled (cap 0), checking every
+// Result is identical modulo the CacheHit marker — the soundness contract
+// of the canonical-key memo.
+func TestClusterCacheEquivalence(t *testing.T) {
+	for _, policy := range partition.OnlinePolicies() {
+		t.Run(policy, func(t *testing.T) {
+			s := NewService(1)
+			cached, err := s.Create("cached-"+policy, 2, policy, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plain, err := s.Create("plain-"+policy, 2, policy, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plain.cacheCap = 0 // cleared before every insert: no hit can survive
+
+			r := rand.New(rand.NewSource(41))
+			var live []uint64
+			hits := 0
+			for op := 0; op < 600; op++ {
+				if len(live) > 0 && r.Intn(3) == 0 {
+					h := live[r.Intn(len(live))]
+					a, b := cached.Remove(h), plain.Remove(h)
+					if a != b {
+						t.Fatalf("op %d: Remove(%d) diverged: %v vs %v", op, h, a, b)
+					}
+					if a {
+						for i, x := range live {
+							if x == h {
+								live = append(live[:i], live[i+1:]...)
+								break
+							}
+						}
+					}
+					continue
+				}
+				// A small parameter space so repeats (and thus cache hits) occur.
+				T := task.Time(10 * (1 + r.Intn(6)))
+				tk := task.Task{C: 1 + task.Time(r.Intn(int(T)/2)), T: T}
+				if policy != partition.OnlineThreshold && r.Intn(3) == 0 {
+					tk.D = tk.C + task.Time(r.Intn(int(T-tk.C)+1))
+				}
+				a := cached.Admit(tk)
+				b := plain.Admit(tk)
+				if a.CacheHit {
+					hits++
+				}
+				a.CacheHit, b.CacheHit = false, false
+				if !reflect.DeepEqual(a, b) {
+					t.Fatalf("op %d task %s: cached %+v vs plain %+v", op, tk, a, b)
+				}
+				if a.Accepted {
+					live = append(live, a.Handle)
+				}
+			}
+			if hits == 0 {
+				t.Error("cache never hit; the equivalence run proved nothing")
+			}
+		})
+	}
+}
+
+// TestClusterAdmitRejectShapes pins the Result surface: evidence on
+// analyzed rejections, none on input errors, handles usable for Remove.
+func TestClusterAdmitRejectShapes(t *testing.T) {
+	s := NewService(0)
+	c, err := s.Create("t", 1, partition.OnlineRTAFirstFit, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := c.Admit(task.Task{C: 5, T: 10})
+	if !ok.Accepted || ok.Handle == 0 || ok.Proc != 0 || ok.Response != 5 {
+		t.Fatalf("accept result: %+v", ok)
+	}
+	full := c.Admit(task.Task{Name: "big", C: 8, T: 10})
+	if full.Accepted || full.Cause != "rta-deadline-miss" || full.Proc != -1 {
+		t.Fatalf("reject result: %+v", full)
+	}
+	if len(full.Evidence) != 1 || full.Evidence[0].Detail == nil || full.Evidence[0].Detail.OwnVerdict == "" {
+		t.Fatalf("analyzed rejection lacks evidence: %+v", full.Evidence)
+	}
+	if full.CauseDetail == "" || full.Reason == "" {
+		t.Fatalf("rejection lacks prose: %+v", full)
+	}
+	bad := c.Admit(task.Task{C: 0, T: 10})
+	if bad.Accepted || bad.Cause != "invalid-input" || bad.Evidence != nil {
+		t.Fatalf("invalid-input result: %+v", bad)
+	}
+	if !c.Remove(ok.Handle) || c.Remove(ok.Handle) {
+		t.Error("Remove semantics broken")
+	}
+	st := c.Status()
+	if st.Tasks != 0 || st.M != 1 || len(st.Procs) != 1 || st.Stats.Requests != 3 ||
+		st.Stats.Accepted != 1 || st.Stats.Rejected != 2 || st.Stats.Removed != 1 {
+		t.Errorf("status: %+v", st)
+	}
+}
+
+// TestClusterStatsConcurrent hammers one cluster and several tenants from
+// many goroutines; run under -race this pins the striped-lock and atomic
+// stats design.
+func TestClusterStatsConcurrent(t *testing.T) {
+	s := NewService(8)
+	shared, err := s.Create("shared", 4, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := fmt.Sprintf("tenant-%d", w)
+			own, err := s.Create(name, 2, partition.OnlineRTAWorstFit, 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			r := rand.New(rand.NewSource(int64(w)))
+			var mine []uint64
+			for i := 0; i < 200; i++ {
+				for _, c := range []*Cluster{shared, own} {
+					T := task.Time(10 + r.Intn(100))
+					res := c.Admit(task.Task{C: 1 + task.Time(r.Intn(5)), T: T})
+					if res.Accepted && c == own {
+						mine = append(mine, res.Handle)
+					}
+					c.StatsSnapshot() // lock-free read while others write
+					c.Status()
+				}
+				if len(mine) > 4 {
+					own.Remove(mine[0])
+					mine = mine[1:]
+				}
+				s.Get("shared")
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := shared.StatsSnapshot()
+	if snap.Requests != 8*200 {
+		t.Errorf("shared requests = %d, want %d", snap.Requests, 8*200)
+	}
+	if snap.Accepted+snap.Rejected != snap.Requests {
+		t.Errorf("accepted %d + rejected %d != requests %d", snap.Accepted, snap.Rejected, snap.Requests)
+	}
+}
+
+// TestCacheCapClears pins the bounded-cache policy: outgrowing the cap
+// clears the map rather than evicting piecemeal.
+func TestCacheCapClears(t *testing.T) {
+	s := NewService(1)
+	c, err := s.Create("small", 1, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.cacheCap = 2
+	// Saturate the processor so every distinct oversized task is rejected
+	// and cached.
+	if res := c.Admit(task.Task{C: 9, T: 10}); !res.Accepted {
+		t.Fatalf("setup admit failed: %+v", res)
+	}
+	for i := 0; i < 5; i++ {
+		c.Admit(task.Task{C: 50 + task.Time(i), T: 100})
+	}
+	c.mu.Lock()
+	n := len(c.cache)
+	c.mu.Unlock()
+	if n > 2 {
+		t.Errorf("cache grew to %d entries past its cap of 2", n)
+	}
+	// A repeat of the last rejection must still hit.
+	if res := c.Admit(task.Task{C: 54, T: 100}); !res.CacheHit {
+		t.Error("repeat rejection missed the cache after a clear cycle")
+	}
+}

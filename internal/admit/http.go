@@ -1,0 +1,200 @@
+package admit
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/task"
+)
+
+// HTTP/JSON surface of the service (mounted by cmd/admitd, typically next
+// to the obs status routes):
+//
+//	POST   /v1/clusters               {"name","m","policy","surcharge"}  → 201 Status
+//	GET    /v1/clusters                                                  → 200 {"clusters":[Status...]}
+//	GET    /v1/clusters/{name}                                           → 200 Status
+//	DELETE /v1/clusters/{name}                                           → 204
+//	POST   /v1/clusters/{name}/admit  {"name","c","t","d"}               → 200 Result
+//	POST   /v1/clusters/{name}/remove {"handle"}                         → 200 {"removed":true}
+//
+// Both admission verdicts are 200s — a rejection is an analyzed answer, not
+// a transport error (mirroring cmd/explain's exit-code contract, where only
+// usage errors are distinguished from verdicts). Malformed requests are
+// 400, unknown clusters and handles 404, duplicate cluster names 409.
+
+// encBufs pools response-encoding buffers across requests, the service's
+// per-request workspace (the same recycle-don't-reallocate discipline as
+// experiments.Workspace on the batch side).
+var encBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxBodyBytes caps request bodies; admission requests are tiny.
+const maxBodyBytes = 1 << 20
+
+// CreateRequest is the POST /v1/clusters body.
+type CreateRequest struct {
+	Name      string `json:"name"`
+	M         int    `json:"m"`
+	Policy    string `json:"policy,omitempty"`
+	Surcharge int64  `json:"surcharge,omitempty"`
+}
+
+// AdmitRequest is the POST /v1/clusters/{name}/admit body: one task in the
+// paper's model (c, t, optional constrained deadline d, optional label).
+type AdmitRequest struct {
+	Name string `json:"name,omitempty"`
+	C    int64  `json:"c"`
+	T    int64  `json:"t"`
+	D    int64  `json:"d,omitempty"`
+}
+
+// RemoveRequest is the POST /v1/clusters/{name}/remove body.
+type RemoveRequest struct {
+	Handle uint64 `json:"handle"`
+}
+
+// Handler returns the service's HTTP mux. The routes are also exported via
+// Routes for mounting beside other handlers (the obs status server).
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	for _, r := range s.Routes() {
+		mux.Handle(r.Pattern, r.Handler)
+	}
+	return mux
+}
+
+// Routes lists the service's endpoints (Go 1.22 method+path patterns) as
+// obs routes, so cmd/admitd can mount them beside the status routes with
+// obs.ServeWith and the "/" index names them.
+func (s *Service) Routes() []obs.Route {
+	return []obs.Route{
+		{Pattern: "POST /v1/clusters", Handler: http.HandlerFunc(s.handleCreate)},
+		{Pattern: "GET /v1/clusters", Handler: http.HandlerFunc(s.handleList)},
+		{Pattern: "GET /v1/clusters/{name}", Handler: http.HandlerFunc(s.handleStatus)},
+		{Pattern: "DELETE /v1/clusters/{name}", Handler: http.HandlerFunc(s.handleDelete)},
+		{Pattern: "POST /v1/clusters/{name}/admit", Handler: http.HandlerFunc(s.handleAdmit)},
+		{Pattern: "POST /v1/clusters/{name}/remove", Handler: http.HandlerFunc(s.handleRemove)},
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	buf := encBufs.Get().(*bytes.Buffer)
+	defer encBufs.Put(buf)
+	buf.Reset()
+	enc := json.NewEncoder(buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, `{"error":"encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(buf.Bytes())
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// decodeBody strictly decodes one JSON object into v.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, "bad request body: trailing data")
+		return false
+	}
+	return true
+}
+
+func (s *Service) cluster(w http.ResponseWriter, r *http.Request) (*Cluster, bool) {
+	name := r.PathValue("name")
+	c, ok := s.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown cluster %q", name)
+		return nil, false
+	}
+	return c, true
+}
+
+func (s *Service) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	c, err := s.Create(req.Name, req.M, req.Policy, task.Time(req.Surcharge))
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, ErrExists) {
+			code = http.StatusConflict
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, c.Status())
+}
+
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	names := s.Names()
+	statuses := make([]Status, 0, len(names))
+	for _, name := range names {
+		if c, ok := s.Get(name); ok {
+			statuses = append(statuses, c.Status())
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"clusters": statuses})
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.cluster(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, c.Status())
+}
+
+func (s *Service) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.Delete(r.PathValue("name")) {
+		writeError(w, http.StatusNotFound, "unknown cluster %q", r.PathValue("name"))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Service) handleAdmit(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.cluster(w, r)
+	if !ok {
+		return
+	}
+	var req AdmitRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	res := c.Admit(task.Task{Name: req.Name, C: req.C, T: req.T, D: req.D})
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Service) handleRemove(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.cluster(w, r)
+	if !ok {
+		return
+	}
+	var req RemoveRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if !c.Remove(req.Handle) {
+		writeError(w, http.StatusNotFound, "no resident task with handle %d", req.Handle)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"removed": true})
+}

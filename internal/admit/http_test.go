@@ -1,0 +1,117 @@
+package admit
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func doJSON(t *testing.T, h http.Handler, method, path, body string) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	var rd *strings.Reader
+	if body == "" {
+		rd = strings.NewReader("")
+	} else {
+		rd = strings.NewReader(body)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	var v map[string]any
+	if len(w.Body.Bytes()) > 0 {
+		if err := json.Unmarshal(w.Body.Bytes(), &v); err != nil {
+			t.Fatalf("%s %s: non-JSON body %q", method, path, w.Body.String())
+		}
+	}
+	return w, v
+}
+
+func TestHTTPLifecycle(t *testing.T) {
+	h := NewService(4).Handler()
+
+	// Create.
+	w, v := doJSON(t, h, "POST", "/v1/clusters", `{"name":"edge","m":2,"policy":"rta-ff"}`)
+	if w.Code != http.StatusCreated || v["name"] != "edge" || v["m"] != 2.0 {
+		t.Fatalf("create: %d %v", w.Code, v)
+	}
+	// Duplicate name → 409; invalid params → 400.
+	if w, _ := doJSON(t, h, "POST", "/v1/clusters", `{"name":"edge","m":2}`); w.Code != http.StatusConflict {
+		t.Fatalf("duplicate create: %d", w.Code)
+	}
+	if w, _ := doJSON(t, h, "POST", "/v1/clusters", `{"name":"bad","m":0}`); w.Code != http.StatusBadRequest {
+		t.Fatalf("invalid create: %d", w.Code)
+	}
+	if w, _ := doJSON(t, h, "POST", "/v1/clusters", `{"nope":1}`); w.Code != http.StatusBadRequest {
+		t.Fatalf("unknown field: %d", w.Code)
+	}
+
+	// Admit accepted.
+	w, v = doJSON(t, h, "POST", "/v1/clusters/edge/admit", `{"name":"cam","c":5,"t":10}`)
+	if w.Code != http.StatusOK || v["accepted"] != true {
+		t.Fatalf("admit: %d %v", w.Code, v)
+	}
+	handle := v["handle"].(float64)
+	if handle == 0 {
+		t.Fatal("zero handle")
+	}
+
+	// Fill the second processor, then a third full-utilization task is an
+	// analyzed rejection — still a 200 with a typed cause and evidence.
+	w, v = doJSON(t, h, "POST", "/v1/clusters/edge/admit", `{"c":10,"t":10}`)
+	if w.Code != http.StatusOK || v["accepted"] != true {
+		t.Fatalf("second admit: %d %v", w.Code, v)
+	}
+	w, v = doJSON(t, h, "POST", "/v1/clusters/edge/admit", `{"c":10,"t":10}`)
+	if w.Code != http.StatusOK || v["accepted"] == true {
+		t.Fatalf("overload admit: %d %v", w.Code, v)
+	}
+	if v["cause"] != "rta-deadline-miss" || v["evidence"] == nil {
+		t.Fatalf("rejection shape: %v", v)
+	}
+
+	// Status and list.
+	w, v = doJSON(t, h, "GET", "/v1/clusters/edge", "")
+	if w.Code != http.StatusOK || v["tasks"].(float64) != 2 || v["policy"] != "rta-ff" {
+		t.Fatalf("status: %d %v", w.Code, v)
+	}
+	stats := v["stats"].(map[string]any)
+	if stats["requests"].(float64) != 3 || stats["rejected"].(float64) != 1 {
+		t.Fatalf("stats: %v", stats)
+	}
+	w, v = doJSON(t, h, "GET", "/v1/clusters", "")
+	if w.Code != http.StatusOK || len(v["clusters"].([]any)) != 1 {
+		t.Fatalf("list: %d %v", w.Code, v)
+	}
+
+	// Remove: live handle succeeds once, then 404s.
+	body := fmt.Sprintf(`{"handle":%d}`, int64(handle))
+	w, v = doJSON(t, h, "POST", "/v1/clusters/edge/remove", body)
+	if w.Code != http.StatusOK || v["removed"] != true {
+		t.Fatalf("remove: %d %v", w.Code, v)
+	}
+	if w, _ = doJSON(t, h, "POST", "/v1/clusters/edge/remove", body); w.Code != http.StatusNotFound {
+		t.Fatalf("double remove: %d", w.Code)
+	}
+
+	// Unknown cluster and bad bodies.
+	if w, _ = doJSON(t, h, "POST", "/v1/clusters/ghost/admit", `{"c":1,"t":2}`); w.Code != http.StatusNotFound {
+		t.Fatalf("ghost admit: %d", w.Code)
+	}
+	if w, _ = doJSON(t, h, "POST", "/v1/clusters/edge/admit", `not json`); w.Code != http.StatusBadRequest {
+		t.Fatalf("bad body: %d", w.Code)
+	}
+	if w, _ = doJSON(t, h, "POST", "/v1/clusters/edge/admit", `{"c":1,"t":2}{"c":1,"t":2}`); w.Code != http.StatusBadRequest {
+		t.Fatalf("trailing data: %d", w.Code)
+	}
+
+	// Delete.
+	if w, _ = doJSON(t, h, "DELETE", "/v1/clusters/edge", ""); w.Code != http.StatusNoContent {
+		t.Fatalf("delete: %d", w.Code)
+	}
+	if w, _ = doJSON(t, h, "DELETE", "/v1/clusters/edge", ""); w.Code != http.StatusNotFound {
+		t.Fatalf("double delete: %d", w.Code)
+	}
+}

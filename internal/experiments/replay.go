@@ -74,6 +74,9 @@ func ParseRecipe(s string) (Recipe, error) {
 	if rc.Point < 0 {
 		return Recipe{}, fmt.Errorf("recipe: missing or negative point")
 	}
+	if haveSample && rc.Sample < 0 {
+		return Recipe{}, fmt.Errorf("recipe: negative sample %d", rc.Sample)
+	}
 	switch {
 	case haveSeed && haveBase && haveSample:
 		if want := rc.BaseSeed + int64(rc.Sample)*sampleSeedStride; rc.SampleSeed != want {

@@ -38,6 +38,7 @@ func TestParseRecipe(t *testing.T) {
 		"experiment=x point=1 mystery-field=3 sample-seed=5",        // unknown field
 		"experiment=x point=one sample-seed=5",                      // bad int
 		"experiment=x point=1 sample=2 base-seed=10 sample-seed=11", // contradiction
+		"experiment=x point=1 sample=-2 sample-seed=5",              // negative sample
 	} {
 		if _, err := ParseRecipe(in); err == nil {
 			t.Errorf("ParseRecipe(%q) accepted", in)

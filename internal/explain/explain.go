@@ -355,8 +355,8 @@ func finalFragment(tr *obs.Trace, failed int, t task.Task) *FragmentInfo {
 // points and MaxSplit prefixes for the exact-test algorithms, utilization
 // room for the threshold and EDF tests.
 func probe(alg partition.Algorithm, list []task.Subtask, u float64, prio int, frag *FragmentInfo, scheduler string, n int) *ProcEvidence {
-	ev := &ProcEvidence{}
 	if scheduler == "EDF" {
+		ev := &ProcEvidence{}
 		ev.UtilizationRoom = 1 - u
 		ev.HasUtilization = true
 		return ev
@@ -379,15 +379,33 @@ func probe(alg partition.Algorithm, list []task.Subtask, u float64, prio int, fr
 		threshold = true
 	}
 	if threshold {
-		ev.ThresholdRoom = bounds.LL(n) - u
-		ev.HasThreshold = true
-		return ev
+		return ProbeThreshold(u, bounds.LL(n))
 	}
 	if !rtaBased {
-		return ev
+		return &ProcEvidence{}
 	}
-	// Position the fragment at its RM priority among the residents; hp is
-	// every resident that outranks it.
+	return ProbeRTA(list, prio, frag.RemC, frag.T, frag.Deadline, splitting)
+}
+
+// ProbeThreshold builds the evidence of a utilization-threshold admission:
+// the room theta − u left on a processor with utilization u. Negative room
+// is exactly why the threshold said no.
+func ProbeThreshold(u, theta float64) *ProcEvidence {
+	return &ProcEvidence{ThresholdRoom: theta - u, HasThreshold: true}
+}
+
+// ProbeRTA recomputes the exact-RTA admission of a load (c, t, d) with
+// priority key prio on one processor's priority-sorted resident list: the
+// load's own fixed point against d, the highest-priority resident whose
+// deadline breaks once the load interferes, and — when withMaxPortion is
+// set (splitting algorithms) — the largest admissible MaxSplit prefix. The
+// list must carry any analysis surcharge already (the batch explain path
+// passes assignment lists, which are raw because their surcharge is zero;
+// the admission service passes its surcharged resident view).
+func ProbeRTA(list []task.Subtask, prio int, c, t, d task.Time, withMaxPortion bool) *ProcEvidence {
+	ev := &ProcEvidence{}
+	// Position the load at its priority among the residents; hp is every
+	// resident that outranks it.
 	pos := 0
 	for pos < len(list) && list[pos].TaskIndex <= prio {
 		pos++
@@ -396,17 +414,17 @@ func probe(alg partition.Algorithm, list []task.Subtask, u float64, prio int, fr
 	for j := 0; j < pos; j++ {
 		hp[j] = rta.Interference{C: list[j].C, T: list[j].T}
 	}
-	r, v := rta.ResponseTimeVerdict(frag.RemC, hp, frag.Deadline)
+	r, v := rta.ResponseTimeVerdict(c, hp, d)
 	ev.OwnResponse = r
 	ev.OwnVerdict = v.String()
-	// First resident below the fragment whose deadline breaks once the
-	// fragment interferes.
+	// First resident below the load whose deadline breaks once it
+	// interferes.
 	for i := pos; i < len(list); i++ {
 		ihp := make([]rta.Interference, i)
 		for j := 0; j < i; j++ {
 			ihp[j] = rta.Interference{C: list[j].C, T: list[j].T}
 		}
-		rr, rv := rta.ResponseTimeExtraVerdict(list[i].C, ihp, frag.RemC, frag.T, list[i].Deadline)
+		rr, rv := rta.ResponseTimeExtraVerdict(list[i].C, ihp, c, t, list[i].Deadline)
 		if rv != rta.VerdictFits {
 			ev.Blocked = &BlockedResident{
 				Task: list[i].TaskIndex, Part: list[i].Part,
@@ -416,8 +434,8 @@ func probe(alg partition.Algorithm, list []task.Subtask, u float64, prio int, fr
 			break
 		}
 	}
-	if splitting {
-		ev.MaxPortion = split.MaxPortionAt(list, prio, frag.T, frag.RemC, frag.Deadline)
+	if withMaxPortion {
+		ev.MaxPortion = split.MaxPortionAt(list, prio, t, c, d)
 		ev.HasMaxPortion = true
 	}
 	return ev

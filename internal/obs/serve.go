@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -31,21 +32,30 @@ import (
 //	                 live harness is attributable to a bench capture
 //	GET /debug/pprof/ — net/http/pprof index, profiles, symbolization
 type StatusServer struct {
-	reg *Registry
-	lis net.Listener
-	srv *http.Server
+	reg     *Registry
+	lis     net.Listener
+	srv     *http.Server
+	handler http.Handler
 }
 
 // Serve listens on addr (host:port; :0 picks a free port) and starts the
 // status server over reg in a background goroutine. The returned server
 // reports its bound address via Addr and is shut down with Close.
 func Serve(addr string, reg *Registry) (*StatusServer, error) {
+	return ServeWith(addr, reg)
+}
+
+// ServeWith is Serve with extra routes mounted beside the status routes —
+// cmd/admitd uses it to serve the admission API and the observability
+// surface from one listener. Extra routes appear on the "/" index alongside
+// the built-in ones.
+func ServeWith(addr string, reg *Registry, extra ...Route) (*StatusServer, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	s := &StatusServer{reg: reg, lis: lis}
-	s.srv = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	s := &StatusServer{reg: reg, lis: lis, handler: StatusHandlerWith(reg, extra...)}
+	s.srv = &http.Server{Handler: s.handler, ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = s.srv.Serve(lis) }()
 	return s, nil
 }
@@ -53,31 +63,91 @@ func Serve(addr string, reg *Registry) (*StatusServer, error) {
 // Addr returns the server's bound listen address.
 func (s *StatusServer) Addr() string { return s.lis.Addr().String() }
 
-// Close stops accepting connections and closes the listener.
-func (s *StatusServer) Close() error { return s.srv.Close() }
+// closeGrace bounds how long Close waits for in-flight responses. Scrapes
+// are snapshot renders that finish in microseconds; the grace only matters
+// for a pprof profile capture caught mid-flight, and two seconds keeps
+// harness teardown prompt even then.
+const closeGrace = 2 * time.Second
 
-// Handler returns the status routes as a plain http.Handler, so tests can
+// Close stops accepting connections and waits briefly for in-flight
+// responses to finish, so a scrape racing harness teardown still gets its
+// complete body instead of a reset connection. If the grace period expires
+// (or shutdown fails) the remaining connections are torn down hard.
+func (s *StatusServer) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), closeGrace)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return s.srv.Close()
+	}
+	return nil
+}
+
+// Handler returns the server's routes as a plain http.Handler, so tests can
 // drive them through httptest without opening a socket.
 func (s *StatusServer) Handler() http.Handler {
-	return StatusHandler(s.reg)
+	return s.handler
+}
+
+// Route is one mountable endpoint. Pattern is a net/http mux pattern and
+// may carry a Go 1.22 method prefix ("POST /v1/clusters"); the "/" index
+// lists the path of every registered route.
+type Route struct {
+	Pattern string
+	Handler http.Handler
 }
 
 // StatusHandler builds the read-only status mux over reg (nil means the
 // Default registry).
 func StatusHandler(reg *Registry) http.Handler {
-	if reg == nil {
-		reg = Default
-	}
+	return StatusHandlerWith(reg)
+}
+
+// StatusHandlerWith builds the status mux with extra routes mounted beside
+// the built-in ones. The "/" index is generated from the full route list,
+// so it stays truthful no matter what is mounted.
+func StatusHandlerWith(reg *Registry, extra ...Route) http.Handler {
+	routes := append(statusRoutes(reg), extra...)
 	mux := http.NewServeMux()
+	for _, rt := range routes {
+		mux.Handle(rt.Pattern, rt.Handler)
+	}
+	index := "endpoints: " + strings.Join(routePaths(routes), " ")
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "endpoints: /metrics /progress /debug/pprof/")
+		fmt.Fprintln(w, index)
 	})
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+	return mux
+}
+
+// routePaths extracts the deduplicated path list for the "/" index,
+// dropping any method prefix (GET and DELETE on one path list it once).
+func routePaths(routes []Route) []string {
+	paths := make([]string, 0, len(routes))
+	seen := make(map[string]bool, len(routes))
+	for _, rt := range routes {
+		p := rt.Pattern
+		if i := strings.IndexByte(p, ' '); i >= 0 {
+			p = p[i+1:]
+		}
+		if !seen[p] {
+			seen[p] = true
+			paths = append(paths, p)
+		}
+	}
+	return paths
+}
+
+// statusRoutes lists the built-in read-only endpoints over reg (nil means
+// the Default registry).
+func statusRoutes(reg *Registry) []Route {
+	if reg == nil {
+		reg = Default
+	}
+	metrics := func(w http.ResponseWriter, r *http.Request) {
 		snap := reg.Snapshot()
 		if wantsJSON(r) {
 			w.Header().Set("Content-Type", "application/json")
@@ -86,8 +156,8 @@ func StatusHandler(reg *Registry) http.Handler {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		snap.WriteText(w)
-	})
-	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+	}
+	progress := func(w http.ResponseWriter, r *http.Request) {
 		states := ProgressStates()
 		if r.URL.Query().Get("format") == "text" {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -110,19 +180,23 @@ func StatusHandler(reg *Registry) http.Handler {
 			Schema int          `json:"schema"`
 			Sweeps []MeterState `json:"sweeps"`
 		}{Schema: SnapshotSchemaVersion, Sweeps: states})
-	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	}
+	healthz := func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(healthInfo())
-	})
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
+	}
+	return []Route{
+		{"/metrics", http.HandlerFunc(metrics)},
+		{"/progress", http.HandlerFunc(progress)},
+		{"/healthz", http.HandlerFunc(healthz)},
+		{"/debug/pprof/", http.HandlerFunc(pprof.Index)},
+		{"/debug/pprof/cmdline", http.HandlerFunc(pprof.Cmdline)},
+		{"/debug/pprof/profile", http.HandlerFunc(pprof.Profile)},
+		{"/debug/pprof/symbol", http.HandlerFunc(pprof.Symbol)},
+		{"/debug/pprof/trace", http.HandlerFunc(pprof.Trace)},
+	}
 }
 
 // wantsJSON implements the /metrics content negotiation: JSON when the

@@ -153,6 +153,89 @@ func TestServeBindsAndCloses(t *testing.T) {
 	}
 }
 
+// TestStatusIndexNamesEveryRoute pins the "/" index against the route
+// list it is generated from: every registered path — including /healthz,
+// which the index used to omit — and any extra mounted route must appear.
+func TestStatusIndexNamesEveryRoute(t *testing.T) {
+	reg := NewRegistry()
+	extra := Route{"POST /v1/clusters/{name}/admit", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})}
+	srv := httptest.NewServer(StatusHandlerWith(reg, extra))
+	defer srv.Close()
+
+	code, index := get(t, srv, "/", "")
+	if code != 200 {
+		t.Fatalf("index: code %d", code)
+	}
+	for _, rt := range append(statusRoutes(reg), extra) {
+		path := rt.Pattern
+		if i := strings.IndexByte(path, ' '); i >= 0 {
+			path = path[i+1:]
+		}
+		if !strings.Contains(index, path) {
+			t.Errorf("index omits registered route %s: %q", path, index)
+		}
+	}
+}
+
+// TestCloseWaitsForInflightResponse is the graceful-shutdown regression
+// test: a response in flight when Close is called must still reach the
+// client complete. The old Close (http.Server.Close) reset the connection
+// mid-body.
+func TestCloseWaitsForInflightResponse(t *testing.T) {
+	reg := NewRegistry()
+	inHandler := make(chan struct{})
+	release := make(chan struct{})
+	slow := Route{"/slow", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		io.WriteString(w, "head...")
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		close(inHandler)
+		<-release
+		io.WriteString(w, "tail")
+	})}
+	s, err := ServeWith("127.0.0.1:0", reg, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		body string
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + s.Addr() + "/slow")
+		if err != nil {
+			done <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		done <- result{body: string(body), err: err}
+	}()
+
+	<-inHandler // the scrape is mid-body; now tear the server down
+	closed := make(chan error, 1)
+	go func() { closed <- s.Close() }()
+	// Close must be waiting on the in-flight response, not done already.
+	release <- struct{}{}
+	if err := <-closed; err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	res := <-done
+	if res.err != nil {
+		t.Fatalf("in-flight request failed across Close: %v", res.err)
+	}
+	if res.body != "head...tail" {
+		t.Fatalf("in-flight body truncated across Close: %q", res.body)
+	}
+	if _, err := http.Get("http://" + s.Addr() + "/slow"); err == nil {
+		t.Error("server still reachable after Close")
+	}
+}
+
 // TestMeterTracksWithNilWriter pins the -listen-without--progress path: an
 // inert meter (nil writer) still publishes tracker state, and
 // re-registering a label restarts its entry.

@@ -161,6 +161,11 @@ var cRejectCauses = func() []*obs.Counter {
 	return cs
 }()
 
+// countReject ticks the per-cause rejection counter — the shared chokepoint
+// of the batch algorithms' failWith and the online engine's typed
+// rejections, so partition.reject.* aggregates both.
+func countReject(cause Cause) { cRejectCauses[cause].Inc() }
+
 // failWith tags a Result's terminal failure: cause, failed task and reason,
 // plus the per-cause rejection counter. It is the single chokepoint every
 // algorithm's failure path funnels through.
@@ -168,6 +173,6 @@ func failWith(res *Result, cause Cause, failed int, reason string) *Result {
 	res.Cause = cause
 	res.FailedTask = failed
 	res.Reason = reason
-	cRejectCauses[cause].Inc()
+	countReject(cause)
 	return res
 }

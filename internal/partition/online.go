@@ -1,0 +1,263 @@
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/bounds"
+	"repro/internal/rta"
+	"repro/internal/task"
+)
+
+// Online is the incremental admission engine behind the admission-control
+// service (internal/admit): one virtual cluster of M processors that admits
+// and releases tasks one at a time instead of partitioning a whole set. It
+// is the churn-shaped counterpart of the batch algorithms above — the same
+// exact RTA admission (or the parametric utilization threshold the paper's
+// §I criticizes), run against per-processor rta.ProcState mirrors so each
+// decision reuses the warm-start caches, and ProcState.Remove's invalidation
+// keeps those caches sound when tasks depart.
+//
+// Priorities are deadline-monotonic: the priority key of an admitted task is
+// its effective deadline (ties broken FIFO by the mirror's insertion order),
+// which coincides with rate-monotonic order on the paper's implicit-deadline
+// model. Tasks are placed whole — the online service does not split; a
+// rejected task leaves no residue.
+//
+// An Online is not safe for concurrent use; the admission service serializes
+// operations per cluster.
+type Online struct {
+	m         int
+	policy    string
+	surcharge task.Time
+
+	states []rta.ProcState
+	procs  [][]onlineResident // shadows states' priority positions exactly
+	loc    map[uint64]int     // handle → hosting processor
+	nextH  uint64
+
+	order []int     // worst-fit candidate order scratch
+	utils []float64 // worst-fit utilization scratch
+}
+
+// Online placement policies. The RTA policies admit with the exact test
+// (ProcState.AdmitAt); the threshold policy admits iff the processor's
+// surcharged utilization stays under the Liu & Layland bound Θ(n+1) — the
+// parametric-bound baseline, implicit deadlines only.
+const (
+	OnlineRTAFirstFit = "rta-ff"    // processors in index order
+	OnlineRTAWorstFit = "rta-wf"    // processors by ascending utilization
+	OnlineThreshold   = "threshold" // L&L utilization threshold, first fit
+)
+
+// OnlinePolicies lists the valid Online placement policies.
+func OnlinePolicies() []string {
+	return []string{OnlineRTAFirstFit, OnlineRTAWorstFit, OnlineThreshold}
+}
+
+type onlineResident struct {
+	handle uint64
+	sub    task.Subtask // raw C; the mirror carries the surcharge
+}
+
+// Placement reports a successful online admission.
+type Placement struct {
+	// Handle identifies the admitted task for a later Remove. Never zero.
+	Handle uint64
+	// Proc is the hosting processor.
+	Proc int
+	// Response is the admitted task's own RTA fixed point on its processor
+	// at admission time (informational; for the threshold policy it is
+	// computed the same way even though the admission didn't run RTA).
+	Response task.Time
+}
+
+// Rejection is a typed online admission rejection, reusing the batch
+// taxonomy: the cause names the admission test that fired.
+type Rejection struct {
+	Cause  Cause
+	Reason string
+}
+
+// Error implements error.
+func (r *Rejection) Error() string { return r.Reason }
+
+// NewOnline creates an empty cluster of m processors under the given policy
+// ("" defaults to rta-ff) and per-task analysis surcharge.
+func NewOnline(m int, policy string, surcharge task.Time) (*Online, error) {
+	switch policy {
+	case "":
+		policy = OnlineRTAFirstFit
+	case OnlineRTAFirstFit, OnlineRTAWorstFit, OnlineThreshold:
+	default:
+		return nil, fmt.Errorf("partition: unknown online policy %q (want rta-ff, rta-wf or threshold)", policy)
+	}
+	if m <= 0 {
+		return nil, fmt.Errorf("partition: online cluster needs at least one processor, got %d", m)
+	}
+	if surcharge < 0 {
+		return nil, fmt.Errorf("partition: negative surcharge %d", surcharge)
+	}
+	return &Online{
+		m:         m,
+		policy:    policy,
+		surcharge: surcharge,
+		states:    rta.NewProcStates(m, surcharge),
+		procs:     make([][]onlineResident, m),
+		loc:       make(map[uint64]int),
+	}, nil
+}
+
+// M returns the cluster's processor count.
+func (o *Online) M() int { return o.m }
+
+// Policy returns the cluster's placement policy name.
+func (o *Online) Policy() string { return o.policy }
+
+// Surcharge returns the per-task analysis surcharge.
+func (o *Online) Surcharge() task.Time { return o.surcharge }
+
+// Len returns the number of resident tasks across all processors.
+func (o *Online) Len() int { return len(o.loc) }
+
+// ProcLen returns the number of residents on processor q.
+func (o *Online) ProcLen(q int) int { return len(o.procs[q]) }
+
+// Utilization returns processor q's assigned raw utilization (no
+// surcharge), summed in priority order for determinism.
+func (o *Online) Utilization(q int) float64 {
+	u := 0.0
+	for _, r := range o.procs[q] {
+		u += r.sub.Utilization()
+	}
+	return u
+}
+
+// surchargedUtil is the threshold policy's view: every resident's C
+// inflated by the surcharge.
+func (o *Online) surchargedUtil(q int) float64 {
+	u := 0.0
+	for _, r := range o.procs[q] {
+		u += float64(r.sub.C+o.surcharge) / float64(r.sub.T)
+	}
+	return u
+}
+
+// Residents returns a copy of processor q's resident subtasks in priority
+// order (raw C), for status reporting and rejection evidence.
+func (o *Online) Residents(q int) []task.Subtask {
+	out := make([]task.Subtask, len(o.procs[q]))
+	for i, r := range o.procs[q] {
+		out[i] = r.sub
+	}
+	return out
+}
+
+// Admit attempts to place t whole on some processor under the cluster's
+// policy. On success it returns the placement; on failure the error is a
+// *Rejection carrying the partition.Cause that names the violated test (and
+// ticks the partition.reject.* counter, like every batch rejection).
+func (o *Online) Admit(t task.Task) (Placement, error) {
+	if err := t.Validate(); err != nil {
+		return o.reject(CauseInvalidInput, err.Error())
+	}
+	s := o.surcharge
+	if t.C+s > t.T {
+		return o.reject(CauseSurchargeInfeasible,
+			fmt.Sprintf("%s cannot meet its deadline under surcharge %d even alone", t, s))
+	}
+	d := t.Deadline()
+	prio := int(d) // deadline-monotonic priority key, FIFO tie-break
+
+	if o.policy == OnlineThreshold {
+		if !t.Implicit() {
+			return o.reject(CauseModelMismatch,
+				"threshold admission requires implicit deadlines (D = T); use an rta-* policy for constrained deadlines")
+		}
+		u := float64(t.C+s) / float64(t.T)
+		for q := 0; q < o.m; q++ {
+			if o.surchargedUtil(q)+u <= bounds.LL(len(o.procs[q])+1)+utilEps {
+				return o.place(q, prio, t), nil
+			}
+		}
+		return o.reject(CauseThresholdExhausted,
+			fmt.Sprintf("no processor has %.4f utilization room under the L&L threshold for %s", u, t))
+	}
+
+	for _, q := range o.candidates() {
+		if d >= t.C+s && o.states[q].AdmitAt(prio, t.C, t.T, d) {
+			return o.place(q, prio, t), nil
+		}
+	}
+	return o.reject(CauseRTADeadlineMiss,
+		fmt.Sprintf("exact RTA proves a deadline miss for %s on every processor", t))
+}
+
+// candidates returns the processor probe order of the RTA policies:
+// index order for first fit, ascending assigned utilization (ties by
+// index, same permutation as pickWorstFit) for worst fit.
+func (o *Online) candidates() []int {
+	if cap(o.order) < o.m {
+		o.order = make([]int, o.m)
+		o.utils = make([]float64, o.m)
+	}
+	out := o.order[:o.m]
+	for q := range out {
+		out[q] = q
+	}
+	if o.policy != OnlineRTAWorstFit {
+		return out
+	}
+	utils := o.utils[:o.m]
+	for q := range utils {
+		utils[q] = o.Utilization(q)
+	}
+	for i := 1; i < len(out); i++ {
+		q := out[i]
+		u := utils[q]
+		j := i - 1
+		for j >= 0 && utils[out[j]] > u {
+			out[j+1] = out[j]
+			j--
+		}
+		out[j+1] = q
+	}
+	return out
+}
+
+func (o *Online) place(q, prio int, t task.Task) Placement {
+	d := t.Deadline()
+	sub := task.Subtask{TaskIndex: prio, Part: 1, C: t.C, T: t.T, Deadline: d, Offset: t.T - d, Tail: true}
+	pos := o.states[q].Insert(sub)
+	o.nextH++
+	h := o.nextH
+	o.procs[q] = append(o.procs[q], onlineResident{})
+	copy(o.procs[q][pos+1:], o.procs[q][pos:])
+	o.procs[q][pos] = onlineResident{handle: h, sub: sub}
+	o.loc[h] = q
+	r, _ := o.states[q].ResponseAt(pos, d)
+	return Placement{Handle: h, Proc: q, Response: r}
+}
+
+func (o *Online) reject(cause Cause, reason string) (Placement, error) {
+	countReject(cause)
+	return Placement{}, &Rejection{Cause: cause, Reason: reason}
+}
+
+// Remove releases the task identified by handle, invalidating exactly the
+// warm-start cache entries the departure makes stale (ProcState.Remove).
+// It reports whether the handle was resident.
+func (o *Online) Remove(handle uint64) bool {
+	q, ok := o.loc[handle]
+	if !ok {
+		return false
+	}
+	list := o.procs[q]
+	pos := 0
+	for pos < len(list) && list[pos].handle != handle {
+		pos++
+	}
+	o.states[q].Remove(pos)
+	o.procs[q] = append(list[:pos], list[pos+1:]...)
+	delete(o.loc, handle)
+	return true
+}

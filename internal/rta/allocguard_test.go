@@ -35,6 +35,35 @@ func TestAllocGuardProcessorSchedulableScratch(t *testing.T) {
 	}
 }
 
+func TestAllocGuardProcStateAdmitRemoveCycle(t *testing.T) {
+	list := guardList(9, 8)
+	var states []ProcState
+	states = ResetProcStates(states, 1, 0)
+	ps := &states[0]
+	for _, s := range list {
+		if ps.AdmitAt(s.TaskIndex, s.C, s.T, s.Deadline) {
+			ps.Insert(s)
+		}
+	}
+	// A mid-priority churn candidate so the cycle exercises both the
+	// warm-started probes below the insertion point and Remove's cache
+	// invalidation of exactly those positions.
+	cand := task.Subtask{TaskIndex: 3, Part: 1, C: 1, T: 5000, Deadline: 5000, Tail: true}
+	if !ps.AdmitAt(cand.TaskIndex, cand.C, cand.T, cand.Deadline) {
+		t.Fatal("churn candidate unexpectedly rejected; guard would not exercise the cycle")
+	}
+	ps.Remove(ps.Insert(cand)) // warm the buffers through one full cycle
+	cycle := func() {
+		if ps.AdmitAt(cand.TaskIndex, cand.C, cand.T, cand.Deadline) {
+			ps.Remove(ps.Insert(cand))
+		}
+	}
+	allocs := testing.AllocsPerRun(200, cycle)
+	if allocs != 0 {
+		t.Errorf("warm ProcState admit/remove cycle: %v allocs/run, want 0", allocs)
+	}
+}
+
 func TestAllocGuardProcStateProbe(t *testing.T) {
 	list := guardList(7, 10)
 	var states []ProcState

@@ -251,6 +251,47 @@ func (ps *ProcState) AdmitAt(prio int, c, t, d task.Time) bool {
 	return true
 }
 
+// Remove deletes the resident at priority position pos from the mirror —
+// the online-admission counterpart of Insert (a departing task under churn,
+// see internal/admit). Removal is where warm-start soundness needs care:
+//
+//   - Residents ABOVE pos (positions < pos) never saw the removed load in
+//     their interference set, so their cached fixed points remain the exact
+//     converged responses and are kept.
+//   - Residents AT OR BELOW pos lose an interferer. Their cached responses
+//     were converged against the LARGER demand function, so they are upper
+//     bounds on the new fixed points — and iterate() requires a LOWER
+//     bound to converge to the least fixed point (starting at or above a
+//     non-least fixed point would either return it, over-reporting the
+//     response, or trip the monotonicity panic). Those entries are
+//     therefore dropped to 0 ("unknown"), and the next probe of each
+//     resident re-validates it lazily from the classic cold-start bound.
+//
+// Schedulability itself needs no re-validation: removal only shrinks every
+// demand function, so a resident that passed RTA when admitted still
+// passes, preserving the processor invariant AdmitAt's affected-range skip
+// relies on. The equivalence fuzz tests pin that any insert/remove
+// interleaving yields verdicts and response times identical to from-scratch
+// analysis of the surviving residents.
+func (ps *ProcState) Remove(pos int) {
+	if pos < 0 || pos >= len(ps.ints) {
+		panic("rta: ProcState.Remove position out of range")
+	}
+	ps.idx = append(ps.idx[:pos], ps.idx[pos+1:]...)
+	ps.ints = append(ps.ints[:pos], ps.ints[pos+1:]...)
+	ps.dls = append(ps.dls[:pos], ps.dls[pos+1:]...)
+	ps.resp = append(ps.resp[:pos], ps.resp[pos+1:]...)
+	for i := pos; i < len(ps.resp); i++ {
+		ps.resp[i] = 0
+	}
+	// Staged probe responses include the departed resident's interference
+	// (or were positioned relative to it); either way they are stale.
+	ps.stagedValid = false
+}
+
+// TaskAt returns the priority key (task index) of resident pos.
+func (ps *ProcState) TaskAt(pos int) int { return ps.idx[pos] }
+
 // SlackAt returns the testing-point slack of resident i against a new
 // period-t interferer (see Slack), evaluated on the mirrored surcharged
 // view with zero allocation.
