@@ -48,6 +48,7 @@ func TestBenchHotpathJSON(t *testing.T) {
 	}{
 		{"E2AcceptanceGeneral", BenchmarkE2AcceptanceGeneral},
 		{"RTAProcessor", BenchmarkRTAProcessor},
+		{"BatchRTAKernel", BenchmarkBatchRTAKernel},
 		{"MaxSplitTestingPoint", BenchmarkMaxSplitTestingPoint},
 		{"PartitionRMTS", BenchmarkPartitionRMTS},
 		{"PartitionRMTSArena", BenchmarkPartitionRMTSArena},

@@ -50,6 +50,7 @@ func benchExperiment(b *testing.B, key string) {
 	b.ReportMetric(perOp("rta.iterations"), "rta-iters/op")
 	b.ReportMetric(perOp("rta.cache.warm_starts"), "warm-starts/op")
 	b.ReportMetric(perOp("partition.splits"), "splits/op")
+	b.ReportMetric(perOp("partition.prefilter.hits"), "prefilter-hits/op")
 }
 
 func BenchmarkE1BoundsTable(b *testing.B)        { benchExperiment(b, "bounds-table") }
@@ -107,6 +108,46 @@ func BenchmarkRTAProcessor(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rta.ProcessorSchedulable(lists[i%len(lists)])
+	}
+}
+
+// BenchmarkBatchRTAKernel exercises the struct-of-arrays ProcState hot loop
+// in isolation: a pool of prefilled processors, each op probing one whole
+// admission (AdmitAt), the capped slack scan a split would run, and an
+// insert/remove churn cycle against warm caches. The batch path must stay
+// allocation-free — the 0 allocs/op here is pinned by the perfdiff gate.
+func BenchmarkBatchRTAKernel(b *testing.B) {
+	r := rand.New(rand.NewSource(5))
+	var states []rta.ProcState
+	states = rta.ResetProcStates(states, 16, 0)
+	var cands []task.Subtask
+	for q := range states {
+		ps := &states[q]
+		next := 0
+		for ps.Len() < 8 {
+			T := task.Time(100 + r.Intn(9900))
+			C := task.Time(1 + r.Intn(int(T)/10))
+			if ps.AdmitAt(next, C, T, T) {
+				ps.Insert(task.Subtask{TaskIndex: next, Part: 1, C: C, T: T, Deadline: T, Tail: true})
+			}
+			next += 2
+		}
+		T := task.Time(100 + r.Intn(9900))
+		cands = append(cands, task.Subtask{TaskIndex: next, Part: 1,
+			C: 1 + task.Time(r.Intn(int(T)/10)), T: T, Deadline: T, Tail: true})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := i % len(states)
+		ps := &states[q]
+		c := cands[q]
+		if ps.AdmitAt(c.TaskIndex, c.C, c.T, c.Deadline) {
+			ps.Remove(ps.Insert(c))
+		}
+		for pos := 0; pos < ps.Len(); pos++ {
+			_ = ps.SlackAtMost(pos, c.T, c.C)
+		}
 	}
 }
 

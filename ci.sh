@@ -13,9 +13,10 @@
 # boots the admission service and drives the admit→remove→re-admit cycle
 # plus a load run through its -check client, and a perf-regression gate
 # diffing the regenerated hot-path bench record against the committed
-# baseline (DESIGN.md §10) — including the sustained-admissions record,
-# which must stay at or above 100k admissions/sec. Run from the repository
-# root; any failure fails the gate.
+# baseline (DESIGN.md §10) — plus absolute speed floors that lock in the
+# batch-kernel win (E2AcceptanceGeneral under 700µs/op, AdmitService above
+# ~140k admissions/sec). Run from the repository root; any failure fails
+# the gate.
 set -eu
 
 echo "== gofmt =="
@@ -47,10 +48,19 @@ echo "== fault injection (every injected fault must surface as a seed-reproducib
 go test repro/internal/faultinject
 go test -count=1 -run 'TestInjected|TestCheckpointWriteFailure|TestKillAndResume|TestMidSweepCancellation' repro/internal/experiments
 
-echo "== fuzz smokes (invariant checker, task-set parser round trip, removal invalidation) =="
+echo "== fuzz smokes (invariant checker, task-set parser round trip, removal invalidation, batch-vs-scalar RTA) =="
 go test -run '^$' -fuzz FuzzValidate -fuzztime 5s repro/internal/partition
 go test -run '^$' -fuzz FuzzParseRoundTrip -fuzztime 5s repro/internal/taskio
 go test -run '^$' -fuzz FuzzProcStateRemove -fuzztime 5s repro/internal/rta
+go test -run '^$' -fuzz FuzzBatchVsScalarRTA -fuzztime 5s repro/internal/rta
+
+echo "== prefilter / cross-scale equivalence (tables must be byte-identical with the fast paths off) =="
+fast_on=$(mktemp /tmp/ci-fast-on.XXXXXX.txt)
+fast_off=$(mktemp /tmp/ci-fast-off.XXXXXX.txt)
+go run ./cmd/experiments -run acceptance-general -quick -sets 50 -q > "$fast_on"
+go run ./cmd/experiments -run acceptance-general -quick -sets 50 -q -prefilter=false -crossscale=false > "$fast_off"
+cmp "$fast_on" "$fast_off"
+rm -f "$fast_on" "$fast_off"
 
 echo "== paranoid quick table (full invariant re-validation of every partitioning) =="
 go run ./cmd/experiments -run acceptance-general -quick -sets 50 -paranoid -q > /dev/null
@@ -107,9 +117,17 @@ echo "== perf-regression gate (new record vs committed baseline) =="
 go run ./cmd/perfdiff -warn 'ns/op,B/op' -allocs-tol 0.25 -extra-tol 0.25 "$baseline" BENCH_hotpath.json
 rm -f "$baseline"
 
-echo "== admissions-throughput target (AdmitService >= 100k admissions/sec) =="
+echo "== hot-path speed floors (batch-kernel win must hold) =="
+# Absolute ns/op ceilings, deliberately generous against shared-hardware
+# noise but far below the pre-batch-kernel numbers: E2AcceptanceGeneral ran
+# ~840µs/op before the SoA kernel / cross-scale reuse / HB prefilter wave
+# and ~420-460µs/op after, so 700µs only trips on a real regression.
+# AdmitService at 7µs/op is ~140k admissions/sec, above the 100k target.
+e2_ns=$(awk '/"name": "E2AcceptanceGeneral"/{f=1} f && /"ns_per_op"/{gsub(/[^0-9.]/, ""); print; exit}' BENCH_hotpath.json)
+echo "E2AcceptanceGeneral: ${e2_ns} ns/op (ceiling 700000)"
+awk -v ns="$e2_ns" 'BEGIN { exit !(ns > 0 && ns <= 700000) }'
 admit_ns=$(awk '/"name": "AdmitService"/{f=1} f && /"ns_per_op"/{gsub(/[^0-9.]/, ""); print; exit}' BENCH_hotpath.json)
-echo "AdmitService: ${admit_ns} ns/op"
-awk -v ns="$admit_ns" 'BEGIN { exit !(ns > 0 && ns <= 10000) }'
+echo "AdmitService: ${admit_ns} ns/op (ceiling 7000)"
+awk -v ns="$admit_ns" 'BEGIN { exit !(ns > 0 && ns <= 7000) }'
 
 echo "CI gate passed."

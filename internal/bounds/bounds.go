@@ -39,12 +39,29 @@ type PUB interface {
 	Deflatable() bool
 }
 
+// llTable caches LL(n) for small n: admission-time callers (the partition
+// prefilter, threshold admissions) evaluate the bound once per probe, and a
+// table lookup replaces the math.Pow on that hot path. Entries hold exactly
+// the value the closed form computes, so cached and computed results are
+// bit-identical.
+var llTable = func() [257]float64 {
+	var t [257]float64
+	t[0] = 1
+	for n := 1; n < len(t); n++ {
+		t[n] = float64(n) * (math.Pow(2, 1/float64(n)) - 1)
+	}
+	return t
+}()
+
 // LL returns the Liu & Layland bound Θ(n) = n(2^{1/n}−1) for n tasks.
 // LL(0) is defined as 1 (an empty set is trivially schedulable at full
 // utilization); as n → ∞ the bound decreases towards ln 2 ≈ 0.6931.
 func LL(n int) float64 {
 	if n <= 0 {
 		return 1
+	}
+	if n < len(llTable) {
+		return llTable[n]
 	}
 	return float64(n) * (math.Pow(2, 1/float64(n)) - 1)
 }

@@ -30,6 +30,7 @@ type Scratch struct {
 	matchR  []int       // Kuhn matching: predecessor per right node
 	seen    []bool      // visited set, cleared per augmenting round
 	tails   []task.Time // greedy grouping: largest element per chain
+	spKey   []task.Time // scaledPeriods memo: period vector the cache is for
 }
 
 // ScratchValuer is implemented by PUBs that can evaluate with caller-owned
@@ -137,11 +138,34 @@ func (sc *Scratch) sortedPeriods(ts task.Set) []task.Time {
 	return ps
 }
 
-// scaledPeriods computes ScaledPeriods into the scratch float buffer.
+// scaledPeriods computes ScaledPeriods into the scratch float buffer,
+// memoized on the full period vector: TBound and RBound both consume it, so
+// under a Max/Min combinator the second child reuses the first child's
+// scale+sort. The memo key is compared element for element — an O(n) check
+// against the O(n log n + n·log(Tmax/Tmin)) recompute — so a caller mutating
+// the set between evaluations (arena reuse across samples) can never see a
+// stale vector.
 func (sc *Scratch) scaledPeriods(ts task.Set) []float64 {
 	if len(ts) == 0 {
 		return nil
 	}
+	if len(sc.spKey) == len(ts) && len(sc.scaled) == len(ts) {
+		hit := true
+		for i := range ts {
+			if sc.spKey[i] != ts[i].T {
+				hit = false
+				break
+			}
+		}
+		if hit {
+			return sc.scaled
+		}
+	}
+	key := sc.spKey[:0]
+	for _, t := range ts {
+		key = append(key, t.T)
+	}
+	sc.spKey = key
 	tmax := ts[0].T
 	for _, t := range ts {
 		if t.T > tmax {

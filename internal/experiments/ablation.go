@@ -8,6 +8,7 @@ import (
 	"repro/internal/rta"
 	"repro/internal/split"
 	"repro/internal/task"
+	"repro/internal/xrand"
 )
 
 // SplitAblation (E9) compares the two MaxSplit implementations (§IV-A):
@@ -15,7 +16,7 @@ import (
 // testing-point method it cites from [22]. Both must agree exactly on
 // every instance; the table reports agreement and the speedup.
 func SplitAblation(cfg Config) ([]Table, error) {
-	r := rand.New(rand.NewSource(cfg.Seed ^ 0xE9))
+	r := rand.New(xrand.New(cfg.Seed ^ 0xE9))
 	instances := cfg.setsPerPoint() * 5
 	if cfg.Quick && instances > 200 {
 		instances = 200

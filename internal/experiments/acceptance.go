@@ -8,6 +8,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/partition"
 	"repro/internal/task"
+	"repro/internal/xrand"
 )
 
 // Per-sweep parameter helpers. Each sweep's processor count, point grid and
@@ -99,7 +100,7 @@ func tailSet(r *rand.Rand, sc *gen.Scratch, target float64) (task.Set, error) {
 // SPA2's curve collapses right after the L&L bound (≈70%); RM-TS stays
 // high well beyond it; strict partitioning trails both at high U_M.
 func AcceptanceGeneral(cfg Config) ([]Table, error) {
-	r := rand.New(rand.NewSource(cfg.Seed ^ 0xE2))
+	r := rand.New(xrand.New(cfg.Seed ^ 0xE2))
 	m, points := generalParams(cfg.Quick)
 	algos := defaultAlgos()
 	bases := pointBases(r, len(points))
@@ -129,7 +130,7 @@ func AcceptanceGeneral(cfg Config) ([]Table, error) {
 // (≈ Θ/(1+Θ)), where RM-TS/light's Theorem 8 applies. Expected shape:
 // RM-TS/light ≈ RM-TS, both far above SPA1/SPA2 past the L&L bound.
 func AcceptanceLight(cfg Config) ([]Table, error) {
-	r := rand.New(rand.NewSource(cfg.Seed ^ 0xE3))
+	r := rand.New(xrand.New(cfg.Seed ^ 0xE3))
 	m, points := lightParams(cfg.Quick)
 	algos := lightAlgos()
 	bases := pointBases(r, len(points))
@@ -161,7 +162,7 @@ func AcceptanceLight(cfg Config) ([]Table, error) {
 // SPA baselines still cap at the L&L bound — they cannot exploit the
 // harmonic structure.
 func AcceptanceHarmonic(cfg Config) ([]Table, error) {
-	r := rand.New(rand.NewSource(cfg.Seed ^ 0xE4))
+	r := rand.New(xrand.New(cfg.Seed ^ 0xE4))
 	m, points := harmonicParams(cfg.Quick)
 	algos := lightAlgos()
 	bases := pointBases(r, len(points))
@@ -196,7 +197,7 @@ func AcceptanceHarmonic(cfg Config) ([]Table, error) {
 func AcceptanceKChains(cfg Config) ([]Table, error) {
 	var tables []Table
 	for _, k := range []int{2, 3} {
-		r := rand.New(rand.NewSource(cfg.Seed ^ int64(0xE5+k)))
+		r := rand.New(xrand.New(cfg.Seed ^ int64(0xE5+k)))
 		m := 8
 		points := seq(0.70, 0.95, 0.025)
 		if cfg.Quick {
@@ -256,7 +257,7 @@ func AcceptanceKChains(cfg Config) ([]Table, error) {
 // acceptance grows with M (more processors smooth the bin-packing), SPA2
 // stays at zero (0.93 > Θ), strict first-fit trails RM-TS at every M.
 func ProcsSweep(cfg Config) ([]Table, error) {
-	r := rand.New(rand.NewSource(cfg.Seed ^ 0xE7))
+	r := rand.New(xrand.New(cfg.Seed ^ 0xE7))
 	um := procsSweepUM
 	ms := procsParams(cfg.Quick)
 	algos := defaultAlgos()
@@ -301,7 +302,7 @@ func ProcsSweep(cfg Config) ([]Table, error) {
 // phase. It also reports the mean number of pre-assigned tasks. Expected:
 // RM-TS stays robust as the heavy share grows; strict first-fit suffers.
 func HeavySweep(cfg Config) ([]Table, error) {
-	r := rand.New(rand.NewSource(cfg.Seed ^ 0xE8))
+	r := rand.New(xrand.New(cfg.Seed ^ 0xE8))
 	m, um, shares := heavyParams(cfg.Quick)
 	rmts := partition.NewRMTS(nil)
 	algos := []algoSpec{
@@ -392,7 +393,7 @@ func HeavySweep(cfg Config) ([]Table, error) {
 // worst-case bound": among sets with U_M above Θ, it counts how many each
 // algorithm schedules with a guarantee.
 func UtilizationTail(cfg Config) ([]Table, error) {
-	r := rand.New(rand.NewSource(cfg.Seed ^ 0xE11))
+	r := rand.New(xrand.New(cfg.Seed ^ 0xE11))
 	m, ums := tailParams(cfg.Quick)
 	algos := defaultAlgos()
 	header := []string{"U_M"}

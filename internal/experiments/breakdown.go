@@ -5,8 +5,10 @@ import (
 	"math/rand"
 
 	"repro/internal/gen"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/task"
+	"repro/internal/xrand"
 )
 
 // Breakdown (E6) measures breakdown utilization: for each random task-set
@@ -17,7 +19,7 @@ import (
 // versus the 69% worst-case bound; RM-TS inherits that gap on
 // multiprocessors, while SPA2's breakdown pins at the bound.
 func Breakdown(cfg Config) ([]Table, error) {
-	r := rand.New(rand.NewSource(cfg.Seed ^ 0xE6))
+	r := rand.New(xrand.New(cfg.Seed ^ 0xE6))
 	ms := []int{4, 8, 16}
 	sets := cfg.setsPerPoint() / 2
 	if sets < 8 {
@@ -91,8 +93,21 @@ func Breakdown(cfg Config) ([]Table, error) {
 // Acceptance is not perfectly monotone in λ because of integer rounding and
 // packing heuristics, so the bisection brackets the last accepted scale and
 // the achieved utilization is recomputed from the accepted integer set.
+//
+// Cross-scale reuse: integer rounding makes nearby λ probes collide on the
+// exact same scaled C-vector, and the partitioners are deterministic
+// functions of (set, m), so identical vectors have identical verdicts. The
+// ≤13 probes of one bisection are memoized on the exact C-vector (the memo
+// is per-(shape, alg) call, so algorithm and m never mix); a hit skips the
+// whole partitioning run. Disabled by Config.NoCrossScale.
 func breakdownOf(ws *Workspace, alg partition.Algorithm, shape task.Set, m int) float64 {
-	scaled := make(task.Set, len(shape))
+	n := len(shape)
+	scaled := make(task.Set, n)
+	memo := ws != nil && !ws.noCrossScale
+	if memo {
+		ws.memoC = ws.memoC[:0]
+		ws.memoEnt = ws.memoEnt[:0]
+	}
 	accepts := func(lambda float64) (bool, float64) {
 		for i, tk := range shape {
 			c := task.Time(float64(tk.C)*lambda + 0.5)
@@ -104,8 +119,33 @@ func breakdownOf(ws *Workspace, alg partition.Algorithm, shape task.Set, m int) 
 			}
 			scaled[i] = task.Task{Name: tk.Name, C: c, T: tk.T}
 		}
+		if memo {
+			for e := range ws.memoEnt {
+				key := ws.memoC[e*n : (e+1)*n]
+				hit := true
+				for i := range key {
+					if key[i] != scaled[i].C {
+						hit = false
+						break
+					}
+				}
+				if hit {
+					if obs.On() {
+						cCrossScaleMemoHits.Inc()
+					}
+					return ws.memoEnt[e].ok, ws.memoEnt[e].u
+				}
+			}
+		}
 		res := ws.Partition(alg, scaled, m)
-		return res.OK && res.Guaranteed, scaled.NormalizedUtilization(m)
+		ok, u := res.OK && res.Guaranteed, scaled.NormalizedUtilization(m)
+		if memo {
+			for i := range scaled {
+				ws.memoC = append(ws.memoC, scaled[i].C)
+			}
+			ws.memoEnt = append(ws.memoEnt, memoEntry{ok: ok, u: u})
+		}
+		return ok, u
 	}
 	lo, hi := 0.0, 1.0
 	best := 0.0

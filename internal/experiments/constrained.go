@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/gen"
 	"repro/internal/partition"
+	"repro/internal/xrand"
 )
 
 // ConstrainedDeadlines (E16) evaluates the constrained-deadline extension
@@ -16,7 +17,7 @@ import (
 // construction and excluded. Expected: monotone decline with tightness;
 // splitting retains an edge over strict partitioning throughout.
 func ConstrainedDeadlines(cfg Config) ([]Table, error) {
-	r := rand.New(rand.NewSource(cfg.Seed ^ 0xE16))
+	r := rand.New(xrand.New(cfg.Seed ^ 0xE16))
 	m := 8
 	um := 0.85
 	fracs := [][2]float64{{1.0, 1.0}, {0.9, 1.0}, {0.8, 0.9}, {0.7, 0.8}, {0.6, 0.7}, {0.5, 0.6}, {0.4, 0.5}}

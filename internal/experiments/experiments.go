@@ -22,10 +22,12 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+	"unicode/utf8"
 
 	"repro/internal/bounds"
 	"repro/internal/faultinject"
@@ -64,6 +66,12 @@ type Config struct {
 	// cold path the reuse-off golden test compares against. Tables are
 	// byte-identical either way; only the allocation profile changes.
 	NoReuse bool
+	// NoCrossScale disables cross-scale result reuse in the breakdown
+	// bisections: the exact-C-vector verdict memo in breakdownOf and the
+	// warm-start response carry in uniBreakdown both fall back to evaluating
+	// every probe from scratch. Tables are byte-identical either way (the
+	// cross-scale-off golden test pins it); only the work per probe changes.
+	NoCrossScale bool
 	// Checkpoint, when non-nil, persists each completed sweep point and
 	// restores already-completed points on resume. Restored rows are
 	// byte-identical to recomputed ones, and the per-point RNG bases are
@@ -142,6 +150,14 @@ func (c Config) WithContext(ctx context.Context) Config {
 // cSamplePanics counts recovered per-sample panics (injected or real);
 // like all obs counters it is never read back by the analysis itself.
 var cSamplePanics = obs.NewCounter("experiments.sample_panics")
+
+// Cross-scale reuse instrumentation: memo_hits counts breakdownOf probes
+// answered from the exact-C-vector memo without running the partitioner,
+// carries counts uniBreakdown probes evaluated with a warm response carry.
+var (
+	cCrossScaleMemoHits = obs.NewCounter("experiments.crossscale.memo_hits")
+	cCrossScaleCarries  = obs.NewCounter("experiments.crossscale.carries")
+)
 
 func (c Config) context() context.Context {
 	if c.ctx == nil {
@@ -303,16 +319,27 @@ func (t *Table) Render(w io.Writer) {
 			}
 		}
 	}
+	// One builder reused across rows; every cell (including the last) is
+	// left-justified to its column width, exactly as %-*s padded it.
+	var sb strings.Builder
 	line := func(cells []string) {
-		parts := make([]string, len(cells))
+		sb.Reset()
+		sb.WriteString("  ")
 		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
 			if i < len(widths) {
-				parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
-			} else {
-				parts[i] = cell
+				// fmt's %-*s measures width in runes, not bytes; the Θ-bearing
+				// headers depend on that, so the hand padding must too.
+				for p := utf8.RuneCountInString(cell); p < widths[i]; p++ {
+					sb.WriteByte(' ')
+				}
 			}
 		}
-		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+		sb.WriteByte('\n')
+		io.WriteString(w, sb.String())
 	}
 	line(t.Header)
 	total := 2
@@ -594,7 +621,7 @@ func (c Config) sweepRows(id string, n int, compute func(pc Config, i int) ([]fl
 		if err := c.context().Err(); err != nil {
 			return rows, err
 		}
-		key := fmt.Sprintf("%s/%d", id, i)
+		key := id + "/" + strconv.Itoa(i)
 		if row, ok := c.Checkpoint.lookup(key); ok {
 			rows = append(rows, row)
 			c.Events.Emit(obs.RunEvent{Kind: obs.EvPointRestored,
@@ -654,9 +681,13 @@ func sweepTable(id, title string, points []float64, algos []algoSpec, ratios [][
 	}
 	t := Table{ID: id, Title: title, Header: header, Notes: notes}
 	for i, p := range points {
-		row := []string{fmt.Sprintf("%.3f", p)}
+		// strconv.FormatFloat is what fmt's %.3f verb bottoms out in; calling
+		// it directly skips the format-string parse and interface boxing on
+		// the one cell shape every sweep table renders thousands of times.
+		row := make([]string, 0, 1+len(ratios[i]))
+		row = append(row, strconv.FormatFloat(p, 'f', 3, 64))
 		for _, v := range ratios[i] {
-			row = append(row, fmt.Sprintf("%.3f", v))
+			row = append(row, strconv.FormatFloat(v, 'f', 3, 64))
 		}
 		t.Rows = append(t.Rows, row)
 	}

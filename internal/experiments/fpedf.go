@@ -7,6 +7,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/partition"
 	"repro/internal/task"
+	"repro/internal/xrand"
 )
 
 // FPvsEDF (E15) compares the paper's fixed-priority splitting algorithm
@@ -20,7 +21,7 @@ import (
 // random (non-harmonic) processors — splitting cannot recover capacity the
 // fixed-priority scheduler itself cannot certify.
 func FPvsEDF(cfg Config) ([]Table, error) {
-	r := rand.New(rand.NewSource(cfg.Seed ^ 0xE15))
+	r := rand.New(xrand.New(cfg.Seed ^ 0xE15))
 	m := 8
 	points := seq(0.70, 1.00, 0.025)
 	if cfg.Quick {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/global"
 	"repro/internal/partition"
 	"repro/internal/task"
+	"repro/internal/xrand"
 )
 
 // GlobalCompare (E12) places the paper's partitioned algorithms against
@@ -54,7 +55,7 @@ func GlobalCompare(cfg Config) ([]Table, error) {
 		})
 	}
 
-	r := rand.New(rand.NewSource(cfg.Seed ^ 0xE12))
+	r := rand.New(xrand.New(cfg.Seed ^ 0xE12))
 	m := 8
 	points := []float64{0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
 	if cfg.Quick {

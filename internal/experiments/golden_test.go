@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/partition"
 	"repro/internal/rta"
 )
 
@@ -130,4 +131,48 @@ func firstDiff(got, want []byte) string {
 		return b[lo:hi]
 	}
 	return "got:  …" + string(clip(got)) + "…\nwant: …" + string(clip(want)) + "…"
+}
+
+// TestGoldenQuickTablesPrefilterOff re-renders the same tables with the
+// sufficient-PUB admission prefilter disabled: the prefilter only ever skips
+// an exact RTA probe whose verdict it already proved (prefilter-yes ⟹
+// exact-yes), so the rendered tables must match the golden file byte for
+// byte in both modes.
+func TestGoldenQuickTablesPrefilterOff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: prefilter-off rerun skipped")
+	}
+	path := filepath.Join("testdata", "quick_tables.golden")
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to record): %v", err)
+	}
+	partition.SetPrefilter(false)
+	defer partition.SetPrefilter(true)
+	got := renderAllQuick(t)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("tables with prefilter off diverged from golden\n%s", firstDiff(got, want))
+	}
+}
+
+// TestGoldenQuickTablesCrossScaleOff re-renders the same tables with
+// cross-scale verdict reuse disabled (Config.NoCrossScale, the
+// `-crossscale=false` path): breakdown bisections then re-evaluate every
+// scale from cold, which may only change iteration counts, never a verdict
+// or a table byte.
+func TestGoldenQuickTablesCrossScaleOff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: cross-scale-off rerun skipped")
+	}
+	path := filepath.Join("testdata", "quick_tables.golden")
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to record): %v", err)
+	}
+	cfg := quickCfg()
+	cfg.NoCrossScale = true
+	got := renderAllQuickCfg(t, cfg)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("tables with cross-scale reuse off diverged from golden\n%s", firstDiff(got, want))
+	}
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/sim"
 	"repro/internal/task"
+	"repro/internal/xrand"
 )
 
 // OverheadSensitivity (E13) probes the cost the related-work debate
@@ -27,7 +28,7 @@ import (
 //     partition/overhead.go: surcharge every fragment term inside the
 //     admission RTA by 3×cost. Misses must be zero.
 func OverheadSensitivity(cfg Config) ([]Table, error) {
-	r := rand.New(rand.NewSource(cfg.Seed ^ 0xE13))
+	r := rand.New(xrand.New(cfg.Seed ^ 0xE13))
 	m := 4
 	um := 0.85
 	sets := cfg.setsPerPoint()
@@ -191,7 +192,7 @@ func deflateAssignment(asg *task.Assignment, original task.Set) *task.Assignment
 // U_M: LL < HB < RTA < RTA+splitting — each mechanism buys a visible slice
 // of the gap, with splitting decisive near 100%.
 func AdmissionAblation(cfg Config) ([]Table, error) {
-	r := rand.New(rand.NewSource(cfg.Seed ^ 0xE14))
+	r := rand.New(xrand.New(cfg.Seed ^ 0xE14))
 	m := 8
 	points := seq(0.60, 1.00, 0.05)
 	if cfg.Quick {

@@ -11,6 +11,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/task"
+	"repro/internal/xrand"
 )
 
 // AnalysisPessimism (E17) measures how tight the certified response-time
@@ -24,7 +25,7 @@ import (
 // reproduces), while higher-priority tasks retain margin; non-split tasks
 // are tighter than split ones (cross-processor phasing rarely aligns).
 func AnalysisPessimism(cfg Config) ([]Table, error) {
-	r := rand.New(rand.NewSource(cfg.Seed ^ 0xE17))
+	r := rand.New(xrand.New(cfg.Seed ^ 0xE17))
 	m := 4
 	sets := cfg.setsPerPoint()
 	if cfg.Quick && sets > 30 {

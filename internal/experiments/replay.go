@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/task"
+	"repro/internal/xrand"
 )
 
 // sampleSeedStride is the per-index seed offset of the parEach fan-out:
@@ -196,7 +197,7 @@ func RecipeFor(experiment string, runSeed int64, quick bool, point, sample int) 
 	if sample < 0 {
 		return Recipe{}, fmt.Errorf("%s: negative sample %d", experiment, sample)
 	}
-	bases := pointBases(rand.New(rand.NewSource(runSeed^spec.seedXor)), n)
+	bases := pointBases(rand.New(xrand.New(runSeed^spec.seedXor)), n)
 	return Recipe{
 		Experiment: experiment,
 		Point:      point,
@@ -221,5 +222,5 @@ func ReplaySample(experiment string, quick bool, point int, sampleSeed int64) (t
 	if n := spec.points(quick); point < 0 || point >= n {
 		return nil, 0, fmt.Errorf("%s: point %d out of range [0,%d)", experiment, point, n)
 	}
-	return spec.sample(rand.New(rand.NewSource(sampleSeed)), quick, point)
+	return spec.sample(rand.New(xrand.New(sampleSeed)), quick, point)
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/sim"
 	"repro/internal/task"
+	"repro/internal/xrand"
 )
 
 // SimulateVerify (E10) is the empirical soundness experiment backing
@@ -17,7 +18,7 @@ import (
 // be zero for the RTA-backed algorithms), jobs completed, and the worst
 // observed job-response-to-deadline margin.
 func SimulateVerify(cfg Config) ([]Table, error) {
-	r := rand.New(rand.NewSource(cfg.Seed ^ 0xE10))
+	r := rand.New(xrand.New(cfg.Seed ^ 0xE10))
 	m := 4
 	sets := cfg.setsPerPoint()
 	if cfg.Quick && sets > 40 {

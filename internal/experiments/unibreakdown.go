@@ -5,9 +5,11 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/obs"
 	"repro/internal/rta"
 	"repro/internal/stats"
 	"repro/internal/task"
+	"repro/internal/xrand"
 )
 
 // UniprocessorBreakdown (E18) reproduces the one evaluation number the
@@ -19,7 +21,7 @@ import (
 // a digit-level check that this repository's RTA machinery matches the
 // literature it builds on.
 func UniprocessorBreakdown(cfg Config) ([]Table, error) {
-	r := rand.New(rand.NewSource(cfg.Seed ^ 0xE18))
+	r := rand.New(xrand.New(cfg.Seed ^ 0xE18))
 	sets := cfg.setsPerPoint()
 	ns := []int{5, 10, 20, 50}
 	if cfg.Quick {
@@ -40,8 +42,8 @@ func UniprocessorBreakdown(cfg Config) ([]Table, error) {
 	for _, n := range ns {
 		n := n
 		samples := make([]float64, sets)
-		if err := cfg.parEach(r.Int63(), sets, func(s int, r *rand.Rand, _ *Workspace) {
-			samples[s] = uniBreakdown(r, n)
+		if err := cfg.parEach(r.Int63(), sets, func(s int, r *rand.Rand, ws *Workspace) {
+			samples[s] = uniBreakdown(r, ws, n)
 		}); err != nil {
 			return nil, fmt.Errorf("uni-breakdown: %w", err)
 		}
@@ -68,7 +70,15 @@ func UniprocessorBreakdown(cfg Config) ([]Table, error) {
 // (log-uniform over two orders of magnitude), scaled ×100 so integer
 // quantization stays below the bisection precision; base utilizations are
 // uniform shares normalized to 1 and scaled down.
-func uniBreakdown(r *rand.Rand, n int) float64 {
+//
+// The bisection's probes are rescalings of one fixed shape (periods and
+// deadlines never change, SortRM is stable on T so the order is identical at
+// every scale, and C is non-decreasing in the scale), which is exactly the
+// access pattern rta.BatchState.EvaluateList warm-carries across: each probe
+// above the last accepted scale warm-starts every fixed point from that
+// scale's converged responses. Disabled by Config.NoCrossScale (and inert
+// with a nil workspace), with byte-identical results either way.
+func uniBreakdown(r *rand.Rand, ws *Workspace, n int) float64 {
 	type shape struct {
 		t task.Time
 		u float64
@@ -89,8 +99,18 @@ func uniBreakdown(r *rand.Rand, n int) float64 {
 	for i := range shapes {
 		shapes[i].u /= sum // total utilization 1 at scale 1
 	}
+	crossScale := ws != nil && !ws.noCrossScale
+	var ts task.Set
+	var list []task.Subtask
+	if ws != nil && !ws.noReuse {
+		ts = growSet(&ws.uniTS, n)
+		list = growSubtasks(&ws.uniList, n)
+	} else {
+		ts = make(task.Set, n)
+		list = make([]task.Subtask, n)
+	}
+	firstProbe := true
 	build := func(scale float64) ([]task.Subtask, bool) {
-		ts := make(task.Set, n)
 		for i, sh := range shapes {
 			c := task.Time(scale * sh.u * float64(sh.t))
 			if c < 1 {
@@ -102,12 +122,22 @@ func uniBreakdown(r *rand.Rand, n int) float64 {
 			ts[i] = task.Task{Name: "u", C: c, T: sh.t}
 		}
 		ts.SortRM()
-		list := make([]task.Subtask, n)
 		for i, tk := range ts {
 			list[i] = task.Whole(i, tk)
 		}
 		u := ts.TotalUtilization()
-		return list, u <= 1.000001 && rta.ProcessorSchedulable(list)
+		if u > 1.000001 {
+			return list, false
+		}
+		if !crossScale {
+			return list, rta.ProcessorSchedulable(list)
+		}
+		carry := !firstProbe
+		firstProbe = false
+		if carry && obs.On() {
+			cCrossScaleCarries.Inc()
+		}
+		return list, ws.carry.EvaluateList(list, carry)
 	}
 	lo, hi := 0.0, 1.0
 	best := 0.0
@@ -128,4 +158,20 @@ func uniBreakdown(r *rand.Rand, n int) float64 {
 		}
 	}
 	return best
+}
+
+// growSet and growSubtasks return (*buf)[:n], reallocating only when the
+// capacity is short; callers overwrite every element.
+func growSet(buf *task.Set, n int) task.Set {
+	if cap(*buf) < n {
+		*buf = make(task.Set, n+n/2+4)
+	}
+	return (*buf)[:n]
+}
+
+func growSubtasks(buf *[]task.Subtask, n int) []task.Subtask {
+	if cap(*buf) < n {
+		*buf = make([]task.Subtask, n+n/2+4)
+	}
+	return (*buf)[:n]
 }

@@ -7,7 +7,9 @@ import (
 
 	"repro/internal/gen"
 	"repro/internal/partition"
+	"repro/internal/rta"
 	"repro/internal/task"
+	"repro/internal/xrand"
 )
 
 // Workspace is one worker's persistent scratch state for the per-sample
@@ -27,6 +29,30 @@ type Workspace struct {
 	rng      *rand.Rand
 	noReuse  bool
 	paranoid bool
+
+	// noCrossScale disables the cross-scale verdict and warm-start reuse in
+	// the breakdown bisections (Config.NoCrossScale) — the ablation knob the
+	// cross-scale-off golden test compares against.
+	noCrossScale bool
+	// carry is the breakdown bisections' cross-scale warm-start state: the
+	// converged responses of the last accepted scale of the CURRENT sample
+	// (see rta.BatchState.EvaluateList). Reset at the start of each sample.
+	carry rta.BatchState
+	// uniTS/uniList are uniBreakdown's per-probe build buffers, hoisted so a
+	// 14-probe bisection reuses one pair instead of allocating per probe.
+	uniTS   task.Set
+	uniList []task.Subtask
+	// memoC/memoEnt memoize breakdownOf acceptance verdicts on the exact
+	// scaled C-vector (memoC holds the keys flattened n-at-a-time).
+	memoC   []task.Time
+	memoEnt []memoEntry
+}
+
+// memoEntry is one breakdownOf memo hit target: the verdict and achieved
+// utilization of the scaled set whose C-vector is memoC[i*n : (i+1)*n].
+type memoEntry struct {
+	ok bool
+	u  float64
 }
 
 // Gen returns the workspace's generator scratch, or nil in no-reuse mode —
@@ -67,14 +93,18 @@ func (ws *Workspace) Partition(alg partition.Algorithm, ts task.Set, m int) *par
 
 // wsPool recycles workspaces across parEach calls (and across benchmark
 // iterations), so buffer capacities survive the whole process lifetime.
+// The pooled RNG rides xrand.Source — bit-identical to rand.NewSource but
+// with the ~3× cheaper reseed the per-sample loop actually pays for (the
+// cold NoReuse path keeps constructing stdlib sources, pinning the contract).
 var wsPool = sync.Pool{New: func() interface{} {
-	return &Workspace{rng: rand.New(rand.NewSource(0))}
+	return &Workspace{rng: rand.New(xrand.New(0))}
 }}
 
 func getWorkspace(c Config) *Workspace {
 	ws := wsPool.Get().(*Workspace)
 	ws.noReuse = c.NoReuse
 	ws.paranoid = c.Paranoid
+	ws.noCrossScale = c.NoCrossScale
 	return ws
 }
 

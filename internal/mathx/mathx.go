@@ -28,6 +28,24 @@ func CeilDiv(a, b int64) int64 {
 	return q
 }
 
+// CeilDivU returns ceil(a/b) under the PRECONDITION a >= 0, b > 0, which it
+// does NOT validate — the branch-free fast path for kernel inner loops that
+// have already established the precondition once per batch (internal/rta's
+// struct-of-arrays kernel proves every period positive when the mirror is
+// built, and every dividend is a non-negative response-time iterate).
+//
+// The remainder correction is arithmetic rather than a branch: for r = a%b,
+// the word (r | -r) has its sign bit set iff r != 0, so shifting it right by
+// 63 yields -1 exactly when the division was inexact and 0 otherwise.
+// Equivalent to CeilDiv on the whole valid domain including a = MaxInt64
+// (no (a+b-1)/b style intermediate that could overflow); outside the
+// precondition the result is unspecified.
+func CeilDivU(a, b int64) int64 {
+	q := a / b
+	r := a % b
+	return q - ((r | -r) >> 63)
+}
+
 // GCD returns the greatest common divisor of a and b.
 // GCD(0, 0) is 0 by convention; negative inputs use their absolute value.
 func GCD(a, b int64) int64 {

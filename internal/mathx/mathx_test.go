@@ -31,6 +31,49 @@ func TestCeilDiv(t *testing.T) {
 	}
 }
 
+// TestCeilDivUBoundaries proves CeilDivU ≡ CeilDiv on the documented domain
+// (a ≥ 0, b > 0) at every boundary the branch-free remainder trick could get
+// wrong: a ∈ {0, 1, b-1, b, b+1, 2b-1, 2b, MaxInt64-1, MaxInt64} against
+// small, large and extreme divisors.
+func TestCeilDivUBoundaries(t *testing.T) {
+	divisors := []int64{1, 2, 3, 5, 7, 1 << 20, math.MaxInt64/2 + 1, math.MaxInt64 - 1, math.MaxInt64}
+	for _, b := range divisors {
+		dividends := []int64{0, 1, b - 1, b, math.MaxInt64 - 1, math.MaxInt64}
+		if b <= math.MaxInt64/2 {
+			dividends = append(dividends, b+1, 2*b-1, 2*b)
+		}
+		for _, a := range dividends {
+			if a < 0 {
+				continue // b-1 underflows the domain only for b = 0, excluded
+			}
+			if got, want := CeilDivU(a, b), CeilDiv(a, b); got != want {
+				t.Errorf("CeilDivU(%d,%d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+// TestCeilDivUQuick crosschecks CeilDivU against CeilDiv on random valid
+// inputs, including dividends drawn near MaxInt64.
+func TestCeilDivUQuick(t *testing.T) {
+	f := func(a, b int64) bool {
+		if a < 0 {
+			a = -(a + 1) // map into [0, MaxInt64]
+		}
+		if b == math.MinInt64 {
+			b = math.MaxInt64
+		} else if b < 0 {
+			b = -b
+		} else if b == 0 {
+			b = 1
+		}
+		return CeilDivU(a, b) == CeilDiv(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestCeilDivPanicsOnBadDivisor(t *testing.T) {
 	for _, b := range []int64{0, -1} {
 		func() {

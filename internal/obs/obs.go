@@ -25,6 +25,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 )
 
 var on atomic.Bool
@@ -36,11 +37,36 @@ func SetEnabled(v bool) { on.Store(v) }
 // On reports whether metric collection is enabled.
 func On() bool { return on.Load() }
 
-// Counter is a monotonically increasing atomic counter. The zero value is
-// unusable; obtain counters from a Registry (or NewCounter for Default).
+// numStripes is the per-metric stripe count. Hot counters are hammered by
+// every experiment worker at once; a single atomic word then ping-pongs its
+// cache line between cores and the contention dominates the hook cost.
+// Striping the word numStripes ways (each stripe on its own cache line)
+// keeps Add wait-free and totals exact — reads just sum the stripes.
+const numStripes = 16
+
+// stripe is one cache-line-isolated accumulator cell.
+type stripe struct {
+	v atomic.Int64
+	_ [56]byte // pad to 64 bytes so neighboring stripes never false-share
+}
+
+// stripeIdx picks the calling goroutine's stripe. Concurrently live
+// goroutines occupy distinct stacks, so the address of a stack variable is a
+// free quasi-goroutine-ID; a golden-ratio multiply diffuses whichever bits
+// distinguish the stacks into the top bits. Collisions only cost contention,
+// never correctness, and the value need not be stable across calls.
+func stripeIdx() int {
+	var b byte
+	h := uint64(uintptr(unsafe.Pointer(&b)) >> 4)
+	return int((h*0x9e3779b97f4a7c15)>>60) & (numStripes - 1)
+}
+
+// Counter is a monotonically increasing striped atomic counter. The zero
+// value is unusable; obtain counters from a Registry (or NewCounter for
+// Default).
 type Counter struct {
-	name string
-	v    atomic.Int64
+	name    string
+	stripes [numStripes]stripe
 }
 
 // Name returns the counter's registered name.
@@ -52,47 +78,88 @@ func (c *Counter) Inc() { c.Add(1) }
 // Add adds n when instrumentation is enabled.
 func (c *Counter) Add(n int64) {
 	if on.Load() {
-		c.v.Add(n)
+		c.stripes[stripeIdx()].v.Add(n)
 	}
 }
 
-// Value returns the current total.
-func (c *Counter) Value() int64 { return c.v.Load() }
+// Value returns the current total: the sum over stripes. It is exact
+// whenever no Add is concurrently in flight (every reader in the repo
+// snapshots after the instrumented work has joined).
+func (c *Counter) Value() int64 {
+	var t int64
+	for i := range c.stripes {
+		t += c.stripes[i].v.Load()
+	}
+	return t
+}
 
 // defaultBounds is the bucket layout used when a histogram is created
 // without explicit bounds — tuned for "iterations per call" style counts.
 var defaultBounds = []int64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64}
 
-// Histogram is a bounded histogram over int64 observations: a fixed set of
-// ascending upper bounds plus one overflow bucket, with total count, sum
-// and max tracked atomically. The bucket layout is fixed at creation, so
-// memory use is bounded regardless of observation volume.
-type Histogram struct {
-	name   string
-	bounds []int64
+// histStripe is one worker-stripe of a Histogram: its own bucket array and
+// sum, each allocation private to the stripe so concurrent observers on
+// different stripes never share cache lines.
+type histStripe struct {
 	counts []atomic.Int64 // len(bounds)+1; last is overflow
 	sum    atomic.Int64
-	max    atomic.Int64
+	_      [48]byte
+}
+
+// Histogram is a bounded histogram over int64 observations: a fixed set of
+// ascending upper bounds plus one overflow bucket, with total count, sum
+// and max tracked atomically (counts and sum striped like Counter). The
+// bucket layout is fixed at creation, so memory use is bounded regardless
+// of observation volume.
+type Histogram struct {
+	name    string
+	bounds  []int64
+	stripes [numStripes]histStripe
+	max     atomic.Int64
 }
 
 // Name returns the histogram's registered name.
 func (h *Histogram) Name() string { return h.name }
 
 // Observe records v when instrumentation is enabled. v is placed in the
-// first bucket whose upper bound is ≥ v, or in the overflow bucket.
+// first bucket whose upper bound is ≥ v, or in the overflow bucket. The
+// bucket scan is linear: layouts are a dozen or so buckets, where the scan
+// beats sort.Search's closure-calling binary search on the hot path.
 func (h *Histogram) Observe(v int64) {
 	if !on.Load() {
 		return
 	}
-	i := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= v })
-	h.counts[i].Add(1)
-	h.sum.Add(v)
+	i := 0
+	for i < len(h.bounds) && h.bounds[i] < v {
+		i++
+	}
+	st := &h.stripes[stripeIdx()]
+	st.counts[i].Add(1)
+	st.sum.Add(v)
 	for {
 		cur := h.max.Load()
 		if v <= cur || h.max.CompareAndSwap(cur, v) {
 			return
 		}
 	}
+}
+
+// bucketCount returns bucket i's total across stripes.
+func (h *Histogram) bucketCount(i int) int64 {
+	var t int64
+	for s := range h.stripes {
+		t += h.stripes[s].counts[i].Load()
+	}
+	return t
+}
+
+// sumTotal returns the observation sum across stripes.
+func (h *Histogram) sumTotal() int64 {
+	var t int64
+	for s := range h.stripes {
+		t += h.stripes[s].sum.Load()
+	}
+	return t
 }
 
 // CounterValue is one counter in a Snapshot.
@@ -239,7 +306,10 @@ func (r *Registry) Histogram(name string, bounds ...int64) *Histogram {
 	}
 	b := make([]int64, len(bounds))
 	copy(b, bounds)
-	h := &Histogram{name: name, bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+	h := &Histogram{name: name, bounds: b}
+	for s := range h.stripes {
+		h.stripes[s].counts = make([]atomic.Int64, len(b)+1)
+	}
 	r.hists[name] = h
 	return h
 }
@@ -254,13 +324,13 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	sort.Slice(s.Counters, func(a, b int) bool { return s.Counters[a].Name < s.Counters[b].Name })
 	for _, h := range r.hists {
-		hv := HistogramValue{Name: h.name, Sum: h.sum.Load(), Max: h.max.Load()}
-		for i := range h.counts {
+		hv := HistogramValue{Name: h.name, Sum: h.sumTotal(), Max: h.max.Load()}
+		for i := 0; i <= len(h.bounds); i++ {
 			upper := int64(-1)
 			if i < len(h.bounds) {
 				upper = h.bounds[i]
 			}
-			n := h.counts[i].Load()
+			n := h.bucketCount(i)
 			hv.Count += n
 			hv.Buckets = append(hv.Buckets, BucketValue{Upper: upper, Count: n})
 		}
@@ -288,13 +358,18 @@ func (r *Registry) Reset() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for _, c := range r.counters {
-		c.v.Store(0)
+		for i := range c.stripes {
+			c.stripes[i].v.Store(0)
+		}
 	}
 	for _, h := range r.hists {
-		for i := range h.counts {
-			h.counts[i].Store(0)
+		for s := range h.stripes {
+			st := &h.stripes[s]
+			for i := range st.counts {
+				st.counts[i].Store(0)
+			}
+			st.sum.Store(0)
 		}
-		h.sum.Store(0)
 		h.max.Store(0)
 	}
 	r.spans = nil

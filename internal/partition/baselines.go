@@ -2,6 +2,7 @@ package partition
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/bounds"
 	"repro/internal/obs"
@@ -244,9 +245,10 @@ func fitPartitionAdmit(ts task.Set, m int, order FitOrder, pick func(*Arena, *ta
 			cAssignAttempts.Inc()
 			before := traceIters(tr)
 			abortsBefore := traceAborts(tr)
-			var ok bool
+			var ok, pre bool
 			if admit == AdmitRTA {
-				ok = states[q].AdmitAt(i, t.C, t.T, t.Deadline())
+				pre = prefilterAdmit(&states[q], i, t.C, t.Deadline())
+				ok = pre || states[q].AdmitAt(i, t.C, t.T, t.Deadline())
 			} else {
 				ok = admit.admits(asg.Procs[q], i, t.C, t.T, t.Deadline())
 			}
@@ -255,10 +257,14 @@ func fitPartitionAdmit(ts task.Set, m int, order FitOrder, pick func(*Arena, *ta
 				states[q].Insert(task.Whole(i, t))
 				cAssignWhole.Inc()
 				if tr != nil {
+					note := admit.String() + " admission"
+					if pre {
+						note = "HB-prefilter admission"
+					}
 					tr.Add(obs.Event{Kind: obs.EvAssigned, Task: i, Part: 1, Proc: q,
 						C: t.C, Deadline: t.Deadline(), RTAIters: traceIters(tr) - before,
 						RTAAborted: traceAborts(tr) > abortsBefore,
-						OK:         true, Note: admit.String() + " admission"})
+						OK:         true, Note: note})
 				}
 				placed = true
 				break
@@ -276,8 +282,10 @@ func fitPartitionAdmit(ts task.Set, m int, order FitOrder, pick func(*Arena, *ta
 				// thresholds, not deadline-miss proofs.
 				cause = CauseThresholdExhausted
 			}
+			// Concatenation, not Sprintf: this is the common exit of every
+			// rejected set in the acceptance and breakdown sweeps.
 			failWith(res, cause, i,
-				fmt.Sprintf("no processor admits τ%d whole (strict partitioning)", i))
+				"no processor admits τ"+strconv.Itoa(i)+" whole (strict partitioning)")
 			traceFail(tr, i, res.Reason)
 			return res
 		}

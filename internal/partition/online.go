@@ -184,7 +184,7 @@ func (o *Online) Admit(t task.Task) (Placement, error) {
 	}
 
 	for _, q := range o.candidates() {
-		if d >= t.C+s && o.states[q].AdmitAt(prio, t.C, t.T, d) {
+		if d >= t.C+s && (prefilterAdmit(&o.states[q], prio, t.C, d) || o.states[q].AdmitAt(prio, t.C, t.T, d)) {
 			return o.place(q, prio, t), nil
 		}
 	}

@@ -154,7 +154,10 @@ func assignOrSplit(asg *task.Assignment, ps *rta.ProcState, q int, f fragment, t
 		}
 		tr.Add(ev)
 	}
-	if d >= f.remC+s && ps.AdmitAt(f.idx, f.remC, t.T, d) {
+	// The closed-form density prefilter proves the common lightly-loaded
+	// admission without any fixed point; a miss is "unknown", not "no", and
+	// falls through to the exact probe (see prefilter.go).
+	if d >= f.remC+s && (prefilterAdmit(ps, f.idx, f.remC, d) || ps.AdmitAt(f.idx, f.remC, t.T, d)) {
 		sub := task.Subtask{
 			TaskIndex: f.idx, Part: f.part, C: f.remC, T: t.T,
 			Deadline: d, Offset: f.offset, Tail: true,

@@ -2,6 +2,7 @@ package partition
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/bounds"
 	"repro/internal/obs"
@@ -50,7 +51,7 @@ func (a RMTSLight) PartitionArena(ts task.Set, m int, ar *Arena) *Result {
 	tr := a.Trace
 	if i := surchargeFeasible(sorted, a.Surcharge); i >= 0 {
 		failWith(res, CauseSurchargeInfeasible, i,
-			fmt.Sprintf("τ%d cannot meet its deadline under the overhead surcharge (C+s > T)", i))
+			"τ"+strconv.Itoa(i)+" cannot meet its deadline under the overhead surcharge (C+s > T)")
 		traceFail(tr, i, res.Reason)
 		return res
 	}
@@ -61,7 +62,7 @@ func (a RMTSLight) PartitionArena(ts task.Set, m int, ar *Arena) *Result {
 			q := minUtilProcessor(asg, nil, full)
 			if q < 0 {
 				failWith(res, CauseMaxSplitExhausted, i,
-					fmt.Sprintf("all processors full while assigning τ%d", i))
+					"all processors full while assigning τ"+strconv.Itoa(i))
 				traceFail(tr, i, res.Reason)
 				return res
 			}
@@ -169,7 +170,7 @@ func (a *RMTS) PartitionArena(ts task.Set, m int, ar *Arena) *Result {
 	tr := a.Trace
 	if i := surchargeFeasible(sorted, a.Surcharge); i >= 0 {
 		failWith(res, CauseSurchargeInfeasible, i,
-			fmt.Sprintf("τ%d cannot meet its deadline under the overhead surcharge (C+s > T)", i))
+			"τ"+strconv.Itoa(i)+" cannot meet its deadline under the overhead surcharge (C+s > T)")
 		traceFail(tr, i, res.Reason)
 		return res
 	}
@@ -290,7 +291,11 @@ func (a *RMTS) PartitionArena(ts task.Set, m int, ar *Arena) *Result {
 		// Phase 3: pre-assigned processors, first-fit from the processor
 		// hosting the lowest-priority pre-assigned task (largest index).
 		if carried {
-			tracePhase(tr, fmt.Sprintf("phase 3: τ%d overflows onto pre-assigned processors", i))
+			if tr != nil {
+				// Format only when tracing: this line is on the hot partition
+				// path and the argument would otherwise be built per call.
+				tracePhase(tr, fmt.Sprintf("phase 3: τ%d overflows onto pre-assigned processors", i))
+			}
 			ok, finalPart := phase3Assign(f)
 			if !ok {
 				cause := CauseMaxSplitExhausted
@@ -300,7 +305,7 @@ func (a *RMTS) PartitionArena(ts task.Set, m int, ar *Arena) *Result {
 					cause = CausePreAssignExhausted
 				}
 				failWith(res, cause, i,
-					fmt.Sprintf("all processors full while assigning τ%d", i))
+					"all processors full while assigning τ"+strconv.Itoa(i))
 				traceFail(tr, i, res.Reason)
 				return res
 			}

@@ -2,6 +2,7 @@ package partition
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/bounds"
 	"repro/internal/obs"
@@ -63,7 +64,7 @@ func (a SPA1) PartitionArena(ts task.Set, m int, ar *Arena) *Result {
 			q := minUtilProcessor(asg, nil, full)
 			if q < 0 {
 				failWith(res, CauseThresholdExhausted, i,
-					fmt.Sprintf("all processors at the Θ threshold while assigning τ%d", i))
+					"all processors at the Θ threshold while assigning τ"+strconv.Itoa(i))
 				traceFail(tr, i, res.Reason)
 				return res
 			}
@@ -262,7 +263,7 @@ func (a SPA2) PartitionArena(ts task.Set, m int, ar *Arena) *Result {
 					cause = CausePreAssignExhausted
 				}
 				failWith(res, cause, i,
-					fmt.Sprintf("all processors at the Θ threshold while assigning τ%d", i))
+					"all processors at the Θ threshold while assigning τ"+strconv.Itoa(i))
 				traceFail(tr, i, res.Reason)
 				return res
 			}

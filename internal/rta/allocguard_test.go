@@ -83,3 +83,25 @@ func TestAllocGuardProcStateProbe(t *testing.T) {
 		t.Errorf("warm ProcState admit/insert cycle: %v allocs/run, want 0", allocs)
 	}
 }
+
+func TestAllocGuardSlackAtMost(t *testing.T) {
+	list := guardList(11, 10)
+	var states []ProcState
+	states = ResetProcStates(states, 1, 0)
+	ps := &states[0]
+	for _, s := range list {
+		if ps.AdmitAt(s.TaskIndex, s.C, s.T, s.Deadline) {
+			ps.Insert(s)
+		}
+	}
+	scan := func() {
+		for i := 0; i < ps.Len(); i++ {
+			_ = ps.SlackAtMost(i, 777, 50)
+		}
+	}
+	scan() // warm the merged-enumeration frontier buffer
+	allocs := testing.AllocsPerRun(200, scan)
+	if allocs != 0 {
+		t.Errorf("warm SlackAtMost scan: %v allocs/run, want 0", allocs)
+	}
+}

@@ -1,0 +1,577 @@
+// Struct-of-arrays batch RTA kernel (DESIGN.md §13). The AoS Interference
+// mirror of the original ProcState pays a pointer-chasing and checked-math
+// tax in the innermost demand loop — every ⌈R/T⌉·C term runs CeilDiv's
+// divisor validation plus MulChecked/AddChecked branches, per interferer,
+// per iterate, per probe. The batch kernel splits the resident mirror into
+// parallel C/T/deadline/response slices and hoists all safety out of the
+// loop:
+//
+//   - one saturating O(n) overflow precheck per probe (interferenceBound)
+//     proves that NO demand evaluated during the probe can leave int64; the
+//     common case then runs fixpointFast, whose inner loop is branch-free
+//     mathx.CeilDivU plus a multiply-accumulate over two flat slices with
+//     the bounds check eliminated (cs reslice to len(ts));
+//   - the rare unsafe case (deadlines or periods near MaxInt64) falls back
+//     to fixpointChecked, which mirrors iterate() operation for operation,
+//     so verdicts, response values AND iteration counts are identical on
+//     every input — the batch-vs-scalar fuzz test pins this.
+//
+// The same precheck structure accelerates the slack/max-own-load testing
+// point scans used by MaxSplit (slackBatch, maxOwnLoadBatch): the per-point
+// demand loses its saturation branches, and the m·T_j point enumeration
+// drops the per-point MulChecked by bounding m ≤ d/T_j up front.
+package rta
+
+import (
+	"math"
+
+	"repro/internal/faultinject"
+	"repro/internal/mathx"
+	"repro/internal/obs"
+	"repro/internal/task"
+)
+
+// BatchState is the struct-of-arrays resident mirror: parallel slices in
+// priority order (highest first). Position i's higher-priority interferers
+// are the prefixes cs[:i], ts[:i]. ProcState embeds one as its processor
+// mirror; the breakdown experiments use a standalone BatchState as a
+// cross-scale warm-start carry (EvaluateList).
+type BatchState struct {
+	cs   []task.Time // execution times (surcharged when owned by a ProcState)
+	ts   []task.Time // periods
+	dls  []task.Time // synthetic deadlines
+	resp []task.Time // last converged response per position (0 = unknown)
+
+	cur []task.Time // EvaluateList scratch: responses of the in-flight scale
+	ccs []task.Time // EvaluateList scratch: execution times of the in-flight scale
+	nm  []task.Time // slackBatchCapped scratch: next-multiple frontier per source
+}
+
+func (b *BatchState) len() int { return len(b.cs) }
+
+func (b *BatchState) reset() {
+	b.cs = b.cs[:0]
+	b.ts = b.ts[:0]
+	b.dls = b.dls[:0]
+	b.resp = b.resp[:0]
+}
+
+// insert mirrors a committed load at position pos; resp is managed by the
+// caller (staged adoption vs 0-fill).
+func (b *BatchState) insert(pos int, c, t, d task.Time) {
+	b.cs = insertTime(b.cs, pos, c)
+	b.ts = insertTime(b.ts, pos, t)
+	b.dls = insertTime(b.dls, pos, d)
+}
+
+func (b *BatchState) remove(pos int) {
+	b.cs = append(b.cs[:pos], b.cs[pos+1:]...)
+	b.ts = append(b.ts[:pos], b.ts[pos+1:]...)
+	b.dls = append(b.dls[:pos], b.dls[pos+1:]...)
+}
+
+// growTimes returns (*buf)[:n], reallocating only when capacity is short —
+// the contents are unspecified; callers overwrite every element they read.
+func growTimes(buf *[]task.Time, n int) []task.Time {
+	if cap(*buf) < n {
+		*buf = make([]task.Time, n+n/2+4)
+	}
+	return (*buf)[:n]
+}
+
+// interferenceBound returns a saturating upper bound on the interference
+// sum Σ_j ⌈x/T_j⌉·C_j over the given interferer set for ANY x ≤ maxL, and
+// whether that bound (and hence every intermediate demand term) fits in
+// uint64 without wrapping. ⌈x/T⌉ ≤ x/T + 1 ≤ maxL/T + 1 bounds each term
+// with one division, so a single O(n) pass licenses the entire unchecked
+// fast path of a probe: every iterate r evaluated by the kernel satisfies
+// r ≤ maxL (over-limit iterates return before the next demand evaluation),
+// so own + bound ≤ MaxInt64 proves no demand can overflow.
+func interferenceBound(cs, ts []task.Time, maxL task.Time) (uint64, bool) {
+	var acc uint64
+	cs = cs[:len(ts)]
+	for k, t := range ts {
+		c := uint64(cs[k])
+		jobs := uint64(maxL)/uint64(t) + 1
+		if c != 0 && jobs > math.MaxUint64/c {
+			return 0, false
+		}
+		term := jobs * c
+		if acc+term < acc {
+			return 0, false
+		}
+		acc += term
+	}
+	return acc, true
+}
+
+// batchSafe reports whether fixpointFast may run for a task with execution
+// own against interferers (cs, ts) and iterates bounded by maxL.
+func batchSafe(own task.Time, cs, ts []task.Time, maxL task.Time) bool {
+	bound, ok := interferenceBound(cs, ts, maxL)
+	return ok && bound <= uint64(math.MaxInt64)-uint64(own)
+}
+
+// fixpointFast is the unchecked struct-of-arrays fixed-point kernel: the
+// least fixed point of R = own + Σ ⌈R/T_j⌉·C_j from a valid lower-bound
+// start, for inputs proven overflow-free by batchSafe. Control flow —
+// including the order of the limit, fault-injection and MaxIters checks and
+// the monotonicity panic — replicates iterate() exactly, so the two paths
+// return identical (response, verdict, iters) triples on the shared domain.
+func fixpointFast(own task.Time, cs, ts []task.Time, limit, start task.Time) (task.Time, Verdict, int64) {
+	if own > limit {
+		return own, VerdictExceedsLimit, 0
+	}
+	if faultinject.ShouldAbortRTA() {
+		return start, VerdictAborted, 0
+	}
+	max := MaxIters
+	r := start
+	iters := int64(0)
+	cs = cs[:len(ts)] // hoist the bounds check out of the demand loop
+	for {
+		if r > limit {
+			return r, VerdictExceedsLimit, iters
+		}
+		if iters >= max {
+			return r, VerdictAborted, iters
+		}
+		next := own
+		for k, t := range ts {
+			next += mathx.CeilDivU(r, t) * cs[k]
+		}
+		iters++
+		if next == r {
+			return r, VerdictFits, iters
+		}
+		if next < r {
+			panic("rta: response-time iteration decreased")
+		}
+		r = next
+	}
+}
+
+// fixpointChecked is the checked struct-of-arrays twin of fixpointFast for
+// probes whose parameters could overflow int64 — an exact mirror of
+// iterate() with the interferer set as parallel slices instead of
+// []Interference. Kept separate so the fast kernel's loop stays free of the
+// checked-math branches.
+func fixpointChecked(own task.Time, cs, ts []task.Time, limit, start task.Time) (task.Time, Verdict, int64) {
+	if own > limit {
+		return own, VerdictExceedsLimit, 0
+	}
+	if faultinject.ShouldAbortRTA() {
+		return start, VerdictAborted, 0
+	}
+	r := start
+	iters := int64(0)
+	cs = cs[:len(ts)]
+	for {
+		if r > limit {
+			return r, VerdictExceedsLimit, iters
+		}
+		if iters >= MaxIters {
+			return r, VerdictAborted, iters
+		}
+		next := own
+		ok := true
+		for k, t := range ts {
+			var contrib task.Time
+			if contrib, ok = mathx.MulChecked(mathx.CeilDiv(r, t), cs[k]); ok {
+				next, ok = mathx.AddChecked(next, contrib)
+			}
+			if !ok {
+				break
+			}
+		}
+		iters++
+		if !ok {
+			// Demand overflow proves the least fixed point exceeds MaxInt64
+			// ≥ limit — an exact over-limit verdict (see iterate).
+			return task.Time(math.MaxInt64), VerdictExceedsLimit, iters
+		}
+		if next == r {
+			return r, VerdictFits, iters
+		}
+		if next < r {
+			panic("rta: response-time iteration decreased")
+		}
+		r = next
+	}
+}
+
+// fixpoint dispatches on the probe-level overflow precheck.
+func fixpoint(own task.Time, cs, ts []task.Time, limit, start task.Time, fast bool) (task.Time, Verdict, int64) {
+	if fast {
+		return fixpointFast(own, cs, ts, limit, start)
+	}
+	return fixpointChecked(own, cs, ts, limit, start)
+}
+
+// EvaluateList reports whether every subtask of the priority-sorted list
+// meets its synthetic deadline (the batch equivalent of
+// ProcessorSchedulable), using b as a warm-start carry across calls on
+// RESCALED VERSIONS OF THE SAME SET — the breakdown bisection's access
+// pattern, where only execution times change between calls.
+//
+// Soundness of the carry (DESIGN.md §13): the cache holds the converged
+// responses of the last ACCEPTED evaluation. When the incoming list has the
+// same length, periods and deadlines positionally, and no execution time
+// decreased (the deflation direction — bisection only re-evaluates above
+// the last accepted scale), every demand function only grew, so each cached
+// fixed point is a valid lower bound and iterate-from-it converges to the
+// same least fixed point a cold start would. Any mismatch (different shape,
+// a shrunken C, or carry=false) falls back to cold starts for the whole
+// list. The cache is updated only on a fully-accepted evaluation, keeping
+// it anchored at the bisection's monotone lo-sequence.
+func (b *BatchState) EvaluateList(list []task.Subtask, carry bool) bool {
+	n := len(list)
+	warm := carry && WarmStartEnabled() && len(b.cs) == n
+	if warm {
+		for i := range list {
+			if b.ts[i] != list[i].T || b.dls[i] != list[i].Deadline || b.cs[i] > list[i].C {
+				warm = false
+				break
+			}
+		}
+	}
+	if !warm {
+		// (Re)key the cache to this shape with unknown responses; the C key
+		// is zeroed so an immediately following same-shape call passes the
+		// monotonicity guard but still cold-starts off resp = 0.
+		b.cs = growTimes(&b.cs, n)
+		b.ts = growTimes(&b.ts, n)
+		b.dls = growTimes(&b.dls, n)
+		b.resp = growTimes(&b.resp, n)
+		for i := range list {
+			b.cs[i] = 0
+			b.ts[i] = list[i].T
+			b.dls[i] = list[i].Deadline
+			b.resp[i] = 0
+		}
+	}
+	// The in-flight scale's execution times live in their own scratch: the
+	// cache (b.cs, b.resp) must keep the last ACCEPTED state, or a rejected
+	// probe would wipe the carry the next accepted-side probe could use.
+	ccs := growTimes(&b.ccs, n)
+	cur := growTimes(&b.cur, n)
+	maxL := task.Time(0)
+	for i := range list {
+		ccs[i] = list[i].C
+		if b.dls[i] > maxL {
+			maxL = b.dls[i]
+		}
+	}
+	fast := true
+	if n > 0 {
+		bound, ok := interferenceBound(ccs, b.ts, maxL)
+		maxC := task.Time(0)
+		for _, c := range ccs {
+			if c > maxC {
+				maxC = c
+			}
+		}
+		fast = ok && bound <= uint64(math.MaxInt64)-uint64(maxC)
+	}
+	sum := task.Time(0)
+	for i := 0; i < n; i++ {
+		own := ccs[i]
+		start := mathx.AddSat(sum, own)
+		if warm && b.resp[i] > start {
+			start = b.resp[i]
+			if obs.On() {
+				cWarmStarts.Inc()
+			}
+		}
+		r, v, iters := fixpoint(own, ccs[:i], b.ts[:i], b.dls[i], start, fast)
+		account(v, iters)
+		if v != VerdictFits {
+			return false
+		}
+		cur[i] = r
+		sum = mathx.AddSat(sum, own)
+	}
+	copy(b.cs, ccs)
+	copy(b.resp, cur)
+	return true
+}
+
+// slackBatch is the struct-of-arrays twin of slackCore: the testing-point
+// slack of a task (c, d) against a period-t interferer over interferers
+// (cs, ts). Identical results, identical point enumeration (and hence
+// identical rta.slack.points totals): the fast path merely replaces the
+// per-point saturating demand with unchecked arithmetic — licensed by the
+// same batchSafe precheck as the fixed-point kernel, since every testing
+// point x ≤ d — and bounds each m·T_j enumeration by m ≤ d/T_j instead of
+// per-point MulChecked.
+func slackBatch(c, d task.Time, cs, ts []task.Time, t task.Time) task.Time {
+	if !batchSafe(c, cs, ts, d) {
+		return slackCheckedBatch(c, d, cs, ts, t)
+	}
+	best := task.Time(-1)
+	cSlackCalls.Inc()
+	points := int64(0)
+	cs = cs[:len(ts)]
+	check := func(x task.Time) {
+		points++
+		demand := c
+		for k, tj := range ts {
+			demand += mathx.CeilDivU(x, tj) * cs[k]
+		}
+		if demand > x {
+			return
+		}
+		jobs := mathx.CeilDivU(x, t)
+		e := (x - demand) / jobs
+		if e > best {
+			best = e
+		}
+	}
+	if d > 0 {
+		check(d)
+	}
+	for _, tj := range ts {
+		x := tj
+		for m := d / tj; m > 0; m-- {
+			check(x)
+			x += tj
+		}
+	}
+	x := t
+	for m := d / t; m > 0; m-- {
+		check(x)
+		x += t
+	}
+	cSlackPoints.Add(points)
+	if best < 0 {
+		return 0
+	}
+	if best == math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return best
+}
+
+// slackBatchCapped is slackBatch with an early exit for min-fold callers
+// (ProcState.SlackAtMost): the slack is a running MAXIMUM over testing
+// points, so as soon as that partial maximum reaches cap the final value is
+// known to be ≥ cap and enumeration stops. Below cap the result is exactly
+// slackBatch's — the point SET is identical (multiples of every T_j and of t
+// up to d, plus d itself, here deduplicated), and a maximum is insensitive
+// to order and duplicates. At or above cap only the ≥-cap fact is
+// meaningful. The overflow fallback ignores the cap (exact is trivially ≥
+// any partial).
+//
+// Unlike slackBatch, which re-derives each point's demand with one CeilDivU
+// per interferer, this scan walks the points in ascending merged order and
+// maintains the demand incrementally: nm[j] is the smallest multiple of
+// source j's period that is ≥ the current point x, so ⌈x/T_j⌉ = nm[j]/T_j,
+// and the running demand sum advances by C_j exactly when the walk passes a
+// multiple of T_j. The inner loop is then a k-way min scan plus O(1) adds —
+// no divisions. scratch holds the nm frontier (len(ts)+1 entries; the last
+// tracks t for the jobs divisor) and is grown, never shrunk, by the callee.
+func slackBatchCapped(c, d task.Time, cs, ts []task.Time, t, cap task.Time, scratch *[]task.Time) task.Time {
+	if !batchSafe(c, cs, ts, d) {
+		return slackCheckedBatch(c, d, cs, ts, t)
+	}
+	cSlackCalls.Inc()
+	k := len(ts)
+	cs = cs[:k]
+	points := int64(0)
+	best := task.Time(-1)
+	// Point d first: the largest point usually carries the largest slack, so
+	// the cap exit tends to fire before the merged walk even starts. Demand
+	// here is computed with direct divisions, once.
+	if d > 0 {
+		points++
+		demand := c
+		for j, tj := range ts {
+			demand += mathx.CeilDivU(d, tj) * cs[j]
+		}
+		if demand <= d {
+			best = (d - demand) / mathx.CeilDivU(d, t)
+		}
+	}
+	if best < cap {
+		nm := growTimes(scratch, k+1)
+		// Initial frontier: the first multiple of every period. The demand
+		// sum starts at one job of every interferer — exact for any x in
+		// (0, min T_j], and maintained exact from there by the advances.
+		sum := c
+		for j, tj := range ts {
+			nm[j] = tj
+			sum += cs[j]
+		}
+		nm[k] = t
+		jobs := task.Time(1) // invariant: nm[k] = jobs·t, so ⌈x/t⌉ = jobs
+		for {
+			x := nm[0]
+			for _, v := range nm[1:] {
+				if v < x {
+					x = v
+				}
+			}
+			if x >= d {
+				break // ≥-d points are covered by the initial d visit
+			}
+			points++
+			if sum <= x {
+				if e := (x - sum) / jobs; e > best {
+					best = e
+					if best >= cap {
+						break
+					}
+				}
+			}
+			for j := range nm {
+				if nm[j] == x {
+					if j < k {
+						sum += cs[j]
+						nm[j] = mathx.AddSat(x, ts[j])
+					} else {
+						jobs++
+						nm[j] = mathx.AddSat(x, t)
+					}
+				}
+			}
+		}
+	}
+	cSlackPoints.Add(points)
+	if best < 0 {
+		return 0
+	}
+	if best == math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return best
+}
+
+// slackCheckedBatch mirrors slackCore operation for operation on parallel
+// slices — the overflow-capable fallback of slackBatch.
+func slackCheckedBatch(c, d task.Time, cs, ts []task.Time, t task.Time) task.Time {
+	best := task.Time(-1)
+	cSlackCalls.Inc()
+	points := int64(0)
+	cs = cs[:len(ts)]
+	check := func(x task.Time) {
+		if x <= 0 || x > d {
+			return
+		}
+		points++
+		demand := c
+		for k, tj := range ts {
+			demand = mathx.AddSat(demand, mathx.MulSat(mathx.CeilDiv(x, tj), cs[k]))
+		}
+		if demand > x {
+			return
+		}
+		jobs := mathx.CeilDiv(x, t)
+		if jobs == 0 {
+			jobs = 1
+		}
+		e := (x - demand) / jobs
+		if e > best {
+			best = e
+		}
+	}
+	check(d)
+	for _, tj := range ts {
+		for m := task.Time(1); ; m++ {
+			x, ok := mathx.MulChecked(m, tj)
+			if !ok || x > d {
+				break
+			}
+			check(x)
+		}
+	}
+	for m := task.Time(1); ; m++ {
+		x, ok := mathx.MulChecked(m, t)
+		if !ok || x > d {
+			break
+		}
+		check(x)
+	}
+	cSlackPoints.Add(points)
+	if best < 0 {
+		return 0
+	}
+	if best == math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return best
+}
+
+// maxOwnLoadBatch is the struct-of-arrays twin of MaxOwnLoad: the largest
+// own execution time admissible at deadline d under interferers (cs, ts),
+// with the same testing-point enumeration and rta.maxload.points totals.
+func maxOwnLoadBatch(cs, ts []task.Time, d task.Time) task.Time {
+	if d <= 0 {
+		return 0
+	}
+	bound, ok := interferenceBound(cs, ts, d)
+	if !ok || bound > uint64(math.MaxInt64) {
+		return maxOwnLoadCheckedBatch(cs, ts, d)
+	}
+	best := task.Time(0)
+	points := int64(0)
+	cs = cs[:len(ts)]
+	check := func(x task.Time) {
+		points++
+		interf := task.Time(0)
+		for k, tj := range ts {
+			interf += mathx.CeilDivU(x, tj) * cs[k]
+		}
+		if interf >= x {
+			return
+		}
+		if c := x - interf; c > best {
+			best = c
+		}
+	}
+	check(d)
+	for _, tj := range ts {
+		x := tj
+		for m := d / tj; m > 0; m-- {
+			check(x)
+			x += tj
+		}
+	}
+	cLoadPoints.Add(points)
+	return best
+}
+
+// maxOwnLoadCheckedBatch mirrors MaxOwnLoad on parallel slices — the
+// overflow-capable fallback of maxOwnLoadBatch.
+func maxOwnLoadCheckedBatch(cs, ts []task.Time, d task.Time) task.Time {
+	best := task.Time(0)
+	points := int64(0)
+	cs = cs[:len(ts)]
+	check := func(x task.Time) {
+		if x <= 0 || x > d {
+			return
+		}
+		points++
+		interf := task.Time(0)
+		for k, tj := range ts {
+			interf = mathx.AddSat(interf, mathx.MulSat(mathx.CeilDiv(x, tj), cs[k]))
+		}
+		if interf >= x {
+			return
+		}
+		if c := x - interf; c > best {
+			best = c
+		}
+	}
+	check(d)
+	for _, tj := range ts {
+		for m := task.Time(1); ; m++ {
+			x, ok := mathx.MulChecked(m, tj)
+			if !ok || x > d {
+				break
+			}
+			check(x)
+		}
+	}
+	cLoadPoints.Add(points)
+	return best
+}

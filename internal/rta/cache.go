@@ -6,9 +6,12 @@
 // A ProcState shadows one processor's priority-sorted resident list with
 // three things a from-scratch analysis rebuilds on every probe:
 //
-//  1. the interference mirror — the residents as []Interference, kept in
-//     priority order so the higher-priority set of position i is the slice
-//     ints[:i], with zero allocation per probe;
+//  1. the interference mirror — the residents as a struct-of-arrays
+//     BatchState (parallel C/T/deadline/response slices, see batch.go), kept
+//     in priority order so the higher-priority set of position i is a pair
+//     of slice prefixes, with zero allocation per probe; probes run the
+//     batch kernel (one overflow precheck per probe, then the unchecked
+//     branch-free fast loop) instead of per-term checked arithmetic;
 //  2. the response cache — the last converged response time per resident.
 //     Partitioners only ever ADD load, and the demand function is monotone
 //     in added interference, so an old fixed point is a valid lower bound
@@ -33,6 +36,7 @@ package rta
 import (
 	"sync/atomic"
 
+	"repro/internal/mathx"
 	"repro/internal/obs"
 	"repro/internal/task"
 )
@@ -76,10 +80,15 @@ type ProcState struct {
 	// reproduces the paper's zero-overhead analysis.
 	Surcharge task.Time
 
-	idx  []int          // resident TaskIndex, priority order
-	ints []Interference // resident (C+Surcharge, T), priority order
-	dls  []task.Time    // resident synthetic deadlines
-	resp []task.Time    // last converged response per resident (0 = unknown)
+	idx []int      // resident TaskIndex, priority order
+	b   BatchState // SoA mirror: (C+Surcharge, T, deadline, cached response)
+
+	// Probe scratch: the post-insert view of one AdmitAt probe — residents
+	// with the candidate spliced in at its priority position — so the whole
+	// probe runs over two flat arrays with no per-position extra-interferer
+	// special case.
+	pcs []task.Time
+	pts []task.Time
 
 	// Staging from the last successful AdmitAt probe: if the very next
 	// Insert commits exactly that candidate, the responses computed during
@@ -127,14 +136,12 @@ func ResetProcStates(states []ProcState, m int, surcharge task.Time) []ProcState
 func (ps *ProcState) Reset(surcharge task.Time) {
 	ps.Surcharge = surcharge
 	ps.idx = ps.idx[:0]
-	ps.ints = ps.ints[:0]
-	ps.dls = ps.dls[:0]
-	ps.resp = ps.resp[:0]
+	ps.b.reset()
 	ps.stagedValid = false
 }
 
 // Len returns the number of mirrored residents.
-func (ps *ProcState) Len() int { return len(ps.ints) }
+func (ps *ProcState) Len() int { return ps.b.len() }
 
 // PosFor returns the priority position a load with task index prio would
 // be inserted at — the first position whose resident has a larger index —
@@ -147,11 +154,6 @@ func (ps *ProcState) PosFor(prio int) int {
 	return pos
 }
 
-// HP returns the higher-priority interference set of position pos as a
-// shared slice of the internal mirror. The caller must not retain or
-// mutate it across Insert calls.
-func (ps *ProcState) HP(pos int) []Interference { return ps.ints[:pos] }
-
 // Insert mirrors a committed subtask (after the owning task.Assignment.Add)
 // and returns its priority position. If the subtask matches the staged
 // candidate of the immediately preceding successful AdmitAt, the probe's
@@ -162,15 +164,14 @@ func (ps *ProcState) Insert(s task.Subtask) int {
 	pos := ps.PosFor(s.TaskIndex)
 	c := s.C + ps.Surcharge
 	ps.idx = insertInt(ps.idx, pos, s.TaskIndex)
-	ps.ints = insertInterference(ps.ints, pos, Interference{C: c, T: s.T})
-	ps.dls = insertTime(ps.dls, pos, s.Deadline)
+	ps.b.insert(pos, c, s.T, s.Deadline)
 	if ps.stagedValid && ps.stagedPos == pos && ps.stagedC == c && ps.stagedT == s.T && ps.stagedD == s.Deadline {
-		ps.resp = append(ps.resp[:0], ps.staged[:len(ps.ints)]...)
+		ps.b.resp = append(ps.b.resp[:0], ps.staged[:ps.b.len()]...)
 		if obs.On() {
 			cStagedAdopts.Inc()
 		}
 	} else {
-		ps.resp = insertTime(ps.resp, pos, 0)
+		ps.b.resp = insertTime(ps.b.resp, pos, 0)
 	}
 	ps.stagedValid = false
 	return pos
@@ -184,63 +185,92 @@ func (ps *ProcState) Insert(s task.Subtask) int {
 //
 // With warm starts enabled, residents above the insertion position are
 // skipped (the candidate cannot interfere with them, and the processor
-// invariant — every resident passed RTA when admitted — makes their
-// re-check redundant) and every evaluated fixed point starts from the
+// invariant — every resident is schedulable in the current configuration,
+// whether its admission came from RTA or the sufficient prefilter — makes
+// their re-check redundant) and every evaluated fixed point starts from the
 // cached response when that beats the cold lower bound. With warm starts
 // disabled every resident is re-analysed from a cold start, reproducing
 // the from-scratch path. Both modes return identical verdicts.
+//
+// The probe materializes the post-insert view once — candidate spliced into
+// the scratch arrays (pcs, pts) at pos — so position k's interferers are
+// plain prefixes and one batchSafe precheck over the whole view licenses
+// the unchecked kernel for every fixed point of the probe.
 func (ps *ProcState) AdmitAt(prio int, c, t, d task.Time) bool {
 	cand := c + ps.Surcharge
 	pos := ps.PosFor(prio)
 	warm := WarmStartEnabled()
 	ps.stagedValid = false
-	n := len(ps.ints)
+	n := ps.b.len()
 	if cap(ps.staged) < n+1 {
 		ps.staged = make([]task.Time, n+1)
 	}
 	staged := ps.staged[:n+1]
+	pcs := growTimes(&ps.pcs, n+1)
+	pts := growTimes(&ps.pts, n+1)
+	copy(pcs, ps.b.cs[:pos])
+	pcs[pos] = cand
+	copy(pcs[pos+1:], ps.b.cs[pos:])
+	copy(pts, ps.b.ts[:pos])
+	pts[pos] = t
+	copy(pts[pos+1:], ps.b.ts[pos:])
 
+	maxL := d
+	maxC := cand
+	for _, dl := range ps.b.dls {
+		if dl > maxL {
+			maxL = dl
+		}
+	}
+	for _, cv := range pcs {
+		if cv > maxC {
+			maxC = cv
+		}
+	}
+	fast := batchSafe(maxC, pcs, pts, maxL)
+
+	// One pass over the post-insert positions, maintaining the running
+	// prefix sum of execution times (the classic cold-start bound for
+	// position k is sum(pcs[:k]) + pcs[k]). Warm mode skips positions above
+	// the insertion point; limits come from d at pos and the resident
+	// deadlines elsewhere.
+	kstart := 0
+	sum := task.Time(0)
 	if warm {
 		if obs.On() && pos > 0 {
 			cSkippedHP.Add(int64(pos))
 		}
-		copy(staged[:pos], ps.resp[:pos])
-	} else {
-		for i := 0; i < pos; i++ {
-			r, v, iters := iterate(ps.ints[i].C, ps.ints[:i], 0, 0, ps.dls[i], coldStart(ps.ints[i].C, ps.ints[:i], 0))
-			account(v, iters)
-			if v != VerdictFits {
-				return false
-			}
-			staged[i] = r
+		copy(staged[:pos], ps.b.resp[:pos])
+		kstart = pos
+		for _, cv := range pcs[:pos] {
+			sum = mathx.AddSat(sum, cv)
 		}
 	}
-
-	// The candidate itself: no cached response exists, so both modes cold
-	// start. Its higher-priority set is exactly ints[:pos].
-	rCand, v, iters := iterate(cand, ps.ints[:pos], 0, 0, d, coldStart(cand, ps.ints[:pos], 0))
-	account(v, iters)
-	if v != VerdictFits {
-		return false
-	}
-	staged[pos] = rCand
-
-	// Residents at and below the insertion position gain the candidate as
-	// one extra interferer; their old fixed points are valid lower bounds.
-	for i := pos; i < n; i++ {
-		start := coldStart(ps.ints[i].C, ps.ints[:i], cand)
-		if warm && ps.resp[i] > start {
-			start = ps.resp[i]
-			if obs.On() {
-				cWarmStarts.Inc()
+	for k := kstart; k <= n; k++ {
+		own := pcs[k]
+		limit := d
+		switch {
+		case k < pos:
+			limit = ps.b.dls[k]
+		case k > pos:
+			limit = ps.b.dls[k-1]
+		}
+		start := mathx.AddSat(sum, own)
+		if k > pos && warm {
+			if cached := ps.b.resp[k-1]; cached > start {
+				start = cached
+				if obs.On() {
+					cWarmStarts.Inc()
+				}
 			}
 		}
-		r, v, iters := iterate(ps.ints[i].C, ps.ints[:i], cand, t, ps.dls[i], start)
+		r, v, iters := fixpoint(own, pcs[:k], pts[:k], limit, start, fast)
 		account(v, iters)
 		if v != VerdictFits {
 			return false
 		}
-		staged[i+1] = r
+		staged[k] = r
+		sum = mathx.AddSat(sum, own)
 	}
 
 	ps.stagedValid = true
@@ -274,15 +304,14 @@ func (ps *ProcState) AdmitAt(prio int, c, t, d task.Time) bool {
 // interleaving yields verdicts and response times identical to from-scratch
 // analysis of the surviving residents.
 func (ps *ProcState) Remove(pos int) {
-	if pos < 0 || pos >= len(ps.ints) {
+	if pos < 0 || pos >= ps.b.len() {
 		panic("rta: ProcState.Remove position out of range")
 	}
 	ps.idx = append(ps.idx[:pos], ps.idx[pos+1:]...)
-	ps.ints = append(ps.ints[:pos], ps.ints[pos+1:]...)
-	ps.dls = append(ps.dls[:pos], ps.dls[pos+1:]...)
-	ps.resp = append(ps.resp[:pos], ps.resp[pos+1:]...)
-	for i := pos; i < len(ps.resp); i++ {
-		ps.resp[i] = 0
+	ps.b.remove(pos)
+	ps.b.resp = append(ps.b.resp[:pos], ps.b.resp[pos+1:]...)
+	for i := pos; i < len(ps.b.resp); i++ {
+		ps.b.resp[i] = 0
 	}
 	// Staged probe responses include the departed resident's interference
 	// (or were positioned relative to it); either way they are stale.
@@ -294,16 +323,27 @@ func (ps *ProcState) TaskAt(pos int) int { return ps.idx[pos] }
 
 // SlackAt returns the testing-point slack of resident i against a new
 // period-t interferer (see Slack), evaluated on the mirrored surcharged
-// view with zero allocation.
+// view with zero allocation via the batch kernel.
 func (ps *ProcState) SlackAt(i int, t task.Time) task.Time {
-	return slackCore(ps.ints[i].C, ps.dls[i], ps.ints[:i], t)
+	return slackBatch(ps.b.cs[i], ps.b.dls[i], ps.b.cs[:i], ps.b.ts[:i], t)
+}
+
+// SlackAtMost is SlackAt for callers that only consume the slack through
+// min(cap, slack) — the MaxSplit scan over lower-priority residents. It
+// returns the exact slack whenever that is below cap; once the running
+// point maximum reaches cap the enumeration stops and the partial maximum
+// (some value ≥ cap) is returned, which the min-fold discards. The slack is
+// a max over testing points, so any partial maximum is a lower bound and
+// the early exit never misrepresents a slack that matters.
+func (ps *ProcState) SlackAtMost(i int, t, cap task.Time) task.Time {
+	return slackBatchCapped(ps.b.cs[i], ps.b.dls[i], ps.b.cs[:i], ps.b.ts[:i], t, cap, &ps.b.nm)
 }
 
 // MaxOwnLoadAt returns the largest execution time a new load inserted at
 // priority position pos could have while meeting deadline d (see
 // MaxOwnLoad), evaluated on the mirror without allocation.
 func (ps *ProcState) MaxOwnLoadAt(pos int, d task.Time) task.Time {
-	return MaxOwnLoad(ps.ints[:pos], d)
+	return maxOwnLoadBatch(ps.b.cs[:pos], ps.b.ts[:pos], d)
 }
 
 // ResponseAt computes the response time of resident pos against limit,
@@ -311,27 +351,75 @@ func (ps *ProcState) MaxOwnLoadAt(pos int, d task.Time) task.Time {
 // converged value back to the cache. The partitioners use it for the body
 // fragment of a fresh split (equation (1)'s R term).
 func (ps *ProcState) ResponseAt(pos int, limit task.Time) (task.Time, bool) {
-	start := coldStart(ps.ints[pos].C, ps.ints[:pos], 0)
-	if WarmStartEnabled() && ps.resp[pos] > start {
-		start = ps.resp[pos]
+	own := ps.b.cs[pos]
+	start := own
+	for _, cv := range ps.b.cs[:pos] {
+		start = mathx.AddSat(start, cv)
+	}
+	if WarmStartEnabled() && ps.b.resp[pos] > start {
+		start = ps.b.resp[pos]
 		if obs.On() {
 			cWarmStarts.Inc()
 		}
 	}
-	r, v, iters := iterate(ps.ints[pos].C, ps.ints[:pos], 0, 0, limit, start)
+	// Every iterate at demand time satisfies r ≤ limit (over-limit iterates
+	// return first), so limit bounds the precheck.
+	fast := batchSafe(own, ps.b.cs[:pos], ps.b.ts[:pos], limit)
+	r, v, iters := fixpoint(own, ps.b.cs[:pos], ps.b.ts[:pos], limit, start, fast)
 	account(v, iters)
 	if v != VerdictFits {
 		return r, false
 	}
-	ps.resp[pos] = r
+	ps.b.resp[pos] = r
 	return r, true
 }
 
+// DensityProbe supports the sufficient utilization-bound prefilter
+// (partition.SetPrefilter): for the post-insert view with a candidate of raw
+// execution c and synthetic deadline d at priority position PosFor(prio), it
+// returns the deadline-density hyperbolic product Π (1 + (C_i+Surcharge)/Δ_i)
+// (candidate included) and whether the post-insert priority order is
+// deadline-monotonic (synthetic deadlines non-decreasing by position). Only
+// when dmOK may the caller apply a uniprocessor RM utilization bound to the
+// densities: treating each subtask as an implicit-deadline task (C_i, Δ_i),
+// DM order makes the priority order the RM order of that surrogate set, and
+// Δ_i ≤ T_i makes the surrogate's interference ⌈x/Δ_j⌉·C_j an upper bound on
+// the real ⌈x/T_j⌉·C_j — so surrogate schedulability implies every subtask
+// here meets its deadline. The hyperbolic form (Bini–Buttazzo, prod ≤ 2)
+// admits a strict superset of the Liu–Layland sum test at the same cost: one
+// multiply per resident instead of one add.
+func (ps *ProcState) DensityProbe(prio int, c, d task.Time) (prod float64, dmOK bool) {
+	if d <= 0 {
+		return 0, false
+	}
+	pos := ps.PosFor(prio)
+	cand := c + ps.Surcharge
+	prod = 1 + float64(cand)/float64(d)
+	prev := task.Time(0)
+	for i, dl := range ps.b.dls {
+		if i == pos {
+			if d < prev {
+				return 0, false
+			}
+			prev = d
+		}
+		if dl < prev {
+			return 0, false
+		}
+		prev = dl
+		prod *= 1 + float64(ps.b.cs[i])/float64(dl)
+	}
+	if pos == ps.b.len() && d < prev {
+		return 0, false
+	}
+	return prod, true
+}
+
 // Deadline returns the synthetic deadline of resident pos.
-func (ps *ProcState) Deadline(pos int) task.Time { return ps.dls[pos] }
+func (ps *ProcState) Deadline(pos int) task.Time { return ps.b.dls[pos] }
 
 // OwnC returns the (surcharged) execution time of resident pos.
-func (ps *ProcState) OwnC(pos int) task.Time { return ps.ints[pos].C }
+func (ps *ProcState) OwnC(pos int) task.Time { return ps.b.cs[pos] }
 
 func insertInt(s []int, pos, v int) []int {
 	s = append(s, 0)
@@ -342,13 +430,6 @@ func insertInt(s []int, pos, v int) []int {
 
 func insertTime(s []task.Time, pos int, v task.Time) []task.Time {
 	s = append(s, 0)
-	copy(s[pos+1:], s[pos:])
-	s[pos] = v
-	return s
-}
-
-func insertInterference(s []Interference, pos int, v Interference) []Interference {
-	s = append(s, Interference{})
 	copy(s[pos+1:], s[pos:])
 	s[pos] = v
 	return s

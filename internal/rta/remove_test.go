@@ -178,22 +178,22 @@ func TestRemoveInvalidatesAtAndBelow(t *testing.T) {
 		for i := 0; i < n; i++ {
 			ps.ResponseAt(i, ps.Deadline(i)) // populate the cache
 		}
-		saved := append([]task.Time(nil), ps.resp...)
+		saved := append([]task.Time(nil), ps.b.resp...)
 		pos := r.Intn(n)
 		ps.Remove(pos)
 		if ps.Len() != n-1 {
 			t.Fatalf("trial %d: Len=%d after removing from %d", trial, ps.Len(), n)
 		}
 		for i := 0; i < pos; i++ {
-			if ps.resp[i] != saved[i] {
+			if ps.b.resp[i] != saved[i] {
 				t.Fatalf("trial %d: resident %d above removal lost its cache (%d -> %d)",
-					trial, i, saved[i], ps.resp[i])
+					trial, i, saved[i], ps.b.resp[i])
 			}
 		}
 		for i := pos; i < ps.Len(); i++ {
-			if ps.resp[i] != 0 {
+			if ps.b.resp[i] != 0 {
 				t.Fatalf("trial %d: resident %d at/below removal kept stale cache %d",
-					trial, i, ps.resp[i])
+					trial, i, ps.b.resp[i])
 			}
 		}
 	}

@@ -141,7 +141,10 @@ func MaxPortionState(ps *rta.ProcState, prio int, t, budget, d task.Time) task.T
 		return 0
 	}
 	for i := pos; i < ps.Len(); i++ {
-		if s := ps.SlackAt(i, t); s < best {
+		// The fold only keeps slacks below the running minimum, so the capped
+		// scan lets each resident stop enumerating testing points as soon as
+		// its partial maximum proves it cannot lower that minimum.
+		if s := ps.SlackAtMost(i, t, best); s < best {
 			best = s
 		}
 		if best == 0 {
