@@ -53,6 +53,7 @@ func TestBenchHotpathJSON(t *testing.T) {
 		{"PartitionRMTS", BenchmarkPartitionRMTS},
 		{"PartitionRMTSArena", BenchmarkPartitionRMTSArena},
 		{"AdmitService", BenchmarkAdmitService},
+		{"AdmitServiceJournaled", BenchmarkAdmitServiceJournaled},
 	}
 	records := make([]benchRecord, 0, len(hot))
 	for _, h := range hot {

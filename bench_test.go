@@ -8,6 +8,7 @@ package repro
 // sweeps.
 
 import (
+	"context"
 	"io"
 	"math/rand"
 	"testing"
@@ -270,6 +271,34 @@ func BenchmarkAdmitService(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	benchAdmitService(b, c)
+}
+
+// BenchmarkAdmitServiceJournaled is the same workload with the write-ahead
+// journal attached (fsync off, periodic snapshots disabled), so the delta
+// against BenchmarkAdmitService is the pure journaling CPU cost per
+// admission — record marshal plus buffered file append, no fsync syscalls
+// and no background snapshot noise in the alloc counts. The ci.sh
+// admissions/sec floor applies to the unjournaled variant only; this one
+// is recorded in BENCH_hotpath.json so perfdiff flags drift in the
+// durable path too.
+func BenchmarkAdmitServiceJournaled(b *testing.B) {
+	svc := admit.NewService(0)
+	if _, err := svc.AttachJournal(admit.JournalConfig{
+		Dir: b.TempDir(), Fsync: admit.FsyncOff, SnapshotEvery: -1,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close()
+	c, err := svc.Create("bench", 8, partition.OnlineRTAFirstFit, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchAdmitService(b, c)
+}
+
+func benchAdmitService(b *testing.B, c *admit.Cluster) {
+	ctx := context.Background()
 	// A fixed cyclic task stream (period 35 in i) with occasional constrained
 	// deadlines; deterministic, so baseline and current captures see the same
 	// offered load.
@@ -289,7 +318,9 @@ func BenchmarkAdmitService(b *testing.B) {
 	head, tail := 0, 0
 	live := func() int { return (tail - head + len(ring)) % len(ring) }
 	for i := 0; live() < residents && i < 10_000; i++ {
-		if res := c.Admit(stream(i)); res.Accepted {
+		if res, err := c.Admit(ctx, stream(i)); err != nil {
+			b.Fatal(err)
+		} else if res.Accepted {
 			ring[tail] = res.Handle
 			tail = (tail + 1) % len(ring)
 		}
@@ -302,10 +333,16 @@ func BenchmarkAdmitService(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if live() >= residents {
-			c.Remove(ring[head])
+			if _, err := c.Remove(ring[head]); err != nil {
+				b.Fatal(err)
+			}
 			head = (head + 1) % len(ring)
 		}
-		if res := c.Admit(stream(i)); res.Accepted {
+		res, err := c.Admit(ctx, stream(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Accepted {
 			accepted++
 			ring[tail] = res.Handle
 			tail = (tail + 1) % len(ring)

@@ -4,11 +4,21 @@
 // Usage:
 //
 //	admitd [-listen host:port] [-addr-file path] [-shards n]
+//	       [-data dir] [-fsync always|batch|off] [-fsync-interval d] [-snapshot-every n]
+//	       [-gate] [-gate-concurrency n] [-gate-queue n] [-request-timeout d] [-retry-after d]
+//	       [-read-header-timeout d] [-read-timeout d] [-write-timeout d] [-idle-timeout d]
 //	admitd -check host:port [-check-load n]
+//	admitd -churn host:port [-churn-ops n] [-churn-seed n] [-churn-prefix name]
 //
 // Server mode binds -listen (:0 picks a free port; -addr-file publishes
 // the bound address for scripts) and serves until SIGINT or SIGTERM, then
 // shuts down gracefully — in-flight admissions get complete responses.
+// With -data, every mutation is journaled to a write-ahead log and folded
+// into atomic snapshots; on startup the directory is recovered (snapshot +
+// journal replay) before traffic is admitted, and /readyz reports
+// "recovering" until the replay completes. A clean shutdown writes a final
+// snapshot; after a crash (SIGKILL, power loss) the next start rebuilds
+// the exact acknowledged state from the journal.
 //
 //	POST   /v1/clusters               create a virtual cluster
 //	GET    /v1/clusters               list clusters
@@ -16,20 +26,29 @@
 //	DELETE /v1/clusters/{name}        delete a cluster
 //	POST   /v1/clusters/{name}/admit  admit one task (200 either verdict)
 //	POST   /v1/clusters/{name}/remove remove a resident task by handle
-//	GET    /metrics /progress /healthz /debug/pprof/  (obs status routes)
+//	GET    /v1/canon                  canonical registry state (hex)
+//	GET    /metrics /progress /healthz /readyz /debug/pprof/  (obs routes)
 //
 // Check mode is a self-contained smoke client for CI: against a running
 // admitd it verifies /healthz, the "/" index, the full admit → reject →
 // remove → re-admit cycle with a typed rejection, and then drives a
 // sustained admit/remove load, reporting the achieved admissions/sec.
+//
+// Churn mode is the crash-recovery smoke's client: it drives a seeded
+// random create/admit/remove sequence (deterministic for a given
+// -churn-seed) and prints a digest of the server's canonical state;
+// -churn-ops 0 skips the churn and just prints the digest, so a
+// SIGKILL/restart cycle can be verified by comparing two digest lines.
 // Exit status: 0 check passed, 1 check failed, 2 usage.
 package main
 
 import (
+	"crypto/sha256"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"os/signal"
@@ -52,9 +71,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 		listen   = fs.String("listen", "127.0.0.1:8080", "serve the admission API and status routes at this address (host:port; :0 picks a free port)")
 		addrFile = fs.String("addr-file", "", "write the bound address to this file once listening (for -listen :0 in scripts)")
 		shards   = fs.Int("shards", 0, "cluster-registry lock stripes (0 = default)")
-		check    = fs.String("check", "", "client mode: run the admission smoke against the admitd at this address and exit")
-		load     = fs.Int("check-load", 2000, "admissions driven by the -check load smoke")
-		quiet    = fs.Bool("q", false, "suppress informational output")
+
+		dataDir    = fs.String("data", "", "durability directory: journal every mutation here and recover it on startup (empty = in-memory only)")
+		fsyncMode  = fs.String("fsync", "batch", "journal fsync policy: always (sync per op), batch (group commit), off")
+		fsyncEvery = fs.Duration("fsync-interval", 5*time.Millisecond, "group-commit interval under -fsync batch")
+		snapEvery  = fs.Int("snapshot-every", 4096, "fold the journal into a snapshot after this many records (negative disables periodic snapshots)")
+
+		gateOn     = fs.Bool("gate", true, "guard the admit/remove endpoints with the concurrency gate")
+		gateConc   = fs.Int("gate-concurrency", 0, "gate execution slots (0 = 2×GOMAXPROCS)")
+		gateQueue  = fs.Int("gate-queue", 0, "bounded wait queue before the gate sheds with 429 (0 = 4×slots)")
+		reqTimeout = fs.Duration("request-timeout", time.Second, "per-request deadline through queue wait and admission (0 disables)")
+		retryAfter = fs.Duration("retry-after", time.Second, "Retry-After hint on shed (429) responses")
+		readHeadTO = fs.Duration("read-header-timeout", 5*time.Second, "server read-header timeout (Slowloris guard; 0 disables)")
+		readTO     = fs.Duration("read-timeout", 30*time.Second, "server whole-request read timeout (0 disables)")
+		writeTO    = fs.Duration("write-timeout", 0, "server response write timeout (0 disables; pprof profile streams need it off)")
+		idleTO     = fs.Duration("idle-timeout", 2*time.Minute, "server keep-alive idle timeout (0 disables)")
+
+		check = fs.String("check", "", "client mode: run the admission smoke against the admitd at this address and exit")
+		load  = fs.Int("check-load", 2000, "admissions driven by the -check load smoke")
+
+		churn       = fs.String("churn", "", "client mode: drive a seeded random churn against the admitd at this address, print a canonical-state digest, and exit")
+		churnOps    = fs.Int("churn-ops", 500, "operations driven by -churn (0 = just print the digest)")
+		churnSeed   = fs.Int64("churn-seed", 1, "seed of the -churn operation sequence")
+		churnPrefix = fs.String("churn-prefix", "churn", "cluster-name prefix used by -churn")
+
+		quiet = fs.Bool("q", false, "suppress informational output")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -63,20 +104,76 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "admitd: unexpected arguments: %v\n", fs.Args())
 		return 2
 	}
+	usage := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, "admitd: "+format+"\n", args...)
+		return 2
+	}
+	if *check != "" && *churn != "" {
+		return usage("-check and -churn are mutually exclusive")
+	}
 	if *check != "" {
 		if *load <= 0 {
-			fmt.Fprintf(stderr, "admitd: -check-load must be positive (got %d)\n", *load)
-			return 2
+			return usage("-check-load must be positive (got %d)", *load)
 		}
 		return runCheck(*check, *load, stdout, stderr)
+	}
+	if *churn != "" {
+		if *churnOps < 0 {
+			return usage("-churn-ops must be non-negative (got %d)", *churnOps)
+		}
+		return runChurn(*churn, *churnOps, *churnSeed, *churnPrefix, stdout, stderr)
+	}
+	fsyncPolicy, err := admit.ParseFsyncPolicy(*fsyncMode)
+	if err != nil {
+		return usage("%v", err)
+	}
+	if *fsyncEvery <= 0 {
+		return usage("-fsync-interval must be positive (got %v)", *fsyncEvery)
+	}
+	if *gateConc < 0 || *gateQueue < 0 {
+		return usage("-gate-concurrency and -gate-queue must be non-negative")
+	}
+	for _, to := range []struct {
+		name string
+		v    time.Duration
+	}{
+		{"-request-timeout", *reqTimeout}, {"-retry-after", *retryAfter},
+		{"-read-header-timeout", *readHeadTO}, {"-read-timeout", *readTO},
+		{"-write-timeout", *writeTO}, {"-idle-timeout", *idleTO},
+	} {
+		if to.v < 0 {
+			return usage("%s must be non-negative (got %v)", to.name, to.v)
+		}
 	}
 
 	// The status surface is part of the daemon's contract, so metrics are
 	// always on (in the batch harness they are opt-in to keep hot loops
 	// untouched; a service that serves /metrics should fill it).
 	obs.SetEnabled(true)
+	obs.SetReadiness(obs.ReadyStarting)
 	svc := admit.NewService(*shards)
-	srv, err := obs.ServeWith(*listen, obs.Default, svc.Routes()...)
+	if *gateOn {
+		svc.SetGate(admit.NewGate(admit.GateConfig{
+			MaxConcurrent: *gateConc,
+			MaxQueue:      *gateQueue,
+			Timeout:       disabledIfZero(*reqTimeout),
+			RetryAfter:    *retryAfter,
+		}))
+	}
+
+	// Bind before recovering, guarding the API behind readiness: a balancer
+	// (or curl) sees 503 "recovering" from /readyz and the /v1 routes while
+	// journal replay runs, instead of connection refused or partial state.
+	routes := svc.Routes()
+	for i := range routes {
+		routes[i].Handler = readyGuard(routes[i].Handler)
+	}
+	srv, err := obs.ServeOpts(*listen, obs.Default, obs.ServeOptions{
+		ReadHeaderTimeout: disabledIfZero(*readHeadTO),
+		ReadTimeout:       disabledIfZero(*readTO),
+		WriteTimeout:      disabledIfZero(*writeTO),
+		IdleTimeout:       disabledIfZero(*idleTO),
+	}, routes...)
 	if err != nil {
 		fmt.Fprintf(stderr, "admitd: %v\n", err)
 		return 2
@@ -88,6 +185,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 	}
+
+	if *dataDir != "" {
+		obs.SetReadiness(obs.ReadyRecovering)
+		rs, err := svc.AttachJournal(admit.JournalConfig{
+			Dir:           *dataDir,
+			Fsync:         fsyncPolicy,
+			FsyncInterval: *fsyncEvery,
+			SnapshotEvery: *snapEvery,
+		})
+		if err != nil {
+			// Refusing to serve beats serving silently wrong state: a
+			// corrupt journal is an operator decision, not a default.
+			fmt.Fprintf(stderr, "admitd: recovery failed: %v\n", err)
+			srv.Close()
+			return 1
+		}
+		if !*quiet {
+			fmt.Fprintf(stderr, "admitd: recovered %d clusters (%d residents), replayed %d journal records, %d torn tails repaired\n",
+				rs.Clusters, rs.Residents, rs.Replayed, rs.TornTails)
+		}
+	}
+	obs.SetReadiness(obs.ReadyServing)
 	if !*quiet {
 		fmt.Fprintf(stderr, "admitd: serving on %s\n", srv.Addr())
 	}
@@ -95,14 +214,50 @@ func run(args []string, stdout, stderr io.Writer) int {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	s := <-sig
+	obs.SetReadiness(obs.ReadyDraining)
 	if !*quiet {
 		fmt.Fprintf(stderr, "admitd: %v, shutting down\n", s)
 	}
+	code := 0
 	if err := srv.Close(); err != nil {
 		fmt.Fprintf(stderr, "admitd: shutdown: %v\n", err)
-		return 1
+		code = 1
 	}
-	return 0
+	// Final snapshot: a clean shutdown leaves the state durable at rest and
+	// the journal empty, so the next start restores Status byte-identically
+	// without replay.
+	if err := svc.Close(); err != nil {
+		fmt.Fprintf(stderr, "admitd: close journal: %v\n", err)
+		code = 1
+	}
+	return code
+}
+
+// disabledIfZero maps the flag vocabulary (0 = off) onto the option
+// vocabulary (0 = default, negative = off).
+func disabledIfZero(d time.Duration) time.Duration {
+	if d == 0 {
+		return -1
+	}
+	return d
+}
+
+// readyGuard holds the admission API behind the readiness state: during
+// startup and journal replay the durable state is not yet consistent, so
+// the API answers 503 (with Retry-After) instead of serving reads of
+// partial state or mutations that AttachJournal would then collide with.
+func readyGuard(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch obs.CurrentReadiness() {
+		case obs.ReadyStarting, obs.ReadyRecovering:
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, `{"error":"service %s"}`, obs.CurrentReadiness())
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
 }
 
 // checkClient is the -check mode's tiny JSON client.
@@ -146,17 +301,22 @@ func runCheck(addr string, load int, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	// Health and the endpoint index (must name every mounted route family).
+	// Health, readiness, and the endpoint index (must name every mounted
+	// route family).
 	code, v, err := c.do("GET", "/healthz", "")
 	if err != nil || code != 200 || v["ok"] != true {
 		return fail("/healthz: code %d v %v err %v", code, v, err)
+	}
+	code, v, err = c.do("GET", "/readyz", "")
+	if err != nil || code != 200 || v["ready"] != true {
+		return fail("/readyz: code %d v %v err %v", code, v, err)
 	}
 	code, v, err = c.do("GET", "/", "")
 	if err != nil || code != 200 {
 		return fail("/: code %d err %v", code, err)
 	}
 	index, _ := v["_raw"].(string)
-	for _, want := range []string{"/healthz", "/metrics", "/v1/clusters", "/v1/clusters/{name}/admit"} {
+	for _, want := range []string{"/healthz", "/readyz", "/metrics", "/v1/clusters", "/v1/clusters/{name}/admit"} {
 		if !strings.Contains(index, want) {
 			return fail("/ index omits %s: %q", want, index)
 		}
@@ -241,5 +401,73 @@ func runCheck(addr string, load int, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "check ok: %d admissions in %v (%.0f/sec over HTTP), %d accepted, %d rejected\n",
 		load, elapsed.Round(time.Millisecond), float64(load)/elapsed.Seconds(), accepted, rejected)
+	return 0
+}
+
+// runChurn drives a seeded random create/admit/remove sequence and prints
+// a sha256 digest of the server's canonical registry state. The sequence
+// is deterministic in (seed, ops), and admission itself is deterministic
+// in (state, candidate), so: churn against a journaled server, SIGKILL it,
+// restart it, run -churn-ops 0, and the two digest lines must match —
+// that comparison is ci.sh's crash-recovery smoke.
+func runChurn(addr string, ops int, seed int64, prefix string, stdout, stderr io.Writer) int {
+	c := &checkClient{base: "http://" + addr, hc: &http.Client{Timeout: 10 * time.Second}}
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, "admitd churn: "+format+"\n", args...)
+		return 1
+	}
+	type placed struct {
+		cluster string
+		handle  int64
+	}
+	clusters := []string{prefix + "-0", prefix + "-1"}
+	if ops > 0 {
+		for i, name := range clusters {
+			code, v, err := c.do("POST", "/v1/clusters", fmt.Sprintf(`{"name":%q,"m":%d}`, name, 1+i))
+			if err != nil || (code != 201 && code != 409) {
+				return fail("create %s: code %d v %v err %v", name, code, v, err)
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var resident []placed
+	accepted, rejected, removed := 0, 0, 0
+	for i := 0; i < ops; i++ {
+		if len(resident) > 0 && rng.Intn(3) == 0 {
+			k := rng.Intn(len(resident))
+			p := resident[k]
+			resident = append(resident[:k], resident[k+1:]...)
+			code, v, err := c.do("POST", "/v1/clusters/"+p.cluster+"/remove",
+				fmt.Sprintf(`{"handle":%d}`, p.handle))
+			if err != nil || code != 200 {
+				return fail("remove op %d: code %d v %v err %v", i, code, v, err)
+			}
+			removed++
+			continue
+		}
+		cl := clusters[rng.Intn(len(clusters))]
+		body := fmt.Sprintf(`{"name":"t%d","c":%d,"t":%d}`, i, 1+rng.Intn(5), 10+rng.Intn(7)*10)
+		code, v, err := c.do("POST", "/v1/clusters/"+cl+"/admit", body)
+		if err != nil || code != 200 {
+			return fail("admit op %d: code %d v %v err %v", i, code, v, err)
+		}
+		if v["accepted"] == true {
+			accepted++
+			resident = append(resident, placed{cl, int64(v["handle"].(float64))})
+		} else {
+			rejected++
+		}
+	}
+	code, v, err := c.do("GET", "/v1/canon", "")
+	if err != nil || code != 200 {
+		return fail("/v1/canon: code %d err %v", code, err)
+	}
+	canon, _ := v["canon"].(string)
+	sum := sha256.Sum256([]byte(canon))
+	fmt.Fprintf(stdout, "canon %x\n", sum)
+	if ops > 0 {
+		fmt.Fprintf(stderr, "churn: %d ops (%d accepted, %d rejected, %d removed), %d resident\n",
+			ops, accepted, rejected, removed, len(resident))
+	}
 	return 0
 }

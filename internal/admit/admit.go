@@ -24,6 +24,7 @@
 package admit
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -59,9 +60,12 @@ const defaultCacheCap = 1024
 // ErrExists is returned by Create when the cluster name is already taken.
 var ErrExists = errors.New("admit: cluster name already taken")
 
-// Service is the sharded cluster registry.
+// Service is the sharded cluster registry, optionally backed by a
+// write-ahead journal (AttachJournal) that makes every mutation durable.
 type Service struct {
 	shards []shard
+	j      *Journal // nil when the service is not journaled
+	gate   *Gate    // nil when admission is ungated
 }
 
 type shard struct {
@@ -85,14 +89,19 @@ func NewService(shards int) *Service {
 	return s
 }
 
-func (s *Service) shardFor(name string) *shard {
+func (s *Service) shardIndex(name string) int {
 	h := fnv.New32a()
 	h.Write([]byte(name))
-	return &s.shards[h.Sum32()%uint32(len(s.shards))]
+	return int(h.Sum32() % uint32(len(s.shards)))
+}
+
+func (s *Service) shardFor(name string) *shard {
+	return &s.shards[s.shardIndex(name)]
 }
 
 // Create registers a new cluster. It fails if the name is empty or taken,
-// or the engine parameters are invalid.
+// the engine parameters are invalid, or (on a journaled service) the
+// creation could not be made durable.
 func (s *Service) Create(name string, m int, policy string, surcharge task.Time) (*Cluster, error) {
 	if name == "" {
 		return nil, errors.New("admit: cluster name must not be empty")
@@ -102,11 +111,27 @@ func (s *Service) Create(name string, m int, policy string, surcharge task.Time)
 		return nil, err
 	}
 	c := &Cluster{name: name, eng: eng, cacheCap: defaultCacheCap}
-	sh := s.shardFor(name)
+	idx := s.shardIndex(name)
+	sh := &s.shards[idx]
+	var jr *shardJournal
+	if s.j != nil {
+		c.j, c.jr = s.j, s.j.shards[idx]
+		jr = c.jr
+		jr.freeze.RLock()
+		defer jr.freeze.RUnlock()
+	}
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if _, ok := sh.clusters[name]; ok {
 		return nil, fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	if jr != nil {
+		// Journal before insert: a creation that cannot be made durable is
+		// never visible.
+		if err := jr.append(createRecord(name, m, policy, surcharge), &s.j.cfg); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrDurability, err)
+		}
+		s.j.maybeKickSnapshot(jr)
 	}
 	sh.clusters[name] = c
 	cClustersCreated.Inc()
@@ -124,17 +149,32 @@ func (s *Service) Get(name string) (*Cluster, bool) {
 
 // Delete unregisters the named cluster, reporting whether it existed.
 // In-flight operations on the removed cluster finish against its (now
-// unreachable) state.
-func (s *Service) Delete(name string) bool {
-	sh := s.shardFor(name)
+// unreachable) state. On a journaled service a deletion that cannot be
+// made durable fails without unregistering anything.
+func (s *Service) Delete(name string) (bool, error) {
+	idx := s.shardIndex(name)
+	sh := &s.shards[idx]
+	var jr *shardJournal
+	if s.j != nil {
+		jr = s.j.shards[idx]
+		jr.freeze.RLock()
+		defer jr.freeze.RUnlock()
+	}
 	sh.mu.Lock()
 	_, ok := sh.clusters[name]
+	if ok && jr != nil {
+		if err := jr.append(deleteRecord(name), &s.j.cfg); err != nil {
+			sh.mu.Unlock()
+			return false, fmt.Errorf("%w: %v", ErrDurability, err)
+		}
+		s.j.maybeKickSnapshot(jr)
+	}
 	delete(sh.clusters, name)
 	sh.mu.Unlock()
 	if ok {
 		cClustersDeleted.Inc()
 	}
-	return ok
+	return ok, nil
 }
 
 // Names returns every registered cluster name, sorted.
@@ -176,6 +216,11 @@ type StatsSnapshot struct {
 type Cluster struct {
 	name  string
 	stats Stats
+
+	// j/jr point at the service journal and this cluster's shard journal;
+	// both nil on an unjournaled service.
+	j  *Journal
+	jr *shardJournal
 
 	mu       sync.Mutex // serializes eng, cache and keyBuf
 	eng      *partition.Online
@@ -229,12 +274,27 @@ type Result struct {
 	CacheHit bool `json:"cacheHit,omitempty"`
 }
 
-// Admit runs one admission attempt against the cluster.
-func (c *Cluster) Admit(t task.Task) Result {
+// Admit runs one admission attempt against the cluster. The context's
+// deadline is honored at the serialization point: a request whose deadline
+// expired while it waited for the cluster lock returns ctx.Err() without
+// consulting the engine. On a journaled service an acceptance that cannot
+// be journaled is rolled back and reported as ErrDurability — it never
+// happened, durably or otherwise. Both verdicts (accept and reject) return
+// a nil error.
+func (c *Cluster) Admit(ctx context.Context, t task.Task) (Result, error) {
 	cRequests.Inc()
 	c.stats.Requests.Add(1)
+	if c.jr != nil {
+		c.jr.freeze.RLock()
+		defer c.jr.freeze.RUnlock()
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+	}
 
 	var key []byte
 	if c.cacheCap > 0 {
@@ -245,15 +305,27 @@ func (c *Cluster) Admit(t task.Task) Result {
 			c.stats.CacheHits.Add(1)
 			c.stats.Rejected.Add(1)
 			res.CacheHit = true
-			return res
+			return res, nil
 		}
 	}
 
 	pl, err := c.eng.Admit(t)
 	if err == nil {
+		if c.jr != nil {
+			if jerr := c.jr.append(admitRecord(c.name, t, pl), &c.j.cfg); jerr != nil {
+				// The engine accepted but the journal did not: undo the
+				// placement so the acknowledged state and the durable state
+				// agree that this admission never happened.
+				if uerr := c.eng.UndoAdmit(pl.Handle); uerr != nil {
+					panic("admit: cannot undo unjournaled admission: " + uerr.Error())
+				}
+				return Result{}, fmt.Errorf("%w: %v", ErrDurability, jerr)
+			}
+			c.j.maybeKickSnapshot(c.jr)
+		}
 		cAccepted.Inc()
 		c.stats.Accepted.Add(1)
-		return Result{Accepted: true, Handle: pl.Handle, Proc: pl.Proc, Response: pl.Response}
+		return Result{Accepted: true, Handle: pl.Handle, Proc: pl.Proc, Response: pl.Response}, nil
 	}
 	var rej *partition.Rejection
 	if !errors.As(err, &rej) {
@@ -278,20 +350,72 @@ func (c *Cluster) Admit(t task.Task) Result {
 		}
 		c.cache[string(key)] = res
 	}
-	return res
+	return res, nil
 }
 
 // Remove releases a previously admitted task, reporting whether the handle
-// was resident.
-func (c *Cluster) Remove(handle uint64) bool {
+// was resident. On a journaled service the removal is journaled before the
+// engine applies it; a removal that cannot be made durable fails with
+// ErrDurability and leaves the task resident.
+func (c *Cluster) Remove(handle uint64) (bool, error) {
+	if c.jr != nil {
+		c.jr.freeze.RLock()
+		defer c.jr.freeze.RUnlock()
+	}
 	c.mu.Lock()
+	if !c.eng.Has(handle) {
+		c.mu.Unlock()
+		return false, nil
+	}
+	if c.jr != nil {
+		if err := c.jr.append(removeRecord(c.name, handle), &c.j.cfg); err != nil {
+			c.mu.Unlock()
+			return false, fmt.Errorf("%w: %v", ErrDurability, err)
+		}
+		c.j.maybeKickSnapshot(c.jr)
+	}
 	ok := c.eng.Remove(handle)
 	c.mu.Unlock()
-	if ok {
-		cRemoved.Inc()
-		c.stats.Removed.Add(1)
+	if !ok {
+		panic("admit: resident handle vanished under the cluster lock")
 	}
-	return ok
+	cRemoved.Inc()
+	c.stats.Removed.Add(1)
+	return true, nil
+}
+
+// restoreStats reinstates a snapshotted counter state (recovery only).
+func (c *Cluster) restoreStats(st StatsSnapshot) {
+	c.stats.Requests.Store(st.Requests)
+	c.stats.Accepted.Store(st.Accepted)
+	c.stats.Rejected.Store(st.Rejected)
+	c.stats.Removed.Store(st.Removed)
+	c.stats.CacheHits.Store(st.CacheHits)
+}
+
+// appendCanonical appends the cluster's canonical engine state (see
+// Online.AppendCanonical: byte equality implies observational equivalence
+// for every future operation sequence).
+func (c *Cluster) appendCanonical(b []byte) []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.eng.AppendCanonical(b)
+}
+
+// CanonicalState serializes the whole registry — every cluster's name and
+// canonical engine state, in sorted name order. Two services with equal
+// CanonicalState are observationally equivalent; the recovery tests and
+// the crash-recovery smoke compare digests of exactly this.
+func (s *Service) CanonicalState() []byte {
+	var b []byte
+	for _, name := range s.Names() {
+		if c, ok := s.Get(name); ok {
+			b = append(b, name...)
+			b = append(b, 0x00)
+			b = c.appendCanonical(b)
+		}
+	}
+	return b
 }
 
 // canonicalKey serializes the full admission question — every resident of

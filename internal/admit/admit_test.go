@@ -1,6 +1,7 @@
 package admit
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -10,6 +11,36 @@ import (
 	"repro/internal/partition"
 	"repro/internal/task"
 )
+
+// admitNow and removeNow are the no-context, must-not-error call shapes:
+// on an unjournaled cluster with a background context the error return is
+// structurally nil, so any error here is a test bug worth failing loudly.
+func admitNow(tb testing.TB, c *Cluster, tk task.Task) Result {
+	tb.Helper()
+	res, err := c.Admit(context.Background(), tk)
+	if err != nil {
+		tb.Fatalf("Admit(%v): %v", tk, err)
+	}
+	return res
+}
+
+func removeNow(tb testing.TB, c *Cluster, h uint64) bool {
+	tb.Helper()
+	ok, err := c.Remove(h)
+	if err != nil {
+		tb.Fatalf("Remove(%d): %v", h, err)
+	}
+	return ok
+}
+
+func deleteNow(tb testing.TB, s *Service, name string) bool {
+	tb.Helper()
+	ok, err := s.Delete(name)
+	if err != nil {
+		tb.Fatalf("Delete(%q): %v", name, err)
+	}
+	return ok
+}
 
 func TestServiceRegistry(t *testing.T) {
 	s := NewService(4)
@@ -47,7 +78,7 @@ func TestServiceRegistry(t *testing.T) {
 	if got := s.Names(); !reflect.DeepEqual(got, []string{"a", "b", "m", "z"}) {
 		t.Errorf("Names() = %v", got)
 	}
-	if !s.Delete("m") || s.Delete("m") {
+	if !deleteNow(t, s, "m") || deleteNow(t, s, "m") {
 		t.Error("Delete semantics broken")
 	}
 	if _, ok := s.Get("m"); ok {
@@ -79,7 +110,7 @@ func TestClusterCacheEquivalence(t *testing.T) {
 			for op := 0; op < 600; op++ {
 				if len(live) > 0 && r.Intn(3) == 0 {
 					h := live[r.Intn(len(live))]
-					a, b := cached.Remove(h), plain.Remove(h)
+					a, b := removeNow(t, cached, h), removeNow(t, plain, h)
 					if a != b {
 						t.Fatalf("op %d: Remove(%d) diverged: %v vs %v", op, h, a, b)
 					}
@@ -99,8 +130,8 @@ func TestClusterCacheEquivalence(t *testing.T) {
 				if policy != partition.OnlineThreshold && r.Intn(3) == 0 {
 					tk.D = tk.C + task.Time(r.Intn(int(T-tk.C)+1))
 				}
-				a := cached.Admit(tk)
-				b := plain.Admit(tk)
+				a := admitNow(t, cached, tk)
+				b := admitNow(t, plain, tk)
 				if a.CacheHit {
 					hits++
 				}
@@ -127,11 +158,11 @@ func TestClusterAdmitRejectShapes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ok := c.Admit(task.Task{C: 5, T: 10})
+	ok := admitNow(t, c, task.Task{C: 5, T: 10})
 	if !ok.Accepted || ok.Handle == 0 || ok.Proc != 0 || ok.Response != 5 {
 		t.Fatalf("accept result: %+v", ok)
 	}
-	full := c.Admit(task.Task{Name: "big", C: 8, T: 10})
+	full := admitNow(t, c, task.Task{Name: "big", C: 8, T: 10})
 	if full.Accepted || full.Cause != "rta-deadline-miss" || full.Proc != -1 {
 		t.Fatalf("reject result: %+v", full)
 	}
@@ -141,11 +172,11 @@ func TestClusterAdmitRejectShapes(t *testing.T) {
 	if full.CauseDetail == "" || full.Reason == "" {
 		t.Fatalf("rejection lacks prose: %+v", full)
 	}
-	bad := c.Admit(task.Task{C: 0, T: 10})
+	bad := admitNow(t, c, task.Task{C: 0, T: 10})
 	if bad.Accepted || bad.Cause != "invalid-input" || bad.Evidence != nil {
 		t.Fatalf("invalid-input result: %+v", bad)
 	}
-	if !c.Remove(ok.Handle) || c.Remove(ok.Handle) {
+	if !removeNow(t, c, ok.Handle) || removeNow(t, c, ok.Handle) {
 		t.Error("Remove semantics broken")
 	}
 	st := c.Status()
@@ -180,7 +211,11 @@ func TestClusterStatsConcurrent(t *testing.T) {
 			for i := 0; i < 200; i++ {
 				for _, c := range []*Cluster{shared, own} {
 					T := task.Time(10 + r.Intn(100))
-					res := c.Admit(task.Task{C: 1 + task.Time(r.Intn(5)), T: T})
+					res, err := c.Admit(context.Background(), task.Task{C: 1 + task.Time(r.Intn(5)), T: T})
+					if err != nil {
+						t.Error(err)
+						return
+					}
 					if res.Accepted && c == own {
 						mine = append(mine, res.Handle)
 					}
@@ -216,11 +251,11 @@ func TestCacheCapClears(t *testing.T) {
 	c.cacheCap = 2
 	// Saturate the processor so every distinct oversized task is rejected
 	// and cached.
-	if res := c.Admit(task.Task{C: 9, T: 10}); !res.Accepted {
+	if res := admitNow(t, c, task.Task{C: 9, T: 10}); !res.Accepted {
 		t.Fatalf("setup admit failed: %+v", res)
 	}
 	for i := 0; i < 5; i++ {
-		c.Admit(task.Task{C: 50 + task.Time(i), T: 100})
+		admitNow(t, c, task.Task{C: 50 + task.Time(i), T: 100})
 	}
 	c.mu.Lock()
 	n := len(c.cache)
@@ -229,7 +264,7 @@ func TestCacheCapClears(t *testing.T) {
 		t.Errorf("cache grew to %d entries past its cap of 2", n)
 	}
 	// A repeat of the last rejection must still hit.
-	if res := c.Admit(task.Task{C: 54, T: 100}); !res.CacheHit {
+	if res := admitNow(t, c, task.Task{C: 54, T: 100}); !res.CacheHit {
 		t.Error("repeat rejection missed the cache after a clear cycle")
 	}
 }

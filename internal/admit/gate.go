@@ -1,0 +1,155 @@
+package admit
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Backpressure (DESIGN.md §14): the admission endpoints are guarded by a
+// concurrency gate — a fixed pool of execution slots plus a bounded wait
+// queue. A request either gets a slot, waits its turn in the queue, or is
+// shed immediately with 429 and a Retry-After hint when the queue is full.
+// Shedding at the door is the point: under overload the server stays at
+// its best-throughput concurrency and answers every excess request
+// cheaply, instead of degrading everyone behind an unbounded pile-up.
+//
+// Deadlines compose with the gate: the HTTP layer derives a per-request
+// context deadline (Gate timeout flag), the queue wait honors it, and the
+// same context threads through Cluster.Admit so a request whose client has
+// given up stops consuming the cluster lock.
+
+// Gate instrumentation (no-ops unless obs.SetEnabled).
+var (
+	cGateAdmitted = obs.NewCounter("admit.gate.admitted")
+	cGateQueued   = obs.NewCounter("admit.gate.queued")
+	cGateShed     = obs.NewCounter("admit.gate.shed")
+	cGateExpired  = obs.NewCounter("admit.gate.expired")
+)
+
+// ErrShed is returned by Gate.Acquire when the request cannot get an
+// execution slot: the wait queue is full, or the request's deadline
+// expired while queued. The HTTP layer maps it to 429 + Retry-After.
+var ErrShed = errors.New("admit: overloaded, request shed")
+
+// GateConfig sizes the admission gate. The zero value gets sensible
+// defaults; explicit values are validated by NewGate.
+type GateConfig struct {
+	// MaxConcurrent is the number of execution slots. Zero means
+	// 2×GOMAXPROCS — admissions are CPU-bound analysis, so slots beyond
+	// the core count only add lock convoying.
+	MaxConcurrent int
+	// MaxQueue bounds how many requests may wait for a slot before the
+	// gate sheds. Zero means 4×MaxConcurrent.
+	MaxQueue int
+	// Timeout is the per-request deadline the HTTP layer derives (queue
+	// wait plus handler). Zero means 1s; negative disables deadlines.
+	Timeout time.Duration
+	// RetryAfter is the hint shed responses carry. Zero means 1s.
+	RetryAfter time.Duration
+}
+
+func (cfg *GateConfig) maxConcurrent() int {
+	if cfg.MaxConcurrent <= 0 {
+		return 2 * runtime.GOMAXPROCS(0)
+	}
+	return cfg.MaxConcurrent
+}
+
+func (cfg *GateConfig) maxQueue() int {
+	if cfg.MaxQueue <= 0 {
+		return 4 * cfg.maxConcurrent()
+	}
+	return cfg.MaxQueue
+}
+
+func (cfg *GateConfig) timeout() time.Duration {
+	switch {
+	case cfg.Timeout == 0:
+		return time.Second
+	case cfg.Timeout < 0:
+		return 0
+	}
+	return cfg.Timeout
+}
+
+func (cfg *GateConfig) retryAfter() time.Duration {
+	if cfg.RetryAfter <= 0 {
+		return time.Second
+	}
+	return cfg.RetryAfter
+}
+
+// Gate is the concurrency-limited admission gate.
+type Gate struct {
+	cfg     GateConfig
+	slots   chan struct{}
+	waiters atomic.Int64
+}
+
+// NewGate builds a gate from cfg (zero fields defaulted).
+func NewGate(cfg GateConfig) *Gate {
+	return &Gate{cfg: cfg, slots: make(chan struct{}, cfg.maxConcurrent())}
+}
+
+// SetGate installs g in front of the service's admission endpoints
+// (admit and remove). Pass nil to remove it. Not safe to call while
+// requests are in flight — wire the gate at startup.
+func (s *Service) SetGate(g *Gate) { s.gate = g }
+
+// Gate returns the installed admission gate, if any.
+func (s *Service) Gate() *Gate { return s.gate }
+
+// Acquire claims an execution slot, queuing (bounded) if none is free. It
+// returns ErrShed when the queue is full or ctx expires while waiting; on
+// success the caller must Release.
+func (g *Gate) Acquire(ctx context.Context) error {
+	select {
+	case g.slots <- struct{}{}:
+		cGateAdmitted.Inc()
+		return nil
+	default:
+	}
+	if g.waiters.Add(1) > int64(g.cfg.maxQueue()) {
+		g.waiters.Add(-1)
+		cGateShed.Inc()
+		return ErrShed
+	}
+	defer g.waiters.Add(-1)
+	cGateQueued.Inc()
+	select {
+	case g.slots <- struct{}{}:
+		cGateAdmitted.Inc()
+		return nil
+	case <-ctx.Done():
+		cGateExpired.Inc()
+		return ErrShed
+	}
+}
+
+// Release returns a slot claimed by Acquire.
+func (g *Gate) Release() { <-g.slots }
+
+// retryAfterSeconds renders the Retry-After header value (whole seconds,
+// rounded up — the header has one-second resolution).
+func (g *Gate) retryAfterSeconds() string {
+	secs := int64((g.cfg.retryAfter() + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+// requestContext derives the per-request deadline context (identity when
+// deadlines are disabled).
+func (g *Gate) requestContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	if d := g.cfg.timeout(); d > 0 {
+		return context.WithTimeout(ctx, d)
+	}
+	return ctx, func() {}
+}

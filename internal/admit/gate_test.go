@@ -1,0 +1,88 @@
+package admit
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGateAcquireRelease(t *testing.T) {
+	g := NewGate(GateConfig{MaxConcurrent: 2, MaxQueue: 1})
+	ctx := context.Background()
+	if err := g.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Slots full; the bounded queue takes one waiter, the next is shed.
+	ctxShort, cancel := context.WithTimeout(ctx, 10*time.Millisecond)
+	defer cancel()
+	errc := make(chan error, 1)
+	go func() { errc <- g.Acquire(ctxShort) }()
+	// Give the waiter time to enqueue, then overflow the queue.
+	deadline := time.Now().Add(time.Second)
+	for g.waiters.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if err := g.Acquire(ctxShort); !errors.Is(err, ErrShed) {
+		t.Fatalf("queue overflow err = %v, want ErrShed", err)
+	}
+	// The queued waiter expires with its context.
+	if err := <-errc; !errors.Is(err, ErrShed) {
+		t.Fatalf("queued waiter err = %v, want ErrShed on deadline", err)
+	}
+	// Releasing a slot makes acquisition immediate again.
+	g.Release()
+	if err := g.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGateQueueHandoff(t *testing.T) {
+	g := NewGate(GateConfig{MaxConcurrent: 1, MaxQueue: 8})
+	ctx := context.Background()
+	if err := g.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	got := make(chan struct{}, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := g.Acquire(ctx); err != nil {
+				t.Errorf("queued acquire: %v", err)
+				return
+			}
+			got <- struct{}{}
+			g.Release()
+		}()
+	}
+	// Drain: each release lets exactly one waiter through.
+	g.Release()
+	wg.Wait()
+	if len(got) != 4 {
+		t.Fatalf("%d waiters got slots, want 4", len(got))
+	}
+}
+
+func TestGateDefaults(t *testing.T) {
+	cfg := GateConfig{}
+	if cfg.maxConcurrent() <= 0 || cfg.maxQueue() < cfg.maxConcurrent() {
+		t.Errorf("defaults: concurrent %d queue %d", cfg.maxConcurrent(), cfg.maxQueue())
+	}
+	if cfg.timeout() != time.Second {
+		t.Errorf("default timeout %v", cfg.timeout())
+	}
+	neg := GateConfig{Timeout: -1}
+	if neg.timeout() != 0 {
+		t.Errorf("negative timeout should disable, got %v", neg.timeout())
+	}
+	g := NewGate(GateConfig{RetryAfter: 1500 * time.Millisecond})
+	if s := g.retryAfterSeconds(); s != "2" {
+		t.Errorf("Retry-After rounds up whole seconds: got %q", s)
+	}
+}

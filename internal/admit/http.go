@@ -2,13 +2,15 @@ package admit
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"sync"
+	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/task"
 )
@@ -26,7 +28,15 @@ import (
 // Both admission verdicts are 200s — a rejection is an analyzed answer, not
 // a transport error (mirroring cmd/explain's exit-code contract, where only
 // usage errors are distinguished from verdicts). Malformed requests are
-// 400, unknown clusters and handles 404, duplicate cluster names 409.
+// 400, oversized bodies 413, unknown clusters and handles 404, duplicate
+// cluster names 409. When a Gate is installed, overload on the admit and
+// remove endpoints sheds with 429 + Retry-After; a journaled mutation that
+// cannot be made durable (or a request whose deadline expires inside the
+// handler) is 503.
+//
+// GET /v1/canon returns a digest-friendly hex dump of the registry's
+// canonical state (Service.CanonicalState) — the crash-recovery smoke
+// compares this across a SIGKILL/restart cycle.
 
 // encBufs pools response-encoding buffers across requests, the service's
 // per-request workspace (the same recycle-don't-reallocate discipline as
@@ -77,9 +87,43 @@ func (s *Service) Routes() []obs.Route {
 		{Pattern: "GET /v1/clusters", Handler: http.HandlerFunc(s.handleList)},
 		{Pattern: "GET /v1/clusters/{name}", Handler: http.HandlerFunc(s.handleStatus)},
 		{Pattern: "DELETE /v1/clusters/{name}", Handler: http.HandlerFunc(s.handleDelete)},
-		{Pattern: "POST /v1/clusters/{name}/admit", Handler: http.HandlerFunc(s.handleAdmit)},
-		{Pattern: "POST /v1/clusters/{name}/remove", Handler: http.HandlerFunc(s.handleRemove)},
+		{Pattern: "POST /v1/clusters/{name}/admit", Handler: s.gated(s.handleAdmit)},
+		{Pattern: "POST /v1/clusters/{name}/remove", Handler: s.gated(s.handleRemove)},
+		{Pattern: "GET /v1/canon", Handler: http.HandlerFunc(s.handleCanon)},
 	}
+}
+
+// gated wraps an admission-path handler with the backpressure gate: derive
+// the per-request deadline, claim an execution slot (bounded queue, 429 +
+// Retry-After when shed), and thread the deadline context to the handler.
+// With no gate installed the handler runs bare. The injected
+// HandlerLatency fault runs inside the held slot, so tests can saturate
+// the gate deterministically.
+func (s *Service) gated(h func(http.ResponseWriter, *http.Request)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		g := s.gate
+		if g == nil {
+			h(w, r)
+			return
+		}
+		ctx, cancel := g.requestContext(r.Context())
+		defer cancel()
+		if err := g.Acquire(ctx); err != nil {
+			w.Header().Set("Retry-After", g.retryAfterSeconds())
+			writeError(w, http.StatusTooManyRequests, "overloaded: admission gate saturated, retry later")
+			return
+		}
+		defer g.Release()
+		if d := faultinject.HandlerLatencyDelay(); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+			}
+		}
+		h(w, r.WithContext(ctx))
+	})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -101,11 +145,19 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-// decodeBody strictly decodes one JSON object into v.
+// decodeBody strictly decodes one JSON object into v. Oversized bodies are
+// a clean 413 (http.MaxBytesReader both enforces the cap and tells the
+// server to close the connection, the slow-client-safe behavior), not the
+// truncation-induced 400 a bare LimitReader would produce.
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
-	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+			return false
+		}
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return false
 	}
@@ -163,7 +215,12 @@ func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleDelete(w http.ResponseWriter, r *http.Request) {
-	if !s.Delete(r.PathValue("name")) {
+	ok, err := s.Delete(r.PathValue("name"))
+	if err != nil {
+		writeOpError(w, err)
+		return
+	}
+	if !ok {
 		writeError(w, http.StatusNotFound, "unknown cluster %q", r.PathValue("name"))
 		return
 	}
@@ -179,7 +236,11 @@ func (s *Service) handleAdmit(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	res := c.Admit(task.Task{Name: req.Name, C: req.C, T: req.T, D: req.D})
+	res, err := c.Admit(r.Context(), task.Task{Name: req.Name, C: req.C, T: req.T, D: req.D})
+	if err != nil {
+		writeOpError(w, err)
+		return
+	}
 	writeJSON(w, http.StatusOK, res)
 }
 
@@ -192,9 +253,32 @@ func (s *Service) handleRemove(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	if !c.Remove(req.Handle) {
+	removed, err := c.Remove(req.Handle)
+	if err != nil {
+		writeOpError(w, err)
+		return
+	}
+	if !removed {
 		writeError(w, http.StatusNotFound, "no resident task with handle %d", req.Handle)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]bool{"removed": true})
+}
+
+// writeOpError maps service-level operation failures: durability failures
+// and expired request deadlines are both 503 — the request may well
+// succeed on retry, nothing about it was invalid.
+func writeOpError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrDurability):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		writeError(w, http.StatusServiceUnavailable, "request deadline expired before admission ran")
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+func (s *Service) handleCanon(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"canon": fmt.Sprintf("%x", s.CanonicalState())})
 }

@@ -1,12 +1,18 @@
 package admit
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
+	"time"
+
+	"repro/internal/faultinject"
 )
 
 func doJSON(t *testing.T, h http.Handler, method, path, body string) (*httptest.ResponseRecorder, map[string]any) {
@@ -114,4 +120,135 @@ func TestHTTPLifecycle(t *testing.T) {
 	if w, _ = doJSON(t, h, "DELETE", "/v1/clusters/edge", ""); w.Code != http.StatusNotFound {
 		t.Fatalf("double delete: %d", w.Code)
 	}
+}
+
+// TestHTTPErrorTable pins every error-path status code of the API surface,
+// including the overload and slow-client protections.
+func TestHTTPErrorTable(t *testing.T) {
+	s := NewService(4)
+	gate := NewGate(GateConfig{MaxConcurrent: 1, MaxQueue: 1, Timeout: 30 * time.Millisecond, RetryAfter: 2 * time.Second})
+	s.SetGate(gate)
+	h := s.Handler()
+	if w, _ := doJSON(t, h, "POST", "/v1/clusters", `{"name":"edge","m":2}`); w.Code != http.StatusCreated {
+		t.Fatalf("setup create: %d", w.Code)
+	}
+
+	oversized := `{"name":"` + strings.Repeat("x", maxBodyBytes) + `","c":1,"t":10}`
+	cases := []struct {
+		name         string
+		method, path string
+		body         string
+		want         int
+	}{
+		{"oversized body", "POST", "/v1/clusters/edge/admit", oversized, http.StatusRequestEntityTooLarge},
+		{"unknown field", "POST", "/v1/clusters", `{"nope":1}`, http.StatusBadRequest},
+		{"trailing data", "POST", "/v1/clusters/edge/admit", `{"c":1,"t":2}{"c":1,"t":2}`, http.StatusBadRequest},
+		{"not json", "POST", "/v1/clusters/edge/admit", `not json`, http.StatusBadRequest},
+		{"unknown cluster status", "GET", "/v1/clusters/ghost", "", http.StatusNotFound},
+		{"unknown cluster admit", "POST", "/v1/clusters/ghost/admit", `{"c":1,"t":2}`, http.StatusNotFound},
+		{"unknown handle", "POST", "/v1/clusters/edge/remove", `{"handle":999}`, http.StatusNotFound},
+		{"duplicate create", "POST", "/v1/clusters", `{"name":"edge","m":2}`, http.StatusConflict},
+		{"invalid params", "POST", "/v1/clusters", `{"name":"bad","m":0}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w, v := doJSON(t, h, tc.method, tc.path, tc.body)
+			if w.Code != tc.want {
+				t.Fatalf("%s %s: code %d (%v), want %d", tc.method, tc.path, w.Code, v, tc.want)
+			}
+			if tc.want >= 400 && v["error"] == "" {
+				t.Fatalf("error response without error message: %v", v)
+			}
+		})
+	}
+
+	// Saturate the gate: hold its only slot, fill the one-deep queue with a
+	// waiter, then every further admission sheds immediately with 429 and a
+	// Retry-After hint; the queued waiter itself expires into a 429 when
+	// its deadline passes.
+	t.Run("gate saturated", func(t *testing.T) {
+		if err := gate.Acquire(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		defer gate.Release()
+		queued := make(chan *httptest.ResponseRecorder, 1)
+		go func() {
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, httptest.NewRequest("POST", "/v1/clusters/edge/admit", strings.NewReader(`{"c":1,"t":10}`)))
+			queued <- w
+		}()
+		deadline := time.Now().Add(time.Second)
+		for gate.waiters.Load() == 0 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if gate.waiters.Load() == 0 {
+			t.Fatal("queued request never registered as a waiter")
+		}
+		w, _ := doJSON(t, h, "POST", "/v1/clusters/edge/admit", `{"c":1,"t":10}`)
+		if w.Code != http.StatusTooManyRequests {
+			t.Fatalf("saturated admit: code %d, want 429", w.Code)
+		}
+		if w.Header().Get("Retry-After") != "2" {
+			t.Fatalf("Retry-After = %q, want %q", w.Header().Get("Retry-After"), "2")
+		}
+		if qw := <-queued; qw.Code != http.StatusTooManyRequests {
+			t.Fatalf("queued request expired with code %d, want 429", qw.Code)
+		}
+	})
+}
+
+// TestHTTPConcurrentStress hammers the full HTTP surface — create, delete,
+// admit, remove, status — from many goroutines through the gate, with
+// injected handler latency stirring the queue. Run under -race this pins
+// the locking design end to end; every response must come from the known
+// status-code vocabulary.
+func TestHTTPConcurrentStress(t *testing.T) {
+	s := NewService(8)
+	s.SetGate(NewGate(GateConfig{MaxConcurrent: 4, MaxQueue: 8, Timeout: 200 * time.Millisecond}))
+	h := s.Handler()
+	faultinject.Arm(faultinject.Plan{Seed: 3, HandlerLatencyEvery: 20, HandlerDelay: time.Millisecond})
+	defer faultinject.Disarm()
+
+	valid := map[int]bool{200: true, 201: true, 204: true, 404: true, 409: true, 429: true, 503: true}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w)))
+			names := []string{"s0", "s1", "s2"}
+			var handles []int64
+			for i := 0; i < 150; i++ {
+				name := names[r.Intn(len(names))]
+				var rec *httptest.ResponseRecorder
+				switch k := r.Intn(10); {
+				case k == 0:
+					rec, _ = doJSON(t, h, "POST", "/v1/clusters", fmt.Sprintf(`{"name":%q,"m":2}`, name))
+				case k == 1:
+					rec, _ = doJSON(t, h, "DELETE", "/v1/clusters/"+name, "")
+					if rec.Code == http.StatusNoContent || rec.Code == http.StatusNotFound {
+						// fine either way under concurrency
+					}
+				case k == 2 && len(handles) > 0:
+					hnd := handles[0]
+					handles = handles[1:]
+					rec, _ = doJSON(t, h, "POST", "/v1/clusters/"+name+"/remove", fmt.Sprintf(`{"handle":%d}`, hnd))
+				case k == 3:
+					rec, _ = doJSON(t, h, "GET", "/v1/clusters/"+name, "")
+				default:
+					var v map[string]any
+					rec, v = doJSON(t, h, "POST", "/v1/clusters/"+name+"/admit",
+						fmt.Sprintf(`{"c":%d,"t":%d}`, 1+r.Intn(4), 10+r.Intn(5)*10))
+					if rec.Code == http.StatusOK && v["accepted"] == true {
+						handles = append(handles, int64(v["handle"].(float64)))
+					}
+				}
+				if rec != nil && !valid[rec.Code] {
+					t.Errorf("worker %d op %d: unexpected status %d: %s", w, i, rec.Code, rec.Body.String())
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
 }

@@ -6,8 +6,8 @@
 // the zero-allocation guarantees of the analysis hot paths hold with the
 // harness compiled in.
 //
-// Three sites cover the failure modes the robustness layer must survive
-// (see DESIGN.md §9):
+// Three sites cover the failure modes the batch robustness layer must
+// survive (see DESIGN.md §9):
 //
 //   - RTAAbort: the response-time iteration reports an iteration-cap abort
 //     (rta.VerdictAborted) without doing the work, exercising the
@@ -17,6 +17,23 @@
 //     per-sample recover() isolation in experiments.parEach.
 //   - CheckpointWrite: a write failure in the sweep checkpointer,
 //     exercising its keep-going-without-checkpoints degradation.
+//
+// Five more cover the serving path's durability and overload machinery
+// (DESIGN.md §14):
+//
+//   - JournalAppend: a write failure appending to an admission journal,
+//     exercising the mutation-abort-and-undo path (the op is never
+//     acknowledged and the journal stays usable via tail repair).
+//   - JournalFsync: an fsync failure on the journal file, exercising the
+//     durability-degraded error path under -fsync always.
+//   - JournalTear: a torn append — only a prefix of the record reaches the
+//     file, as in a crash mid-write — exercising startup torn-tail
+//     recovery deterministically without killing the process.
+//   - SnapshotRename: the atomic-rename step of a snapshot write fails,
+//     exercising keep-the-WAL degradation (durability is unaffected; the
+//     journal simply keeps growing until a snapshot lands).
+//   - HandlerLatency: injected latency inside the HTTP admission gate,
+//     making gate saturation and 429 shedding reproducible in tests.
 //
 // Firing decisions are pseudo-random but fully determined by (plan seed,
 // site, per-site call ordinal): run the same single-worker workload under
@@ -29,6 +46,7 @@ package faultinject
 import (
 	"errors"
 	"sync/atomic"
+	"time"
 )
 
 // Site names one fault-injection point.
@@ -42,6 +60,16 @@ const (
 	SamplePanic
 	// CheckpointWrite fails checkpoint file writes.
 	CheckpointWrite
+	// JournalAppend fails admission-journal appends.
+	JournalAppend
+	// JournalFsync fails admission-journal fsyncs.
+	JournalFsync
+	// JournalTear tears an admission-journal append mid-record.
+	JournalTear
+	// SnapshotRename fails the atomic-rename step of a snapshot write.
+	SnapshotRename
+	// HandlerLatency delays a gated HTTP handler.
+	HandlerLatency
 	numSites
 )
 
@@ -53,6 +81,16 @@ func (s Site) String() string {
 		return "sample-panic"
 	case CheckpointWrite:
 		return "checkpoint-write"
+	case JournalAppend:
+		return "journal-append"
+	case JournalFsync:
+		return "journal-fsync"
+	case JournalTear:
+		return "journal-tear"
+	case SnapshotRename:
+		return "snapshot-rename"
+	case HandlerLatency:
+		return "handler-latency"
 	default:
 		return "site(?)"
 	}
@@ -73,6 +111,19 @@ type Plan struct {
 	// CheckpointWriteEvery is the firing denominator of the CheckpointWrite
 	// site.
 	CheckpointWriteEvery int64
+	// JournalAppendEvery is the firing denominator of the JournalAppend site.
+	JournalAppendEvery int64
+	// JournalFsyncEvery is the firing denominator of the JournalFsync site.
+	JournalFsyncEvery int64
+	// JournalTearEvery is the firing denominator of the JournalTear site.
+	JournalTearEvery int64
+	// SnapshotRenameEvery is the firing denominator of the SnapshotRename
+	// site.
+	SnapshotRenameEvery int64
+	// HandlerLatencyEvery is the firing denominator of the HandlerLatency
+	// site; HandlerDelay is the latency injected when it fires.
+	HandlerLatencyEvery int64
+	HandlerDelay        time.Duration
 }
 
 var (
@@ -160,4 +211,60 @@ func CheckpointWriteErr() error {
 		return ErrCheckpointWrite
 	}
 	return nil
+}
+
+// Injected serving-path errors, distinguishable by errors.Is in tests and
+// degradation messages.
+var (
+	// ErrJournalAppend is the error injected journal-append failures surface.
+	ErrJournalAppend = errors.New("faultinject: injected journal append failure")
+	// ErrJournalFsync is the error injected journal-fsync failures surface.
+	ErrJournalFsync = errors.New("faultinject: injected journal fsync failure")
+	// ErrSnapshotRename is the error injected snapshot-rename failures
+	// surface.
+	ErrSnapshotRename = errors.New("faultinject: injected snapshot rename failure")
+)
+
+// JournalAppendErr returns ErrJournalAppend when the JournalAppend site
+// fires, nil otherwise. Idle cost: one atomic load.
+func JournalAppendErr() error {
+	if armed.Load() && should(JournalAppend, plan.JournalAppendEvery) {
+		return ErrJournalAppend
+	}
+	return nil
+}
+
+// JournalFsyncErr returns ErrJournalFsync when the JournalFsync site fires,
+// nil otherwise. Idle cost: one atomic load.
+func JournalFsyncErr() error {
+	if armed.Load() && should(JournalFsync, plan.JournalFsyncEvery) {
+		return ErrJournalFsync
+	}
+	return nil
+}
+
+// ShouldTearJournal reports whether the current journal append must be torn
+// mid-record, as if the process died between the two halves of the write.
+// Idle cost: one atomic load.
+func ShouldTearJournal() bool {
+	return armed.Load() && should(JournalTear, plan.JournalTearEvery)
+}
+
+// SnapshotRenameErr returns ErrSnapshotRename when the SnapshotRename site
+// fires, nil otherwise. Idle cost: one atomic load.
+func SnapshotRenameErr() error {
+	if armed.Load() && should(SnapshotRename, plan.SnapshotRenameEvery) {
+		return ErrSnapshotRename
+	}
+	return nil
+}
+
+// HandlerLatencyDelay returns the latency to inject into the current gated
+// HTTP request: the plan's HandlerDelay when the HandlerLatency site fires,
+// zero otherwise. Idle cost: one atomic load.
+func HandlerLatencyDelay() time.Duration {
+	if armed.Load() && should(HandlerLatency, plan.HandlerLatencyEvery) {
+		return plan.HandlerDelay
+	}
+	return 0
 }

@@ -1,6 +1,10 @@
 package faultinject
 
-import "testing"
+import (
+	"errors"
+	"testing"
+	"time"
+)
 
 func TestDisarmedHooksAreInert(t *testing.T) {
 	Disarm()
@@ -89,5 +93,63 @@ func TestRearmResetsCounters(t *testing.T) {
 	defer Disarm()
 	if Calls(RTAAbort) != 0 || Fired(RTAAbort) != 0 {
 		t.Errorf("re-Arm kept counters: calls=%d fired=%d", Calls(RTAAbort), Fired(RTAAbort))
+	}
+}
+
+// TestServiceSitesFireAndReport covers the serving-path sites added for the
+// crash-safe admission daemon: each hook is inert when disarmed, fires on
+// Every=1, and surfaces its distinguishable error (or delay).
+func TestServiceSitesFireAndReport(t *testing.T) {
+	Disarm()
+	if JournalAppendErr() != nil || JournalFsyncErr() != nil || ShouldTearJournal() ||
+		SnapshotRenameErr() != nil || HandlerLatencyDelay() != 0 {
+		t.Fatal("disarmed service hooks fired")
+	}
+	Arm(Plan{
+		Seed:                9,
+		JournalAppendEvery:  1,
+		JournalFsyncEvery:   1,
+		JournalTearEvery:    1,
+		SnapshotRenameEvery: 1,
+		HandlerLatencyEvery: 1,
+		HandlerDelay:        3 * time.Millisecond,
+	})
+	defer Disarm()
+	if err := JournalAppendErr(); !errors.Is(err, ErrJournalAppend) {
+		t.Errorf("JournalAppendErr = %v", err)
+	}
+	if err := JournalFsyncErr(); !errors.Is(err, ErrJournalFsync) {
+		t.Errorf("JournalFsyncErr = %v", err)
+	}
+	if !ShouldTearJournal() {
+		t.Error("JournalTear did not fire")
+	}
+	if err := SnapshotRenameErr(); !errors.Is(err, ErrSnapshotRename) {
+		t.Errorf("SnapshotRenameErr = %v", err)
+	}
+	if d := HandlerLatencyDelay(); d != 3*time.Millisecond {
+		t.Errorf("HandlerLatencyDelay = %v", d)
+	}
+	for _, s := range []Site{JournalAppend, JournalFsync, JournalTear, SnapshotRename, HandlerLatency} {
+		if Fired(s) != 1 || Calls(s) != 1 {
+			t.Errorf("%v fired=%d calls=%d, want 1/1", s, Fired(s), Calls(s))
+		}
+		if s.String() == "site(?)" {
+			t.Errorf("site %d has no name", s)
+		}
+	}
+}
+
+// TestServiceSitesAreIndependent pins that arming one serving-path site
+// does not make the others fire.
+func TestServiceSitesAreIndependent(t *testing.T) {
+	Arm(Plan{Seed: 3, JournalAppendEvery: 1})
+	defer Disarm()
+	if JournalFsyncErr() != nil || ShouldTearJournal() || SnapshotRenameErr() != nil ||
+		HandlerLatencyDelay() != 0 {
+		t.Error("unarmed sibling site fired")
+	}
+	if JournalAppendErr() == nil {
+		t.Error("armed JournalAppend did not fire")
 	}
 }

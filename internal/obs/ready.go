@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+)
+
+// Readiness is the process's load-balancer-facing state, distinct from
+// liveness: /healthz answers "is the process up" (always 200 while the
+// server runs), /readyz answers "should traffic be routed here" (503
+// during journal replay and during shutdown drain, so a fronting balancer
+// stops routing before state is consistent or while connections wind
+// down). Batch harnesses never touch this and stay ready by default;
+// cmd/admitd drives the transitions.
+type Readiness int32
+
+const (
+	// ReadyServing is the default: traffic welcome.
+	ReadyServing Readiness = iota
+	// ReadyStarting means the process booted but has not begun recovery.
+	ReadyStarting
+	// ReadyRecovering means journal replay is in progress.
+	ReadyRecovering
+	// ReadyDraining means shutdown began; in-flight requests finish but
+	// new traffic should go elsewhere.
+	ReadyDraining
+)
+
+func (r Readiness) String() string {
+	switch r {
+	case ReadyServing:
+		return "serving"
+	case ReadyStarting:
+		return "starting"
+	case ReadyRecovering:
+		return "recovering"
+	case ReadyDraining:
+		return "draining"
+	default:
+		return "readiness(?)"
+	}
+}
+
+var readiness atomic.Int32
+
+// SetReadiness publishes the process readiness state (read by /readyz).
+func SetReadiness(r Readiness) { readiness.Store(int32(r)) }
+
+// CurrentReadiness returns the published readiness state.
+func CurrentReadiness() Readiness { return Readiness(readiness.Load()) }
+
+// readyzHandler serves GET /readyz: 200 {"ready":true,...} only in the
+// serving state, 503 otherwise, always naming the state so an operator
+// curling the endpoint sees *why* traffic is parked.
+func readyzHandler(w http.ResponseWriter, r *http.Request) {
+	st := CurrentReadiness()
+	code := http.StatusOK
+	if st != ReadyServing {
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(struct {
+		Ready bool   `json:"ready"`
+		State string `json:"state"`
+	}{Ready: st == ReadyServing, State: st.String()})
+}

@@ -30,6 +30,9 @@ import (
 //	                 version, GOMAXPROCS, git revision) under the same
 //	                 field names the perfdiff bench records carry, so a
 //	                 live harness is attributable to a bench capture
+//	GET /readyz    — readiness probe: 200 only in the serving state, 503
+//	                 while recovering (journal replay) or draining
+//	                 (shutdown), so balancers stop routing at both edges
 //	GET /debug/pprof/ — net/http/pprof index, profiles, symbolization
 type StatusServer struct {
 	reg     *Registry
@@ -50,12 +53,50 @@ func Serve(addr string, reg *Registry) (*StatusServer, error) {
 // surface from one listener. Extra routes appear on the "/" index alongside
 // the built-in ones.
 func ServeWith(addr string, reg *Registry, extra ...Route) (*StatusServer, error) {
+	return ServeOpts(addr, reg, ServeOptions{}, extra...)
+}
+
+// ServeOptions carries the HTTP server's slow-client protections. The
+// zero value gets the defaults below; set a field negative to disable that
+// timeout explicitly (for long-lived pprof profile captures, say).
+type ServeOptions struct {
+	// ReadHeaderTimeout bounds header receipt (the classic Slowloris
+	// exposure). Default 5s.
+	ReadHeaderTimeout time.Duration
+	// ReadTimeout bounds receipt of the whole request. Default 30s.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds writing the whole response. Default 0
+	// (disabled): /debug/pprof/profile and /debug/pprof/trace stream for
+	// their requested duration, which a write deadline would sever.
+	WriteTimeout time.Duration
+	// IdleTimeout bounds keep-alive idleness. Default 2m.
+	IdleTimeout time.Duration
+}
+
+func timeoutOr(v, def time.Duration) time.Duration {
+	switch {
+	case v == 0:
+		return def
+	case v < 0:
+		return 0
+	}
+	return v
+}
+
+// ServeOpts is ServeWith with explicit server timeout options.
+func ServeOpts(addr string, reg *Registry, opts ServeOptions, extra ...Route) (*StatusServer, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
 	s := &StatusServer{reg: reg, lis: lis, handler: StatusHandlerWith(reg, extra...)}
-	s.srv = &http.Server{Handler: s.handler, ReadHeaderTimeout: 5 * time.Second}
+	s.srv = &http.Server{
+		Handler:           s.handler,
+		ReadHeaderTimeout: timeoutOr(opts.ReadHeaderTimeout, 5*time.Second),
+		ReadTimeout:       timeoutOr(opts.ReadTimeout, 30*time.Second),
+		WriteTimeout:      timeoutOr(opts.WriteTimeout, 0),
+		IdleTimeout:       timeoutOr(opts.IdleTimeout, 2*time.Minute),
+	}
 	go func() { _ = s.srv.Serve(lis) }()
 	return s, nil
 }
@@ -191,6 +232,7 @@ func statusRoutes(reg *Registry) []Route {
 		{"/metrics", http.HandlerFunc(metrics)},
 		{"/progress", http.HandlerFunc(progress)},
 		{"/healthz", http.HandlerFunc(healthz)},
+		{"/readyz", http.HandlerFunc(readyzHandler)},
 		{"/debug/pprof/", http.HandlerFunc(pprof.Index)},
 		{"/debug/pprof/cmdline", http.HandlerFunc(pprof.Cmdline)},
 		{"/debug/pprof/profile", http.HandlerFunc(pprof.Profile)},

@@ -1,7 +1,9 @@
 package partition
 
 import (
+	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"repro/internal/bounds"
 	"repro/internal/rta"
@@ -227,20 +229,152 @@ func (o *Online) candidates() []int {
 func (o *Online) place(q, prio int, t task.Task) Placement {
 	d := t.Deadline()
 	sub := task.Subtask{TaskIndex: prio, Part: 1, C: t.C, T: t.T, Deadline: d, Offset: t.T - d, Tail: true}
-	pos := o.states[q].Insert(sub)
 	o.nextH++
 	h := o.nextH
+	pos := o.install(q, h, sub)
+	r, _ := o.states[q].ResponseAt(pos, d)
+	return Placement{Handle: h, Proc: q, Response: r}
+}
+
+// install splices an already-admitted resident into processor q at its
+// priority position, mirroring it into the warm-start state. It is the
+// commit half of place, shared with RestoreResident so that snapshot
+// recovery rebuilds exactly the structures an admission would have built.
+func (o *Online) install(q int, h uint64, sub task.Subtask) int {
+	pos := o.states[q].Insert(sub)
 	o.procs[q] = append(o.procs[q], onlineResident{})
 	copy(o.procs[q][pos+1:], o.procs[q][pos:])
 	o.procs[q][pos] = onlineResident{handle: h, sub: sub}
 	o.loc[h] = q
-	r, _ := o.states[q].ResponseAt(pos, d)
-	return Placement{Handle: h, Proc: q, Response: r}
+	return pos
 }
 
 func (o *Online) reject(cause Cause, reason string) (Placement, error) {
 	countReject(cause)
 	return Placement{}, &Rejection{Cause: cause, Reason: reason}
+}
+
+// ResidentInfo is one resident task in an Online state snapshot: its
+// handle, hosting processor and the paper-model parameters needed to
+// reinstate it with RestoreResident. D is the effective (constrained)
+// deadline — implicit-deadline residents carry D = T.
+type ResidentInfo struct {
+	Handle uint64
+	Proc   int
+	C      task.Time
+	T      task.Time
+	D      task.Time
+}
+
+// ResidentsSnapshot returns every resident of the cluster in handle
+// (admission) order. Because priority ties break FIFO by insertion order
+// and surviving residents were inserted in handle order, replaying the
+// returned slice through RestoreResident on an empty twin reproduces the
+// cluster's exact per-processor priority layout.
+func (o *Online) ResidentsSnapshot() []ResidentInfo {
+	out := make([]ResidentInfo, 0, len(o.loc))
+	for q := 0; q < o.m; q++ {
+		for _, r := range o.procs[q] {
+			out = append(out, ResidentInfo{Handle: r.handle, Proc: q, C: r.sub.C, T: r.sub.T, D: r.sub.Deadline})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Handle < out[j].Handle })
+	return out
+}
+
+// RestoreResident reinstates a previously admitted resident on its recorded
+// processor without re-running the admission test — snapshot recovery
+// trusts the placement it persisted and rebuilds the engine structures
+// directly (re-deciding placement would be unsound: the original decision
+// was made against intermediate states that included since-removed tasks).
+// Residents must be restored in ascending handle order so FIFO priority
+// ties land exactly as the live cluster had them.
+func (o *Online) RestoreResident(proc int, handle uint64, c, t, d task.Time) error {
+	switch {
+	case proc < 0 || proc >= o.m:
+		return fmt.Errorf("partition: restore: processor %d out of range [0,%d)", proc, o.m)
+	case handle == 0:
+		return fmt.Errorf("partition: restore: zero handle")
+	case c <= 0 || t <= 0 || d < c || d > t:
+		return fmt.Errorf("partition: restore: invalid resident (c=%d t=%d d=%d)", c, t, d)
+	case c+o.surcharge > d:
+		return fmt.Errorf("partition: restore: resident %d infeasible under surcharge %d", handle, o.surcharge)
+	}
+	if _, taken := o.loc[handle]; taken {
+		return fmt.Errorf("partition: restore: duplicate handle %d", handle)
+	}
+	sub := task.Subtask{TaskIndex: int(d), Part: 1, C: c, T: t, Deadline: d, Offset: t - d, Tail: true}
+	o.install(proc, handle, sub)
+	if handle > o.nextH {
+		o.nextH = handle
+	}
+	return nil
+}
+
+// Has reports whether handle names a resident task.
+func (o *Online) Has(handle uint64) bool {
+	_, ok := o.loc[handle]
+	return ok
+}
+
+// UndoAdmit rolls back the cluster's most recent successful Admit — the
+// admission service uses it when the write-ahead journal refuses the
+// record, so an acceptance that cannot be made durable is never visible.
+// Only the latest acceptance can be undone (its handle must still be the
+// handle counter's current value); the handle counter rolls back too, so
+// the cluster is canonically byte-identical to its pre-admission state.
+func (o *Online) UndoAdmit(handle uint64) error {
+	if handle == 0 || handle != o.nextH {
+		return fmt.Errorf("partition: undo: handle %d is not the most recent admission (counter %d)", handle, o.nextH)
+	}
+	if !o.Remove(handle) {
+		return fmt.Errorf("partition: undo: handle %d is not resident", handle)
+	}
+	o.nextH--
+	return nil
+}
+
+// HandleSeq returns the admission-handle counter: the handle the most
+// recent acceptance was assigned (0 before any acceptance).
+func (o *Online) HandleSeq() uint64 { return o.nextH }
+
+// SetHandleSeq restores the admission-handle counter from a snapshot so
+// replayed post-snapshot admissions are assigned the same handles the live
+// cluster handed out. It refuses to move the counter backwards past an
+// already-restored handle.
+func (o *Online) SetHandleSeq(h uint64) error {
+	if h < o.nextH {
+		return fmt.Errorf("partition: handle counter %d below restored maximum %d", h, o.nextH)
+	}
+	o.nextH = h
+	return nil
+}
+
+// AppendCanonical appends a canonical byte serialization of the cluster's
+// durable state to b: configuration, handle counter, and every resident
+// (handle, surcharge-free C, T, effective deadline) in per-processor
+// priority order with explicit processor boundaries. Two Online values
+// with equal canonical bytes are observationally equivalent for every
+// future Admit/Remove sequence — placement, handles and verdicts all
+// derive from exactly the serialized state. Volatile warm-start cache
+// contents are deliberately excluded: they are lower bounds that only
+// affect analysis cost, never decisions (DESIGN.md §7).
+func (o *Online) AppendCanonical(b []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(o.m))
+	b = append(b, o.policy...)
+	b = append(b, 0x00)
+	b = binary.AppendVarint(b, o.surcharge)
+	b = binary.AppendUvarint(b, o.nextH)
+	for q := 0; q < o.m; q++ {
+		for _, r := range o.procs[q] {
+			b = binary.AppendUvarint(b, r.handle)
+			b = binary.AppendVarint(b, r.sub.C)
+			b = binary.AppendVarint(b, r.sub.T)
+			b = binary.AppendVarint(b, r.sub.Deadline)
+		}
+		b = append(b, 0xFF)
+	}
+	return b
 }
 
 // Remove releases the task identified by handle, invalidating exactly the

@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -346,5 +347,132 @@ func TestNewOnlineValidation(t *testing.T) {
 	}
 	if o.Policy() != OnlineRTAFirstFit || o.M() != 2 || o.Surcharge() != 0 || o.Len() != 0 {
 		t.Errorf("defaults: policy=%s m=%d s=%d len=%d", o.Policy(), o.M(), o.Surcharge(), o.Len())
+	}
+}
+
+// TestOnlineRestoreEquivalence drives random churn through a live cluster,
+// rebuilds a twin from ResidentsSnapshot via RestoreResident (handle order,
+// recorded processors, restored handle counter), and checks the twin is
+// canonically byte-identical — then keeps churning both with the same ops
+// and requires identical placements and verdicts, which proves the restored
+// warm-start state is at least sound (a stale cache would flip a verdict).
+func TestOnlineRestoreEquivalence(t *testing.T) {
+	for _, policy := range OnlinePolicies() {
+		t.Run(policy, func(t *testing.T) {
+			live, err := NewOnline(3, policy, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var handles []uint64
+			op := func(o *Online, i int) (Placement, bool, bool) {
+				if len(handles) > 0 && i%4 == 3 {
+					return Placement{}, o.Remove(handles[0]), false
+				}
+				T := task.Time(10 * (1 + i%6))
+				tk := task.Task{C: 1 + task.Time(i%9), T: T}
+				if policy != OnlineThreshold && i%5 == 2 {
+					tk.D = tk.C + (T-tk.C)/2
+				}
+				pl, err := o.Admit(tk)
+				return pl, err == nil, true
+			}
+			for i := 0; i < 300; i++ {
+				pl, ok, isAdmit := op(live, i)
+				if isAdmit && ok {
+					handles = append(handles, pl.Handle)
+				} else if !isAdmit && ok {
+					handles = handles[1:]
+				}
+			}
+
+			twin, err := NewOnline(3, policy, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ri := range live.ResidentsSnapshot() {
+				if err := twin.RestoreResident(ri.Proc, ri.Handle, ri.C, ri.T, ri.D); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := twin.SetHandleSeq(live.HandleSeq()); err != nil {
+				t.Fatal(err)
+			}
+			if a, b := live.AppendCanonical(nil), twin.AppendCanonical(nil); !bytes.Equal(a, b) {
+				t.Fatalf("restored canonical state diverged:\nlive %x\ntwin %x", a, b)
+			}
+
+			// Joint continuation: run the same literal operations against
+			// both clusters side by side; every outcome must agree.
+			for i := 0; i < 200; i++ {
+				if len(handles) > 0 && i%4 == 3 {
+					h := handles[0]
+					handles = handles[1:]
+					if a, b := live.Remove(h), twin.Remove(h); a != b {
+						t.Fatalf("op %d: Remove(%d) diverged: %v vs %v", i, h, a, b)
+					}
+					continue
+				}
+				T := task.Time(10 * (1 + i%6))
+				tk := task.Task{C: 1 + task.Time(i%9), T: T}
+				if policy != OnlineThreshold && i%5 == 2 {
+					tk.D = tk.C + (T-tk.C)/2
+				}
+				pa, ea := live.Admit(tk)
+				pb, eb := twin.Admit(tk)
+				if (ea == nil) != (eb == nil) || pa != pb {
+					t.Fatalf("op %d task %s: live (%+v, %v) vs twin (%+v, %v)", i, tk, pa, ea, pb, eb)
+				}
+				if ea == nil {
+					handles = append(handles, pa.Handle)
+				}
+			}
+			if !bytes.Equal(live.AppendCanonical(nil), twin.AppendCanonical(nil)) {
+				t.Fatal("post-continuation canonical state diverged")
+			}
+		})
+	}
+}
+
+// TestOnlineRestoreValidation pins RestoreResident/SetHandleSeq input checks.
+func TestOnlineRestoreValidation(t *testing.T) {
+	o, err := NewOnline(2, "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		proc     int
+		handle   uint64
+		c, tt, d task.Time
+	}{
+		{-1, 1, 1, 10, 10}, // proc out of range
+		{2, 1, 1, 10, 10},  // proc out of range
+		{0, 0, 1, 10, 10},  // zero handle
+		{0, 1, 0, 10, 10},  // c <= 0
+		{0, 1, 5, 10, 4},   // d < c
+		{0, 1, 5, 10, 11},  // d > t
+		{0, 1, 10, 10, 10}, // infeasible under surcharge 1
+	}
+	for _, tc := range cases {
+		if err := o.RestoreResident(tc.proc, tc.handle, tc.c, tc.tt, tc.d); err == nil {
+			t.Errorf("RestoreResident(%+v) accepted", tc)
+		}
+	}
+	if err := o.RestoreResident(1, 7, 3, 10, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.RestoreResident(0, 7, 3, 10, 10); err == nil {
+		t.Error("duplicate handle accepted")
+	}
+	if err := o.SetHandleSeq(6); err == nil {
+		t.Error("handle counter moved below restored maximum")
+	}
+	if err := o.SetHandleSeq(9); err != nil {
+		t.Fatal(err)
+	}
+	if o.HandleSeq() != 9 {
+		t.Errorf("HandleSeq = %d, want 9", o.HandleSeq())
+	}
+	if pl, err := o.Admit(task.Task{C: 1, T: 100}); err != nil || pl.Handle != 10 {
+		t.Errorf("post-restore admit: %+v, %v (want handle 10)", pl, err)
 	}
 }
