@@ -60,6 +60,12 @@ const defaultCacheCap = 1024
 // ErrExists is returned by Create when the cluster name is already taken.
 var ErrExists = errors.New("admit: cluster name already taken")
 
+// ErrDeleted is returned by Cluster.Admit and Cluster.Remove when the
+// cluster was deleted after the caller looked it up: a stale *Cluster can
+// never mutate (or journal) again once its delete record is durable. The
+// HTTP layer maps it to 404, same as a lookup that missed.
+var ErrDeleted = errors.New("admit: cluster deleted")
+
 // Service is the sharded cluster registry, optionally backed by a
 // write-ahead journal (AttachJournal) that makes every mutation durable.
 type Service struct {
@@ -148,9 +154,11 @@ func (s *Service) Get(name string) (*Cluster, bool) {
 }
 
 // Delete unregisters the named cluster, reporting whether it existed.
-// In-flight operations on the removed cluster finish against its (now
-// unreachable) state. On a journaled service a deletion that cannot be
-// made durable fails without unregistering anything.
+// Operations already inside the cluster's critical section finish first
+// (their journal records precede the delete record); operations that
+// looked the cluster up but had not yet entered it fail with ErrDeleted.
+// On a journaled service a deletion that cannot be made durable fails
+// without unregistering anything.
 func (s *Service) Delete(name string) (bool, error) {
 	idx := s.shardIndex(name)
 	sh := &s.shards[idx]
@@ -161,20 +169,30 @@ func (s *Service) Delete(name string) (bool, error) {
 		defer jr.freeze.RUnlock()
 	}
 	sh.mu.Lock()
-	_, ok := sh.clusters[name]
-	if ok && jr != nil {
+	defer sh.mu.Unlock()
+	c, ok := sh.clusters[name]
+	if !ok {
+		return false, nil
+	}
+	// Take the victim's own lock before journaling the delete: Admit and
+	// Remove append their records under c.mu, so holding it here guarantees
+	// no per-cluster record can land after the delete record (replay refuses
+	// a journal that mutates a deleted cluster), and marking the cluster
+	// deleted under the same lock turns every later Admit/Remove through a
+	// stale *Cluster into ErrDeleted instead of a stray append.
+	c.mu.Lock()
+	if jr != nil {
 		if err := jr.append(deleteRecord(name), &s.j.cfg); err != nil {
-			sh.mu.Unlock()
+			c.mu.Unlock()
 			return false, fmt.Errorf("%w: %v", ErrDurability, err)
 		}
 		s.j.maybeKickSnapshot(jr)
 	}
+	c.deleted = true
+	c.mu.Unlock()
 	delete(sh.clusters, name)
-	sh.mu.Unlock()
-	if ok {
-		cClustersDeleted.Inc()
-	}
-	return ok, nil
+	cClustersDeleted.Inc()
+	return true, nil
 }
 
 // Names returns every registered cluster name, sorted.
@@ -222,11 +240,12 @@ type Cluster struct {
 	j  *Journal
 	jr *shardJournal
 
-	mu       sync.Mutex // serializes eng, cache and keyBuf
+	mu       sync.Mutex // serializes eng, cache, keyBuf and deleted
 	eng      *partition.Online
 	cache    map[string]Result
 	cacheCap int
 	keyBuf   []byte
+	deleted  bool // set by Service.Delete; mutations through stale handles fail
 }
 
 // Name returns the cluster's registered name.
@@ -279,17 +298,23 @@ type Result struct {
 // expired while it waited for the cluster lock returns ctx.Err() without
 // consulting the engine. On a journaled service an acceptance that cannot
 // be journaled is rolled back and reported as ErrDurability — it never
-// happened, durably or otherwise. Both verdicts (accept and reject) return
-// a nil error.
+// happened, durably or otherwise. A cluster concurrently deleted returns
+// ErrDeleted. Both verdicts (accept and reject) return a nil error.
 func (c *Cluster) Admit(ctx context.Context, t task.Task) (Result, error) {
-	cRequests.Inc()
-	c.stats.Requests.Add(1)
 	if c.jr != nil {
 		c.jr.freeze.RLock()
 		defer c.jr.freeze.RUnlock()
 	}
+	// Count the request inside the frozen section: a snapshot cut either
+	// sees both this increment and the op's journal record or neither, so
+	// replay's one-request-per-acceptance accounting never double-counts.
+	cRequests.Inc()
+	c.stats.Requests.Add(1)
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.deleted {
+		return Result{}, ErrDeleted
+	}
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
 			return Result{}, err
@@ -356,13 +381,18 @@ func (c *Cluster) Admit(ctx context.Context, t task.Task) (Result, error) {
 // Remove releases a previously admitted task, reporting whether the handle
 // was resident. On a journaled service the removal is journaled before the
 // engine applies it; a removal that cannot be made durable fails with
-// ErrDurability and leaves the task resident.
+// ErrDurability and leaves the task resident. A cluster concurrently
+// deleted returns ErrDeleted.
 func (c *Cluster) Remove(handle uint64) (bool, error) {
 	if c.jr != nil {
 		c.jr.freeze.RLock()
 		defer c.jr.freeze.RUnlock()
 	}
 	c.mu.Lock()
+	if c.deleted {
+		c.mu.Unlock()
+		return false, ErrDeleted
+	}
 	if !c.eng.Has(handle) {
 		c.mu.Unlock()
 		return false, nil

@@ -2,6 +2,7 @@ package admit
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -83,6 +84,40 @@ func TestServiceRegistry(t *testing.T) {
 	}
 	if _, ok := s.Get("m"); ok {
 		t.Error("deleted cluster still reachable")
+	}
+}
+
+// TestDeletedClusterRefusesMutations pins the stale-handle contract:
+// once Delete returns, a *Cluster obtained before the delete can no longer
+// mutate — Admit and Remove fail with ErrDeleted instead of silently
+// operating on unregistered (and, when journaled, undurable) state.
+func TestDeletedClusterRefusesMutations(t *testing.T) {
+	s := NewService(4)
+	c, err := s.Create("victim", 2, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := admitNow(t, c, task.Task{C: 1, T: 10})
+	if !res.Accepted {
+		t.Fatalf("setup admit rejected: %+v", res)
+	}
+	if !deleteNow(t, s, "victim") {
+		t.Fatal("delete missed")
+	}
+	if _, err := c.Admit(context.Background(), task.Task{C: 1, T: 10}); !errors.Is(err, ErrDeleted) {
+		t.Errorf("stale Admit err = %v, want ErrDeleted", err)
+	}
+	if _, err := c.Remove(res.Handle); !errors.Is(err, ErrDeleted) {
+		t.Errorf("stale Remove err = %v, want ErrDeleted", err)
+	}
+	// A recreated same-name cluster is a fresh tenant, unaffected by the
+	// old handle's fate.
+	c2, err := s.Create("victim", 2, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := admitNow(t, c2, task.Task{C: 1, T: 10}); !res.Accepted {
+		t.Errorf("recreated cluster rejected a fresh admit: %+v", res)
 	}
 }
 

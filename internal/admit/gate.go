@@ -32,9 +32,11 @@ var (
 	cGateExpired  = obs.NewCounter("admit.gate.expired")
 )
 
-// ErrShed is returned by Gate.Acquire when the request cannot get an
-// execution slot: the wait queue is full, or the request's deadline
-// expired while queued. The HTTP layer maps it to 429 + Retry-After.
+// ErrShed is returned by Gate.Acquire when the wait queue is full — the
+// gate genuinely shed load, and the HTTP layer answers 429 + Retry-After.
+// A deadline expiring while queued returns ctx.Err() instead, mapped to
+// 503 like every other deadline expiry, so one client timeout never
+// splits into two different statuses by where it struck.
 var ErrShed = errors.New("admit: overloaded, request shed")
 
 // GateConfig sizes the admission gate. The zero value gets sensible
@@ -106,8 +108,8 @@ func (s *Service) SetGate(g *Gate) { s.gate = g }
 func (s *Service) Gate() *Gate { return s.gate }
 
 // Acquire claims an execution slot, queuing (bounded) if none is free. It
-// returns ErrShed when the queue is full or ctx expires while waiting; on
-// success the caller must Release.
+// returns ErrShed when the queue is full and ctx.Err() when the context
+// expires while waiting; on success the caller must Release.
 func (g *Gate) Acquire(ctx context.Context) error {
 	select {
 	case g.slots <- struct{}{}:
@@ -128,7 +130,7 @@ func (g *Gate) Acquire(ctx context.Context) error {
 		return nil
 	case <-ctx.Done():
 		cGateExpired.Inc()
-		return ErrShed
+		return ctx.Err()
 	}
 }
 

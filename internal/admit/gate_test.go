@@ -30,9 +30,11 @@ func TestGateAcquireRelease(t *testing.T) {
 	if err := g.Acquire(ctxShort); !errors.Is(err, ErrShed) {
 		t.Fatalf("queue overflow err = %v, want ErrShed", err)
 	}
-	// The queued waiter expires with its context.
-	if err := <-errc; !errors.Is(err, ErrShed) {
-		t.Fatalf("queued waiter err = %v, want ErrShed on deadline", err)
+	// The queued waiter expires with its context — reported as the
+	// deadline error, not ErrShed, so the HTTP layer can answer 503
+	// instead of 429.
+	if err := <-errc; !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued waiter err = %v, want context.DeadlineExceeded", err)
 	}
 	// Releasing a slot makes acquisition immediate again.
 	g.Release()

@@ -29,10 +29,10 @@ import (
 // a transport error (mirroring cmd/explain's exit-code contract, where only
 // usage errors are distinguished from verdicts). Malformed requests are
 // 400, oversized bodies 413, unknown clusters and handles 404, duplicate
-// cluster names 409. When a Gate is installed, overload on the admit and
-// remove endpoints sheds with 429 + Retry-After; a journaled mutation that
-// cannot be made durable (or a request whose deadline expires inside the
-// handler) is 503.
+// cluster names 409. When a Gate is installed, a full wait queue on the
+// admit and remove endpoints sheds with 429 + Retry-After; a journaled
+// mutation that cannot be made durable — or a request whose deadline
+// expires, whether queued at the gate or inside the handler — is 503.
 //
 // GET /v1/canon returns a digest-friendly hex dump of the registry's
 // canonical state (Service.CanonicalState) — the crash-recovery smoke
@@ -109,8 +109,15 @@ func (s *Service) gated(h func(http.ResponseWriter, *http.Request)) http.Handler
 		ctx, cancel := g.requestContext(r.Context())
 		defer cancel()
 		if err := g.Acquire(ctx); err != nil {
-			w.Header().Set("Retry-After", g.retryAfterSeconds())
-			writeError(w, http.StatusTooManyRequests, "overloaded: admission gate saturated, retry later")
+			if errors.Is(err, ErrShed) {
+				w.Header().Set("Retry-After", g.retryAfterSeconds())
+				writeError(w, http.StatusTooManyRequests, "overloaded: admission gate saturated, retry later")
+				return
+			}
+			// Deadline expired while queued: same 503 as expiring inside
+			// the handler — the status depends on what happened, not where
+			// the clock ran out.
+			writeOpError(w, err)
 			return
 		}
 		defer g.Release()
@@ -267,9 +274,13 @@ func (s *Service) handleRemove(w http.ResponseWriter, r *http.Request) {
 
 // writeOpError maps service-level operation failures: durability failures
 // and expired request deadlines are both 503 — the request may well
-// succeed on retry, nothing about it was invalid.
+// succeed on retry, nothing about it was invalid. A cluster deleted
+// between lookup and operation is 404, exactly as if the lookup had
+// missed.
 func writeOpError(w http.ResponseWriter, err error) {
 	switch {
+	case errors.Is(err, ErrDeleted):
+		writeError(w, http.StatusNotFound, "%v", err)
 	case errors.Is(err, ErrDurability):
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):

@@ -164,8 +164,9 @@ func TestHTTPErrorTable(t *testing.T) {
 
 	// Saturate the gate: hold its only slot, fill the one-deep queue with a
 	// waiter, then every further admission sheds immediately with 429 and a
-	// Retry-After hint; the queued waiter itself expires into a 429 when
-	// its deadline passes.
+	// Retry-After hint; the queued waiter itself expires into a 503 when
+	// its deadline passes — the same status a deadline expiring inside the
+	// handler gets.
 	t.Run("gate saturated", func(t *testing.T) {
 		if err := gate.Acquire(context.Background()); err != nil {
 			t.Fatal(err)
@@ -191,8 +192,8 @@ func TestHTTPErrorTable(t *testing.T) {
 		if w.Header().Get("Retry-After") != "2" {
 			t.Fatalf("Retry-After = %q, want %q", w.Header().Get("Retry-After"), "2")
 		}
-		if qw := <-queued; qw.Code != http.StatusTooManyRequests {
-			t.Fatalf("queued request expired with code %d, want 429", qw.Code)
+		if qw := <-queued; qw.Code != http.StatusServiceUnavailable {
+			t.Fatalf("queued request expired with code %d, want 503", qw.Code)
 		}
 	})
 }

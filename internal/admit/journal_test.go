@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"os"
 	"reflect"
+	"sync"
 	"testing"
 	"time"
 
@@ -329,6 +330,71 @@ func TestTornTailRecovery(t *testing.T) {
 	canonEqual(t, recovered, mirror, "post-tear")
 }
 
+// TestDeleteAdmitRaceStaysReplayable races Admit/Remove through stale
+// cluster handles against Service.Delete and then recovers from the WAL.
+// Delete journals its record while holding the victim's own lock and marks
+// it deleted, so no per-cluster record can land after the delete record;
+// without that exclusion an admit record could follow the delete and
+// replay would refuse startup ("replayed admit into unknown cluster") —
+// permanently, until manual WAL surgery.
+func TestDeleteAdmitRaceStaysReplayable(t *testing.T) {
+	dir := t.TempDir()
+	cfg := JournalConfig{Dir: dir, Fsync: FsyncOff, SnapshotEvery: -1}
+	svc := NewService(2)
+	if _, err := svc.AttachJournal(cfg); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 40; round++ {
+		if _, err := svc.Create("racer", 2, "", 0); err != nil {
+			t.Fatal(err)
+		}
+		c, _ := svc.Get("racer")
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < 6; i++ {
+					res, err := c.Admit(context.Background(), task.Task{C: 1, T: task.Time(10 + w)})
+					if errors.Is(err, ErrDeleted) {
+						return
+					}
+					if err != nil {
+						t.Errorf("racing admit: %v", err)
+						return
+					}
+					if res.Accepted && i%2 == 0 {
+						if _, err := c.Remove(res.Handle); err != nil && !errors.Is(err, ErrDeleted) {
+							t.Errorf("racing remove: %v", err)
+							return
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := svc.Delete("racer"); err != nil {
+				t.Errorf("racing delete: %v", err)
+			}
+		}()
+		wg.Wait()
+		if t.Failed() {
+			break
+		}
+	}
+	svc.crash()
+	recovered := NewService(2)
+	if _, err := recovered.AttachJournal(cfg); err != nil {
+		t.Fatalf("recovery after delete/admit races: %v", err)
+	}
+	recovered.Close()
+	if _, ok := recovered.Get("racer"); ok {
+		t.Error("deleted cluster survived recovery")
+	}
+}
+
 // TestRecoveryRefusesCorruption pins the fail-stop contract for anything
 // beyond a torn tail: mid-journal garbage, sequence gaps, schema drift,
 // and shard-count changes refuse startup instead of guessing.
@@ -381,6 +447,26 @@ func TestRecoveryRefusesCorruption(t *testing.T) {
 		lines := bytes.SplitAfter(data, []byte("\n"))
 		copy(lines[2:], lines[3:]) // drop a mid-journal record
 		if err := os.WriteFile(p, bytes.Join(lines[:len(lines)-1], nil), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := NewService(4).AttachJournal(JournalConfig{Dir: dir}); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("terminated-final-record-corruption", func(t *testing.T) {
+		// A newline-terminated final line was written whole — failing to
+		// parse it is in-place corruption of a possibly fsync-acknowledged
+		// record, not a torn append, and must refuse startup instead of
+		// silently truncating an acknowledged mutation away.
+		dir := seedDir(t)
+		p := shardOf(dir)
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := bytes.SplitAfter(data, []byte("\n"))
+		lines[len(lines)-2] = []byte("{\"v\":1,#rot}\n")
+		if err := os.WriteFile(p, bytes.Join(lines, nil), 0o644); err != nil {
 			t.Fatal(err)
 		}
 		if _, err := NewService(4).AttachJournal(JournalConfig{Dir: dir}); !errors.Is(err, ErrCorrupt) {

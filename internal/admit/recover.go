@@ -22,11 +22,14 @@ import (
 //     never by re-deciding placement, which would be unsound (the original
 //     decisions saw intermediate states containing since-removed tasks) —
 //     and re-derives the warm rta.ProcState caches as a side effect;
-//  2. scans the journal, tolerating exactly one torn record at the tail
-//     (the signature of a crash mid-append): the torn bytes are truncated
-//     away and counted. A malformed record anywhere else, a sequence gap,
-//     or a schema-version mismatch is corruption, and recovery refuses to
-//     start rather than serve silently wrong state;
+//  2. scans the journal, tolerating exactly one torn record at the tail —
+//     a final line missing its newline terminator, the signature of a
+//     crash mid-append: the torn bytes are truncated away and counted. A
+//     malformed newline-terminated record anywhere (including the final
+//     line: it was written whole, so an unparseable one is in-place
+//     corruption, possibly of an fsync-acknowledged mutation), a sequence
+//     gap, or a schema-version mismatch is corruption, and recovery
+//     refuses to start rather than serve silently wrong state;
 //  3. replays records with seq > snap.Seq through the real engine. Replayed
 //     admissions re-run Online.Admit and must reproduce the journaled
 //     handle and processor exactly — a free end-to-end integrity check that
@@ -261,15 +264,14 @@ func (s *Service) replayWAL(sh *shardJournal, wal []byte, snapSeq uint64, rs *Re
 		line := wal[off : off+nl]
 		var rec walRecord
 		if err := json.Unmarshal(line, &rec); err != nil {
-			if off+nl+1 == len(wal) {
-				// Malformed final line: also a torn append (a record never
-				// contains a raw newline, so a complete-looking but
-				// unparseable last line is still a partial write).
-				cJournalTornTails.Inc()
-				rs.TornTails++
-				break
-			}
-			return 0, fmt.Errorf("%w: malformed record mid-journal at byte %d: %v", ErrCorrupt, off, err)
+			// A torn append persists a prefix of record+'\n', and the record
+			// bytes never contain a raw newline — so a newline-terminated
+			// line was written whole, and failing to parse it means the
+			// record was corrupted after the append (bit rot, partial page
+			// persist). That may be an fsync-acknowledged mutation: refuse to
+			// start rather than silently drop it. Only a tail with no
+			// terminator (the break above the loop exit) is auto-repaired.
+			return 0, fmt.Errorf("%w: malformed record at byte %d: %v", ErrCorrupt, off, err)
 		}
 		if rec.V != walSchemaVersion {
 			return 0, fmt.Errorf("%w: record schema v%d, want v%d", ErrCorrupt, rec.V, walSchemaVersion)
