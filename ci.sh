@@ -11,7 +11,9 @@
 # the v2 rejection-cause breakdown), an explain-replay golden (a fixed
 # recipe must render a byte-identical why-report), an admitd smoke that
 # boots the admission service and drives the admit→remove→re-admit cycle
-# plus a load run through its -check client, a crash-recovery smoke that
+# plus a load run through its -check client, a metrics lint that
+# grammar-checks the daemon's live Prometheus exposition and schema-checks
+# its JSONL access log (DESIGN.md §15), a crash-recovery smoke that
 # churns a journaled admitd, SIGKILLs it and requires the restarted daemon
 # to recover a digest-identical canonical state (DESIGN.md §14), and a
 # perf-regression gate diffing the regenerated hot-path bench record
@@ -92,9 +94,12 @@ rm -f "$explain_out"
 echo "== admitd smoke (boot, admit→remove→re-admit cycle, load run, graceful stop) =="
 admitd_bin=$(mktemp /tmp/ci-admitd.XXXXXX)
 admitd_addr=$(mktemp /tmp/ci-admitd-addr.XXXXXX)
-rm -f "$admitd_addr"
+admitd_access=$(mktemp /tmp/ci-admitd-access.XXXXXX.jsonl)
+admitd_prom=$(mktemp /tmp/ci-admitd-prom.XXXXXX.txt)
+rm -f "$admitd_addr" "$admitd_access"
 go build -o "$admitd_bin" ./cmd/admitd
-"$admitd_bin" -listen 127.0.0.1:0 -addr-file "$admitd_addr" -q &
+"$admitd_bin" -listen 127.0.0.1:0 -addr-file "$admitd_addr" -q \
+    -access-log "$admitd_access" -slow-ms 0 &
 admitd_pid=$!
 for _ in $(seq 1 100); do
     [ -s "$admitd_addr" ] && break
@@ -102,11 +107,24 @@ for _ in $(seq 1 100); do
 done
 [ -s "$admitd_addr" ]
 # The -check client verifies /healthz, the endpoint index, a full
-# admit→reject→remove→re-admit cycle with a typed rejection, and a
-# sustained admit/remove load over HTTP.
+# admit→reject→remove→re-admit cycle with a typed rejection, a sustained
+# admit/remove load over HTTP, request-ID echoing, and both /metrics
+# exposition formats plus /debug/requests.
 "$admitd_bin" -check "$(cat "$admitd_addr")" -check-load 1000
+
+echo "== metrics lint (Prometheus exposition + access-log JSONL must pass strict validation) =="
+# Scrape the live daemon's Prometheus exposition and grammar-check it; then
+# stop the daemon and schema-check the access log it wrote — the same
+# validators a downstream scraper/shipper would rely on.
+"$admitd_bin" -scrape "$(cat "$admitd_addr")" > "$admitd_prom"
+go run ./cmd/perfdiff -validate-prom "$admitd_prom"
+grep -q '^# TYPE admit_http_admit_latency_us histogram$' "$admitd_prom"
+grep -q '^# TYPE admit_journal_fsync_us histogram$' "$admitd_prom"
+grep -q '^# TYPE admit_gate_queue_depth gauge$' "$admitd_prom"
 kill -TERM "$admitd_pid"
 wait "$admitd_pid"
+go run ./cmd/perfdiff -validate-access-log "$admitd_access"
+rm -f "$admitd_access" "$admitd_prom"
 
 echo "== admitd crash-recovery smoke (churn, SIGKILL, restart, digest compare) =="
 # Boot journaled (fsync=always: every acknowledged op durable), drive a

@@ -7,8 +7,10 @@
 //	       [-data dir] [-fsync always|batch|off] [-fsync-interval d] [-snapshot-every n]
 //	       [-gate] [-gate-concurrency n] [-gate-queue n] [-request-timeout d] [-retry-after d]
 //	       [-read-header-timeout d] [-read-timeout d] [-write-timeout d] [-idle-timeout d]
+//	       [-access-log path] [-access-sample n] [-slow-ms n] [-trace-ring n]
 //	admitd -check host:port [-check-load n]
 //	admitd -churn host:port [-churn-ops n] [-churn-seed n] [-churn-prefix name]
+//	admitd -scrape host:port
 //
 // Server mode binds -listen (:0 picks a free port; -addr-file publishes
 // the bound address for scripts) and serves until SIGINT or SIGTERM, then
@@ -27,7 +29,15 @@
 //	POST   /v1/clusters/{name}/admit  admit one task (200 either verdict)
 //	POST   /v1/clusters/{name}/remove remove a resident task by handle
 //	GET    /v1/canon                  canonical registry state (hex)
+//	GET    /debug/requests            recent slow/errored requests (ring)
 //	GET    /metrics /progress /healthz /readyz /debug/pprof/  (obs routes)
+//
+// Observability (DESIGN.md §15): every request gets an X-Request-Id
+// (accepted inbound or generated) echoed on every response and stamped into
+// journal records; /metrics serves the Prometheus text format under
+// `Accept: text/plain` (JSON and the aligned human-readable text remain);
+// -access-log writes a sampled JSONL access log; -slow-ms and -trace-ring
+// size the GET /debug/requests ring of recent slow or errored requests.
 //
 // Check mode is a self-contained smoke client for CI: against a running
 // admitd it verifies /healthz, the "/" index, the full admit → reject →
@@ -87,8 +97,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		writeTO    = fs.Duration("write-timeout", 0, "server response write timeout (0 disables; pprof profile streams need it off)")
 		idleTO     = fs.Duration("idle-timeout", 2*time.Minute, "server keep-alive idle timeout (0 disables)")
 
+		accessLog    = fs.String("access-log", "", "write a JSONL access log to this path (empty = off)")
+		accessSample = fs.Int("access-sample", 1, "log every Nth successful request (errors always logged)")
+		slowMS       = fs.Int("slow-ms", 100, "requests at least this slow enter the /debug/requests ring (0 = errors only)")
+		traceRing    = fs.Int("trace-ring", 256, "capacity of the /debug/requests ring (0 disables it)")
+
 		check = fs.String("check", "", "client mode: run the admission smoke against the admitd at this address and exit")
 		load  = fs.Int("check-load", 2000, "admissions driven by the -check load smoke")
+
+		scrape = fs.String("scrape", "", "client mode: fetch /metrics in the Prometheus text format from the admitd at this address, print it, and exit")
 
 		churn       = fs.String("churn", "", "client mode: drive a seeded random churn against the admitd at this address, print a canonical-state digest, and exit")
 		churnOps    = fs.Int("churn-ops", 500, "operations driven by -churn (0 = just print the digest)")
@@ -108,14 +125,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "admitd: "+format+"\n", args...)
 		return 2
 	}
-	if *check != "" && *churn != "" {
-		return usage("-check and -churn are mutually exclusive")
+	clientModes := 0
+	for _, m := range []string{*check, *churn, *scrape} {
+		if m != "" {
+			clientModes++
+		}
+	}
+	if clientModes > 1 {
+		return usage("-check, -churn and -scrape are mutually exclusive")
 	}
 	if *check != "" {
 		if *load <= 0 {
 			return usage("-check-load must be positive (got %d)", *load)
 		}
 		return runCheck(*check, *load, stdout, stderr)
+	}
+	if *scrape != "" {
+		return runScrape(*scrape, stdout, stderr)
 	}
 	if *churn != "" {
 		if *churnOps < 0 {
@@ -145,12 +171,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return usage("%s must be non-negative (got %v)", to.name, to.v)
 		}
 	}
+	if *accessSample < 1 {
+		return usage("-access-sample must be at least 1 (got %d)", *accessSample)
+	}
+	if *slowMS < 0 {
+		return usage("-slow-ms must be non-negative (got %d)", *slowMS)
+	}
+	if *traceRing < 0 {
+		return usage("-trace-ring must be non-negative (got %d)", *traceRing)
+	}
 
 	// The status surface is part of the daemon's contract, so metrics are
 	// always on (in the batch harness they are opt-in to keep hot loops
 	// untouched; a service that serves /metrics should fill it).
 	obs.SetEnabled(true)
 	obs.SetReadiness(obs.ReadyStarting)
+	obs.RegisterReadinessGauge(nil)
 	svc := admit.NewService(*shards)
 	if *gateOn {
 		svc.SetGate(admit.NewGate(admit.GateConfig{
@@ -160,6 +196,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 			RetryAfter:    *retryAfter,
 		}))
 	}
+	svc.RegisterMetrics(nil)
+
+	// Per-request sinks: slow/errored-request ring and the optional JSONL
+	// access log (the tracing layer itself — request IDs and RED metrics —
+	// is always on).
+	var ring *obs.RequestRing
+	if *traceRing > 0 {
+		ring = obs.NewRequestRing(*traceRing)
+	}
+	var alog *obs.AccessLog
+	if *accessLog != "" {
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return usage("open -access-log: %v", err)
+		}
+		alog = obs.NewAccessLog(f, *accessSample)
+	}
+	svc.SetTracing(admit.TraceConfig{
+		Ring:          ring,
+		SlowThreshold: time.Duration(*slowMS) * time.Millisecond,
+		AccessLog:     alog,
+	})
 
 	// Bind before recovering, guarding the API behind readiness: a balancer
 	// (or curl) sees 503 "recovering" from /readyz and the /v1 routes while
@@ -168,6 +226,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for i := range routes {
 		routes[i].Handler = readyGuard(routes[i].Handler)
 	}
+	routes = append(routes, obs.Route{Pattern: "GET /debug/requests", Handler: ring.Handler()})
 	srv, err := obs.ServeOpts(*listen, obs.Default, obs.ServeOptions{
 		ReadHeaderTimeout: disabledIfZero(*readHeadTO),
 		ReadTimeout:       disabledIfZero(*readTO),
@@ -230,6 +289,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "admitd: close journal: %v\n", err)
 		code = 1
 	}
+	// The access log closes last: the flushes above can still record.
+	if err := alog.Close(); err != nil {
+		fmt.Fprintf(stderr, "admitd: close access log: %v\n", err)
+		code = 1
+	}
 	return code
 }
 
@@ -246,10 +310,13 @@ func disabledIfZero(d time.Duration) time.Duration {
 // startup and journal replay the durable state is not yet consistent, so
 // the API answers 503 (with Retry-After) instead of serving reads of
 // partial state or mutations that AttachJournal would then collide with.
+// The guard short-circuits before the traced routes run, so it resolves and
+// echoes the request ID itself — even "not ready yet" is attributable.
 func readyGuard(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		switch obs.CurrentReadiness() {
 		case obs.ReadyStarting, obs.ReadyRecovering:
+			admit.EnsureRequestID(w, r)
 			w.Header().Set("Retry-After", "1")
 			w.Header().Set("Content-Type", "application/json")
 			w.WriteHeader(http.StatusServiceUnavailable)
@@ -268,28 +335,39 @@ type checkClient struct {
 
 // do issues one request and decodes any JSON body into a generic map.
 func (c *checkClient) do(method, path, body string) (int, map[string]any, error) {
+	code, _, raw, err := c.doRaw(method, path, body, nil)
+	if err != nil {
+		return code, nil, err
+	}
+	var v map[string]any
+	if len(raw) > 0 && json.Unmarshal(raw, &v) != nil {
+		v = map[string]any{"_raw": string(raw)}
+	}
+	return code, v, nil
+}
+
+// doRaw issues one request with optional extra headers and returns the
+// response headers and raw body — the -check metric/tracing probes need
+// both.
+func (c *checkClient) doRaw(method, path, body string, hdr map[string]string) (int, http.Header, []byte, error) {
 	var rd io.Reader
 	if body != "" {
 		rd = strings.NewReader(body)
 	}
 	req, err := http.NewRequest(method, c.base+path, rd)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	defer resp.Body.Close()
 	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return resp.StatusCode, nil, err
-	}
-	var v map[string]any
-	if len(raw) > 0 && json.Unmarshal(raw, &v) != nil {
-		v = map[string]any{"_raw": string(raw)}
-	}
-	return resp.StatusCode, v, nil
+	return resp.StatusCode, resp.Header, raw, err
 }
 
 // runCheck drives the smoke sequence against a live admitd: health, index,
@@ -399,8 +477,116 @@ func runCheck(addr string, load int, stdout, stderr io.Writer) int {
 	if accepted == 0 || rejected == 0 {
 		return fail("load smoke not exercising both verdicts: %d accepted, %d rejected", accepted, rejected)
 	}
+
+	// Observability probes (run after the load smoke so every metric family
+	// has observations to expose).
+	//
+	// Request tracing: an ID is minted when absent, echoed verbatim when
+	// supplied, and present even on error responses.
+	code, hdr, _, err := c.doRaw("GET", "/v1/clusters", "", nil)
+	if err != nil || code != 200 {
+		return fail("trace probe list: code %d err %v", code, err)
+	}
+	if hdr.Get("X-Request-Id") == "" {
+		return fail("no generated X-Request-Id on a traced response")
+	}
+	code, hdr, _, err = c.doRaw("GET", "/v1/clusters", "", map[string]string{"X-Request-Id": "check-echo-1"})
+	if err != nil || code != 200 || hdr.Get("X-Request-Id") != "check-echo-1" {
+		return fail("X-Request-Id not echoed: code %d got %q err %v", code, hdr.Get("X-Request-Id"), err)
+	}
+	code, hdr, _, err = c.doRaw("GET", "/v1/clusters/no-such-cluster", "", map[string]string{"X-Request-Id": "check-echo-404"})
+	if err != nil || code != 404 || hdr.Get("X-Request-Id") != "check-echo-404" {
+		return fail("X-Request-Id missing on error path: code %d got %q err %v", code, hdr.Get("X-Request-Id"), err)
+	}
+
+	// /metrics, JSON form: schema-versioned export carrying the admit
+	// counter families.
+	code, _, raw, err := c.doRaw("GET", "/metrics", "", map[string]string{"Accept": "application/json"})
+	if err != nil || code != 200 {
+		return fail("/metrics json: code %d err %v", code, err)
+	}
+	var snap struct {
+		Schema   int `json:"schema"`
+		Counters []struct {
+			Name  string `json:"name"`
+			Value int64  `json:"value"`
+		} `json:"counters"`
+		Gauges []struct {
+			Name  string `json:"name"`
+			Value int64  `json:"value"`
+		} `json:"gauges"`
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return fail("/metrics json unparseable: %v", err)
+	}
+	if snap.Schema != 1 {
+		return fail("/metrics json schema %d, want 1", snap.Schema)
+	}
+	counters := make(map[string]int64)
+	for _, cv := range snap.Counters {
+		counters[cv.Name] = cv.Value
+	}
+	if counters["admit.requests"] == 0 || counters["admit.http.admit.requests"] == 0 {
+		return fail("/metrics json missing admit RED counters: %v", counters)
+	}
+	gauges := make(map[string]bool)
+	for _, gv := range snap.Gauges {
+		gauges[gv.Name] = true
+	}
+	for _, want := range []string{"admit.gate.queue_depth", "admit.clusters", "process.ready_state"} {
+		if !gauges[want] {
+			return fail("/metrics json missing gauge %s", want)
+		}
+	}
+
+	// /metrics, Prometheus form: the grammar must validate and the RED and
+	// durability families must be present (registered families expose even
+	// at count 0, so this holds journaled or not).
+	code, _, raw, err = c.doRaw("GET", "/metrics", "", map[string]string{"Accept": "text/plain"})
+	if err != nil || code != 200 {
+		return fail("/metrics prometheus: code %d err %v", code, err)
+	}
+	text := string(raw)
+	if _, err := obs.ValidatePrometheusText(strings.NewReader(text)); err != nil {
+		return fail("/metrics prometheus grammar: %v", err)
+	}
+	for _, fam := range []string{
+		"# TYPE admit_http_admit_latency_us histogram",
+		"# TYPE admit_journal_fsync_us histogram",
+		"# TYPE admit_gate_queue_depth gauge",
+		"# TYPE admit_requests counter",
+		"# TYPE process_ready_state gauge",
+	} {
+		if !strings.Contains(text, fam) {
+			return fail("/metrics prometheus missing family line %q", fam)
+		}
+	}
+
+	// /debug/requests: the ring answers (possibly empty — the smoke should
+	// not have been slow) with its schema fields.
+	code, v, err = c.do("GET", "/debug/requests", "")
+	if err != nil || code != 200 {
+		return fail("/debug/requests: code %d err %v", code, err)
+	}
+	if _, ok := v["requests"]; !ok {
+		return fail("/debug/requests body missing requests field: %v", v)
+	}
+
 	fmt.Fprintf(stdout, "check ok: %d admissions in %v (%.0f/sec over HTTP), %d accepted, %d rejected\n",
 		load, elapsed.Round(time.Millisecond), float64(load)/elapsed.Seconds(), accepted, rejected)
+	return 0
+}
+
+// runScrape fetches /metrics in the Prometheus text format and prints it —
+// a curl-free scrape for scripts (ci.sh pipes it into the grammar lint).
+func runScrape(addr string, stdout, stderr io.Writer) int {
+	c := &checkClient{base: "http://" + addr, hc: &http.Client{Timeout: 10 * time.Second}}
+	code, _, raw, err := c.doRaw("GET", "/metrics", "", map[string]string{"Accept": "text/plain"})
+	if err != nil || code != 200 {
+		fmt.Fprintf(stderr, "admitd scrape: code %d err %v\n", code, err)
+		return 1
+	}
+	stdout.Write(raw)
 	return 0
 }
 

@@ -55,7 +55,9 @@ func TestServeCheckAndShutdown(t *testing.T) {
 	bin := buildAdmitd(t, dir)
 
 	addrFile := filepath.Join(dir, "addr")
-	srv := exec.Command(bin, "-listen", "127.0.0.1:0", "-addr-file", addrFile, "-q")
+	accessLog := filepath.Join(dir, "access.jsonl")
+	srv := exec.Command(bin, "-listen", "127.0.0.1:0", "-addr-file", addrFile, "-q",
+		"-access-log", accessLog, "-slow-ms", "0")
 	var srvOut bytes.Buffer
 	srv.Stdout, srv.Stderr = &srvOut, &srvOut
 	if err := srv.Start(); err != nil {
@@ -82,11 +84,36 @@ func TestServeCheckAndShutdown(t *testing.T) {
 		t.Errorf("check report malformed: %q", out)
 	}
 
+	// The scrape client mode fetches the Prometheus exposition; spot-check a
+	// family from each subsystem (RED, gate, readiness).
+	code, prom := exitCode(t, bin, "-scrape", addr)
+	if code != 0 {
+		t.Fatalf("scrape failed (exit %d):\n%s", code, prom)
+	}
+	for _, want := range []string{
+		"# TYPE admit_http_admit_latency_us histogram",
+		"# TYPE admit_gate_queue_depth gauge",
+		"# TYPE process_ready_state gauge",
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("scrape output lacks %q", want)
+		}
+	}
+
 	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatal(err)
 	}
 	if err := srv.Wait(); err != nil {
 		t.Fatalf("server did not exit cleanly on SIGTERM: %v\n%s", err, srvOut.String())
+	}
+
+	// Shutdown flushed the access log; the check traffic must be in it.
+	raw, err := os.ReadFile(accessLog)
+	if err != nil || len(bytes.TrimSpace(raw)) == 0 {
+		t.Fatalf("access log missing or empty after shutdown: %v", err)
+	}
+	if !bytes.Contains(raw, []byte(`"route":"admit"`)) {
+		t.Errorf("access log lacks admit-route records:\n%s", raw)
 	}
 }
 
@@ -254,7 +281,12 @@ func TestDurabilityFlagValidation(t *testing.T) {
 		{"-write-timeout", "-1s"},
 		{"-idle-timeout", "-1s"},
 		{"-check", "127.0.0.1:9", "-churn", "127.0.0.1:9"},
+		{"-check", "127.0.0.1:9", "-scrape", "127.0.0.1:9"},
 		{"-churn", "127.0.0.1:9", "-churn-ops", "-1"},
+		{"-access-sample", "0"},
+		{"-slow-ms", "-1"},
+		{"-trace-ring", "-1"},
+		{"-access-log", filepath.Join(dir, "no-such-dir", "access.jsonl")},
 	}
 	for _, args := range cases {
 		if code, out := exitCode(t, bin, args...); code != 2 {

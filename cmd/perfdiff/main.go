@@ -8,6 +8,8 @@
 //
 //	perfdiff [flags] OLD.json NEW.json
 //	perfdiff -validate-events FILE.jsonl
+//	perfdiff -validate-prom FILE.txt
+//	perfdiff -validate-access-log FILE.jsonl
 //
 // Tolerances are fractional growth allowances: -allocs-tol 0.10 accepts up
 // to +10% allocs/op. Metrics listed in -warn only warn on regression —
@@ -18,6 +20,9 @@
 // The second form validates a JSONL run-event log written by
 // `experiments -events` against the strict event schema (see
 // internal/obs), so CI can lint the telemetry stream it just produced.
+// The third validates a Prometheus text exposition (as served by admitd's
+// /metrics or captured by `admitd -scrape`), and the fourth an admitd JSONL
+// access log — together they are ci.sh's metrics-lint step.
 package main
 
 import (
@@ -42,6 +47,8 @@ func run() int {
 		extraTol  = flag.Float64("extra-tol", 0.50, "allowed fractional growth of domain metrics (rta-iters/op, ...)")
 		warn      = flag.String("warn", "", "comma-separated metrics that only warn on regression (e.g. 'ns/op,B/op')")
 		validate  = flag.String("validate-events", "", "validate a JSONL run-event log instead of diffing bench records")
+		valProm   = flag.String("validate-prom", "", "validate a Prometheus text exposition instead of diffing bench records")
+		valAccess = flag.String("validate-access-log", "", "validate an admitd JSONL access log instead of diffing bench records")
 	)
 	flag.Parse()
 
@@ -57,26 +64,51 @@ func run() int {
 		}
 	}
 
-	if *validate != "" {
-		if flag.NArg() != 0 {
-			fail("-validate-events takes no positional arguments (got %d)", flag.NArg())
+	modes := 0
+	for _, m := range []string{*validate, *valProm, *valAccess} {
+		if m != "" {
+			modes++
 		}
-		f, err := os.Open(*validate)
+	}
+	if modes > 1 {
+		fail("-validate-events, -validate-prom and -validate-access-log are mutually exclusive")
+	}
+	if modes == 1 {
+		if flag.NArg() != 0 {
+			fail("validate modes take no positional arguments (got %d)", flag.NArg())
+		}
+		path, kind, check := *validate, "event log", func(f *os.File) (int, string, error) {
+			n, err := obs.ValidateEventLog(f)
+			return n, fmt.Sprintf("%d events, schema v%d", n, obs.EventSchemaVersion), err
+		}
+		switch {
+		case *valProm != "":
+			path, kind, check = *valProm, "prometheus exposition", func(f *os.File) (int, string, error) {
+				n, err := obs.ValidatePrometheusText(f)
+				return n, fmt.Sprintf("%d metric families", n), err
+			}
+		case *valAccess != "":
+			path, kind, check = *valAccess, "access log", func(f *os.File) (int, string, error) {
+				n, err := obs.ValidateAccessLog(f)
+				return n, fmt.Sprintf("%d records, schema v%d", n, obs.AccessSchemaVersion), err
+			}
+		}
+		f, err := os.Open(path)
 		if err != nil {
 			fail("%v", err)
 		}
 		defer f.Close()
-		n, err := obs.ValidateEventLog(f)
+		_, summary, err := check(f)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "perfdiff: %s: invalid event log: %v\n", *validate, err)
+			fmt.Fprintf(os.Stderr, "perfdiff: %s: invalid %s: %v\n", path, kind, err)
 			return 1
 		}
-		fmt.Printf("%s: %d events, schema v%d, ok\n", *validate, n, obs.EventSchemaVersion)
+		fmt.Printf("%s: %s, ok\n", path, summary)
 		return 0
 	}
 
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "perfdiff: need OLD.json NEW.json (or -validate-events FILE)")
+		fmt.Fprintln(os.Stderr, "perfdiff: need OLD.json NEW.json (or a -validate-* FILE)")
 		flag.Usage()
 		os.Exit(2)
 	}

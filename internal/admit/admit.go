@@ -52,6 +52,30 @@ var (
 	cClustersDeleted = obs.NewCounter("admit.clusters_deleted")
 )
 
+// cRejectByCause breaks admit.rejected down by partition cause
+// (admit.reject.<cause>). The map is built once at init over the closed
+// cause taxonomy and keyed by the interned String() values the rejection
+// path already produces, so attributing a rejection is one map lookup — no
+// registry mutex, no allocation — and the memo cache can attribute its hits
+// from the cached Result's Cause string.
+var cRejectByCause = func() map[string]*obs.Counter {
+	m := make(map[string]*obs.Counter)
+	for _, c := range partition.RejectionCauses() {
+		m[c.String()] = obs.NewCounter("admit.reject." + c.String())
+	}
+	return m
+}()
+
+// countRejection attributes one rejection to its cause counter. Unknown
+// cause strings (impossible through the engine, conceivable through a
+// hand-built cached Result in tests) simply go unattributed — the aggregate
+// cRejected already counted them.
+func countRejection(cause string) {
+	if c, ok := cRejectByCause[cause]; ok {
+		c.Inc()
+	}
+}
+
 // defaultCacheCap bounds each cluster's rejection cache; outgrowing it
 // clears the map (the entries are all orphaned by state drift eventually,
 // and wholesale clearing keeps the policy deterministic).
@@ -70,8 +94,9 @@ var ErrDeleted = errors.New("admit: cluster deleted")
 // write-ahead journal (AttachJournal) that makes every mutation durable.
 type Service struct {
 	shards []shard
-	j      *Journal // nil when the service is not journaled
-	gate   *Gate    // nil when admission is ungated
+	j      *Journal    // nil when the service is not journaled
+	gate   *Gate       // nil when admission is ungated
+	trace  TraceConfig // per-request sinks; zero value traces IDs only
 }
 
 type shard struct {
@@ -107,8 +132,9 @@ func (s *Service) shardFor(name string) *shard {
 
 // Create registers a new cluster. It fails if the name is empty or taken,
 // the engine parameters are invalid, or (on a journaled service) the
-// creation could not be made durable.
-func (s *Service) Create(name string, m int, policy string, surcharge task.Time) (*Cluster, error) {
+// creation could not be made durable. The context carries the request ID
+// into the journal record (nil is fine for untraced callers).
+func (s *Service) Create(ctx context.Context, name string, m int, policy string, surcharge task.Time) (*Cluster, error) {
 	if name == "" {
 		return nil, errors.New("admit: cluster name must not be empty")
 	}
@@ -134,7 +160,7 @@ func (s *Service) Create(name string, m int, policy string, surcharge task.Time)
 	if jr != nil {
 		// Journal before insert: a creation that cannot be made durable is
 		// never visible.
-		if err := jr.append(createRecord(name, m, policy, surcharge), &s.j.cfg); err != nil {
+		if err := jr.append(createRecord(name, m, policy, surcharge, RequestIDFrom(ctx)), &s.j.cfg); err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrDurability, err)
 		}
 		s.j.maybeKickSnapshot(jr)
@@ -158,8 +184,9 @@ func (s *Service) Get(name string) (*Cluster, bool) {
 // (their journal records precede the delete record); operations that
 // looked the cluster up but had not yet entered it fail with ErrDeleted.
 // On a journaled service a deletion that cannot be made durable fails
-// without unregistering anything.
-func (s *Service) Delete(name string) (bool, error) {
+// without unregistering anything. The context carries the request ID into
+// the journal record.
+func (s *Service) Delete(ctx context.Context, name string) (bool, error) {
 	idx := s.shardIndex(name)
 	sh := &s.shards[idx]
 	var jr *shardJournal
@@ -182,7 +209,7 @@ func (s *Service) Delete(name string) (bool, error) {
 	// stale *Cluster into ErrDeleted instead of a stray append.
 	c.mu.Lock()
 	if jr != nil {
-		if err := jr.append(deleteRecord(name), &s.j.cfg); err != nil {
+		if err := jr.append(deleteRecord(name, RequestIDFrom(ctx)), &s.j.cfg); err != nil {
 			c.mu.Unlock()
 			return false, fmt.Errorf("%w: %v", ErrDurability, err)
 		}
@@ -327,6 +354,7 @@ func (c *Cluster) Admit(ctx context.Context, t task.Task) (Result, error) {
 		if res, ok := c.cache[string(key)]; ok {
 			cCacheHits.Inc()
 			cRejected.Inc()
+			countRejection(res.Cause)
 			c.stats.CacheHits.Add(1)
 			c.stats.Rejected.Add(1)
 			res.CacheHit = true
@@ -337,7 +365,7 @@ func (c *Cluster) Admit(ctx context.Context, t task.Task) (Result, error) {
 	pl, err := c.eng.Admit(t)
 	if err == nil {
 		if c.jr != nil {
-			if jerr := c.jr.append(admitRecord(c.name, t, pl), &c.j.cfg); jerr != nil {
+			if jerr := c.jr.append(admitRecord(c.name, t, pl, RequestIDFrom(ctx)), &c.j.cfg); jerr != nil {
 				// The engine accepted but the journal did not: undo the
 				// placement so the acknowledged state and the durable state
 				// agree that this admission never happened.
@@ -358,6 +386,7 @@ func (c *Cluster) Admit(ctx context.Context, t task.Task) (Result, error) {
 		panic("admit: online engine returned an untyped error: " + err.Error())
 	}
 	cRejected.Inc()
+	countRejection(rej.Cause.String())
 	c.stats.Rejected.Add(1)
 	res := Result{
 		Proc:        -1,
@@ -379,11 +408,14 @@ func (c *Cluster) Admit(ctx context.Context, t task.Task) (Result, error) {
 }
 
 // Remove releases a previously admitted task, reporting whether the handle
-// was resident. On a journaled service the removal is journaled before the
+// was resident. The context's deadline is honored at the serialization
+// point, exactly as in Admit: a removal whose deadline expired while it
+// waited for the cluster lock returns ctx.Err() without touching the
+// engine. On a journaled service the removal is journaled before the
 // engine applies it; a removal that cannot be made durable fails with
 // ErrDurability and leaves the task resident. A cluster concurrently
 // deleted returns ErrDeleted.
-func (c *Cluster) Remove(handle uint64) (bool, error) {
+func (c *Cluster) Remove(ctx context.Context, handle uint64) (bool, error) {
 	if c.jr != nil {
 		c.jr.freeze.RLock()
 		defer c.jr.freeze.RUnlock()
@@ -393,12 +425,18 @@ func (c *Cluster) Remove(handle uint64) (bool, error) {
 		c.mu.Unlock()
 		return false, ErrDeleted
 	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			c.mu.Unlock()
+			return false, err
+		}
+	}
 	if !c.eng.Has(handle) {
 		c.mu.Unlock()
 		return false, nil
 	}
 	if c.jr != nil {
-		if err := c.jr.append(removeRecord(c.name, handle), &c.j.cfg); err != nil {
+		if err := c.jr.append(removeRecord(c.name, handle, RequestIDFrom(ctx)), &c.j.cfg); err != nil {
 			c.mu.Unlock()
 			return false, fmt.Errorf("%w: %v", ErrDurability, err)
 		}

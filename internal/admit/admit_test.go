@@ -27,7 +27,7 @@ func admitNow(tb testing.TB, c *Cluster, tk task.Task) Result {
 
 func removeNow(tb testing.TB, c *Cluster, h uint64) bool {
 	tb.Helper()
-	ok, err := c.Remove(h)
+	ok, err := c.Remove(context.Background(), h)
 	if err != nil {
 		tb.Fatalf("Remove(%d): %v", h, err)
 	}
@@ -36,7 +36,7 @@ func removeNow(tb testing.TB, c *Cluster, h uint64) bool {
 
 func deleteNow(tb testing.TB, s *Service, name string) bool {
 	tb.Helper()
-	ok, err := s.Delete(name)
+	ok, err := s.Delete(context.Background(), name)
 	if err != nil {
 		tb.Fatalf("Delete(%q): %v", name, err)
 	}
@@ -45,23 +45,23 @@ func deleteNow(tb testing.TB, s *Service, name string) bool {
 
 func TestServiceRegistry(t *testing.T) {
 	s := NewService(4)
-	if _, err := s.Create("", 2, "", 0); err == nil {
+	if _, err := s.Create(context.Background(), "", 2, "", 0); err == nil {
 		t.Error("empty name accepted")
 	}
-	if _, err := s.Create("a", 0, "", 0); err == nil {
+	if _, err := s.Create(context.Background(), "a", 0, "", 0); err == nil {
 		t.Error("m=0 accepted")
 	}
-	if _, err := s.Create("a", 2, "nope", 0); err == nil {
+	if _, err := s.Create(context.Background(), "a", 2, "nope", 0); err == nil {
 		t.Error("bad policy accepted")
 	}
-	c, err := s.Create("a", 2, "", 0)
+	c, err := s.Create(context.Background(), "a", 2, "", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if c.Name() != "a" {
 		t.Errorf("Name() = %q", c.Name())
 	}
-	if _, err := s.Create("a", 2, "", 0); err == nil {
+	if _, err := s.Create(context.Background(), "a", 2, "", 0); err == nil {
 		t.Error("duplicate name accepted")
 	}
 	if got, ok := s.Get("a"); !ok || got != c {
@@ -72,7 +72,7 @@ func TestServiceRegistry(t *testing.T) {
 	}
 	// Names across shards, sorted.
 	for _, n := range []string{"z", "m", "b"} {
-		if _, err := s.Create(n, 1, "", 0); err != nil {
+		if _, err := s.Create(context.Background(), n, 1, "", 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -93,7 +93,7 @@ func TestServiceRegistry(t *testing.T) {
 // operating on unregistered (and, when journaled, undurable) state.
 func TestDeletedClusterRefusesMutations(t *testing.T) {
 	s := NewService(4)
-	c, err := s.Create("victim", 2, "", 0)
+	c, err := s.Create(context.Background(), "victim", 2, "", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,12 +107,12 @@ func TestDeletedClusterRefusesMutations(t *testing.T) {
 	if _, err := c.Admit(context.Background(), task.Task{C: 1, T: 10}); !errors.Is(err, ErrDeleted) {
 		t.Errorf("stale Admit err = %v, want ErrDeleted", err)
 	}
-	if _, err := c.Remove(res.Handle); !errors.Is(err, ErrDeleted) {
+	if _, err := c.Remove(context.Background(), res.Handle); !errors.Is(err, ErrDeleted) {
 		t.Errorf("stale Remove err = %v, want ErrDeleted", err)
 	}
 	// A recreated same-name cluster is a fresh tenant, unaffected by the
 	// old handle's fate.
-	c2, err := s.Create("victim", 2, "", 0)
+	c2, err := s.Create(context.Background(), "victim", 2, "", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,11 +129,11 @@ func TestClusterCacheEquivalence(t *testing.T) {
 	for _, policy := range partition.OnlinePolicies() {
 		t.Run(policy, func(t *testing.T) {
 			s := NewService(1)
-			cached, err := s.Create("cached-"+policy, 2, policy, 1)
+			cached, err := s.Create(context.Background(), "cached-"+policy, 2, policy, 1)
 			if err != nil {
 				t.Fatal(err)
 			}
-			plain, err := s.Create("plain-"+policy, 2, policy, 1)
+			plain, err := s.Create(context.Background(), "plain-"+policy, 2, policy, 1)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -189,7 +189,7 @@ func TestClusterCacheEquivalence(t *testing.T) {
 // analyzed rejections, none on input errors, handles usable for Remove.
 func TestClusterAdmitRejectShapes(t *testing.T) {
 	s := NewService(0)
-	c, err := s.Create("t", 1, partition.OnlineRTAFirstFit, 0)
+	c, err := s.Create(context.Background(), "t", 1, partition.OnlineRTAFirstFit, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +226,7 @@ func TestClusterAdmitRejectShapes(t *testing.T) {
 // stats design.
 func TestClusterStatsConcurrent(t *testing.T) {
 	s := NewService(8)
-	shared, err := s.Create("shared", 4, "", 0)
+	shared, err := s.Create(context.Background(), "shared", 4, "", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +236,7 @@ func TestClusterStatsConcurrent(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			name := fmt.Sprintf("tenant-%d", w)
-			own, err := s.Create(name, 2, partition.OnlineRTAWorstFit, 0)
+			own, err := s.Create(context.Background(), name, 2, partition.OnlineRTAWorstFit, 0)
 			if err != nil {
 				t.Error(err)
 				return
@@ -258,7 +258,7 @@ func TestClusterStatsConcurrent(t *testing.T) {
 					c.Status()
 				}
 				if len(mine) > 4 {
-					own.Remove(mine[0])
+					own.Remove(context.Background(), mine[0])
 					mine = mine[1:]
 				}
 				s.Get("shared")
@@ -279,7 +279,7 @@ func TestClusterStatsConcurrent(t *testing.T) {
 // clears the map rather than evicting piecemeal.
 func TestCacheCapClears(t *testing.T) {
 	s := NewService(1)
-	c, err := s.Create("small", 1, "", 0)
+	c, err := s.Create(context.Background(), "small", 1, "", 0)
 	if err != nil {
 		t.Fatal(err)
 	}

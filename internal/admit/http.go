@@ -80,16 +80,19 @@ func (s *Service) Handler() http.Handler {
 
 // Routes lists the service's endpoints (Go 1.22 method+path patterns) as
 // obs routes, so cmd/admitd can mount them beside the status routes with
-// obs.ServeWith and the "/" index names them.
+// obs.ServeWith and the "/" index names them. Every route is wrapped in the
+// tracing layer (trace.go), with the tracer *outside* the gate on the
+// admission routes — a 429 shed must still echo the request ID and count in
+// the route's RED metrics.
 func (s *Service) Routes() []obs.Route {
 	return []obs.Route{
-		{Pattern: "POST /v1/clusters", Handler: http.HandlerFunc(s.handleCreate)},
-		{Pattern: "GET /v1/clusters", Handler: http.HandlerFunc(s.handleList)},
-		{Pattern: "GET /v1/clusters/{name}", Handler: http.HandlerFunc(s.handleStatus)},
-		{Pattern: "DELETE /v1/clusters/{name}", Handler: http.HandlerFunc(s.handleDelete)},
-		{Pattern: "POST /v1/clusters/{name}/admit", Handler: s.gated(s.handleAdmit)},
-		{Pattern: "POST /v1/clusters/{name}/remove", Handler: s.gated(s.handleRemove)},
-		{Pattern: "GET /v1/canon", Handler: http.HandlerFunc(s.handleCanon)},
+		{Pattern: "POST /v1/clusters", Handler: s.traced("create", http.HandlerFunc(s.handleCreate))},
+		{Pattern: "GET /v1/clusters", Handler: s.traced("list", http.HandlerFunc(s.handleList))},
+		{Pattern: "GET /v1/clusters/{name}", Handler: s.traced("status", http.HandlerFunc(s.handleStatus))},
+		{Pattern: "DELETE /v1/clusters/{name}", Handler: s.traced("delete", http.HandlerFunc(s.handleDelete))},
+		{Pattern: "POST /v1/clusters/{name}/admit", Handler: s.traced("admit", s.gated(s.handleAdmit))},
+		{Pattern: "POST /v1/clusters/{name}/remove", Handler: s.traced("remove", s.gated(s.handleRemove))},
+		{Pattern: "GET /v1/canon", Handler: s.traced("canon", http.HandlerFunc(s.handleCanon))},
 	}
 }
 
@@ -190,7 +193,7 @@ func (s *Service) handleCreate(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	c, err := s.Create(req.Name, req.M, req.Policy, task.Time(req.Surcharge))
+	c, err := s.Create(r.Context(), req.Name, req.M, req.Policy, task.Time(req.Surcharge))
 	if err != nil {
 		code := http.StatusBadRequest
 		if errors.Is(err, ErrExists) {
@@ -222,7 +225,7 @@ func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleDelete(w http.ResponseWriter, r *http.Request) {
-	ok, err := s.Delete(r.PathValue("name"))
+	ok, err := s.Delete(r.Context(), r.PathValue("name"))
 	if err != nil {
 		writeOpError(w, err)
 		return
@@ -248,6 +251,15 @@ func (s *Service) handleAdmit(w http.ResponseWriter, r *http.Request) {
 		writeOpError(w, err)
 		return
 	}
+	// Attribute the verdict on the trace info so the access log and the
+	// slow-request ring can tell a slow rejection from a slow acceptance.
+	if ri, ok := r.Context().Value(reqInfoKey{}).(*ReqInfo); ok {
+		if res.Accepted {
+			ri.Verdict = "accepted"
+		} else {
+			ri.Verdict, ri.Cause = "rejected", res.Cause
+		}
+	}
 	writeJSON(w, http.StatusOK, res)
 }
 
@@ -260,7 +272,7 @@ func (s *Service) handleRemove(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	removed, err := c.Remove(req.Handle)
+	removed, err := c.Remove(r.Context(), req.Handle)
 	if err != nil {
 		writeOpError(w, err)
 		return

@@ -159,6 +159,11 @@ func TestHTTPErrorTable(t *testing.T) {
 			if tc.want >= 400 && v["error"] == "" {
 				t.Fatalf("error response without error message: %v", v)
 			}
+			// Every response — 4xx included — must carry a request ID so the
+			// client can quote it back at the operator.
+			if w.Header().Get(RequestIDHeader) == "" {
+				t.Fatalf("%s %s: %d response without %s header", tc.method, tc.path, w.Code, RequestIDHeader)
+			}
 		})
 	}
 
@@ -175,7 +180,9 @@ func TestHTTPErrorTable(t *testing.T) {
 		queued := make(chan *httptest.ResponseRecorder, 1)
 		go func() {
 			w := httptest.NewRecorder()
-			h.ServeHTTP(w, httptest.NewRequest("POST", "/v1/clusters/edge/admit", strings.NewReader(`{"c":1,"t":10}`)))
+			req := httptest.NewRequest("POST", "/v1/clusters/edge/admit", strings.NewReader(`{"c":1,"t":10}`))
+			req.Header.Set(RequestIDHeader, "queued-then-expired")
+			h.ServeHTTP(w, req)
 			queued <- w
 		}()
 		deadline := time.Now().Add(time.Second)
@@ -192,8 +199,17 @@ func TestHTTPErrorTable(t *testing.T) {
 		if w.Header().Get("Retry-After") != "2" {
 			t.Fatalf("Retry-After = %q, want %q", w.Header().Get("Retry-After"), "2")
 		}
-		if qw := <-queued; qw.Code != http.StatusServiceUnavailable {
+		// The tracer sits outside the gate: even a shed that never reached the
+		// handler carries a request ID.
+		if w.Header().Get(RequestIDHeader) == "" {
+			t.Fatalf("429 shed without %s header", RequestIDHeader)
+		}
+		qw := <-queued
+		if qw.Code != http.StatusServiceUnavailable {
 			t.Fatalf("queued request expired with code %d, want 503", qw.Code)
+		}
+		if got := qw.Header().Get(RequestIDHeader); got != "queued-then-expired" {
+			t.Fatalf("503 expiry lost the client request ID: %q", got)
 		}
 	})
 }

@@ -71,6 +71,23 @@ var (
 	cJournalTornTails  = obs.NewCounter("admit.journal.torn_tails")
 )
 
+// Durability latency/size distributions (DESIGN.md §15). Bounds in µs for
+// the latency histograms: appends are a buffered write (single-digit µs
+// warm), fsyncs are the device round-trip (hundreds of µs to tens of ms on
+// spinning or contended storage), snapshots serialize whole shards.
+var (
+	hJournalAppendUS = obs.NewHistogram("admit.journal.append_us",
+		1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000)
+	hJournalFsyncUS = obs.NewHistogram("admit.journal.fsync_us",
+		10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000)
+	hJournalFlushBatch = obs.NewHistogram("admit.journal.flush_batch",
+		1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+	hJournalSnapshotUS = obs.NewHistogram("admit.journal.snapshot_us",
+		50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000, 250000)
+	hJournalSnapFolds = obs.NewHistogram("admit.journal.snapshot_fold_records",
+		1, 16, 64, 256, 1024, 4096, 16384, 65536)
+)
+
 // ErrDurability wraps journal failures surfaced to clients: the requested
 // mutation was not applied because it could not be made durable. The HTTP
 // layer maps it to 503 Service Unavailable.
@@ -173,6 +190,12 @@ type walRecord struct {
 
 	Handle uint64 `json:"h,omitempty"`
 	Proc1  int    `json:"p,omitempty"`
+
+	// RID is the request ID of the HTTP request that produced the record
+	// (empty for untraced callers). Additive-optional — replay's plain
+	// Unmarshal tolerates journals written before it existed, so it did not
+	// bump walSchemaVersion. It is audit metadata only: replay ignores it.
+	RID string `json:"rid,omitempty"`
 }
 
 const (
@@ -245,11 +268,12 @@ type shardJournal struct {
 	// making every snapshot a quiescent consistent cut.
 	freeze sync.RWMutex
 
-	mu        sync.Mutex // file, off, seq, sinceSnap, dirty, broken
+	mu        sync.Mutex // file, off, seq, sinceSnap, pending, dirty, broken
 	file      *os.File
 	off       int64
 	seq       uint64
 	sinceSnap int
+	pending   int // appends since the last successful fsync (batch size)
 	dirty     bool
 	broken    error
 }
@@ -268,6 +292,12 @@ var errJournalBroken = errors.New("journal wedged by an unrepaired torn append; 
 // even that fails, the journal wedges and every later durable op errors
 // until a restart recovers the tail).
 func (sh *shardJournal) append(rec walRecord, cfg *JournalConfig) error {
+	// Timing is gated on obs.On() so the disabled path never calls
+	// time.Now() — the zero-overhead-when-off contract extends to clocks.
+	var t0 time.Time
+	if obs.On() {
+		t0 = time.Now()
+	}
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if sh.broken != nil {
@@ -302,12 +332,14 @@ func (sh *shardJournal) append(rec walRecord, cfg *JournalConfig) error {
 		return err
 	}
 	sh.off += int64(n)
+	sh.pending++
 	if cfg.Fsync == FsyncAlways {
 		if err := sh.fsyncLocked(); err != nil {
 			// The record reached the file but its durability cannot be
 			// confirmed; scrub it so recovery never replays an op the
 			// client was told failed.
 			cJournalAppendErrs.Inc()
+			sh.pending--
 			sh.rewindLocked(sh.off - int64(n))
 			return err
 		}
@@ -317,6 +349,9 @@ func (sh *shardJournal) append(rec walRecord, cfg *JournalConfig) error {
 	sh.seq = rec.Seq
 	sh.sinceSnap++
 	cJournalAppends.Inc()
+	if !t0.IsZero() {
+		hJournalAppendUS.Observe(time.Since(t0).Microseconds())
+	}
 	return nil
 }
 
@@ -334,8 +369,14 @@ func (sh *shardJournal) rewindLocked(off int64) {
 	sh.off = off
 }
 
-// fsyncLocked flushes the WAL file. Caller holds sh.mu.
+// fsyncLocked flushes the WAL file, recording the sync latency and how many
+// appends the sync made durable (the group-commit batch size; always 1
+// under FsyncAlways). Caller holds sh.mu.
 func (sh *shardJournal) fsyncLocked() error {
+	var t0 time.Time
+	if obs.On() {
+		t0 = time.Now()
+	}
 	if err := faultinject.JournalFsyncErr(); err != nil {
 		cJournalFsyncErrs.Inc()
 		return err
@@ -345,27 +386,32 @@ func (sh *shardJournal) fsyncLocked() error {
 		return err
 	}
 	cJournalFsyncs.Inc()
+	if !t0.IsZero() {
+		hJournalFsyncUS.Observe(time.Since(t0).Microseconds())
+		hJournalFlushBatch.Observe(int64(sh.pending))
+	}
+	sh.pending = 0
 	sh.dirty = false
 	return nil
 }
 
 // record builders.
 
-func createRecord(name string, m int, policy string, surcharge task.Time) walRecord {
-	return walRecord{Op: opCreate, Cluster: name, M: m, Policy: policy, Surcharge: surcharge}
+func createRecord(name string, m int, policy string, surcharge task.Time, rid string) walRecord {
+	return walRecord{Op: opCreate, Cluster: name, M: m, Policy: policy, Surcharge: surcharge, RID: rid}
 }
 
-func admitRecord(cluster string, t task.Task, pl partition.Placement) walRecord {
+func admitRecord(cluster string, t task.Task, pl partition.Placement, rid string) walRecord {
 	return walRecord{Op: opAdmit, Cluster: cluster, Task: t.Name, C: t.C, T: t.T, D: t.D,
-		Handle: pl.Handle, Proc1: pl.Proc + 1}
+		Handle: pl.Handle, Proc1: pl.Proc + 1, RID: rid}
 }
 
-func removeRecord(cluster string, handle uint64) walRecord {
-	return walRecord{Op: opRemove, Cluster: cluster, Handle: handle}
+func removeRecord(cluster string, handle uint64, rid string) walRecord {
+	return walRecord{Op: opRemove, Cluster: cluster, Handle: handle, RID: rid}
 }
 
-func deleteRecord(cluster string) walRecord {
-	return walRecord{Op: opDelete, Cluster: cluster}
+func deleteRecord(cluster string, rid string) walRecord {
+	return walRecord{Op: opDelete, Cluster: cluster, RID: rid}
 }
 
 // maybeKickSnapshot nudges the background flusher when a shard's journal
@@ -452,12 +498,17 @@ func (j *Journal) snapshotDue() {
 // previous snapshot — durability is never reduced, the journal merely
 // keeps growing until a snapshot lands.
 func (j *Journal) snapshotShard(sh *shardJournal) error {
+	var t0 time.Time
+	if obs.On() {
+		t0 = time.Now()
+	}
 	sh.freeze.Lock()
 	defer sh.freeze.Unlock()
 
 	snap := snapshotFile{Version: snapshotSchemaVersion, Shard: sh.idx}
 	sh.mu.Lock()
 	snap.Seq = sh.seq
+	folded := sh.sinceSnap
 	sh.mu.Unlock()
 
 	reg := &j.svc.shards[sh.idx]
@@ -508,6 +559,10 @@ func (j *Journal) snapshotShard(sh *shardJournal) error {
 	}
 	sh.sinceSnap = 0
 	cJournalSnapshots.Inc()
+	if !t0.IsZero() {
+		hJournalSnapshotUS.Observe(time.Since(t0).Microseconds())
+		hJournalSnapFolds.Observe(int64(folded))
+	}
 	return nil
 }
 

@@ -53,12 +53,12 @@ func (ch *churner) step(op int) {
 	case k == 0: // create
 		pols := partition.OnlinePolicies()
 		m, pol, sur := 1+r.Intn(3), pols[r.Intn(len(pols))], task.Time(r.Intn(2))
-		_, derr := ch.durable.Create(name, m, pol, sur)
+		_, derr := ch.durable.Create(context.Background(), name, m, pol, sur)
 		if errors.Is(derr, ErrDurability) {
 			ch.failed++
 			return
 		}
-		_, merr := ch.mirror.Create(name, m, pol, sur)
+		_, merr := ch.mirror.Create(context.Background(), name, m, pol, sur)
 		if (derr == nil) != (merr == nil) {
 			t.Fatalf("op %d: create %q diverged: durable %v, mirror %v", op, name, derr, merr)
 		}
@@ -66,7 +66,7 @@ func (ch *churner) step(op int) {
 			ch.acked++
 		}
 	case k == 1: // delete
-		dok, derr := ch.durable.Delete(name)
+		dok, derr := ch.durable.Delete(context.Background(), name)
 		if errors.Is(derr, ErrDurability) {
 			ch.failed++
 			return
@@ -74,7 +74,7 @@ func (ch *churner) step(op int) {
 		if derr != nil {
 			t.Fatalf("op %d: delete %q: %v", op, name, derr)
 		}
-		mok, _ := ch.mirror.Delete(name)
+		mok, _ := ch.mirror.Delete(context.Background(), name)
 		if dok != mok {
 			t.Fatalf("op %d: delete %q diverged: durable %v, mirror %v", op, name, dok, mok)
 		}
@@ -87,7 +87,7 @@ func (ch *churner) step(op int) {
 		h := hs[r.Intn(len(hs))]
 		dc, _ := ch.durable.Get(name)
 		mc, _ := ch.mirror.Get(name)
-		dok, derr := dc.Remove(h)
+		dok, derr := dc.Remove(context.Background(), h)
 		if errors.Is(derr, ErrDurability) {
 			ch.failed++
 			return
@@ -95,7 +95,7 @@ func (ch *churner) step(op int) {
 		if derr != nil {
 			t.Fatalf("op %d: remove %d: %v", op, h, derr)
 		}
-		mok, _ := mc.Remove(h)
+		mok, _ := mc.Remove(context.Background(), h)
 		if !dok || !mok {
 			t.Fatalf("op %d: tracked handle %d not resident (durable %v, mirror %v)", op, h, dok, mok)
 		}
@@ -297,10 +297,10 @@ func TestTornTailRecovery(t *testing.T) {
 
 	// A dedicated target cluster (the churn may have deleted any of its
 	// own), created on both sides before the tear.
-	if _, err := durable.Create("torn-target", 2, "", 0); err != nil {
+	if _, err := durable.Create(context.Background(), "torn-target", 2, "", 0); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := mirror.Create("torn-target", 2, "", 0); err != nil {
+	if _, err := mirror.Create(context.Background(), "torn-target", 2, "", 0); err != nil {
 		t.Fatal(err)
 	}
 	c, _ := durable.Get("torn-target")
@@ -345,7 +345,7 @@ func TestDeleteAdmitRaceStaysReplayable(t *testing.T) {
 		t.Fatal(err)
 	}
 	for round := 0; round < 40; round++ {
-		if _, err := svc.Create("racer", 2, "", 0); err != nil {
+		if _, err := svc.Create(context.Background(), "racer", 2, "", 0); err != nil {
 			t.Fatal(err)
 		}
 		c, _ := svc.Get("racer")
@@ -364,7 +364,7 @@ func TestDeleteAdmitRaceStaysReplayable(t *testing.T) {
 						return
 					}
 					if res.Accepted && i%2 == 0 {
-						if _, err := c.Remove(res.Handle); err != nil && !errors.Is(err, ErrDeleted) {
+						if _, err := c.Remove(context.Background(), res.Handle); err != nil && !errors.Is(err, ErrDeleted) {
 							t.Errorf("racing remove: %v", err)
 							return
 						}
@@ -375,7 +375,7 @@ func TestDeleteAdmitRaceStaysReplayable(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := svc.Delete("racer"); err != nil {
+			if _, err := svc.Delete(context.Background(), "racer"); err != nil {
 				t.Errorf("racing delete: %v", err)
 			}
 		}()
@@ -405,7 +405,7 @@ func TestRecoveryRefusesCorruption(t *testing.T) {
 		if _, err := svc.AttachJournal(JournalConfig{Dir: dir, Fsync: FsyncAlways, SnapshotEvery: -1}); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := svc.Create("alpha", 2, "", 0); err != nil {
+		if _, err := svc.Create(context.Background(), "alpha", 2, "", 0); err != nil {
 			t.Fatal(err)
 		}
 		c, _ := svc.Get("alpha")

@@ -1,0 +1,87 @@
+package admit
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// RegisterMetrics publishes the service's level gauges in reg (nil means
+// the Default registry) as snapshot-time callbacks, so the instrumented
+// paths pay nothing per update:
+//
+//	admit.gate.queue_depth      requests waiting for an execution slot
+//	admit.gate.in_flight        execution slots currently held
+//	admit.clusters              registered clusters, all shards
+//	admit.tasks                 resident tasks, all shards
+//	admit.shard.NNN.clusters    per-shard cluster count
+//	admit.shard.NNN.tasks       per-shard resident-task count
+//
+// Callbacks run at scrape time under the registry's snapshot (which holds
+// no registry lock while evaluating them — see Registry.Snapshot) and take
+// sh.mu.RLock then c.mu, the same order every mutating path uses, so a
+// scrape can never deadlock against traffic. Like SetGate/SetTracing, call
+// it at startup; re-registration re-points the callbacks at this service.
+func (s *Service) RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		reg = obs.Default
+	}
+	reg.GaugeFunc("admit.gate.queue_depth", func() int64 {
+		if g := s.gate; g != nil {
+			return g.waiters.Load()
+		}
+		return 0
+	})
+	reg.GaugeFunc("admit.gate.in_flight", func() int64 {
+		if g := s.gate; g != nil {
+			return int64(len(g.slots))
+		}
+		return 0
+	})
+	for i := range s.shards {
+		idx := i
+		reg.GaugeFunc(fmt.Sprintf("admit.shard.%03d.clusters", idx), func() int64 {
+			c, _ := s.shardCounts(idx)
+			return c
+		})
+		reg.GaugeFunc(fmt.Sprintf("admit.shard.%03d.tasks", idx), func() int64 {
+			_, t := s.shardCounts(idx)
+			return t
+		})
+	}
+	reg.GaugeFunc("admit.clusters", func() int64 {
+		var total int64
+		for i := range s.shards {
+			c, _ := s.shardCounts(i)
+			total += c
+		}
+		return total
+	})
+	reg.GaugeFunc("admit.tasks", func() int64 {
+		var total int64
+		for i := range s.shards {
+			_, t := s.shardCounts(i)
+			total += t
+		}
+		return total
+	})
+}
+
+// shardCounts reads one shard's cluster and resident-task counts under the
+// standard lock order (shard read lock, then each cluster's mutex).
+func (s *Service) shardCounts(i int) (clusters, tasks int64) {
+	sh := &s.shards[i]
+	sh.mu.RLock()
+	cs := make([]*Cluster, 0, len(sh.clusters))
+	for _, c := range sh.clusters {
+		cs = append(cs, c)
+	}
+	sh.mu.RUnlock()
+	clusters = int64(len(cs))
+	for _, c := range cs {
+		c.mu.Lock()
+		tasks += int64(c.eng.Len())
+		c.mu.Unlock()
+	}
+	return clusters, tasks
+}

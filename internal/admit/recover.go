@@ -8,7 +8,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/task"
 )
@@ -48,6 +50,20 @@ import (
 // ErrCorrupt wraps journal/snapshot states that recovery refuses to load.
 var ErrCorrupt = errors.New("admit: corrupt journal state")
 
+// Recovery gauges: what the last AttachJournal rebuilt and how long it
+// took. Gauges (not counters) because they describe the most recent
+// recovery, which a scraper reads as current state, not accumulation.
+// Registered in the Default registry at package init — safe because the
+// batch harness never imports internal/admit, so its metric exports are
+// unchanged.
+var (
+	gRecoverClusters  = obs.NewGauge("admit.recover.clusters")
+	gRecoverResidents = obs.NewGauge("admit.recover.residents")
+	gRecoverReplayed  = obs.NewGauge("admit.recover.replayed")
+	gRecoverTornTails = obs.NewGauge("admit.recover.torn_tails")
+	gRecoverDurUS     = obs.NewGauge("admit.recover.duration_us")
+)
+
 // RecoveryStats summarizes what AttachJournal rebuilt.
 type RecoveryStats struct {
 	// Clusters and Residents count the recovered registry contents.
@@ -66,6 +82,10 @@ type RecoveryStats struct {
 // service is unusable and the process should exit rather than serve
 // unrecovered state.
 func (s *Service) AttachJournal(cfg JournalConfig) (RecoveryStats, error) {
+	var t0 time.Time
+	if obs.On() {
+		t0 = time.Now()
+	}
 	var rs RecoveryStats
 	if s.j != nil {
 		return rs, errors.New("admit: journal already attached")
@@ -120,6 +140,13 @@ func (s *Service) AttachJournal(cfg JournalConfig) (RecoveryStats, error) {
 	}
 	j.flusherWG.Add(1)
 	go j.flusher()
+	gRecoverClusters.Set(int64(rs.Clusters))
+	gRecoverResidents.Set(int64(rs.Residents))
+	gRecoverReplayed.Set(int64(rs.Replayed))
+	gRecoverTornTails.Set(int64(rs.TornTails))
+	if !t0.IsZero() {
+		gRecoverDurUS.Set(time.Since(t0).Microseconds())
+	}
 	return rs, nil
 }
 

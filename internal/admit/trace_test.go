@@ -1,0 +1,382 @@
+package admit
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+	"repro/internal/partition"
+	"repro/internal/task"
+)
+
+// doTraced issues one request with an optional inbound X-Request-Id and
+// returns the recorder.
+func doTraced(h http.Handler, method, path, body, reqID string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	if reqID != "" {
+		req.Header.Set(RequestIDHeader, reqID)
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+// TestRequestIDPropagation pins the ID contract: a usable client ID is
+// echoed verbatim, a missing or unusable one is replaced with a generated
+// process-unique ID, and generated IDs are distinct across requests.
+func TestRequestIDPropagation(t *testing.T) {
+	h := NewService(4).Handler()
+	if w := doTraced(h, "POST", "/v1/clusters", `{"name":"edge","m":2}`, "client-abc-123"); w.Header().Get(RequestIDHeader) != "client-abc-123" {
+		t.Fatalf("usable client ID not echoed: %q", w.Header().Get(RequestIDHeader))
+	}
+	w1 := doTraced(h, "GET", "/v1/clusters", "", "")
+	w2 := doTraced(h, "GET", "/v1/clusters", "", "")
+	id1, id2 := w1.Header().Get(RequestIDHeader), w2.Header().Get(RequestIDHeader)
+	if id1 == "" || id2 == "" || id1 == id2 {
+		t.Fatalf("generated IDs bad: %q / %q", id1, id2)
+	}
+	for name, bad := range map[string]string{
+		"control chars": "evil\nid",
+		"non-ascii":     "idé",
+		"too long":      strings.Repeat("x", maxRequestIDLen+1),
+	} {
+		w := doTraced(h, "GET", "/v1/clusters", "", bad)
+		if got := w.Header().Get(RequestIDHeader); got == bad || got == "" {
+			t.Errorf("%s: unusable client ID %q propagated as %q", name, bad, got)
+		}
+	}
+}
+
+// TestTracedREDMetrics drives a mix of successes and errors through one
+// route and checks the per-route request/error counters, the latency
+// histogram, and the per-cause rejection counters.
+func TestTracedREDMetrics(t *testing.T) {
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+	obs.Reset()
+	s := NewService(4)
+	h := s.Handler()
+	if w := doTraced(h, "POST", "/v1/clusters", `{"name":"edge","m":1}`, ""); w.Code != 201 {
+		t.Fatalf("setup: %d", w.Code)
+	}
+	// 2 accepted, saturate, then rejections; plus one 404 error.
+	for i := 0; i < 4; i++ {
+		if w := doTraced(h, "POST", "/v1/clusters/edge/admit", `{"c":10,"t":10}`, ""); w.Code != 200 {
+			t.Fatalf("admit %d: %d", i, w.Code)
+		}
+	}
+	if w := doTraced(h, "POST", "/v1/clusters/ghost/admit", `{"c":1,"t":10}`, ""); w.Code != 404 {
+		t.Fatalf("ghost: %d", w.Code)
+	}
+
+	if got := obs.Value("admit.http.admit.requests"); got != 5 {
+		t.Errorf("admit.requests = %d, want 5", got)
+	}
+	if got := obs.Value("admit.http.admit.errors"); got != 1 {
+		t.Errorf("admit.errors = %d, want 1", got)
+	}
+	hv, ok := obs.Default.Snapshot().GetHistogram("admit.http.admit.latency_us")
+	if !ok || hv.Count != 5 {
+		t.Errorf("latency histogram = %+v ok=%v, want count 5", hv, ok)
+	}
+	// One processor at full utilization: admits 2..4 are analyzed rejections
+	// attributed per partition cause.
+	var total int64
+	for _, cause := range partition.RejectionCauses() {
+		total += obs.Value("admit.reject." + cause.String())
+	}
+	if total != 3 {
+		t.Errorf("per-cause rejection counters sum %d, want 3", total)
+	}
+}
+
+// TestTracedRingAndAccessLog wires both sinks and checks attribution: the
+// ring retains errored and slow requests with verdicts, the access log gets
+// one record per request with the cause on rejections.
+func TestTracedRingAndAccessLog(t *testing.T) {
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+	s := NewService(4)
+	ring := obs.NewRequestRing(16)
+	var buf bytes.Buffer
+	alog := obs.NewAccessLog(&buf, 1)
+	s.SetTracing(TraceConfig{Ring: ring, SlowThreshold: time.Nanosecond, AccessLog: alog})
+	h := s.Handler()
+
+	if w := doTraced(h, "POST", "/v1/clusters", `{"name":"edge","m":1}`, "boot-1"); w.Code != 201 {
+		t.Fatalf("setup: %d", w.Code)
+	}
+	if w := doTraced(h, "POST", "/v1/clusters/edge/admit", `{"c":10,"t":10}`, "ok-1"); w.Code != 200 {
+		t.Fatalf("admit: %d", w.Code)
+	}
+	if w := doTraced(h, "POST", "/v1/clusters/edge/admit", `{"c":10,"t":10}`, "rej-1"); w.Code != 200 {
+		t.Fatalf("reject: %d", w.Code)
+	}
+	if w := doTraced(h, "GET", "/v1/clusters/ghost", "", "err-1"); w.Code != 404 {
+		t.Fatalf("ghost: %d", w.Code)
+	}
+	if err := alog.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs := ring.Snapshot()
+	if len(recs) != 4 { // SlowThreshold 1ns makes everything ring-worthy
+		t.Fatalf("ring holds %d records: %+v", len(recs), recs)
+	}
+	byID := map[string]obs.RequestRecord{}
+	for _, r := range recs {
+		byID[r.ID] = r
+	}
+	if r := byID["rej-1"]; r.Verdict != "rejected" || r.Cause == "" || r.Tenant != "edge" || r.Route != "admit" {
+		t.Errorf("rejection ring record = %+v", r)
+	}
+	if r := byID["ok-1"]; r.Verdict != "accepted" || r.Status != 200 {
+		t.Errorf("acceptance ring record = %+v", r)
+	}
+	if r := byID["err-1"]; r.Status != 404 || r.Route != "status" {
+		t.Errorf("error ring record = %+v", r)
+	}
+
+	n, err := obs.ValidateAccessLog(bytes.NewReader(buf.Bytes()))
+	if err != nil || n != 4 {
+		t.Fatalf("access log: %d records, err %v\n%s", n, err, buf.String())
+	}
+	if !strings.Contains(buf.String(), `"id":"rej-1"`) || !strings.Contains(buf.String(), `"verdict":"rejected"`) {
+		t.Errorf("access log lacks rejection attribution:\n%s", buf.String())
+	}
+}
+
+// TestRequestIDReachesJournal pins the trace→WAL join: an admission carrying
+// a client request ID must produce a WAL record with that rid, and replay of
+// such a journal must still succeed (rid is audit-only).
+func TestRequestIDReachesJournal(t *testing.T) {
+	dir := t.TempDir()
+	s := NewService(0)
+	// FsyncAlways puts every record on disk immediately; the WAL is read
+	// below *before* Close, which folds it into snapshots (dropping the
+	// audit-only rid) — exactly what a crash would leave behind.
+	if _, err := s.AttachJournal(JournalConfig{Dir: dir, Fsync: FsyncAlways, SnapshotEvery: -1}); err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	if w := doTraced(h, "POST", "/v1/clusters", `{"name":"edge","m":2}`, "create-rid-7"); w.Code != 201 {
+		t.Fatalf("create: %d", w.Code)
+	}
+	if w := doTraced(h, "POST", "/v1/clusters/edge/admit", `{"c":1,"t":10}`, "admit-rid-9"); w.Code != 200 {
+		t.Fatalf("admit: %d", w.Code)
+	}
+	var wal []byte
+	matches, _ := filepath.Glob(filepath.Join(dir, "shard-*.wal"))
+	for _, m := range matches {
+		b, err := os.ReadFile(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wal = append(wal, b...)
+	}
+	for _, want := range []string{`"rid":"create-rid-7"`, `"rid":"admit-rid-9"`} {
+		if !bytes.Contains(wal, []byte(want)) {
+			t.Errorf("WAL lacks %s:\n%s", want, wal)
+		}
+	}
+	// The rid-bearing journal must replay cleanly on a fresh service — the
+	// crash-recovery view of the same directory, first service abandoned.
+	s2 := NewService(0)
+	rs, err := s2.AttachJournal(JournalConfig{Dir: dir, Fsync: FsyncOff, SnapshotEvery: -1})
+	if err != nil {
+		t.Fatalf("recovery over rid-bearing journal: %v", err)
+	}
+	if rs.Clusters != 1 || rs.Residents != 1 {
+		t.Fatalf("recovered %d clusters / %d residents, want 1/1", rs.Clusters, rs.Residents)
+	}
+	s2.Close()
+}
+
+// TestGateQueueDepthGauge saturates the gate and scrapes the queue-depth and
+// in-flight gauges live, alongside the shed counter — under -race this also
+// pins that scraping during traffic is safe.
+func TestGateQueueDepthGauge(t *testing.T) {
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+	obs.Reset()
+	s := NewService(4)
+	gate := NewGate(GateConfig{MaxConcurrent: 1, MaxQueue: 2, Timeout: 5 * time.Second, RetryAfter: time.Second})
+	s.SetGate(gate)
+	s.RegisterMetrics(nil)
+	h := s.Handler()
+	if w := doTraced(h, "POST", "/v1/clusters", `{"name":"edge","m":2}`, ""); w.Code != 201 {
+		t.Fatalf("setup: %d", w.Code)
+	}
+
+	// Hold the only slot, then park two waiters in the queue.
+	if err := gate.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			doTraced(h, "POST", "/v1/clusters/edge/admit", `{"c":1,"t":10}`, "")
+		}()
+	}
+	deadline := time.Now().Add(time.Second)
+	for gate.waiters.Load() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	snap := obs.Default.Snapshot()
+	if got := snap.GetGauge("admit.gate.queue_depth"); got != 2 {
+		t.Errorf("queue_depth gauge = %d, want 2", got)
+	}
+	if got := snap.GetGauge("admit.gate.in_flight"); got != 1 {
+		t.Errorf("in_flight gauge = %d, want 1", got)
+	}
+
+	// Queue full: the next request sheds, counted both by the gate counter
+	// and the route's RED error counter.
+	if w := doTraced(h, "POST", "/v1/clusters/edge/admit", `{"c":1,"t":10}`, "shed-1"); w.Code != http.StatusTooManyRequests {
+		t.Fatalf("saturated admit: %d", w.Code)
+	} else if w.Header().Get(RequestIDHeader) != "shed-1" {
+		t.Errorf("shed response lost request ID: %q", w.Header().Get(RequestIDHeader))
+	}
+	if got := obs.Value("admit.gate.shed"); got != 1 {
+		t.Errorf("gate.shed = %d, want 1", got)
+	}
+	if got := obs.Value("admit.http.admit.errors"); got < 1 {
+		t.Errorf("admit route errors = %d, want ≥1 (the shed)", got)
+	}
+
+	gate.Release()
+	wg.Wait()
+	if got := obs.Default.Snapshot().GetGauge("admit.gate.queue_depth"); got != 0 {
+		t.Errorf("queue_depth after drain = %d, want 0", got)
+	}
+	if got := obs.Default.Snapshot().GetGauge("admit.clusters"); got != 1 {
+		t.Errorf("admit.clusters gauge = %d, want 1", got)
+	}
+}
+
+// TestJournalDurabilityHistograms attaches a synchronous journal and checks
+// the append/fsync latency and batch-size histograms fill, including under
+// an injected fsync fault — the 503 path must not corrupt the telemetry.
+func TestJournalDurabilityHistograms(t *testing.T) {
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+	obs.Reset()
+	s := NewService(0)
+	if _, err := s.AttachJournal(JournalConfig{Dir: t.TempDir(), Fsync: FsyncAlways, SnapshotEvery: -1}); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := s.Create(context.Background(), "edge", 4, partition.OnlineRTAFirstFit, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const admits = 8
+	for i := 0; i < admits; i++ {
+		if _, err := c.Admit(context.Background(), task.Task{C: 1, T: task.Time(10 * (1 + i%3))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := obs.Default.Snapshot()
+	app, _ := snap.GetHistogram("admit.journal.append_us")
+	fs, _ := snap.GetHistogram("admit.journal.fsync_us")
+	batch, _ := snap.GetHistogram("admit.journal.flush_batch")
+	if app.Count < admits {
+		t.Errorf("append_us count = %d, want ≥%d", app.Count, admits)
+	}
+	if fs.Count < admits {
+		t.Errorf("fsync_us count = %d, want ≥%d", fs.Count, admits)
+	}
+	if batch.Count != fs.Count || batch.Sum < admits {
+		t.Errorf("flush_batch count=%d sum=%d vs fsync count=%d", batch.Count, batch.Sum, fs.Count)
+	}
+
+	// Injected fsync failure: the admission fails with ErrDurability and the
+	// fsync histogram does not record the failed flush as a success.
+	before, _ := obs.Default.Snapshot().GetHistogram("admit.journal.fsync_us")
+	faultinject.Arm(faultinject.Plan{Seed: 1, JournalFsyncEvery: 1})
+	_, err = c.Admit(context.Background(), task.Task{C: 1, T: 20})
+	faultinject.Disarm()
+	if err == nil {
+		t.Fatal("admission survived injected fsync failure")
+	}
+	after, _ := obs.Default.Snapshot().GetHistogram("admit.journal.fsync_us")
+	if after.Count != before.Count {
+		t.Errorf("failed fsync recorded as success: %d → %d", before.Count, after.Count)
+	}
+}
+
+// TestRecoveryGauges pins the AttachJournal telemetry: after a recovery the
+// admit.recover.* gauges report what was rebuilt.
+func TestRecoveryGauges(t *testing.T) {
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+	obs.Reset()
+	dir := t.TempDir()
+	s := NewService(0)
+	if _, err := s.AttachJournal(JournalConfig{Dir: dir, Fsync: FsyncOff, SnapshotEvery: -1}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.Create(context.Background(), "edge", 4, partition.OnlineRTAFirstFit, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c.Admit(context.Background(), task.Task{C: 1, T: task.Time(10 + 10*i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := NewService(0)
+	rs, err := s2.AttachJournal(JournalConfig{Dir: dir, Fsync: FsyncOff, SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	snap := obs.Default.Snapshot()
+	if got := snap.GetGauge("admit.recover.clusters"); got != int64(rs.Clusters) || got != 1 {
+		t.Errorf("recover.clusters gauge = %d, stats %d", got, rs.Clusters)
+	}
+	if got := snap.GetGauge("admit.recover.residents"); got != int64(rs.Residents) || got != 3 {
+		t.Errorf("recover.residents gauge = %d, stats %d", got, rs.Residents)
+	}
+	if got := snap.GetGauge("admit.recover.replayed"); got != int64(rs.Replayed) {
+		t.Errorf("recover.replayed gauge = %d, stats %d", got, rs.Replayed)
+	}
+	if got := snap.GetGauge("admit.recover.duration_us"); got <= 0 {
+		t.Errorf("recover.duration_us gauge = %d, want > 0", got)
+	}
+}
+
+// TestErrorResponsesCarryRequestID sweeps representative error statuses and
+// asserts each response still carries the request ID (generated or echoed) —
+// fmt'd here as a loop over the error table's routes rather than duplicating
+// it; the full per-status sweep lives in TestHTTPErrorTable.
+func TestErrorResponsesCarryRequestID(t *testing.T) {
+	h := NewService(4).Handler()
+	for _, tc := range []struct{ method, path, body string }{
+		{"GET", "/v1/clusters/ghost", ""},
+		{"POST", "/v1/clusters", `{"nope":1}`},
+		{"POST", "/v1/clusters/ghost/admit", `{"c":1,"t":2}`},
+	} {
+		w := doTraced(h, tc.method, tc.path, tc.body, fmt.Sprintf("err-%s", tc.method))
+		if got := w.Header().Get(RequestIDHeader); got != fmt.Sprintf("err-%s", tc.method) {
+			t.Errorf("%s %s: request ID %q not echoed on error", tc.method, tc.path, got)
+		}
+	}
+}

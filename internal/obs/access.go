@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// AccessSchemaVersion stamps every access-log record. Bump policy matches
+// EventSchemaVersion: renames/retypes/removals bump, additive optional
+// fields do not. ValidateAccessLog rejects records carrying a different
+// version.
+const AccessSchemaVersion = 1
+
+// AccessRecord is one JSONL access-log line: the per-request facts an
+// operator needs to audit admission decisions after the fact (who asked,
+// what happened, how long it took), keyed by the request ID so a line can be
+// joined against the slow-request ring and the journal. Ms is wall-clock
+// milliseconds since the log was opened — the only nondeterministic field
+// besides the duration.
+type AccessRecord struct {
+	V      int    `json:"v"`
+	Seq    int64  `json:"seq"`
+	Ms     int64  `json:"ms"`
+	ID     string `json:"id,omitempty"`
+	Method string `json:"method"`
+	Route  string `json:"route"`
+	Tenant string `json:"tenant,omitempty"`
+	Status int    `json:"status"`
+	// Verdict/Cause attribute admission outcomes; empty on non-admit routes.
+	Verdict string `json:"verdict,omitempty"`
+	Cause   string `json:"cause,omitempty"`
+	DurUS   int64  `json:"dur_us"`
+}
+
+// AccessLog writes AccessRecords as JSONL, mirroring Recorder: buffered
+// writes under a mutex, sticky first error, flush on Close (and after every
+// error-status record, so a crash loses at most trailing success lines). A
+// nil *AccessLog is a valid no-op.
+//
+// Sampling keeps the log affordable under load: with SampleN = n, every n-th
+// success is written while every record with Status ≥ 400 is always written.
+// The counter is deterministic (no random drops), so a fixed request
+// sequence yields a fixed log.
+type AccessLog struct {
+	mu      sync.Mutex
+	bw      *bufio.Writer
+	c       io.Closer
+	start   time.Time
+	seq     int64
+	sampleN int64
+	nth     int64
+	err     error
+}
+
+// NewAccessLog returns an access log writing JSONL to w, keeping one in
+// every sampleN successful requests (sampleN ≤ 1 keeps all). If w is also an
+// io.Closer, Close closes it after the final flush.
+func NewAccessLog(w io.Writer, sampleN int) *AccessLog {
+	if sampleN < 1 {
+		sampleN = 1
+	}
+	l := &AccessLog{bw: bufio.NewWriter(w), start: time.Now(), sampleN: int64(sampleN)}
+	if c, ok := w.(io.Closer); ok {
+		l.c = c
+	}
+	return l
+}
+
+// Log stamps rec's V, Seq and Ms and appends it, subject to sampling.
+// No-op on a nil log.
+func (l *AccessLog) Log(rec AccessRecord) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return
+	}
+	if rec.Status < 400 {
+		l.nth++
+		if l.nth%l.sampleN != 0 {
+			return
+		}
+	}
+	rec.V = AccessSchemaVersion
+	rec.Seq = l.seq
+	rec.Ms = time.Since(l.start).Milliseconds()
+	data, err := json.Marshal(rec)
+	if err != nil {
+		l.err = err
+		return
+	}
+	l.seq++
+	data = append(data, '\n')
+	if _, err := l.bw.Write(data); err != nil {
+		l.err = err
+		return
+	}
+	if rec.Status >= 400 {
+		l.err = l.bw.Flush()
+	}
+}
+
+// Err returns the first write or encoding error, if any.
+func (l *AccessLog) Err() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Close flushes the stream and closes the underlying writer when it is
+// closable, returning the first error seen over the log's lifetime.
+func (l *AccessLog) Close() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.bw.Flush(); err != nil && l.err == nil {
+		l.err = err
+	}
+	if l.c != nil {
+		if err := l.c.Close(); err != nil && l.err == nil {
+			l.err = err
+		}
+	}
+	return l.err
+}
+
+// accessVerdicts is the closed verdict vocabulary ValidateAccessLog accepts.
+var accessVerdicts = map[string]bool{"": true, "accepted": true, "rejected": true}
+
+// ValidateAccessLog strictly parses a JSONL access log, mirroring
+// ValidateEventLog: every line must be an AccessRecord with no unknown
+// fields and the supported schema version, Seq must equal the line position,
+// method and route must be present, the status must be a plausible HTTP
+// code, durations must be non-negative and verdicts in-vocabulary. Returns
+// the number of validated records; an empty log is an error (the smoke boot
+// that produced it served requests).
+func ValidateAccessLog(rd io.Reader) (int, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	n := 0
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			return n, fmt.Errorf("record %d: empty line", n)
+		}
+		dec := json.NewDecoder(bytes.NewReader(line))
+		dec.DisallowUnknownFields()
+		var rec AccessRecord
+		if err := dec.Decode(&rec); err != nil {
+			return n, fmt.Errorf("record %d: %w", n, err)
+		}
+		switch {
+		case rec.V != AccessSchemaVersion:
+			return n, fmt.Errorf("record %d: schema %d, supported %d", n, rec.V, AccessSchemaVersion)
+		case rec.Seq != int64(n):
+			return n, fmt.Errorf("record %d: seq %d out of order", n, rec.Seq)
+		case rec.Method == "":
+			return n, fmt.Errorf("record %d: missing method", n)
+		case rec.Route == "":
+			return n, fmt.Errorf("record %d: missing route", n)
+		case rec.Status < 100 || rec.Status >= 600:
+			return n, fmt.Errorf("record %d: implausible status %d", n, rec.Status)
+		case rec.DurUS < 0:
+			return n, fmt.Errorf("record %d: negative duration %d", n, rec.DurUS)
+		case rec.Ms < 0:
+			return n, fmt.Errorf("record %d: negative timestamp %d", n, rec.Ms)
+		case !accessVerdicts[rec.Verdict]:
+			return n, fmt.Errorf("record %d: unknown verdict %q", n, rec.Verdict)
+		case rec.Cause != "" && rec.Verdict != "rejected":
+			return n, fmt.Errorf("record %d: cause %q without rejected verdict", n, rec.Cause)
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return n, err
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("empty access log")
+	}
+	return n, nil
+}

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestAccessLogRoundTrip writes a mixed request sequence and re-validates
+// it: the writer and ValidateAccessLog must agree, seq must be dense, and
+// every field must survive the trip.
+func TestAccessLogRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewAccessLog(&buf, 1)
+	l.Log(AccessRecord{ID: "r1", Method: "POST", Route: "admit", Tenant: "prod", Status: 200, Verdict: "accepted", DurUS: 42})
+	l.Log(AccessRecord{ID: "r2", Method: "POST", Route: "admit", Tenant: "prod", Status: 200, Verdict: "rejected", Cause: "no feasible assignment", DurUS: 55})
+	l.Log(AccessRecord{ID: "r3", Method: "GET", Route: "status", Status: 404, DurUS: 3})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ValidateAccessLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("own log fails validation: %v\n%s", err, buf.String())
+	}
+	if n != 3 {
+		t.Fatalf("validated %d records, want 3", n)
+	}
+	var rec AccessRecord
+	if err := json.Unmarshal([]byte(strings.SplitN(buf.String(), "\n", 2)[0]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.V != AccessSchemaVersion || rec.Seq != 0 || rec.ID != "r1" || rec.Verdict != "accepted" || rec.DurUS != 42 {
+		t.Errorf("first record = %+v", rec)
+	}
+}
+
+// TestAccessLogSampling pins the deterministic 1-in-N success sampling with
+// errors always written: with sampleN=3, successes 3,6,9 are kept while
+// every ≥400 goes through, and Seq stays dense over what was written.
+func TestAccessLogSampling(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewAccessLog(&buf, 3)
+	for i := 1; i <= 9; i++ {
+		l.Log(AccessRecord{ID: fmt.Sprintf("ok-%d", i), Method: "POST", Route: "admit", Status: 200})
+	}
+	l.Log(AccessRecord{ID: "err-1", Method: "POST", Route: "admit", Status: 503})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ValidateAccessLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("sampled log fails validation: %v\n%s", err, buf.String())
+	}
+	if n != 4 {
+		t.Fatalf("kept %d records, want 4 (3 sampled successes + 1 error)", n)
+	}
+	var ids []string
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var rec AccessRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, rec.ID)
+	}
+	want := []string{"ok-3", "ok-6", "ok-9", "err-1"}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("kept ids %v, want %v", ids, want)
+		}
+	}
+}
+
+// TestAccessLogErrorFlushed checks the crash-affordance: a ≥400 record is
+// flushed to the underlying writer immediately, without waiting for Close.
+func TestAccessLogErrorFlushed(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewAccessLog(&buf, 1)
+	l.Log(AccessRecord{Method: "POST", Route: "admit", Status: 200})
+	l.Log(AccessRecord{Method: "POST", Route: "admit", Status: 429})
+	if got := buf.String(); !strings.Contains(got, `"status":429`) {
+		t.Fatalf("error record not flushed before Close: %q", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAccessLogNilSafe pins that a nil log absorbs everything.
+func TestAccessLogNilSafe(t *testing.T) {
+	var l *AccessLog
+	l.Log(AccessRecord{Method: "GET", Route: "status", Status: 200})
+	if err := l.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestValidateAccessLogRejects walks the validator's error table.
+func TestValidateAccessLogRejects(t *testing.T) {
+	line := func(mut func(*AccessRecord)) string {
+		rec := AccessRecord{V: AccessSchemaVersion, Method: "POST", Route: "admit", Status: 200}
+		mut(&rec)
+		b, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b) + "\n"
+	}
+	cases := []struct{ name, text, wantErr string }{
+		{"empty", "", "empty access log"},
+		{"blank line", "\n", "empty line"},
+		{"not json", "not json\n", "invalid character"},
+		{"unknown field", `{"v":1,"seq":0,"ms":0,"method":"GET","route":"x","status":200,"dur_us":0,"extra":1}` + "\n", "unknown field"},
+		{"wrong schema", line(func(r *AccessRecord) { r.V = 99 }), "schema 99"},
+		{"seq gap", line(func(r *AccessRecord) { r.Seq = 5 }), "seq 5 out of order"},
+		{"missing method", line(func(r *AccessRecord) { r.Method = "" }), "missing method"},
+		{"missing route", line(func(r *AccessRecord) { r.Route = "" }), "missing route"},
+		{"bad status", line(func(r *AccessRecord) { r.Status = 42 }), "implausible status"},
+		{"negative duration", line(func(r *AccessRecord) { r.DurUS = -1 }), "negative duration"},
+		{"negative timestamp", line(func(r *AccessRecord) { r.Ms = -1 }), "negative timestamp"},
+		{"unknown verdict", line(func(r *AccessRecord) { r.Verdict = "maybe" }), "unknown verdict"},
+		{"cause without verdict", line(func(r *AccessRecord) { r.Cause = "util" }), "without rejected verdict"},
+	}
+	for _, tc := range cases {
+		_, err := ValidateAccessLog(strings.NewReader(tc.text))
+		if err == nil {
+			t.Errorf("%s: accepted invalid log %q", tc.name, tc.text)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q lacks %q", tc.name, err, tc.wantErr)
+		}
+	}
+}

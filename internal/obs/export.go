@@ -76,15 +76,19 @@ func ExportHistograms(hs []HistogramValue) []HistogramExport {
 type SnapshotExport struct {
 	Schema     int               `json:"schema"`
 	Counters   []CounterValue    `json:"counters"`
+	Gauges     []GaugeValue      `json:"gauges,omitempty"`
 	Histograms []HistogramExport `json:"histograms,omitempty"`
 	Spans      []SpanValue       `json:"spans,omitempty"`
 }
 
-// Export derives the schema-versioned JSON form of the snapshot.
+// Export derives the schema-versioned JSON form of the snapshot. Gauges are
+// additive-optional (omitted when none are registered), so their arrival did
+// not bump SnapshotSchemaVersion.
 func (s Snapshot) Export() SnapshotExport {
 	return SnapshotExport{
 		Schema:     SnapshotSchemaVersion,
 		Counters:   s.Counters,
+		Gauges:     s.Gauges,
 		Histograms: ExportHistograms(s.Histograms),
 		Spans:      s.Spans,
 	}

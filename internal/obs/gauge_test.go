@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestGaugeSetAddGated pins the settable-gauge contract: Set/Add are
+// no-ops while instrumentation is off (matching Counter/Histogram), and a
+// gauge can go down.
+func TestGaugeSetAddGated(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("queue.depth")
+	g.Set(5)
+	if got := g.Value(); got != 0 {
+		t.Fatalf("disabled Set leaked: %d", got)
+	}
+	SetEnabled(true)
+	defer SetEnabled(false)
+	g.Set(5)
+	g.Add(3)
+	g.Add(-7)
+	if got := g.Value(); got != 1 {
+		t.Fatalf("gauge = %d, want 1", got)
+	}
+	if again := reg.Gauge("queue.depth"); again != g {
+		t.Error("re-registering a gauge name returned a different instance")
+	}
+}
+
+// TestGaugeFunc pins func gauges: evaluated live at read time (no Set
+// needed, not gated), and re-registration re-points the callback — the
+// SetGate/RegisterMetrics "latest service wins" behavior.
+func TestGaugeFunc(t *testing.T) {
+	reg := NewRegistry()
+	level := int64(7)
+	reg.GaugeFunc("live.level", func() int64 { return level })
+	if got := reg.Snapshot().GetGauge("live.level"); got != 7 {
+		t.Fatalf("func gauge = %d, want 7", got)
+	}
+	level = 9
+	if got := reg.Snapshot().GetGauge("live.level"); got != 9 {
+		t.Fatalf("func gauge after change = %d, want 9", got)
+	}
+	reg.GaugeFunc("live.level", func() int64 { return -1 })
+	if got := reg.Snapshot().GetGauge("live.level"); got != -1 {
+		t.Fatalf("re-registered func gauge = %d, want -1", got)
+	}
+}
+
+// TestGaugeSnapshotSortedAndReset checks that snapshots list gauges
+// name-sorted, that Reset zeroes settable gauges but keeps func-gauge
+// callbacks alive (they mirror live state, not accumulation), and that the
+// JSON export carries them.
+func TestGaugeSnapshotSortedAndReset(t *testing.T) {
+	reg := NewRegistry()
+	SetEnabled(true)
+	defer SetEnabled(false)
+	reg.Gauge("zz.last").Set(1)
+	reg.Gauge("aa.first").Set(2)
+	reg.GaugeFunc("mm.live", func() int64 { return 42 })
+
+	s := reg.Snapshot()
+	if len(s.Gauges) != 3 {
+		t.Fatalf("gauges = %+v", s.Gauges)
+	}
+	if !sort.SliceIsSorted(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name }) {
+		t.Errorf("gauges not name-sorted: %+v", s.Gauges)
+	}
+
+	reg.Reset()
+	s = reg.Snapshot()
+	if got := s.GetGauge("zz.last"); got != 0 {
+		t.Errorf("settable gauge survived Reset: %d", got)
+	}
+	if got := s.GetGauge("mm.live"); got != 42 {
+		t.Errorf("func gauge lost across Reset: %d", got)
+	}
+
+	exp := s.Export()
+	if got := (Snapshot{Gauges: exp.Gauges}).GetGauge("mm.live"); got != 42 {
+		t.Errorf("export gauges = %+v", exp.Gauges)
+	}
+}

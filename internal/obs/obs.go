@@ -162,6 +162,51 @@ func (h *Histogram) sumTotal() int64 {
 	return t
 }
 
+// Gauge is a point-in-time level metric: unlike a Counter it can go down
+// (queue depth, resident tasks) or be a pure view over state owned
+// elsewhere (a GaugeFunc reading an atomic the instrumented code already
+// maintains). Settable gauges follow the global enable switch like every
+// other metric; func gauges are evaluated at snapshot time and cost the
+// instrumented code nothing at all.
+type Gauge struct {
+	name string
+	v    atomic.Int64
+	fn   atomic.Pointer[func() int64]
+}
+
+// Name returns the gauge's registered name.
+func (g *Gauge) Name() string { return g.name }
+
+// Set stores v when instrumentation is enabled.
+func (g *Gauge) Set(v int64) {
+	if on.Load() {
+		g.v.Store(v)
+	}
+}
+
+// Add moves the gauge by d (negative to decrease) when instrumentation is
+// enabled.
+func (g *Gauge) Add(d int64) {
+	if on.Load() {
+		g.v.Add(d)
+	}
+}
+
+// Value returns the gauge's current level: the callback's answer for a
+// func gauge, the stored value otherwise.
+func (g *Gauge) Value() int64 {
+	if p := g.fn.Load(); p != nil {
+		return (*p)()
+	}
+	return g.v.Load()
+}
+
+// GaugeValue is one gauge in a Snapshot.
+type GaugeValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
 // CounterValue is one counter in a Snapshot.
 type CounterValue struct {
 	Name  string `json:"name"`
@@ -200,12 +245,23 @@ type SpanValue struct {
 	Seconds float64 `json:"seconds"`
 }
 
-// Snapshot is a point-in-time view of a registry, with counters and
-// histograms sorted by name.
+// Snapshot is a point-in-time view of a registry, with counters, gauges
+// and histograms sorted by name.
 type Snapshot struct {
 	Counters   []CounterValue   `json:"counters"`
+	Gauges     []GaugeValue     `json:"gauges,omitempty"`
 	Histograms []HistogramValue `json:"histograms,omitempty"`
 	Spans      []SpanValue      `json:"spans,omitempty"`
+}
+
+// GetGauge returns the value of the named gauge, or 0 if absent.
+func (s Snapshot) GetGauge(name string) int64 {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value
+		}
+	}
+	return 0
 }
 
 // Get returns the value of the named counter, or 0 if absent.
@@ -240,6 +296,9 @@ func (s Snapshot) WriteText(w io.Writer) {
 	for _, c := range s.Counters {
 		fmt.Fprintf(w, "%-*s %d\n", width, c.Name, c.Value)
 	}
+	for _, g := range s.Gauges {
+		fmt.Fprintf(w, "gauge %s %d\n", g.Name, g.Value)
+	}
 	for _, h := range s.Histograms {
 		fmt.Fprintf(w, "%s count=%d mean=%.2f max=%d\n", h.Name, h.Count, h.Mean(), h.Max)
 		for _, b := range h.Buckets {
@@ -263,6 +322,7 @@ func (s Snapshot) WriteText(w io.Writer) {
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	spans    []SpanValue
 }
@@ -275,6 +335,7 @@ var Default = NewRegistry()
 func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 	}
 }
@@ -290,6 +351,37 @@ func (r *Registry) Counter(name string) *Counter {
 	c := &Counter{name: name}
 	r.counters[name] = c
 	return c
+}
+
+// Gauge returns the settable gauge registered under name, creating it on
+// first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{name: name}
+	r.gauges[name] = g
+	return g
+}
+
+// GaugeFunc registers (or re-points) a callback gauge: fn is evaluated at
+// snapshot time, so the instrumented code pays nothing per update. Re-
+// registration replaces the callback — the latest owner of the name wins,
+// which is what lets a restarted service (or a test building services in a
+// loop) re-bind instance state without leaking dead closures into scrapes.
+// fn must be safe to call from any goroutine.
+func (r *Registry) GaugeFunc(name string, fn func() int64) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{name: name}
+		r.gauges[name] = g
+	}
+	g.fn.Store(&fn)
+	return g
 }
 
 // Histogram returns the histogram registered under name, creating it with
@@ -314,15 +406,22 @@ func (r *Registry) Histogram(name string, bounds ...int64) *Histogram {
 	return h
 }
 
-// Snapshot returns the registry's current state, name-sorted.
+// Snapshot returns the registry's current state, name-sorted. Func gauges
+// are evaluated after the registry lock is released: callbacks reach into
+// instrumented code (shard maps, gate internals) that takes its own locks,
+// and evaluating them under r.mu would couple those lock orders to the
+// registry's.
 func (r *Registry) Snapshot() Snapshot {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	var s Snapshot
 	for _, c := range r.counters {
 		s.Counters = append(s.Counters, CounterValue{Name: c.name, Value: c.Value()})
 	}
 	sort.Slice(s.Counters, func(a, b int) bool { return s.Counters[a].Name < s.Counters[b].Name })
+	gauges := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		gauges = append(gauges, g)
+	}
 	for _, h := range r.hists {
 		hv := HistogramValue{Name: h.name, Sum: h.sumTotal(), Max: h.max.Load()}
 		for i := 0; i <= len(h.bounds); i++ {
@@ -338,6 +437,12 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	sort.Slice(s.Histograms, func(a, b int) bool { return s.Histograms[a].Name < s.Histograms[b].Name })
 	s.Spans = append(s.Spans, r.spans...)
+	r.mu.Unlock()
+
+	for _, g := range gauges {
+		s.Gauges = append(s.Gauges, GaugeValue{Name: g.name, Value: g.Value()})
+	}
+	sort.Slice(s.Gauges, func(a, b int) bool { return s.Gauges[a].Name < s.Gauges[b].Name })
 	return s
 }
 
@@ -362,6 +467,9 @@ func (r *Registry) Reset() {
 			c.stripes[i].v.Store(0)
 		}
 	}
+	for _, g := range r.gauges {
+		g.v.Store(0) // func gauges keep their callback: they mirror live state
+	}
 	for _, h := range r.hists {
 		for s := range h.stripes {
 			st := &h.stripes[s]
@@ -377,6 +485,9 @@ func (r *Registry) Reset() {
 
 // NewCounter registers (or fetches) a counter in the Default registry.
 func NewCounter(name string) *Counter { return Default.Counter(name) }
+
+// NewGauge registers (or fetches) a settable gauge in the Default registry.
+func NewGauge(name string) *Gauge { return Default.Gauge(name) }
 
 // NewHistogram registers (or fetches) a histogram in the Default registry.
 func NewHistogram(name string, bounds ...int64) *Histogram {

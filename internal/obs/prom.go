@@ -1,0 +1,322 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file renders a Snapshot in the Prometheus text exposition format
+// (version 0.0.4) and validates that grammar, so admitd is scrapable by
+// stock tooling and ci.sh can lint what the server actually serves. The
+// mapping from the registry's dotted names is mechanical:
+//
+//	counters    → "# TYPE n counter" + one sample
+//	gauges      → "# TYPE n gauge" + one sample
+//	histograms  → "# TYPE n histogram" + cumulative n_bucket{le="..."}
+//	              samples ending in le="+Inf", plus n_sum and n_count
+//	spans       → skipped (wall-clock one-shots, not scrapeable series)
+//
+// Dots (and any other character outside the Prometheus name alphabet) become
+// underscores: admit.journal.fsync_us → admit_journal_fsync_us.
+
+// sanitizeMetricName maps a registry name into the Prometheus metric-name
+// alphabet [a-zA-Z_:][a-zA-Z0-9_:]*.
+func sanitizeMetricName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format. Histogram buckets are cumulative per the format (the registry
+// stores them disjoint), and every family gets a # TYPE line.
+func (s Snapshot) WritePrometheus(w io.Writer) {
+	for _, c := range s.Counters {
+		n := sanitizeMetricName(c.Name)
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, c.Value)
+	}
+	for _, g := range s.Gauges {
+		n := sanitizeMetricName(g.Name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, g.Value)
+	}
+	for _, h := range s.Histograms {
+		n := sanitizeMetricName(h.Name)
+		fmt.Fprintf(w, "# TYPE %s histogram\n", n)
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			if b.Upper < 0 {
+				fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, cum)
+			} else {
+				fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", n, b.Upper, cum)
+			}
+		}
+		fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", n, h.Sum, n, h.Count)
+	}
+}
+
+// promTypes is the # TYPE vocabulary of the 0.0.4 text format.
+var promTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true,
+	"summary": true, "untyped": true,
+}
+
+// promFamily tracks per-family validation state while scanning.
+type promFamily struct {
+	typ     string
+	samples int
+	// histogram bookkeeping
+	lastLE      float64
+	lastLERaw   string
+	lastBucket  float64
+	sawInf      bool
+	infValue    float64
+	countValue  float64
+	sawCount    bool
+	bucketCount int
+}
+
+// splitPromSample splits a sample line into metric identifier (name plus
+// optional {labels}) and value, tolerating the optional trailing timestamp.
+func splitPromSample(line string) (ident, value string, ok bool) {
+	// The identifier ends at the first space outside a label block.
+	depth := 0
+	cut := -1
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '{':
+			depth++
+		case '}':
+			depth--
+		case ' ':
+			if depth == 0 {
+				cut = i
+			}
+		}
+		if cut >= 0 {
+			break
+		}
+	}
+	if cut <= 0 {
+		return "", "", false
+	}
+	rest := strings.Fields(line[cut+1:])
+	if len(rest) < 1 || len(rest) > 2 {
+		return "", "", false
+	}
+	return line[:cut], rest[0], true
+}
+
+// familyOf reduces a sample identifier to its metric family: labels are
+// stripped, and the histogram/summary suffixes _bucket/_sum/_count fold into
+// the base name.
+func familyOf(ident string) (family, suffix, labels string) {
+	name := ident
+	if i := strings.IndexByte(ident, '{'); i >= 0 {
+		name = ident[:i]
+		labels = ident[i:]
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf), suf, labels
+		}
+	}
+	return name, "", labels
+}
+
+// leOf extracts the le label value from a label block like {le="250"}.
+func leOf(labels string) (string, bool) {
+	const key = `le="`
+	i := strings.Index(labels, key)
+	if i < 0 {
+		return "", false
+	}
+	rest := labels[i+len(key):]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return "", false
+	}
+	return rest[:j], true
+}
+
+// validMetricName reports whether name fits [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' ||
+			i > 0 && c >= '0' && c <= '9'
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// ValidatePrometheusText is the strict grammar check for the exposition this
+// package writes, mirroring ValidateEventLog's role for the flight recorder:
+// every sample must belong to a family announced by a preceding # TYPE line,
+// TYPE lines must not repeat, values must parse as floats, and histogram
+// families must carry ascending le buckets with non-decreasing cumulative
+// counts, a closing le="+Inf" bucket, and a _count equal to it. Returns the
+// number of metric families seen; zero families is an error (an empty
+// exposition from a live server means the wiring is broken).
+func ValidatePrometheusText(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	fams := make(map[string]*promFamily)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "HELP" {
+				continue
+			}
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return 0, fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+				}
+				name, typ := fields[2], fields[3]
+				if !validMetricName(name) {
+					return 0, fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+				}
+				if !promTypes[typ] {
+					return 0, fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+				}
+				if _, dup := fams[name]; dup {
+					return 0, fmt.Errorf("line %d: duplicate TYPE for family %q", lineNo, name)
+				}
+				fams[name] = &promFamily{typ: typ}
+				continue
+			}
+			continue // other comments are legal and ignored
+		}
+		ident, valStr, ok := splitPromSample(line)
+		if !ok {
+			return 0, fmt.Errorf("line %d: malformed sample %q", lineNo, line)
+		}
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return 0, fmt.Errorf("line %d: non-numeric value %q", lineNo, valStr)
+		}
+		family, suffix, labels := familyOf(ident)
+		fam, known := fams[family]
+		if !known {
+			// _bucket/_sum/_count may be stripped from a non-histogram name
+			// that legitimately ends that way; fall back to the full name.
+			if i := strings.IndexByte(ident, '{'); i >= 0 {
+				ident = ident[:i]
+			}
+			fam, known = fams[ident]
+			if !known {
+				return 0, fmt.Errorf("line %d: sample %q has no preceding # TYPE", lineNo, ident)
+			}
+			family, suffix = ident, ""
+		}
+		if !validMetricName(family) {
+			return 0, fmt.Errorf("line %d: invalid metric name %q", lineNo, family)
+		}
+		fam.samples++
+		if fam.typ != "histogram" {
+			continue
+		}
+		switch suffix {
+		case "_bucket":
+			leRaw, ok := leOf(labels)
+			if !ok {
+				return 0, fmt.Errorf("line %d: histogram bucket without le label: %q", lineNo, line)
+			}
+			var le float64
+			if leRaw == "+Inf" {
+				if fam.sawInf {
+					return 0, fmt.Errorf("line %d: family %q has duplicate le=\"+Inf\"", lineNo, family)
+				}
+				fam.sawInf = true
+				fam.infValue = val
+			} else {
+				le, err = strconv.ParseFloat(leRaw, 64)
+				if err != nil {
+					return 0, fmt.Errorf("line %d: unparseable le %q", lineNo, leRaw)
+				}
+				if fam.sawInf {
+					return 0, fmt.Errorf("line %d: family %q has bucket after le=\"+Inf\"", lineNo, family)
+				}
+				if fam.bucketCount > 0 && le <= fam.lastLE {
+					return 0, fmt.Errorf("line %d: family %q le %q not ascending after %q", lineNo, family, leRaw, fam.lastLERaw)
+				}
+				fam.lastLE, fam.lastLERaw = le, leRaw
+			}
+			if fam.bucketCount > 0 && val < fam.lastBucket {
+				return 0, fmt.Errorf("line %d: family %q cumulative bucket count decreased (%g < %g)", lineNo, family, val, fam.lastBucket)
+			}
+			fam.lastBucket = val
+			fam.bucketCount++
+		case "_count":
+			fam.sawCount = true
+			fam.countValue = val
+		case "_sum":
+			// any float is fine
+		default:
+			return 0, fmt.Errorf("line %d: bare sample %q in histogram family %q", lineNo, ident, family)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	// Close out per-family invariants.
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fam := fams[n]
+		if fam.samples == 0 {
+			return 0, fmt.Errorf("family %q: TYPE line with no samples", n)
+		}
+		if fam.typ != "histogram" {
+			continue
+		}
+		if !fam.sawInf {
+			return 0, fmt.Errorf("family %q: histogram missing le=\"+Inf\" bucket", n)
+		}
+		if !fam.sawCount {
+			return 0, fmt.Errorf("family %q: histogram missing _count sample", n)
+		}
+		if fam.countValue != fam.infValue {
+			return 0, fmt.Errorf("family %q: _count %g != le=\"+Inf\" bucket %g", n, fam.countValue, fam.infValue)
+		}
+	}
+	if len(fams) == 0 {
+		return 0, fmt.Errorf("no metric families found")
+	}
+	return len(fams), nil
+}

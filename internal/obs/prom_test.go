@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusRoundTrip renders a registry with all three metric
+// kinds and feeds the output back through the strict validator — the writer
+// and the linter must agree on the grammar, or ci.sh's metrics-lint step
+// would reject what the server actually serves.
+func TestWritePrometheusRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	SetEnabled(true)
+	defer SetEnabled(false)
+	reg.Counter("admit.requests").Add(7)
+	reg.Gauge("admit.gate.queue_depth").Set(3)
+	h := reg.Histogram("admit.journal.fsync_us", 10, 100, 1000)
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(5000) // overflow bucket
+
+	var sb strings.Builder
+	reg.Snapshot().WritePrometheus(&sb)
+	text := sb.String()
+
+	for _, want := range []string{
+		"# TYPE admit_requests counter\nadmit_requests 7\n",
+		"# TYPE admit_gate_queue_depth gauge\nadmit_gate_queue_depth 3\n",
+		"# TYPE admit_journal_fsync_us histogram\n",
+		`admit_journal_fsync_us_bucket{le="10"} 1`,
+		`admit_journal_fsync_us_bucket{le="100"} 2`,
+		`admit_journal_fsync_us_bucket{le="1000"} 2`,
+		`admit_journal_fsync_us_bucket{le="+Inf"} 3`,
+		"admit_journal_fsync_us_sum 5055",
+		"admit_journal_fsync_us_count 3",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition lacks %q:\n%s", want, text)
+		}
+	}
+
+	n, err := ValidatePrometheusText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("own exposition fails validation: %v\n%s", err, text)
+	}
+	if n != 3 {
+		t.Errorf("validated %d families, want 3", n)
+	}
+}
+
+// TestSanitizeMetricName pins the dotted-name → Prometheus-alphabet mapping.
+func TestSanitizeMetricName(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"admit.journal.fsync_us", "admit_journal_fsync_us"},
+		{"admit.shard.007.tasks", "admit_shard_007_tasks"},
+		{"already_fine:ok", "already_fine:ok"},
+		{"9starts-with-digit", "_9starts_with_digit"},
+		{"", "_"},
+	} {
+		if got := sanitizeMetricName(tc.in); got != tc.want {
+			t.Errorf("sanitizeMetricName(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestValidatePrometheusTextRejects walks the validator's error table: each
+// malformed exposition must be refused with a diagnostic, not silently
+// accepted.
+func TestValidatePrometheusTextRejects(t *testing.T) {
+	cases := []struct {
+		name, text, wantErr string
+	}{
+		{"empty", "", "no metric families"},
+		{"sample without TYPE", "loose_metric 1\n", "no preceding # TYPE"},
+		{"duplicate TYPE", "# TYPE a counter\na 1\n# TYPE a counter\na 2\n", "duplicate TYPE"},
+		{"unknown type", "# TYPE a widget\na 1\n", "unknown metric type"},
+		{"bad name", "# TYPE 0a-b counter\n", "invalid metric name"},
+		{"non-numeric value", "# TYPE a counter\na xyz\n", "non-numeric value"},
+		{"TYPE with no samples", "# TYPE a counter\n", "no samples"},
+		{"histogram missing +Inf", "# TYPE h histogram\nh_bucket{le=\"10\"} 1\nh_sum 1\nh_count 1\n", `missing le="+Inf"`},
+		{"histogram missing count", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\n", "missing _count"},
+		{"count != Inf", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 1\n", "_count 1"},
+		{"le not ascending", "# TYPE h histogram\nh_bucket{le=\"10\"} 1\nh_bucket{le=\"5\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 0\nh_count 2\n", "not ascending"},
+		{"cumulative decreases", "# TYPE h histogram\nh_bucket{le=\"10\"} 3\nh_bucket{le=\"20\"} 1\nh_bucket{le=\"+Inf\"} 3\nh_sum 0\nh_count 3\n", "decreased"},
+		{"bucket without le", "# TYPE h histogram\nh_bucket{foo=\"1\"} 1\n", "without le label"},
+		{"bare sample in histogram", "# TYPE h histogram\nh 1\n", "bare sample"},
+		{"bucket after Inf", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_bucket{le=\"10\"} 1\n", "after le=\"+Inf\""},
+	}
+	for _, tc := range cases {
+		_, err := ValidatePrometheusText(strings.NewReader(tc.text))
+		if err == nil {
+			t.Errorf("%s: accepted invalid exposition:\n%s", tc.name, tc.text)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q lacks %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// TestValidatePrometheusTextAccepts covers the grammar corners a stock
+// exporter may produce and which must not be rejected: HELP lines, comments,
+// trailing timestamps, and non-histogram families whose names end in
+// _count/_sum.
+func TestValidatePrometheusTextAccepts(t *testing.T) {
+	text := strings.Join([]string{
+		"# HELP a helpful words here",
+		"# a freestanding comment",
+		"# TYPE a counter",
+		"a 12 1700000000000",
+		"# TYPE thing_count gauge",
+		"thing_count 3",
+		"# TYPE x_sum counter",
+		"x_sum 1",
+		"",
+	}, "\n")
+	n, err := ValidatePrometheusText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("valid exposition rejected: %v", err)
+	}
+	if n != 3 {
+		t.Errorf("validated %d families, want 3", n)
+	}
+}

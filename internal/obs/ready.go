@@ -50,6 +50,22 @@ func SetReadiness(r Readiness) { readiness.Store(int32(r)) }
 // CurrentReadiness returns the published readiness state.
 func CurrentReadiness() Readiness { return Readiness(readiness.Load()) }
 
+// RegisterReadinessGauge publishes the readiness state as the numeric gauge
+// process.ready_state in reg (nil means Default), so state flaps survive in
+// scrape history rather than only in probe logs. The values follow the
+// Readiness constants (0=serving, 1=starting, 2=recovering, 3=draining).
+// Registration is deliberately explicit rather than done in init(): batch
+// harnesses export deterministic metric documents and must not grow a
+// wall-clock-adjacent gauge unasked; cmd/admitd opts in at boot.
+func RegisterReadinessGauge(reg *Registry) {
+	if reg == nil {
+		reg = Default
+	}
+	reg.GaugeFunc("process.ready_state", func() int64 {
+		return int64(CurrentReadiness())
+	})
+}
+
 // readyzHandler serves GET /readyz: 200 {"ready":true,...} only in the
 // serving state, 503 otherwise, always naming the state so an operator
 // curling the endpoint sees *why* traffic is parked.

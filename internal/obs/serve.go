@@ -190,13 +190,17 @@ func statusRoutes(reg *Registry) []Route {
 	}
 	metrics := func(w http.ResponseWriter, r *http.Request) {
 		snap := reg.Snapshot()
-		if wantsJSON(r) {
+		switch {
+		case wantsJSON(r):
 			w.Header().Set("Content-Type", "application/json")
 			_ = snap.WriteJSON(w)
-			return
+		case wantsPrometheus(r):
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			snap.WritePrometheus(w)
+		default:
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			snap.WriteText(w)
 		}
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		snap.WriteText(w)
 	}
 	progress := func(w http.ResponseWriter, r *http.Request) {
 		states := ProgressStates()
@@ -247,6 +251,19 @@ func statusRoutes(reg *Registry) []Route {
 func wantsJSON(r *http.Request) bool {
 	accept := r.Header.Get("Accept")
 	return strings.Contains(accept, "application/json")
+}
+
+// wantsPrometheus selects the Prometheus text exposition: an explicit
+// ?format=prometheus, or an Accept header asking for text/plain (what the
+// Prometheus scraper sends, with a version parameter) or an openmetrics
+// type. A bare curl sends Accept: */* and still gets the aligned
+// human-readable text.
+func wantsPrometheus(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "prometheus" {
+		return true
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics")
 }
 
 // Health is the /healthz body. The identity fields deliberately use the

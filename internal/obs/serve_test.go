@@ -71,6 +71,24 @@ func TestStatusHandlerEndpoints(t *testing.T) {
 		t.Errorf("/metrics json histograms wrong: %s", body)
 	}
 
+	// Prometheus negotiation: Accept: text/plain (a stock scraper) and
+	// ?format=prometheus both select the exposition format; bare curls
+	// (Accept */*) keep the human-aligned text above.
+	code, prom := get(t, srv, "/metrics", "text/plain")
+	if code != 200 || !strings.Contains(prom, "# TYPE rta_calls counter\nrta_calls 11") {
+		t.Errorf("/metrics prometheus: code %d body %q", code, prom)
+	}
+	if !strings.Contains(prom, `rta_iters_bucket{le="+Inf"} 1`) {
+		t.Errorf("/metrics prometheus lacks histogram buckets: %q", prom)
+	}
+	if n, err := ValidatePrometheusText(strings.NewReader(prom)); err != nil || n < 2 {
+		t.Errorf("/metrics prometheus invalid (%d families): %v", n, err)
+	}
+	code, prom2 := get(t, srv, "/metrics?format=prometheus", "")
+	if code != 200 || prom2 != prom {
+		t.Errorf("?format=prometheus differs from Accept negotiation: %q vs %q", prom2, prom)
+	}
+
 	code, body = get(t, srv, "/progress", "")
 	if code != 200 {
 		t.Fatalf("/progress: code %d", code)
